@@ -1,0 +1,106 @@
+// Ablation — hypothesis 2 (§3): "more distributed in-memory caches, less
+// storage layer caches". Holds the deployment's total cache DRAM fixed and
+// sweeps how it is split between the storage-layer block caches and the
+// application-linked caches. The paper (and the §4 model) predict cost
+// falls monotonically as memory moves toward the app: a linked-cache hit
+// eliminates the whole storage round trip, a block-cache hit only the disk
+// read. A second table ablates the linked cache's eviction policy.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "util/table_printer.hpp"
+#include "workload/meta_trace.hpp"
+#include "workload/synthetic.hpp"
+
+using namespace dcache;
+
+namespace {
+
+void memorySplitSweep() {
+  // 24 GB of cache DRAM total across 3 app servers + 3 storage nodes.
+  // 100K keys x 256KB = 25.6GB of data, so the split decides who misses.
+  constexpr double kTotalGb = 24.0;
+  workload::SyntheticConfig workload;
+  workload.valueSize = 262144;
+  workload.readRatio = 0.93;
+
+  util::TablePrinter table({"linked_GB(total)", "storage_GB(total)", "hit%",
+                            "block_hit%", "total_cost"});
+  for (const double appGbPerNode : {0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const double storageGbPerNode = (kTotalGb - 3.0 * appGbPerNode) / 3.0;
+    core::DeploymentConfig deployment;
+    deployment.architecture = core::Architecture::kLinked;
+    deployment.appCachePerNode = util::Bytes::gb(appGbPerNode);
+    deployment.blockCachePerNode = util::Bytes::gb(storageGbPerNode);
+
+    core::ExperimentConfig experiment;
+    experiment.operations = 150000;
+    experiment.warmupOperations = 250000;
+    experiment.qps = bench::kSyntheticQps;
+
+    workload::SyntheticWorkload instance(workload);
+    core::Deployment built(deployment);
+    built.populateKv(instance);
+    core::ExperimentRunner runner(experiment);
+    const auto result = runner.run(built, instance);
+
+    const std::uint64_t blockLookups =
+        built.db().blockCacheHits() + built.db().blockCacheMisses();
+    char hit[16];
+    std::snprintf(hit, sizeof hit, "%.1f",
+                  100.0 * result.counters.hitRatio());
+    char blockHit[16];
+    std::snprintf(blockHit, sizeof blockHit, "%.1f",
+                  blockLookups ? 100.0 *
+                                     static_cast<double>(
+                                         built.db().blockCacheHits()) /
+                                     static_cast<double>(blockLookups)
+                               : 0.0);
+    table.addRow({util::TablePrinter::toCell(appGbPerNode * 3.0),
+                  util::TablePrinter::toCell(storageGbPerNode * 3.0), hit,
+                  blockHit, result.cost.totalCost.str()});
+  }
+  table.print("Hypothesis 2: fixed 24GB cache DRAM split between linked "
+              "and storage-layer caches (256KB values, r=0.93)");
+}
+
+void evictionPolicySweep() {
+  util::TablePrinter table({"policy", "hit%", "total_cost"});
+  for (const cache::EvictionPolicy policy :
+       {cache::EvictionPolicy::kLru, cache::EvictionPolicy::kFifo,
+        cache::EvictionPolicy::kClock, cache::EvictionPolicy::kSlru,
+        cache::EvictionPolicy::kLfu, cache::EvictionPolicy::kS3Fifo}) {
+    core::DeploymentConfig deployment;
+    deployment.architecture = core::Architecture::kLinked;
+    deployment.evictionPolicy = policy;
+    // Cache sized well below the working set so the policy matters.
+    deployment.appCachePerNode = util::Bytes::mb(1);
+
+    core::ExperimentConfig experiment;
+    experiment.operations = 200000;
+    experiment.warmupOperations = 200000;
+    experiment.qps = bench::kSyntheticQps;
+
+    workload::MetaTraceConfig workload;  // skew + one-touch scan traffic
+    const auto result =
+        bench::runCell(core::Architecture::kLinked,
+                       workload::MetaTraceWorkload(workload), deployment,
+                       experiment);
+    char hit[16];
+    std::snprintf(hit, sizeof hit, "%.1f",
+                  100.0 * result.counters.hitRatio());
+    table.addRow({std::string(cache::evictionPolicyName(policy)), hit,
+                  result.cost.totalCost.str()});
+  }
+  table.print("\nEviction-policy ablation for the linked cache (Meta-style "
+              "trace, cache << working set)");
+}
+
+}  // namespace
+
+int main() {
+  memorySplitSweep();
+  evictionPolicySweep();
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+
+namespace dcache::bench {
+
+/// Offered load for the compute-bound synthetic sweeps. The paper's testbed
+/// runs its deployments compute-bound (provisioning follows peak CPU); at
+/// trivially low QPS fixed memory would dominate every bill and mask the
+/// architecture differences the figures are about.
+inline constexpr double kSyntheticQps = 120000.0;
+/// Unity Catalog serves ~40K complex queries per second (§5.2).
+inline constexpr double kUcQps = 40000.0;
+
+[[nodiscard]] inline std::string savingCell(const core::ExperimentResult& base,
+                                            const core::ExperimentResult& r) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%.2fx", core::savingsVs(base, r));
+  return buf;
+}
+
+/// Run one (architecture, workload) cell with a fresh deployment.
+template <typename WorkloadT>
+core::ExperimentResult runCell(core::Architecture arch,
+                               const WorkloadT& workloadTemplate,
+                               core::DeploymentConfig deployment,
+                               core::ExperimentConfig experiment) {
+  WorkloadT workload = workloadTemplate;  // fresh RNG state per cell
+  return core::runArchitecture(arch, workload, deployment, experiment);
+}
+
+}  // namespace dcache::bench

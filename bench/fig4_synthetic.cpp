@@ -1,0 +1,93 @@
+// Figure 4 — total cost across architectures on the synthetic workload
+// (§5.2-5.3): 100K keys, Zipf(1.2).
+//   (a) varying read ratio 50% .. 99% at 4KB values
+//   (b) varying value size 1KB .. 1MB at r = 0.93
+// Expected shape (paper): Linked < Remote < Base everywhere; the Linked
+// advantage grows with value size (3.9x at 1KB to 7.3x at 1MB, driven by
+// (de)serialization) and with read ratio.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "util/table_printer.hpp"
+#include "workload/synthetic.hpp"
+
+using namespace dcache;
+
+namespace {
+
+core::ExperimentConfig experimentConfig() {
+  core::ExperimentConfig experiment;
+  experiment.operations = 200000;
+  experiment.warmupOperations = 200000;
+  experiment.qps = bench::kSyntheticQps;
+  return experiment;
+}
+
+void figure4a() {
+  util::TablePrinter table(
+      {"read_ratio", "Base", "Remote", "Linked", "Remote_saving",
+       "Linked_saving"});
+  for (const double readRatio : {0.50, 0.75, 0.90, 0.93, 0.99}) {
+    workload::SyntheticConfig workload;
+    workload.readRatio = readRatio;
+    workload.valueSize = 4096;
+    const workload::SyntheticWorkload reference(workload);
+
+    const auto base = bench::runCell(core::Architecture::kBase, reference,
+                                     core::DeploymentConfig{},
+                                     experimentConfig());
+    const auto remote = bench::runCell(core::Architecture::kRemote, reference,
+                                       core::DeploymentConfig{},
+                                       experimentConfig());
+    const auto linked = bench::runCell(core::Architecture::kLinked, reference,
+                                       core::DeploymentConfig{},
+                                       experimentConfig());
+    table.addRow({util::TablePrinter::toCell(readRatio),
+                  base.cost.totalCost.str(), remote.cost.totalCost.str(),
+                  linked.cost.totalCost.str(),
+                  bench::savingCell(base, remote),
+                  bench::savingCell(base, linked)});
+  }
+  table.print("Figure 4a: total monthly cost vs read ratio (4KB values, "
+              "Zipf 1.2, 120K QPS)");
+}
+
+void figure4b() {
+  util::TablePrinter table(
+      {"value_size", "Base", "Remote", "Linked", "Remote_saving",
+       "Linked_saving"});
+  for (const std::uint64_t valueSize :
+       {1024ull, 4096ull, 16384ull, 65536ull, 262144ull, 1048576ull}) {
+    workload::SyntheticConfig workload;
+    workload.readRatio = 0.99;
+    workload.valueSize = valueSize;
+    const workload::SyntheticWorkload reference(workload);
+
+    const auto base = bench::runCell(core::Architecture::kBase, reference,
+                                     core::DeploymentConfig{},
+                                     experimentConfig());
+    const auto remote = bench::runCell(core::Architecture::kRemote, reference,
+                                       core::DeploymentConfig{},
+                                       experimentConfig());
+    const auto linked = bench::runCell(core::Architecture::kLinked, reference,
+                                       core::DeploymentConfig{},
+                                       experimentConfig());
+    table.addRow({util::Bytes::of(valueSize).str(),
+                  base.cost.totalCost.str(), remote.cost.totalCost.str(),
+                  linked.cost.totalCost.str(),
+                  bench::savingCell(base, remote),
+                  bench::savingCell(base, linked)});
+  }
+  table.print("\nFigure 4b: total monthly cost vs value size (r=0.99, "
+              "Zipf 1.2, 120K QPS; paper: Linked saves 3.9x@1KB, "
+              "7.3x@1MB)");
+}
+
+}  // namespace
+
+int main() {
+  figure4a();
+  figure4b();
+  return 0;
+}

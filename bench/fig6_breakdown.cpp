@@ -1,0 +1,129 @@
+// Figure 6 — CPU usage breakdown at app server, remote cache and storage
+// across value sizes, one panel per architecture (§5.3, §5.5):
+//   (a) Base  (b) Remote  (c) Linked  (d) Linked+Version
+// Reported per panel: relative CPU share per tier, the database-cycle
+// decomposition (the paper: 40-65% of DB cycles on connection/query
+// processing/planning), the Linked app-server decomposition (~60% request
+// prep, ~31% client communication) and the memory share of total cost
+// (6-22% for Linked, 1-5% for Base).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "util/table_printer.hpp"
+#include "workload/synthetic.hpp"
+
+using namespace dcache;
+
+namespace {
+
+core::ExperimentResult runPoint(core::Architecture arch,
+                                std::uint64_t valueSize,
+                                double readRatio = 0.93) {
+  workload::SyntheticConfig workload;
+  workload.readRatio = readRatio;
+  workload.valueSize = valueSize;
+  core::ExperimentConfig experiment;
+  experiment.operations = 150000;
+  experiment.warmupOperations = 150000;
+  experiment.qps = bench::kSyntheticQps;
+  return bench::runCell(arch, workload::SyntheticWorkload(workload),
+                        core::DeploymentConfig{}, experiment);
+}
+
+void tierShares(core::Architecture arch) {
+  util::TablePrinter table({"value_size", "app%", "remote_cache%", "sql%",
+                            "kv%", "db_query_proc%", "mem_share%"});
+  for (const std::uint64_t valueSize :
+       {1024ull, 16384ull, 262144ull, 1048576ull}) {
+    const auto result = runPoint(arch, valueSize);
+    double total = 0.0;
+    double app = 0.0;
+    double remote = 0.0;
+    double sql = 0.0;
+    double kv = 0.0;
+    for (const core::TierUsage& tier : result.cost.tiers) {
+      total += tier.cpuMicrosTotal;
+      switch (tier.kind) {
+        case sim::TierKind::kAppServer: app += tier.cpuMicrosTotal; break;
+        case sim::TierKind::kRemoteCache: remote += tier.cpuMicrosTotal; break;
+        case sim::TierKind::kSqlFrontend: sql += tier.cpuMicrosTotal; break;
+        case sim::TierKind::kKvStorage: kv += tier.cpuMicrosTotal; break;
+        default: break;
+      }
+    }
+    auto pct = [&](double x) {
+      char buf[16];
+      std::snprintf(buf, sizeof buf, "%.1f", total > 0 ? 100.0 * x / total : 0);
+      return std::string(buf);
+    };
+    char queryProc[16];
+    std::snprintf(queryProc, sizeof queryProc, "%.1f",
+                  100.0 * core::queryProcessingShare(result));
+    char memShare[16];
+    std::snprintf(memShare, sizeof memShare, "%.1f",
+                  100.0 * core::memoryCostShare(result));
+    table.addRow({util::Bytes::of(valueSize).str(), pct(app), pct(remote),
+                  pct(sql), pct(kv), queryProc, memShare});
+  }
+  table.print(std::string("\nFigure 6 — ") +
+              std::string(core::architectureName(arch)) +
+              ": CPU share per tier vs value size");
+}
+
+void linkedAppDecomposition(std::uint64_t valueSize, double readRatio) {
+  // §5.3: for Linked, preparing/issuing storage requests ≈60% of app
+  // cycles, client communication ≈31%, the rest servicing requests. The
+  // prep share is dominated by the ops that reach storage, so it peaks in
+  // the write-heavy runs and shrinks as the hit ratio rises.
+  const auto result =
+      runPoint(core::Architecture::kLinked, valueSize, readRatio);
+  const core::TierUsage* app = result.cost.tier(sim::TierKind::kAppServer);
+  if (!app) return;
+  auto share = [&](sim::CpuComponent c) {
+    return 100.0 * app->cpuMicrosByComponent[static_cast<std::size_t>(c)] /
+           app->cpuMicrosTotal;
+  };
+  // "Request prep" in the paper's sense covers preparing and issuing the
+  // storage/cache requests: prep + the marshalling/framing of those hops.
+  const double prep = share(sim::CpuComponent::kRequestPrep) +
+                      share(sim::CpuComponent::kRpcFraming) +
+                      share(sim::CpuComponent::kSerialization) +
+                      share(sim::CpuComponent::kDeserialization);
+  const double clientComm = share(sim::CpuComponent::kClientComm);
+  const double serving = share(sim::CpuComponent::kCacheOp) +
+                         share(sim::CpuComponent::kAppLogic);
+  std::printf(
+      "\nLinked app-server cycle decomposition at %s, r=%.2f (paper: "
+      "~60%% request prep, ~31%% client comm):\n"
+      "  storage/cache request prep+marshalling: %.1f%%\n"
+      "  client communication:                   %.1f%%\n"
+      "  request servicing (cache ops, logic):   %.1f%%\n",
+      util::Bytes::of(valueSize).str().c_str(), readRatio, prep, clientComm,
+      serving);
+}
+
+}  // namespace
+
+int main() {
+  for (const core::Architecture arch : core::kAllArchitectures) {
+    tierShares(arch);
+  }
+  linkedAppDecomposition(16384, 0.93);
+  linkedAppDecomposition(16384, 0.50);
+
+  // Full component table for one representative panel each of Linked and
+  // Linked+Version, making the §5.5 storage-load increase visible.
+  const auto linked = runPoint(core::Architecture::kLinked, 16384);
+  const auto linkedV = runPoint(core::Architecture::kLinkedVersion, 16384);
+  std::fputs(
+      core::cpuBreakdownTable(linked, "\nLinked @16KB — full CPU breakdown")
+          .c_str(),
+      stdout);
+  std::fputs(core::cpuBreakdownTable(
+                 linkedV, "\nLinked+Version @16KB — full CPU breakdown "
+                          "(note the storage tier growth, §5.5)")
+                 .c_str(),
+             stdout);
+  return 0;
+}

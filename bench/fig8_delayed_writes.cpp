@@ -1,0 +1,42 @@
+// Figure 8 — the delayed-writes problem (§6): a write delayed in flight
+// races a cache reshard; the new owner warms itself from storage before
+// the write lands, leaving cache and storage permanently out of sync.
+// Prints the scripted interleaving's event log, then sweeps randomized
+// timings to measure the anomaly rate with and without the epoch-fencing
+// fix (writes carry their ownership epoch; storage rejects stale epochs).
+#include <cstdio>
+
+#include "consistency/delayed_write.hpp"
+#include "util/table_printer.hpp"
+
+using namespace dcache;
+
+int main() {
+  std::puts("Figure 8: scripted delayed-write interleaving (no fencing)\n");
+  consistency::DelayedWriteConfig config;
+  const auto outcome = consistency::runDelayedWriteScenario(config);
+  std::fputs(outcome.history.c_str(), stdout);
+
+  std::puts("\nSame interleaving with epoch fencing:\n");
+  config.epochFencing = true;
+  const auto fenced = consistency::runDelayedWriteScenario(config);
+  std::fputs(fenced.history.c_str(), stdout);
+
+  util::TablePrinter table({"trials", "anomaly_rate (no fencing)",
+                            "anomaly_rate (epoch fencing)"});
+  for (const std::uint64_t trials : {100ull, 1000ull, 10000ull}) {
+    util::Pcg32 rngA(2026, 1);
+    util::Pcg32 rngB(2026, 1);
+    const double unfenced =
+        consistency::delayedWriteAnomalyRate(trials, false, rngA);
+    const double fencedRate =
+        consistency::delayedWriteAnomalyRate(trials, true, rngB);
+    table.addRow({util::TablePrinter::toCell(
+                      static_cast<unsigned long long>(trials)),
+                  util::TablePrinter::toCell(unfenced),
+                  util::TablePrinter::toCell(fencedRate)});
+  }
+  table.print("\nRandomized-timing sweep (write delay, reshard and warm "
+              "read drawn uniformly)");
+  return 0;
+}

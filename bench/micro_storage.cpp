@@ -1,0 +1,152 @@
+// Micro-benchmarks for the storage engine: SQL parse/plan, end-to-end
+// statement execution, raw KV engine operations and the row codec. The
+// parse/plan numbers here are the *host* cost of our mini engine; the
+// simulated TiDB front-end charges the calibrated constants documented in
+// core/calibration.hpp instead.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "rpc/channel.hpp"
+#include "sim/tier.hpp"
+#include "storage/database.hpp"
+#include "storage/kv_engine.hpp"
+#include "storage/sql_parser.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace dcache;
+using storage::Column;
+using storage::ColumnType;
+using storage::Row;
+using storage::TableSchema;
+using storage::Value;
+
+void BM_SqlParsePointSelect(benchmark::State& state) {
+  for (auto _ : state) {
+    auto parsed =
+        storage::parseSql("SELECT * FROM tables WHERE id = ? AND owner = ?");
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_SqlParsePointSelect);
+
+void BM_SqlParseJoin(benchmark::State& state) {
+  for (auto _ : state) {
+    auto parsed = storage::parseSql(
+        "SELECT name, title FROM tables JOIN schemas ON tables.schema_id = "
+        "schemas.id WHERE id = ? LIMIT 10");
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_SqlParseJoin);
+
+struct DbFixture {
+  DbFixture()
+      : sqlTier("sql", sim::TierKind::kSqlFrontend, 1),
+        kvTier("kv", sim::TierKind::kKvStorage, 3),
+        client("client", sim::TierKind::kClient),
+        channel(network, rpc::SerializationModel{}),
+        db(sqlTier, kvTier, channel) {
+    db.createTable(TableSchema("users",
+                               {Column{"id", ColumnType::kInt},
+                                Column{"team", ColumnType::kInt},
+                                Column{"name", ColumnType::kString}},
+                               0, {1}));
+    for (std::int64_t i = 0; i < 10000; ++i) {
+      db.loadRow("users", Row{{i, i % 100, "user_" + std::to_string(i)}});
+    }
+  }
+  sim::NetworkModel network;
+  sim::Tier sqlTier;
+  sim::Tier kvTier;
+  sim::Node client;
+  rpc::Channel channel;
+  storage::Database db;
+};
+
+void BM_ExecPointSelect(benchmark::State& state) {
+  DbFixture fixture;
+  std::int64_t id = 0;
+  for (auto _ : state) {
+    const Value params[] = {Value{id}};
+    auto result =
+        fixture.db.exec(fixture.client, "SELECT * FROM users WHERE id = ?",
+                        params);
+    benchmark::DoNotOptimize(result.rows.data());
+    id = (id + 37) % 10000;
+  }
+}
+BENCHMARK(BM_ExecPointSelect);
+
+void BM_ExecIndexSelect(benchmark::State& state) {
+  DbFixture fixture;
+  std::int64_t team = 0;
+  for (auto _ : state) {
+    const Value params[] = {Value{team}};
+    auto result = fixture.db.exec(
+        fixture.client, "SELECT * FROM users WHERE team = ?", params);
+    benchmark::DoNotOptimize(result.rows.data());
+    team = (team + 1) % 100;
+  }
+}
+BENCHMARK(BM_ExecIndexSelect);
+
+void BM_ExecUpdate(benchmark::State& state) {
+  DbFixture fixture;
+  std::int64_t id = 0;
+  for (auto _ : state) {
+    const Value params[] = {Value{std::string("renamed")}, Value{id}};
+    auto result = fixture.db.exec(
+        fixture.client, "UPDATE users SET name = ? WHERE id = ?", params);
+    benchmark::DoNotOptimize(result.rowsAffected);
+    id = (id + 101) % 10000;
+  }
+}
+BENCHMARK(BM_ExecUpdate);
+
+void BM_KvReadValue(benchmark::State& state) {
+  DbFixture fixture;
+  for (int i = 0; i < 10000; ++i) {
+    fixture.db.loadValue(workload::keyName(static_cast<std::uint64_t>(i)),
+                         4096);
+  }
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    auto result = fixture.db.readValue(fixture.client, workload::keyName(k));
+    benchmark::DoNotOptimize(result.found);
+    k = (k + 37) % 10000;
+  }
+}
+BENCHMARK(BM_KvReadValue);
+
+void BM_KvEngineRawGet(benchmark::State& state) {
+  storage::KvEngine engine;
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    engine.put(workload::keyName(i), storage::StoredValue::sized(100), i + 1);
+  }
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.get(workload::keyName(k)));
+    k = (k + 7919) % 100000;
+  }
+}
+BENCHMARK(BM_KvEngineRawGet);
+
+void BM_RowCodecRoundtrip(benchmark::State& state) {
+  const TableSchema schema("t",
+                           {Column{"id", ColumnType::kInt},
+                            Column{"x", ColumnType::kDouble},
+                            Column{"s", ColumnType::kString}},
+                           0);
+  const Row row{{std::int64_t{42}, 3.25, std::string(128, 's')}};
+  for (auto _ : state) {
+    const std::string bytes = storage::encodeRow(schema, row);
+    auto back = storage::decodeRow(schema, bytes);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_RowCodecRoundtrip);
+
+}  // namespace

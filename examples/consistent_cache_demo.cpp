@@ -1,0 +1,109 @@
+// Consistency walk-through (§5.5, §6): what strong consistency does to a
+// cache's cost, why, and what can be done about it.
+//   1. Linearizability: version-checked reads pass the checker; serving
+//      cached data blindly after a concurrent write does not.
+//   2. Cost: the per-read version check erases most of the linked cache's
+//      savings (the §5.5 result), while ownership leases keep them.
+//   3. Correctness: the Fig. 8 delayed-write anomaly, shown live, and the
+//      epoch-fencing fix.
+//
+//   $ ./build/examples/consistent_cache_demo
+#include <cstdio>
+#include <iostream>
+
+#include "consistency/delayed_write.hpp"
+#include "consistency/linearizability.hpp"
+#include "consistency/version_check.hpp"
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "workload/synthetic.hpp"
+
+using namespace dcache;
+
+namespace {
+
+void linearizabilityDemo() {
+  std::puts("== 1. Why caches break linearizability ==\n");
+  // A storage system with one key; two cache behaviours under a racing
+  // write: serve-cached-blindly vs validate-then-serve.
+  consistency::History blind;
+  consistency::History checked;
+
+  // t0-10: write v1. t20-30: write v2 completes. t40+: reads.
+  for (auto* history : {&blind, &checked}) {
+    history->record({consistency::HistoryOpType::kWrite, "acct", 1, 0, 10, 0});
+    history->record({consistency::HistoryOpType::kWrite, "acct", 2, 20, 30, 0});
+  }
+  // The blind cache still holds v1 and serves it after v2 committed.
+  blind.record({consistency::HistoryOpType::kRead, "acct", 1, 40, 41, 1});
+  // The version-checked cache detects the mismatch and refetches v2.
+  checked.record({consistency::HistoryOpType::kRead, "acct", 2, 40, 55, 1});
+
+  const auto violations = consistency::checkLinearizable(blind);
+  std::printf("eventually-consistent cache: %zu violation(s)\n",
+              violations.size());
+  for (const auto& violation : violations) {
+    std::printf("  -> %s\n", violation.reason.c_str());
+  }
+  std::printf("version-checked cache:       %s\n\n",
+              consistency::isLinearizable(checked) ? "linearizable"
+                                                   : "VIOLATION");
+}
+
+void costDemo() {
+  std::puts("== 2. What the version check costs (§5.5) ==\n");
+  workload::SyntheticConfig workload;
+  workload.valueSize = 16384;
+  workload.readRatio = 0.93;
+
+  core::ExperimentConfig experiment;
+  experiment.operations = 60000;
+  experiment.warmupOperations = 60000;
+  experiment.qps = 120000;
+
+  std::vector<core::ExperimentResult> results;
+  for (const core::Architecture arch :
+       {core::Architecture::kBase, core::Architecture::kLinked,
+        core::Architecture::kLinkedVersion}) {
+    workload::SyntheticWorkload instance(workload);
+    results.push_back(core::runArchitecture(arch, instance,
+                                            core::DeploymentConfig{},
+                                            experiment));
+  }
+  std::cout << core::costComparisonTable(
+                   results, "Eventual vs per-read-version-checked cache")
+            << "\n";
+  std::printf("Even though the check returns 8 bytes, it traverses the "
+              "full SQL read path:\nparse, plan, lease validation, row "
+              "fetch, and two RPC hops — %llu checks issued.\n\n",
+              static_cast<unsigned long long>(
+                  results[2].counters.versionChecks));
+}
+
+void delayedWriteDemo() {
+  std::puts("== 3. The delayed-writes hazard (Fig. 8) and epoch fencing ==\n");
+  consistency::DelayedWriteConfig config;
+  const auto outcome = consistency::runDelayedWriteScenario(config);
+  std::fputs(outcome.history.c_str(), stdout);
+  std::puts("\nwith epoch fencing:");
+  config.epochFencing = true;
+  const auto fenced = consistency::runDelayedWriteScenario(config);
+  std::fputs(fenced.history.c_str(), stdout);
+
+  util::Pcg32 rng(99, 1);
+  util::Pcg32 rng2(99, 1);
+  std::printf(
+      "\nrandomized sweep (2000 trials): anomaly rate %.1f%% unfenced, "
+      "%.1f%% fenced\n",
+      100.0 * consistency::delayedWriteAnomalyRate(2000, false, rng),
+      100.0 * consistency::delayedWriteAnomalyRate(2000, true, rng2));
+}
+
+}  // namespace
+
+int main() {
+  linearizabilityDemo();
+  costDemo();
+  delayedWriteDemo();
+  return 0;
+}

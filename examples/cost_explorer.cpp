@@ -1,0 +1,182 @@
+// Interactive cost explorer: price any (architecture, workload, cluster)
+// combination from the command line — the tool a capacity planner would
+// actually run.
+//
+//   $ ./build/examples/cost_explorer --arch=linked --value-size=64KB
+//         --read-ratio=0.95 --qps=80000 --app-cache=6GB --alpha=1.2
+//   $ ./build/examples/cost_explorer --all
+//
+// Flags (all optional): --arch=base|remote|linked|linked_version | --all
+//   --keys=N --alpha=F --read-ratio=F --value-size=BYTES|KB|MB
+//   --qps=F --ops=N --app-servers=N --app-cache=SIZE --block-cache=SIZE
+//   --policy=lru|fifo|clock|slru|lfu|s3fifo --memory-price-multiplier=F
+//   --breakdown (per-tier CPU shares)  --advise (cost-optimal cache size)
+//   --no-affinity (spray clients round-robin; linked probes forward)
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/advisor.hpp"
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "workload/synthetic.hpp"
+
+using namespace dcache;
+
+namespace {
+
+struct Options {
+  core::Architecture architecture = core::Architecture::kLinked;
+  bool allArchitectures = false;
+  workload::SyntheticConfig workload;
+  core::DeploymentConfig deployment;
+  core::ExperimentConfig experiment;
+  bool showBreakdown = false;
+  bool advise = false;
+};
+
+[[nodiscard]] std::optional<std::string> flagValue(std::string_view arg,
+                                                   std::string_view name) {
+  if (arg.size() <= name.size() + 3 || arg.substr(0, 2) != "--" ||
+      arg.substr(2, name.size()) != name || arg[2 + name.size()] != '=') {
+    return std::nullopt;
+  }
+  return std::string(arg.substr(name.size() + 3));
+}
+
+bool parseArgs(int argc, char** argv, Options& options) {
+  options.experiment.operations = 100000;
+  options.experiment.warmupOperations = 150000;
+  options.experiment.qps = 120000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--all") {
+      options.allArchitectures = true;
+    } else if (arg == "--breakdown") {
+      options.showBreakdown = true;
+    } else if (arg == "--advise") {
+      options.advise = true;
+    } else if (arg == "--no-affinity") {
+      options.deployment.affinityRouting = false;
+    } else if (auto v = flagValue(arg, "arch")) {
+      const auto parsed = core::parseArchitecture(*v);
+      if (!parsed) {
+        std::fprintf(stderr, "unknown architecture: %s\n", v->c_str());
+        return false;
+      }
+      options.architecture = *parsed;
+    } else if (auto v = flagValue(arg, "keys")) {
+      options.workload.numKeys = std::strtoull(v->c_str(), nullptr, 10);
+    } else if (auto v = flagValue(arg, "alpha")) {
+      options.workload.alpha = std::strtod(v->c_str(), nullptr);
+    } else if (auto v = flagValue(arg, "read-ratio")) {
+      options.workload.readRatio = std::strtod(v->c_str(), nullptr);
+    } else if (auto v = flagValue(arg, "value-size")) {
+      const auto bytes = util::Bytes::parse(*v);
+      if (!bytes) {
+        std::fprintf(stderr, "bad --value-size: %s\n", v->c_str());
+        return false;
+      }
+      options.workload.valueSize = bytes->count();
+    } else if (auto v = flagValue(arg, "qps")) {
+      options.experiment.qps = std::strtod(v->c_str(), nullptr);
+    } else if (auto v = flagValue(arg, "ops")) {
+      options.experiment.operations = std::strtoull(v->c_str(), nullptr, 10);
+      options.experiment.warmupOperations = options.experiment.operations;
+    } else if (auto v = flagValue(arg, "app-servers")) {
+      options.deployment.appServers =
+          std::strtoull(v->c_str(), nullptr, 10);
+    } else if (auto v = flagValue(arg, "app-cache")) {
+      const auto bytes = util::Bytes::parse(*v);
+      if (!bytes) return false;
+      options.deployment.appCachePerNode = *bytes;
+      options.deployment.remoteCachePerNode = *bytes;
+    } else if (auto v = flagValue(arg, "block-cache")) {
+      const auto bytes = util::Bytes::parse(*v);
+      if (!bytes) return false;
+      options.deployment.blockCachePerNode = *bytes;
+    } else if (auto v = flagValue(arg, "policy")) {
+      if (*v == "lru") {
+        options.deployment.evictionPolicy = cache::EvictionPolicy::kLru;
+      } else if (*v == "fifo") {
+        options.deployment.evictionPolicy = cache::EvictionPolicy::kFifo;
+      } else if (*v == "clock") {
+        options.deployment.evictionPolicy = cache::EvictionPolicy::kClock;
+      } else if (*v == "slru") {
+        options.deployment.evictionPolicy = cache::EvictionPolicy::kSlru;
+      } else if (*v == "lfu") {
+        options.deployment.evictionPolicy = cache::EvictionPolicy::kLfu;
+      } else if (*v == "s3fifo") {
+        options.deployment.evictionPolicy = cache::EvictionPolicy::kS3Fifo;
+      } else {
+        std::fprintf(stderr, "unknown policy: %s\n", v->c_str());
+        return false;
+      }
+    } else if (auto v = flagValue(arg, "memory-price-multiplier")) {
+      options.experiment.pricing = core::Pricing::gcp().withMemoryMultiplier(
+          std::strtod(v->c_str(), nullptr));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", std::string(arg).c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parseArgs(argc, argv, options)) {
+    std::fputs("see the header comment for usage\n", stderr);
+    return 1;
+  }
+
+  std::vector<core::Architecture> architectures;
+  if (options.allArchitectures) {
+    architectures.assign(std::begin(core::kAllArchitectures),
+                         std::end(core::kAllArchitectures));
+  } else {
+    architectures.push_back(options.architecture);
+  }
+
+  std::vector<core::ExperimentResult> results;
+  for (const core::Architecture arch : architectures) {
+    workload::SyntheticWorkload workload(options.workload);
+    results.push_back(core::runArchitecture(arch, workload,
+                                            options.deployment,
+                                            options.experiment));
+  }
+
+  char title[160];
+  std::snprintf(title, sizeof title,
+                "Monthly cost: %llu keys, alpha=%.2f, r=%.2f, value=%s, "
+                "%.0f QPS",
+                static_cast<unsigned long long>(options.workload.numKeys),
+                options.workload.alpha, options.workload.readRatio,
+                util::Bytes::of(options.workload.valueSize).str().c_str(),
+                options.experiment.qps);
+  std::cout << core::costComparisonTable(results, title);
+
+  if (options.advise) {
+    core::AdvisorConfig advisorConfig;
+    advisorConfig.qps = options.experiment.qps;
+    advisorConfig.pricing = options.experiment.pricing;
+    workload::SyntheticWorkload workload(options.workload);
+    const auto rec = core::CacheAdvisor(advisorConfig).advise(workload);
+    std::cout << "\nCache advisor (exact MRC from this workload):\n"
+              << rec.summary();
+  }
+
+  if (options.showBreakdown) {
+    for (const auto& result : results) {
+      std::cout << "\n"
+                << core::cpuBreakdownTable(
+                       result, result.architecture + " CPU breakdown");
+    }
+  }
+  return 0;
+}

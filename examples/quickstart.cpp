@@ -1,0 +1,52 @@
+// Quickstart: price one synthetic workload on all four architectures.
+//
+//   $ ./build/examples/quickstart
+//
+// Builds a 3-app-server / 3-SQL / 3-KV deployment per architecture, runs a
+// Zipf(1.2) workload of 4 KB values at 93% reads, and prints the monthly
+// bill each architecture would pay on GCP — the paper's headline comparison
+// in one screen of code.
+#include <iostream>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "workload/synthetic.hpp"
+
+int main() {
+  using namespace dcache;
+
+  workload::SyntheticConfig workloadConfig;
+  workloadConfig.numKeys = 100000;
+  workloadConfig.alpha = 1.2;
+  workloadConfig.readRatio = 0.93;
+  workloadConfig.valueSize = 4096;
+
+  core::DeploymentConfig deployment;   // 3/3/3 nodes, 6 GB linked cache
+  core::ExperimentConfig experiment;
+  experiment.operations = 200000;
+  experiment.warmupOperations = 150000;
+  experiment.qps = 40000.0;
+
+  std::vector<core::ExperimentResult> results;
+  for (const core::Architecture arch : core::kAllArchitectures) {
+    workload::SyntheticWorkload workload(workloadConfig);  // same seed each run
+    results.push_back(
+        core::runArchitecture(arch, workload, deployment, experiment));
+  }
+
+  std::cout << core::costComparisonTable(
+      results, "Monthly cost, synthetic Zipf(1.2), 4KB values, r=0.93, "
+               "40K QPS (baseline: Base)");
+  std::cout << "\nMemory share of total cost:\n";
+  for (const auto& result : results) {
+    std::cout << "  " << result.architecture << ": "
+              << core::memoryCostShare(result) * 100.0 << "%\n";
+  }
+  std::cout << "\nStorage-tier query-processing share (paper: 40-65%):\n";
+  for (const auto& result : results) {
+    std::cout << "  " << result.architecture << ": "
+              << core::queryProcessingShare(result) * 100.0 << "%\n";
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// FIFO eviction: evicts in insertion order, ignoring recency. Cheapest
+// policy to run and — per "FIFO queues are all you need" (SOSP'23, cited by
+// the paper) — surprisingly competitive; included as a baseline for the
+// eviction-policy ablation bench.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "cache/kv_cache.hpp"
+
+namespace dcache::cache {
+
+class FifoCache final : public KvCache {
+ public:
+  explicit FifoCache(util::Bytes capacity) : capacity_(capacity) {}
+
+  [[nodiscard]] const CacheEntry* get(std::string_view key) override;
+  void put(std::string_view key, CacheEntry entry) override;
+  bool erase(std::string_view key) override;
+  void clear() override;
+  [[nodiscard]] const CacheEntry* peek(std::string_view key) const override;
+
+  [[nodiscard]] std::size_t itemCount() const noexcept override {
+    return map_.size();
+  }
+  [[nodiscard]] util::Bytes bytesUsed() const noexcept override {
+    return util::Bytes::of(used_);
+  }
+  [[nodiscard]] util::Bytes capacity() const noexcept override {
+    return capacity_;
+  }
+
+ private:
+  struct Item {
+    std::string key;
+    CacheEntry entry;
+  };
+  using List = std::list<Item>;
+
+  void evictOne();
+
+  util::Bytes capacity_;
+  std::uint64_t used_ = 0;
+  List list_;  // front = newest, back = oldest (next victim)
+  std::unordered_map<std::string_view, List::iterator> map_;
+};
+
+}  // namespace dcache::cache

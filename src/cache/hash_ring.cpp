@@ -1,0 +1,59 @@
+#include "cache/hash_ring.hpp"
+
+#include <algorithm>
+
+#include "util/hash.hpp"
+
+namespace dcache::cache {
+
+void HashRing::addMember(std::size_t member) {
+  if (contains(member)) return;
+  members_.push_back(member);
+  for (std::size_t v = 0; v < vnodes_; ++v) {
+    const std::uint64_t point =
+        util::hashCombine(util::hashU64(member), util::hashU64(v));
+    ring_.emplace(point, member);
+  }
+}
+
+bool HashRing::removeMember(std::size_t member) {
+  const auto it = std::find(members_.begin(), members_.end(), member);
+  if (it == members_.end()) return false;
+  members_.erase(it);
+  for (auto ringIt = ring_.begin(); ringIt != ring_.end();) {
+    if (ringIt->second == member) {
+      ringIt = ring_.erase(ringIt);
+    } else {
+      ++ringIt;
+    }
+  }
+  return true;
+}
+
+std::optional<std::size_t> HashRing::ownerOf(
+    std::uint64_t keyHash) const noexcept {
+  if (ring_.empty()) return std::nullopt;
+  auto it = ring_.lower_bound(keyHash);
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return it->second;
+}
+
+bool HashRing::contains(std::size_t member) const noexcept {
+  return std::find(members_.begin(), members_.end(), member) !=
+         members_.end();
+}
+
+std::vector<double> HashRing::ownershipShares(std::size_t sampleKeys) const {
+  std::size_t maxMember = 0;
+  for (const std::size_t m : members_) maxMember = std::max(maxMember, m);
+  std::vector<double> shares(members_.empty() ? 0 : maxMember + 1, 0.0);
+  if (ring_.empty() || sampleKeys == 0) return shares;
+  for (std::size_t i = 0; i < sampleKeys; ++i) {
+    const auto owner = ownerOf(util::hashU64(i));
+    if (owner) shares[*owner] += 1.0;
+  }
+  for (double& s : shares) s /= static_cast<double>(sampleKeys);
+  return shares;
+}
+
+}  // namespace dcache::cache

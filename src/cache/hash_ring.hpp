@@ -1,0 +1,44 @@
+// Consistent-hash ring with virtual nodes (Slicer-style auto-sharding).
+// Maps key hashes to member indices so that adding or removing a member
+// moves only ~1/N of the keyspace — the property the linked cache relies on
+// for resharding, and the trigger for the delayed-writes anomaly (Fig. 8)
+// when ownership moves while a write is in flight.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace dcache::cache {
+
+class HashRing {
+ public:
+  /// `vnodesPerMember` controls balance quality: more vnodes, tighter load.
+  explicit HashRing(std::size_t vnodesPerMember = 128) noexcept
+      : vnodes_(vnodesPerMember == 0 ? 1 : vnodesPerMember) {}
+
+  void addMember(std::size_t member);
+  bool removeMember(std::size_t member);
+
+  /// Owner of the given key hash; nullopt if the ring is empty.
+  [[nodiscard]] std::optional<std::size_t> ownerOf(
+      std::uint64_t keyHash) const noexcept;
+
+  [[nodiscard]] std::size_t memberCount() const noexcept {
+    return members_.size();
+  }
+  [[nodiscard]] bool contains(std::size_t member) const noexcept;
+
+  /// Fraction of a sampled keyspace owned by each member (for balance
+  /// tests and reshard-impact analysis).
+  [[nodiscard]] std::vector<double> ownershipShares(
+      std::size_t sampleKeys = 100000) const;
+
+ private:
+  std::size_t vnodes_;
+  std::map<std::uint64_t, std::size_t> ring_;  // point -> member
+  std::vector<std::size_t> members_;
+};
+
+}  // namespace dcache::cache

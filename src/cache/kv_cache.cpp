@@ -1,0 +1,43 @@
+#include "cache/kv_cache.hpp"
+
+#include "cache/clock.hpp"
+#include "cache/fifo.hpp"
+#include "cache/lru.hpp"
+#include "cache/lfu.hpp"
+#include "cache/s3fifo.hpp"
+#include "cache/slru.hpp"
+
+namespace dcache::cache {
+
+std::string_view evictionPolicyName(EvictionPolicy p) noexcept {
+  switch (p) {
+    case EvictionPolicy::kLru: return "lru";
+    case EvictionPolicy::kFifo: return "fifo";
+    case EvictionPolicy::kClock: return "clock";
+    case EvictionPolicy::kSlru: return "slru";
+    case EvictionPolicy::kLfu: return "lfu";
+    case EvictionPolicy::kS3Fifo: return "s3fifo";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<KvCache> makeCache(EvictionPolicy policy,
+                                   util::Bytes capacity) {
+  switch (policy) {
+    case EvictionPolicy::kLru:
+      return std::make_unique<LruCache>(capacity);
+    case EvictionPolicy::kFifo:
+      return std::make_unique<FifoCache>(capacity);
+    case EvictionPolicy::kClock:
+      return std::make_unique<ClockCache>(capacity);
+    case EvictionPolicy::kSlru:
+      return std::make_unique<SlruCache>(capacity);
+    case EvictionPolicy::kLfu:
+      return std::make_unique<LfuCache>(capacity);
+    case EvictionPolicy::kS3Fifo:
+      return std::make_unique<S3FifoCache>(capacity);
+  }
+  return std::make_unique<LruCache>(capacity);
+}
+
+}  // namespace dcache::cache

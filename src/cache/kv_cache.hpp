@@ -1,0 +1,108 @@
+// Byte-capacity-bounded key-value cache interface and the entry/statistics
+// types shared by all eviction policies. Entries carry an accounted logical
+// size separate from the (optional) materialized payload, so a simulation
+// over 1 MB values does not need gigabytes of host RAM while the hit/miss
+// behaviour stays exact: admission and eviction are driven purely by the
+// accounted sizes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace dcache::cache {
+
+/// Cached value. `size` is the logical value size used for capacity math;
+/// `payload` may hold real bytes (functional use) or stay empty (simulation).
+struct CacheEntry {
+  std::uint64_t size = 0;
+  std::uint64_t version = 0;
+  std::string payload;
+
+  [[nodiscard]] static CacheEntry sized(std::uint64_t size,
+                                        std::uint64_t version = 0) {
+    return CacheEntry{size, version, {}};
+  }
+  [[nodiscard]] static CacheEntry of(std::string payload,
+                                     std::uint64_t version = 0) {
+    const auto n = static_cast<std::uint64_t>(payload.size());
+    return CacheEntry{n, version, std::move(payload)};
+  }
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+
+  [[nodiscard]] std::uint64_t lookups() const noexcept { return hits + misses; }
+  [[nodiscard]] double hitRatio() const noexcept {
+    const auto n = lookups();
+    return n ? static_cast<double>(hits) / static_cast<double>(n) : 0.0;
+  }
+  [[nodiscard]] double missRatio() const noexcept {
+    return lookups() ? 1.0 - hitRatio() : 1.0;
+  }
+  void clear() noexcept { *this = CacheStats{}; }
+};
+
+/// Fixed per-entry bookkeeping overhead charged against capacity (hash map
+/// node, list links, sizes) — matches what production caches account for.
+inline constexpr std::uint64_t kEntryOverheadBytes = 80;
+
+[[nodiscard]] inline std::uint64_t chargedSize(std::string_view key,
+                                               const CacheEntry& entry) noexcept {
+  return entry.size + key.size() + kEntryOverheadBytes;
+}
+
+class KvCache {
+ public:
+  virtual ~KvCache() = default;
+
+  KvCache(const KvCache&) = delete;
+  KvCache& operator=(const KvCache&) = delete;
+
+  /// Pointer valid until the next mutating call; nullptr on miss.
+  [[nodiscard]] virtual const CacheEntry* get(std::string_view key) = 0;
+  /// Insert or overwrite. Evicts as needed; an entry larger than the whole
+  /// capacity is not admitted.
+  virtual void put(std::string_view key, CacheEntry entry) = 0;
+  virtual bool erase(std::string_view key) = 0;
+  virtual void clear() = 0;
+
+  /// Peek without affecting recency or hit/miss statistics.
+  [[nodiscard]] virtual const CacheEntry* peek(std::string_view key) const = 0;
+
+  [[nodiscard]] virtual std::size_t itemCount() const noexcept = 0;
+  [[nodiscard]] virtual util::Bytes bytesUsed() const noexcept = 0;
+  [[nodiscard]] virtual util::Bytes capacity() const noexcept = 0;
+
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  void clearStats() noexcept { stats_.clear(); }
+
+ protected:
+  KvCache() = default;
+  CacheStats stats_;
+};
+
+/// Eviction policy selector for the factory.
+enum class EvictionPolicy : std::uint8_t {
+  kLru,
+  kFifo,
+  kClock,
+  kSlru,
+  kLfu,
+  kS3Fifo,
+};
+
+[[nodiscard]] std::string_view evictionPolicyName(EvictionPolicy p) noexcept;
+
+/// Build a cache of the given policy and byte capacity.
+[[nodiscard]] std::unique_ptr<KvCache> makeCache(EvictionPolicy policy,
+                                                 util::Bytes capacity);
+
+}  // namespace dcache::cache

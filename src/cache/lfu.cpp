@@ -1,0 +1,86 @@
+#include "cache/lfu.hpp"
+
+namespace dcache::cache {
+
+void LfuCache::bumpFrequency(Bucket::iterator it) {
+  const std::uint64_t freq = it->freq;
+  Bucket& from = buckets_[freq];
+  Bucket& to = buckets_[freq + 1];
+  it->freq = freq + 1;
+  to.splice(to.begin(), from, it);  // iterator (and index_) stay valid
+  if (from.empty()) buckets_.erase(freq);
+}
+
+const CacheEntry* LfuCache::get(std::string_view key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  bumpFrequency(it->second);
+  ++stats_.hits;
+  return &it->second->entry;
+}
+
+const CacheEntry* LfuCache::peek(std::string_view key) const {
+  const auto it = index_.find(key);
+  return it == index_.end() ? nullptr : &it->second->entry;
+}
+
+void LfuCache::put(std::string_view key, CacheEntry entry) {
+  const std::uint64_t need = chargedSize(key, entry);
+  if (need > capacity_.count()) return;
+
+  if (const auto it = index_.find(key); it != index_.end()) {
+    used_ -= chargedSize(key, it->second->entry);
+    used_ += need;
+    it->second->entry = std::move(entry);
+    bumpFrequency(it->second);
+  } else {
+    Bucket& bucket = buckets_[1];
+    bucket.push_front(Item{std::string(key), std::move(entry), 1});
+    index_.emplace(std::string_view(bucket.front().key), bucket.begin());
+    used_ += need;
+    ++stats_.insertions;
+  }
+  while (used_ > capacity_.count()) evictOne();
+}
+
+bool LfuCache::erase(std::string_view key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  const std::uint64_t freq = it->second->freq;
+  used_ -= chargedSize(key, it->second->entry);
+  Bucket& bucket = buckets_[freq];
+  bucket.erase(it->second);
+  if (bucket.empty()) buckets_.erase(freq);
+  index_.erase(it);
+  return true;
+}
+
+void LfuCache::clear() {
+  index_.clear();
+  buckets_.clear();
+  used_ = 0;
+}
+
+std::uint64_t LfuCache::frequencyOf(std::string_view key) const {
+  const auto it = index_.find(key);
+  return it == index_.end() ? 0 : it->second->freq;
+}
+
+void LfuCache::evictOne() {
+  if (buckets_.empty()) {
+    used_ = 0;
+    return;
+  }
+  Bucket& lowest = buckets_.begin()->second;
+  const Item& victim = lowest.back();  // LRU within the lowest frequency
+  used_ -= chargedSize(victim.key, victim.entry);
+  index_.erase(std::string_view(victim.key));
+  lowest.pop_back();
+  if (lowest.empty()) buckets_.erase(buckets_.begin());
+  ++stats_.evictions;
+}
+
+}  // namespace dcache::cache

@@ -1,0 +1,58 @@
+// LFU with O(1) operations (Shah/Mitzenmacher-style frequency buckets):
+// each entry sits in the list of its exact access count; eviction takes
+// the least-recently-used entry of the lowest-frequency bucket. The
+// classic frequency-biased baseline for the eviction ablation — strong on
+// stable skew (precisely the paper's Zipf regime), weak on shifting
+// popularity (no aging).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <unordered_map>
+
+#include "cache/kv_cache.hpp"
+
+namespace dcache::cache {
+
+class LfuCache final : public KvCache {
+ public:
+  explicit LfuCache(util::Bytes capacity) : capacity_(capacity) {}
+
+  [[nodiscard]] const CacheEntry* get(std::string_view key) override;
+  void put(std::string_view key, CacheEntry entry) override;
+  bool erase(std::string_view key) override;
+  void clear() override;
+  [[nodiscard]] const CacheEntry* peek(std::string_view key) const override;
+
+  [[nodiscard]] std::size_t itemCount() const noexcept override {
+    return index_.size();
+  }
+  [[nodiscard]] util::Bytes bytesUsed() const noexcept override {
+    return util::Bytes::of(used_);
+  }
+  [[nodiscard]] util::Bytes capacity() const noexcept override {
+    return capacity_;
+  }
+
+  /// Access count of a resident key (0 if absent) — for tests.
+  [[nodiscard]] std::uint64_t frequencyOf(std::string_view key) const;
+
+ private:
+  struct Item {
+    std::string key;
+    CacheEntry entry;
+    std::uint64_t freq = 1;
+  };
+  using Bucket = std::list<Item>;  // front = most recent within the bucket
+
+  void bumpFrequency(Bucket::iterator it);
+  void evictOne();
+
+  util::Bytes capacity_;
+  std::uint64_t used_ = 0;
+  std::map<std::uint64_t, Bucket> buckets_;  // freq -> entries
+  std::unordered_map<std::string_view, Bucket::iterator> index_;
+};
+
+}  // namespace dcache::cache

@@ -1,0 +1,113 @@
+#include "cache/linked_cache.hpp"
+
+#include "util/hash.hpp"
+
+namespace dcache::cache {
+
+LinkedCache::LinkedCache(sim::Tier& appTier, util::Bytes perNodeCapacity,
+                         rpc::Channel& channel, EvictionPolicy policy,
+                         CacheOpCosts costs)
+    : tier_(&appTier),
+      channel_(&channel),
+      costs_(costs),
+      perNodeCapacity_(perNodeCapacity) {
+  shards_.reserve(appTier.size());
+  for (std::size_t i = 0; i < appTier.size(); ++i) {
+    shards_.push_back(makeCache(policy, perNodeCapacity));
+    ring_.addMember(i);
+    // The linked cache shares the app server's memory; the cache capacity
+    // is provisioned on top of the app's working memory.
+    appTier.node(i).mem().provision(appTier.node(i).mem().provisioned() +
+                                    perNodeCapacity);
+  }
+}
+
+std::size_t LinkedCache::ownerOf(std::string_view key) const noexcept {
+  return ring_.ownerOf(util::hashKey(key)).value_or(0);
+}
+
+LinkedCache::GetResult LinkedCache::get(std::size_t serverIndex,
+                                        std::string_view key) {
+  const std::size_t owner = ownerOf(key);
+  sim::Node& ownerNode = tier_->node(owner);
+  KvCache* shard = shards_[owner].get();
+
+  ownerNode.charge(sim::CpuComponent::kCacheOp, costs_.probeMicros);
+  const CacheEntry* entry = shard->get(key);
+
+  GetResult out;
+  out.hit = entry != nullptr;
+  out.local = owner == serverIndex;
+  out.size = entry ? entry->size : 0;
+  out.version = entry ? entry->version : 0;
+
+  if (!out.local) {
+    // Forwarded probe: the value is marshalled between the two app servers.
+    const rpc::GetRequest req{std::string(key)};
+    rpc::GetResponse resp;
+    resp.found = out.hit;
+    const std::uint64_t respBytes = resp.encodedSize() + out.size;
+    const auto call = channel_->call(tier_->node(serverIndex), ownerNode,
+                                     req.encodedSize(), respBytes);
+    out.latencyMicros = call.latencyMicros;
+  }
+  ownerNode.mem().use(shard->bytesUsed());
+  return out;
+}
+
+void LinkedCache::fill(std::string_view key, std::uint64_t size,
+                       std::uint64_t version) {
+  const std::size_t owner = ownerOf(key);
+  tier_->node(owner).charge(sim::CpuComponent::kCacheOp, costs_.insertMicros);
+  shards_[owner]->put(key, CacheEntry::sized(size, version));
+  tier_->node(owner).mem().use(shards_[owner]->bytesUsed());
+}
+
+double LinkedCache::invalidate(std::size_t writerIndex, std::string_view key) {
+  const std::size_t owner = ownerOf(key);
+  sim::Node& ownerNode = tier_->node(owner);
+  ownerNode.charge(sim::CpuComponent::kCacheOp, costs_.probeMicros);
+  shards_[owner]->erase(key);
+  if (owner == writerIndex) return 0.0;
+  const rpc::GetRequest msg{std::string(key)};
+  return channel_->oneWay(tier_->node(writerIndex), ownerNode,
+                          msg.encodedSize());
+}
+
+double LinkedCache::update(std::size_t writerIndex, std::string_view key,
+                           std::uint64_t size, std::uint64_t version) {
+  const std::size_t owner = ownerOf(key);
+  sim::Node& ownerNode = tier_->node(owner);
+  ownerNode.charge(sim::CpuComponent::kCacheOp, costs_.insertMicros);
+  shards_[owner]->put(key, CacheEntry::sized(size, version));
+  ownerNode.mem().use(shards_[owner]->bytesUsed());
+  if (owner == writerIndex) return 0.0;
+  const rpc::PutRequest msg{std::string(key), {}, version};
+  return channel_->oneWay(tier_->node(writerIndex), ownerNode,
+                          msg.encodedSize() + size);
+}
+
+void LinkedCache::removeServer(std::size_t serverIndex) {
+  if (serverIndex >= shards_.size()) return;
+  ring_.removeMember(serverIndex);
+  shards_[serverIndex]->clear();
+}
+
+CacheStats LinkedCache::aggregateStats() const noexcept {
+  CacheStats total;
+  for (const auto& shard : shards_) {
+    total.hits += shard->stats().hits;
+    total.misses += shard->stats().misses;
+    total.insertions += shard->stats().insertions;
+    total.evictions += shard->stats().evictions;
+  }
+  return total;
+}
+
+util::Bytes LinkedCache::bytesUsed() const noexcept {
+  util::Bytes total;
+  for (const auto& shard : shards_) total += shard->bytesUsed();
+  return total;
+}
+
+}  // namespace dcache::cache

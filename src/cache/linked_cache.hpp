@@ -1,0 +1,74 @@
+// Linked in-process cache (Fig. 1c). Each application server embeds one
+// shard; a consistent-hash ring assigns keys to servers. A local hit costs
+// only the probe — no network hop, no (de)serialization, and in object mode
+// the application uses the cached object in place. Requests that land on a
+// non-owner are forwarded inside the app tier (or, with affinity routing, a
+// Slicer-like front-end sends them to the owner directly).
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "cache/hash_ring.hpp"
+#include "cache/kv_cache.hpp"
+#include "cache/remote_cache.hpp"
+#include "rpc/channel.hpp"
+#include "rpc/messages.hpp"
+#include "sim/tier.hpp"
+
+namespace dcache::cache {
+
+class LinkedCache {
+ public:
+  struct GetResult {
+    bool hit = false;
+    bool local = false;  // served from the probing server's own shard
+    std::uint64_t size = 0;
+    std::uint64_t version = 0;
+    double latencyMicros = 0.0;
+  };
+
+  LinkedCache(sim::Tier& appTier, util::Bytes perNodeCapacity,
+              rpc::Channel& channel, EvictionPolicy policy = EvictionPolicy::kLru,
+              CacheOpCosts costs = {});
+
+  /// App-server index that owns the key (ring placement). With affinity
+  /// routing the deployment sends the client request straight there.
+  [[nodiscard]] std::size_t ownerOf(std::string_view key) const noexcept;
+
+  /// Probe from server `serverIndex`. A non-owner probe forwards to the
+  /// owner over the tier-internal channel and pays marshalling.
+  GetResult get(std::size_t serverIndex, std::string_view key);
+
+  /// Fill the owner's shard after a storage read (charged to the owner).
+  void fill(std::string_view key, std::uint64_t size, std::uint64_t version);
+
+  /// Invalidate/update on write. Charged to the writer; cross-server
+  /// invalidations pay a one-way message.
+  double invalidate(std::size_t writerIndex, std::string_view key);
+  double update(std::size_t writerIndex, std::string_view key,
+                std::uint64_t size, std::uint64_t version);
+
+  /// Remove a server from the ring (resharding / failure). Its shard is
+  /// dropped, mirroring a process restart.
+  void removeServer(std::size_t serverIndex);
+
+  [[nodiscard]] CacheStats aggregateStats() const noexcept;
+  [[nodiscard]] util::Bytes bytesUsed() const noexcept;
+  [[nodiscard]] util::Bytes provisionedPerNode() const noexcept {
+    return perNodeCapacity_;
+  }
+  [[nodiscard]] KvCache& shard(std::size_t i) noexcept { return *shards_[i]; }
+  [[nodiscard]] const sim::Tier& tier() const noexcept { return *tier_; }
+
+ private:
+  sim::Tier* tier_;
+  rpc::Channel* channel_;
+  CacheOpCosts costs_;
+  util::Bytes perNodeCapacity_;
+  HashRing ring_;
+  std::vector<std::unique_ptr<KvCache>> shards_;
+};
+
+}  // namespace dcache::cache

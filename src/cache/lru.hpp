@@ -1,0 +1,52 @@
+// Classic LRU: intrusive recency list over a hash map. The reference policy
+// for the whole library — the Mattson miss-ratio-curve profiler in mrc.hpp
+// models exactly this policy, and the tests cross-check the two.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "cache/kv_cache.hpp"
+
+namespace dcache::cache {
+
+class LruCache final : public KvCache {
+ public:
+  explicit LruCache(util::Bytes capacity) : capacity_(capacity) {}
+
+  [[nodiscard]] const CacheEntry* get(std::string_view key) override;
+  void put(std::string_view key, CacheEntry entry) override;
+  bool erase(std::string_view key) override;
+  void clear() override;
+  [[nodiscard]] const CacheEntry* peek(std::string_view key) const override;
+
+  [[nodiscard]] std::size_t itemCount() const noexcept override {
+    return map_.size();
+  }
+  [[nodiscard]] util::Bytes bytesUsed() const noexcept override {
+    return util::Bytes::of(used_);
+  }
+  [[nodiscard]] util::Bytes capacity() const noexcept override {
+    return capacity_;
+  }
+
+  /// Key that would be evicted next (LRU victim); empty if cache is empty.
+  [[nodiscard]] std::string_view victim() const noexcept;
+
+ private:
+  struct Item {
+    std::string key;
+    CacheEntry entry;
+  };
+  using List = std::list<Item>;
+
+  void evictOne();
+
+  util::Bytes capacity_;
+  std::uint64_t used_ = 0;
+  List list_;  // front = most recent
+  std::unordered_map<std::string_view, List::iterator> map_;
+};
+
+}  // namespace dcache::cache

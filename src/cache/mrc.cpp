@@ -1,0 +1,139 @@
+#include "cache/mrc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace dcache::cache {
+
+void MattsonProfiler::growTo(std::size_t minSize) {
+  std::size_t size = std::max<std::size_t>(bit_.size(), 1024);
+  while (size < minSize) size *= 2;
+  marks_.resize(size, 0);
+  // O(n) Fenwick build from the raw marks.
+  bit_.assign(size, 0);
+  for (std::size_t i = 1; i < size; ++i) {
+    bit_[i] += marks_[i];
+    const std::size_t parent = i + (i & (~i + 1));
+    if (parent < size) bit_[parent] += bit_[i];
+  }
+}
+
+void MattsonProfiler::bitAdd(std::size_t index, std::int64_t delta) {
+  marks_[index] = static_cast<std::uint8_t>(
+      static_cast<std::int64_t>(marks_[index]) + delta);
+  for (; index < bit_.size(); index += index & (~index + 1)) {
+    bit_[index] += delta;
+  }
+}
+
+std::int64_t MattsonProfiler::bitPrefix(std::size_t index) const noexcept {
+  if (bit_.empty()) return 0;
+  std::int64_t sum = 0;
+  index = std::min(index, bit_.size() - 1);
+  for (; index > 0; index -= index & (~index + 1)) {
+    sum += bit_[index];
+  }
+  return sum;
+}
+
+std::uint64_t MattsonProfiler::access(std::string_view key) {
+  ++time_;  // timestamps are 1-based for the Fenwick tree
+  if (bit_.size() <= time_) growTo(time_ + 1);
+
+  const auto it = lastAccess_.find(std::string(key));
+  std::uint64_t distance;
+  if (it == lastAccess_.end()) {
+    distance = UINT64_MAX;
+    ++coldMisses_;
+    lastAccess_.emplace(std::string(key), time_);
+  } else {
+    const std::uint64_t prev = it->second;
+    // Distinct keys accessed strictly after prev: ones in (prev, time_).
+    const std::int64_t between = bitPrefix(time_ - 1) - bitPrefix(prev);
+    distance = static_cast<std::uint64_t>(between) + 1;  // include the key itself
+    bitAdd(prev, -1);
+    it->second = time_;
+    if (distanceHist_.size() <= distance) distanceHist_.resize(distance + 1, 0);
+    ++distanceHist_[distance];
+  }
+  bitAdd(time_, +1);
+  return distance;
+}
+
+double MattsonProfiler::missRatio(std::uint64_t items) const noexcept {
+  if (time_ == 0) return 1.0;
+  std::uint64_t hits = 0;
+  const std::uint64_t bound = std::min<std::uint64_t>(items, distanceHist_.size());
+  for (std::uint64_t d = 1; d <= bound && d < distanceHist_.size(); ++d) {
+    hits += distanceHist_[d];
+  }
+  return 1.0 - static_cast<double>(hits) / static_cast<double>(time_);
+}
+
+std::vector<double> MattsonProfiler::curve(
+    std::span<const std::uint64_t> capacities) const {
+  std::vector<double> out;
+  out.reserve(capacities.size());
+  for (const std::uint64_t c : capacities) out.push_back(missRatio(c));
+  return out;
+}
+
+std::vector<double> zipfPopularity(std::uint64_t numKeys, double alpha) {
+  std::vector<double> rates(numKeys);
+  double total = 0.0;
+  for (std::uint64_t k = 0; k < numKeys; ++k) {
+    rates[k] = std::pow(static_cast<double>(k + 1), -alpha);
+    total += rates[k];
+  }
+  for (double& r : rates) r /= total;
+  return rates;
+}
+
+double cheCharacteristicTime(std::span<const double> rates, double items) {
+  if (rates.empty() || items <= 0.0) return 0.0;
+  if (items >= static_cast<double>(rates.size())) {
+    return std::numeric_limits<double>::infinity();
+  }
+  auto occupancy = [&](double t) {
+    double sum = 0.0;
+    for (const double p : rates) sum += -std::expm1(-p * t);
+    return sum;
+  };
+  // Bisection on monotone occupancy(t) = items.
+  double lo = 0.0;
+  double hi = 1.0;
+  while (occupancy(hi) < items) {
+    hi *= 2.0;
+    if (hi > 1e18) break;
+  }
+  for (int iter = 0; iter < 64; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (occupancy(mid) < items) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double cheHitRatio(std::span<const double> rates, double items) {
+  if (rates.empty() || items <= 0.0) return 0.0;
+  if (items >= static_cast<double>(rates.size())) return 1.0;
+  const double t = cheCharacteristicTime(rates, items);
+  double hit = 0.0;
+  double total = 0.0;
+  for (const double p : rates) {
+    hit += p * -std::expm1(-p * t);
+    total += p;
+  }
+  return total > 0.0 ? hit / total : 0.0;
+}
+
+double zipfMissRatio(std::uint64_t numKeys, double alpha, double items) {
+  return 1.0 - cheHitRatio(zipfPopularity(numKeys, alpha), items);
+}
+
+}  // namespace dcache::cache

@@ -1,0 +1,78 @@
+// Miss-ratio curve machinery.
+//
+//  * MattsonProfiler — exact LRU stack distances in O(log n) per access
+//    (Fenwick tree over access timestamps), giving the miss ratio of an LRU
+//    cache of *any* size from a single trace pass. Used to validate the
+//    simulated caches and by the theoretical model when driven by traces.
+//  * Che approximation — analytic MR for a cache of C items under
+//    independent-reference popularity, used by the Section-4 model where a
+//    closed form in (s_A, s_D) is needed.
+//  * Zipf helpers tying both to the synthetic workload parameters.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dcache::cache {
+
+class MattsonProfiler {
+ public:
+  MattsonProfiler() = default;
+
+  /// Record one access; returns the LRU stack distance (number of distinct
+  /// keys touched since this key's previous access), or UINT64_MAX for a
+  /// cold (first-ever) access.
+  std::uint64_t access(std::string_view key);
+
+  [[nodiscard]] std::uint64_t accessCount() const noexcept { return time_; }
+  [[nodiscard]] std::uint64_t distinctKeys() const noexcept {
+    return lastAccess_.size();
+  }
+
+  /// Miss ratio of an LRU cache holding `items` entries: cold misses plus
+  /// accesses whose stack distance exceeds the capacity.
+  [[nodiscard]] double missRatio(std::uint64_t items) const noexcept;
+
+  /// The whole curve at the given capacities.
+  [[nodiscard]] std::vector<double> curve(
+      std::span<const std::uint64_t> capacities) const;
+
+ private:
+  void bitAdd(std::size_t index, std::int64_t delta);
+  [[nodiscard]] std::int64_t bitPrefix(std::size_t index) const noexcept;
+  /// Grow the tree to cover `minSize` indices. A Fenwick tree cannot be
+  /// grown by zero-extending (new parent nodes must include existing
+  /// range sums), so growth rebuilds from the raw mark array.
+  void growTo(std::size_t minSize);
+
+  std::unordered_map<std::string, std::uint64_t> lastAccess_;
+  std::vector<std::uint8_t> marks_;  // raw 0/1: timestamp is a key's newest
+  std::vector<std::int64_t> bit_;    // Fenwick tree, 1-based over timestamps
+  std::vector<std::uint64_t> distanceHist_;
+  std::uint64_t coldMisses_ = 0;
+  std::uint64_t time_ = 0;
+};
+
+/// Zipf popularity over `numKeys` ranks with exponent `alpha`, normalized
+/// to request rates summing to 1.
+[[nodiscard]] std::vector<double> zipfPopularity(std::uint64_t numKeys,
+                                                 double alpha);
+
+/// Che's characteristic time T for a cache of `items` entries under the
+/// given per-key request rates: solves sum_i (1 - e^{-p_i T}) = items.
+[[nodiscard]] double cheCharacteristicTime(std::span<const double> rates,
+                                           double items);
+
+/// Hit ratio under the Che approximation.
+[[nodiscard]] double cheHitRatio(std::span<const double> rates, double items);
+
+/// Analytic LRU miss ratio for a Zipf(numKeys, alpha) workload and a cache
+/// of `items` entries. This is MR(x) in the paper's Section 4 model.
+[[nodiscard]] double zipfMissRatio(std::uint64_t numKeys, double alpha,
+                                   double items);
+
+}  // namespace dcache::cache

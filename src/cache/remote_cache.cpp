@@ -1,0 +1,101 @@
+#include "cache/remote_cache.hpp"
+
+#include "util/hash.hpp"
+
+namespace dcache::cache {
+
+RemoteCache::RemoteCache(sim::Tier& tier, util::Bytes perNodeCapacity,
+                         rpc::Channel& channel, EvictionPolicy policy,
+                         CacheOpCosts costs)
+    : tier_(&tier), channel_(&channel), costs_(costs) {
+  shards_.reserve(tier.size());
+  for (std::size_t i = 0; i < tier.size(); ++i) {
+    shards_.push_back(makeCache(policy, perNodeCapacity));
+    tier.node(i).mem().provision(perNodeCapacity);
+  }
+}
+
+std::size_t RemoteCache::nodeForKey(std::string_view key) const noexcept {
+  return util::hashKey(key) % shards_.size();
+}
+
+RemoteCache::GetResult RemoteCache::get(sim::Node& client,
+                                        std::string_view key) {
+  const std::size_t idx = nodeForKey(key);
+  sim::Node& server = tier_->node(idx);
+  KvCache& shard = *shards_[idx];
+
+  server.charge(sim::CpuComponent::kCacheOp, costs_.probeMicros);
+  const CacheEntry* entry = shard.get(key);
+
+  const rpc::GetRequest req{std::string(key)};
+  rpc::GetResponse resp;
+  resp.found = entry != nullptr;
+  if (entry) {
+    resp.version = entry->version;
+    // The value crosses the wire on a hit: account its bytes without
+    // materializing them (CacheEntry::size is the logical value size).
+    resp.value.clear();
+  }
+  const std::uint64_t respBytes =
+      resp.encodedSize() + (entry ? entry->size : 0);
+  const auto call =
+      channel_->call(client, server, req.encodedSize(), respBytes);
+
+  GetResult out;
+  out.hit = entry != nullptr;
+  out.size = entry ? entry->size : 0;
+  out.version = entry ? entry->version : 0;
+  out.latencyMicros = call.latencyMicros;
+  tier_->node(idx).mem().use(shard.bytesUsed());
+  return out;
+}
+
+double RemoteCache::put(sim::Node& client, std::string_view key,
+                        std::uint64_t size, std::uint64_t version) {
+  const std::size_t idx = nodeForKey(key);
+  sim::Node& server = tier_->node(idx);
+
+  server.charge(sim::CpuComponent::kCacheOp, costs_.insertMicros);
+  shards_[idx]->put(key, CacheEntry::sized(size, version));
+
+  const rpc::PutRequest req{std::string(key), {}, version};
+  const rpc::PutResponse resp{true, version};
+  const auto call = channel_->call(client, server, req.encodedSize() + size,
+                                   resp.encodedSize());
+  tier_->node(idx).mem().use(shards_[idx]->bytesUsed());
+  return call.latencyMicros;
+}
+
+double RemoteCache::invalidate(sim::Node& client, std::string_view key) {
+  const std::size_t idx = nodeForKey(key);
+  sim::Node& server = tier_->node(idx);
+
+  server.charge(sim::CpuComponent::kCacheOp, costs_.probeMicros);
+  shards_[idx]->erase(key);
+
+  const rpc::GetRequest req{std::string(key)};  // key-only message
+  const rpc::PutResponse resp{true, 0};
+  const auto call =
+      channel_->call(client, server, req.encodedSize(), resp.encodedSize());
+  return call.latencyMicros;
+}
+
+CacheStats RemoteCache::aggregateStats() const noexcept {
+  CacheStats total;
+  for (const auto& shard : shards_) {
+    total.hits += shard->stats().hits;
+    total.misses += shard->stats().misses;
+    total.insertions += shard->stats().insertions;
+    total.evictions += shard->stats().evictions;
+  }
+  return total;
+}
+
+util::Bytes RemoteCache::bytesUsed() const noexcept {
+  util::Bytes total;
+  for (const auto& shard : shards_) total += shard->bytesUsed();
+  return total;
+}
+
+}  // namespace dcache::cache

@@ -1,0 +1,67 @@
+// Remote lookaside cache tier (memcached/Redis deployment shape, Fig. 1b).
+// Cache pods hold real eviction-policy shards; application servers reach
+// them through the RPC channel, paying framing and value (de)serialization
+// on every access — the CPU the paper identifies as the gap between Remote
+// and Linked.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "cache/kv_cache.hpp"
+#include "rpc/channel.hpp"
+#include "rpc/messages.hpp"
+#include "sim/tier.hpp"
+
+namespace dcache::cache {
+
+/// CPU charged inside the cache process for the data-structure work itself
+/// (hash probe, eviction, slab bookkeeping). Small next to RPC costs — as
+/// in production, where memcached server CPU is dominated by the network
+/// stack, which the channel accounts separately.
+struct CacheOpCosts {
+  double probeMicros = 0.4;
+  double insertMicros = 0.7;
+};
+
+class RemoteCache {
+ public:
+  struct GetResult {
+    bool hit = false;
+    std::uint64_t size = 0;
+    std::uint64_t version = 0;
+    double latencyMicros = 0.0;
+  };
+
+  RemoteCache(sim::Tier& tier, util::Bytes perNodeCapacity,
+              rpc::Channel& channel, EvictionPolicy policy = EvictionPolicy::kLru,
+              CacheOpCosts costs = {});
+
+  /// Lookaside GET issued by an application server.
+  GetResult get(sim::Node& client, std::string_view key);
+
+  /// Fill / update after a storage read or write.
+  double put(sim::Node& client, std::string_view key, std::uint64_t size,
+             std::uint64_t version);
+
+  /// Delete-on-write invalidation.
+  double invalidate(sim::Node& client, std::string_view key);
+
+  [[nodiscard]] CacheStats aggregateStats() const noexcept;
+  [[nodiscard]] util::Bytes bytesUsed() const noexcept;
+  [[nodiscard]] const sim::Tier& tier() const noexcept { return *tier_; }
+  [[nodiscard]] KvCache& shardForNode(std::size_t i) noexcept {
+    return *shards_[i];
+  }
+
+ private:
+  [[nodiscard]] std::size_t nodeForKey(std::string_view key) const noexcept;
+
+  sim::Tier* tier_;
+  rpc::Channel* channel_;
+  CacheOpCosts costs_;
+  std::vector<std::unique_ptr<KvCache>> shards_;  // one per tier node
+};
+
+}  // namespace dcache::cache

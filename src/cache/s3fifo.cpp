@@ -1,0 +1,143 @@
+#include "cache/s3fifo.hpp"
+
+#include <algorithm>
+
+namespace dcache::cache {
+
+S3FifoCache::S3FifoCache(util::Bytes capacity, double smallFraction)
+    : capacity_(capacity),
+      smallCapacity_(static_cast<std::uint64_t>(
+          static_cast<double>(capacity.count()) *
+          std::clamp(smallFraction, 0.01, 0.9))) {}
+
+const CacheEntry* S3FifoCache::get(std::string_view key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  Item& item = *it->second;
+  if (item.freq < 3) ++item.freq;
+  ++stats_.hits;
+  return &item.entry;
+}
+
+const CacheEntry* S3FifoCache::peek(std::string_view key) const {
+  const auto it = index_.find(key);
+  return it == index_.end() ? nullptr : &it->second->entry;
+}
+
+void S3FifoCache::rememberGhost(const std::string& key) {
+  const std::uint64_t h = util::hashKey(key);
+  if (ghost_.insert(h).second) {
+    ghostOrder_.push_back(h);
+  }
+  while (ghostOrder_.size() > std::max<std::size_t>(ghostLimit_, 16)) {
+    ghost_.erase(ghostOrder_.front());
+    ghostOrder_.pop_front();
+  }
+}
+
+void S3FifoCache::insert(std::string_view key, CacheEntry entry,
+                         bool toMain) {
+  Queue& queue = toMain ? main_ : small_;
+  queue.push_front(Item{std::string(key), std::move(entry), 0, toMain});
+  const Item& item = queue.front();
+  index_.emplace(std::string_view(item.key), queue.begin());
+  (toMain ? usedMain_ : usedSmall_) += chargedSize(item.key, item.entry);
+  ++stats_.insertions;
+}
+
+void S3FifoCache::put(std::string_view key, CacheEntry entry) {
+  const std::uint64_t need = chargedSize(key, entry);
+  if (need > capacity_.count()) return;
+
+  if (const auto it = index_.find(key); it != index_.end()) {
+    Item& item = *it->second;
+    const std::uint64_t old = chargedSize(item.key, item.entry);
+    (item.inMain ? usedMain_ : usedSmall_) += need - old;
+    item.entry = std::move(entry);
+    if (item.freq < 3) ++item.freq;
+  } else {
+    // Keys remembered by the ghost queue were recently evicted from small
+    // after a single touch — their return proves reuse: admit to main.
+    const bool toMain = ghost_.contains(util::hashKey(key));
+    insert(key, std::move(entry), toMain);
+  }
+
+  while (usedSmall_ + usedMain_ > capacity_.count()) {
+    if (usedSmall_ > smallCapacity_ || main_.empty()) {
+      evictFromSmall();
+    } else {
+      evictFromMain();
+    }
+  }
+  ghostLimit_ = main_.size();
+}
+
+void S3FifoCache::evictFromSmall() {
+  if (small_.empty()) return;
+  Item& victim = small_.back();
+  const std::uint64_t size = chargedSize(victim.key, victim.entry);
+  if (victim.freq > 0) {
+    // Re-referenced while probationary: promote to main instead.
+    usedSmall_ -= size;
+    usedMain_ += size;
+    victim.inMain = true;
+    victim.freq = 0;
+    auto last = std::prev(small_.end());
+    main_.splice(main_.begin(), small_, last);
+    // Iterator stays valid across splice; index_ already points at it.
+    return;
+  }
+  rememberGhost(victim.key);
+  usedSmall_ -= size;
+  index_.erase(std::string_view(victim.key));
+  small_.pop_back();
+  ++stats_.evictions;
+}
+
+void S3FifoCache::evictFromMain() {
+  while (!main_.empty()) {
+    Item& victim = main_.back();
+    if (victim.freq > 0) {
+      // Frequency-aware second chance: decrement and reinsert at head.
+      --victim.freq;
+      auto last = std::prev(main_.end());
+      main_.splice(main_.begin(), main_, last);
+      continue;
+    }
+    usedMain_ -= chargedSize(victim.key, victim.entry);
+    index_.erase(std::string_view(victim.key));
+    main_.pop_back();
+    ++stats_.evictions;
+    return;
+  }
+}
+
+bool S3FifoCache::erase(std::string_view key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  Item& item = *it->second;
+  const std::uint64_t size = chargedSize(item.key, item.entry);
+  if (item.inMain) {
+    usedMain_ -= size;
+    main_.erase(it->second);
+  } else {
+    usedSmall_ -= size;
+    small_.erase(it->second);
+  }
+  index_.erase(it);
+  return true;
+}
+
+void S3FifoCache::clear() {
+  index_.clear();
+  small_.clear();
+  main_.clear();
+  ghost_.clear();
+  ghostOrder_.clear();
+  usedSmall_ = usedMain_ = 0;
+}
+
+}  // namespace dcache::cache

@@ -1,0 +1,77 @@
+#include "cache/sharded.hpp"
+
+#include "cache/lru.hpp"
+
+namespace dcache::cache {
+
+ShardedCache::ShardedCache(util::Bytes totalCapacity, std::size_t shardCount,
+                           ShardFactory factory) {
+  if (shardCount == 0) shardCount = 1;
+  if (!factory) {
+    factory = [](util::Bytes cap) { return std::make_unique<LruCache>(cap); };
+  }
+  const auto perShard =
+      totalCapacity * (1.0 / static_cast<double>(shardCount));
+  shards_.reserve(shardCount);
+  for (std::size_t i = 0; i < shardCount; ++i) {
+    shards_.push_back(factory(perShard));
+  }
+}
+
+const CacheEntry* ShardedCache::get(std::string_view key) {
+  const CacheEntry* hit = shards_[shardForKey(key)]->get(key);
+  if (hit) {
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+  }
+  return hit;
+}
+
+const CacheEntry* ShardedCache::peek(std::string_view key) const {
+  return shards_[shardForKey(key)]->peek(key);
+}
+
+void ShardedCache::put(std::string_view key, CacheEntry entry) {
+  ++stats_.insertions;
+  shards_[shardForKey(key)]->put(key, std::move(entry));
+}
+
+bool ShardedCache::erase(std::string_view key) {
+  return shards_[shardForKey(key)]->erase(key);
+}
+
+void ShardedCache::clear() {
+  for (auto& shard : shards_) shard->clear();
+}
+
+std::size_t ShardedCache::itemCount() const noexcept {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) n += shard->itemCount();
+  return n;
+}
+
+util::Bytes ShardedCache::bytesUsed() const noexcept {
+  util::Bytes total;
+  for (const auto& shard : shards_) total += shard->bytesUsed();
+  return total;
+}
+
+util::Bytes ShardedCache::capacity() const noexcept {
+  util::Bytes total;
+  for (const auto& shard : shards_) total += shard->capacity();
+  return total;
+}
+
+CacheStats ShardedCache::aggregateStats() const noexcept {
+  CacheStats total;
+  for (const auto& shard : shards_) {
+    total.hits += shard->stats().hits;
+    total.misses += shard->stats().misses;
+    total.insertions += shard->stats().insertions;
+    total.evictions += shard->stats().evictions;
+  }
+  return total;
+}
+
+}  // namespace dcache::cache

@@ -1,0 +1,52 @@
+// Hash-sharded cache: N independent policy instances, each guarding a slice
+// of the keyspace. This is how both the remote cache tier (one shard per
+// pod) and the linked cache (one shard per app server) are organized.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cache/kv_cache.hpp"
+#include "util/hash.hpp"
+
+namespace dcache::cache {
+
+class ShardedCache final : public KvCache {
+ public:
+  using ShardFactory = std::function<std::unique_ptr<KvCache>(util::Bytes)>;
+
+  /// `totalCapacity` is split evenly across `shardCount` shards built by
+  /// `factory` (defaults to LRU).
+  ShardedCache(util::Bytes totalCapacity, std::size_t shardCount,
+               ShardFactory factory = {});
+
+  [[nodiscard]] const CacheEntry* get(std::string_view key) override;
+  void put(std::string_view key, CacheEntry entry) override;
+  bool erase(std::string_view key) override;
+  void clear() override;
+  [[nodiscard]] const CacheEntry* peek(std::string_view key) const override;
+
+  [[nodiscard]] std::size_t itemCount() const noexcept override;
+  [[nodiscard]] util::Bytes bytesUsed() const noexcept override;
+  [[nodiscard]] util::Bytes capacity() const noexcept override;
+
+  [[nodiscard]] std::size_t shardCount() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] std::size_t shardForKey(std::string_view key) const noexcept {
+    return util::hashKey(key) % shards_.size();
+  }
+  [[nodiscard]] KvCache& shard(std::size_t i) noexcept { return *shards_[i]; }
+  [[nodiscard]] const KvCache& shard(std::size_t i) const noexcept {
+    return *shards_[i];
+  }
+
+  /// Aggregate hit/miss stats across shards (shard stats stay per-shard).
+  [[nodiscard]] CacheStats aggregateStats() const noexcept;
+
+ private:
+  std::vector<std::unique_ptr<KvCache>> shards_;
+};
+
+}  // namespace dcache::cache

@@ -1,0 +1,72 @@
+#include "cache/slru.hpp"
+
+#include <algorithm>
+
+namespace dcache::cache {
+
+SlruCache::SlruCache(util::Bytes capacity, double protectedFraction)
+    : capacity_(capacity) {
+  protectedFraction = std::clamp(protectedFraction, 0.0, 1.0);
+  const auto protectedBytes = capacity * protectedFraction;
+  probation_ = std::make_unique<LruCache>(capacity - protectedBytes);
+  protected_ = std::make_unique<LruCache>(protectedBytes);
+}
+
+const CacheEntry* SlruCache::get(std::string_view key) {
+  // Protected first: the hot set lives there.
+  if (const CacheEntry* hit = protected_->peek(key)) {
+    const CacheEntry* refreshed = protected_->get(key);  // bump recency
+    ++stats_.hits;
+    return refreshed ? refreshed : hit;
+  }
+  if (const CacheEntry* hit = probation_->peek(key)) {
+    ++stats_.hits;
+    // Second touch: promote to protected. Protected may evict its own LRU
+    // victim; the demoted key falls out entirely (standard SLRU variant).
+    // Entries too large for the protected segment stay in probation.
+    if (chargedSize(key, *hit) > protected_->capacity().count()) {
+      return probation_->get(key);  // refresh recency in place
+    }
+    CacheEntry copy = *hit;
+    probation_->erase(key);
+    protected_->put(key, std::move(copy));
+    return protected_->peek(key);
+  }
+  ++stats_.misses;
+  return nullptr;
+}
+
+const CacheEntry* SlruCache::peek(std::string_view key) const {
+  if (const CacheEntry* hit = protected_->peek(key)) return hit;
+  return probation_->peek(key);
+}
+
+void SlruCache::put(std::string_view key, CacheEntry entry) {
+  if (protected_->peek(key) != nullptr) {
+    protected_->put(key, std::move(entry));  // update in place
+    return;
+  }
+  ++stats_.insertions;
+  // New entries go to probation; entries the probation segment cannot hold
+  // (tiny split, large object) are admitted straight to protected rather
+  // than silently dropped.
+  if (chargedSize(key, entry) > probation_->capacity().count()) {
+    probation_->erase(key);
+    protected_->put(key, std::move(entry));
+    return;
+  }
+  probation_->put(key, std::move(entry));
+}
+
+bool SlruCache::erase(std::string_view key) {
+  const bool a = protected_->erase(key);
+  const bool b = probation_->erase(key);
+  return a || b;
+}
+
+void SlruCache::clear() {
+  probation_->clear();
+  protected_->clear();
+}
+
+}  // namespace dcache::cache

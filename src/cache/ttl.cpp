@@ -1,0 +1,58 @@
+#include "cache/ttl.hpp"
+
+#include <vector>
+
+namespace dcache::cache {
+
+const CacheEntry* TtlCache::get(std::string_view key, std::uint64_t nowMicros) {
+  const auto it = deadline_.find(std::string(key));
+  if (it != deadline_.end() && it->second <= nowMicros) {
+    inner_->erase(key);
+    deadline_.erase(it);
+    ++expirations_;
+    ++stats_.misses;
+    return nullptr;
+  }
+  const CacheEntry* hit = inner_->get(key);
+  if (hit) {
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+  }
+  return hit;
+}
+
+void TtlCache::put(std::string_view key, CacheEntry entry,
+                   std::uint64_t nowMicros) {
+  ++stats_.insertions;
+  inner_->put(key, std::move(entry));
+  // Only track a deadline if the inner policy admitted the entry.
+  if (inner_->peek(key) != nullptr) {
+    deadline_[std::string(key)] = nowMicros + ttlMicros_;
+  }
+}
+
+bool TtlCache::erase(std::string_view key) {
+  deadline_.erase(std::string(key));
+  return inner_->erase(key);
+}
+
+void TtlCache::clear() {
+  deadline_.clear();
+  inner_->clear();
+}
+
+std::size_t TtlCache::sweep(std::uint64_t nowMicros) {
+  std::vector<std::string> dead;
+  for (const auto& [key, deadline] : deadline_) {
+    if (deadline <= nowMicros) dead.push_back(key);
+  }
+  for (const auto& key : dead) {
+    inner_->erase(key);
+    deadline_.erase(key);
+    ++expirations_;
+  }
+  return dead.size();
+}
+
+}  // namespace dcache::cache

@@ -1,0 +1,51 @@
+// TTL bounding over any inner policy. Entries expire `ttlMicros` after
+// insertion; expired entries count as misses and are reclaimed lazily on
+// access plus opportunistically in sweep(). TTL is the freshness mechanism
+// the paper's related-work section contrasts with version checks, and the
+// consistency ablation uses this wrapper as the "eventual freshness"
+// baseline.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "cache/kv_cache.hpp"
+
+namespace dcache::cache {
+
+class TtlCache {
+ public:
+  TtlCache(std::unique_ptr<KvCache> inner, std::uint64_t ttlMicros)
+      : inner_(std::move(inner)), ttlMicros_(ttlMicros) {}
+
+  /// Lookup at simulated time `nowMicros`. An expired entry is erased and
+  /// reported as a miss.
+  [[nodiscard]] const CacheEntry* get(std::string_view key,
+                                      std::uint64_t nowMicros);
+
+  void put(std::string_view key, CacheEntry entry, std::uint64_t nowMicros);
+  bool erase(std::string_view key);
+  void clear();
+
+  /// Eagerly drop every entry whose deadline has passed. Returns the number
+  /// of entries reclaimed. Production caches run this on a timer.
+  std::size_t sweep(std::uint64_t nowMicros);
+
+  [[nodiscard]] std::uint64_t ttlMicros() const noexcept { return ttlMicros_; }
+  [[nodiscard]] const KvCache& inner() const noexcept { return *inner_; }
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint64_t expirations() const noexcept {
+    return expirations_;
+  }
+
+ private:
+  std::unique_ptr<KvCache> inner_;
+  std::uint64_t ttlMicros_;
+  std::unordered_map<std::string, std::uint64_t> deadline_;
+  CacheStats stats_;
+  std::uint64_t expirations_ = 0;
+};
+
+}  // namespace dcache::cache

@@ -1,0 +1,49 @@
+#include "consistency/invalidation.hpp"
+
+#include <algorithm>
+
+namespace dcache::consistency {
+namespace {
+
+/// key + 8-byte version + framing.
+[[nodiscard]] std::uint64_t eventBytes(std::string_view key) noexcept {
+  return key.size() + 12;
+}
+
+}  // namespace
+
+std::size_t InvalidationBus::subscribe(sim::Node& node, Handler handler) {
+  subscribers_.push_back(Subscriber{&node, std::move(handler)});
+  return subscribers_.size() - 1;
+}
+
+double InvalidationBus::publish(sim::Node& writer, std::string_view key,
+                                std::uint64_t version,
+                                std::size_t skipSubscriber) {
+  ++published_;
+  double slowest = 0.0;
+  for (std::size_t i = 0; i < subscribers_.size(); ++i) {
+    if (i == skipSubscriber) continue;
+    Subscriber& sub = subscribers_[i];
+    const double latency =
+        channel_->oneWay(writer, *sub.node, eventBytes(key));
+    slowest = std::max(slowest, latency);
+    sub.handler(key, version);
+    ++delivered_;
+  }
+  return slowest;
+}
+
+double InvalidationBus::publishTo(std::size_t subscriber, sim::Node& writer,
+                                  std::string_view key,
+                                  std::uint64_t version) {
+  if (subscriber >= subscribers_.size()) return 0.0;
+  ++published_;
+  Subscriber& sub = subscribers_[subscriber];
+  const double latency = channel_->oneWay(writer, *sub.node, eventBytes(key));
+  sub.handler(key, version);
+  ++delivered_;
+  return latency;
+}
+
+}  // namespace dcache::consistency

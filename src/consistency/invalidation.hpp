@@ -1,0 +1,60 @@
+// Write-invalidation bus: storage (or the writing app server) publishes
+// (key, version) events to the cache owners. This is the "cache made
+// consistent" style alternative the related-work section contrasts with
+// per-read version checks — it moves consistency cost from the read path
+// (O(reads)) to the write path (O(writes × subscribers)), which the
+// consistency ablation bench quantifies.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rpc/channel.hpp"
+#include "sim/node.hpp"
+
+namespace dcache::consistency {
+
+class InvalidationBus {
+ public:
+  /// Callback invoked at the subscriber when an event is delivered.
+  using Handler =
+      std::function<void(std::string_view key, std::uint64_t version)>;
+
+  explicit InvalidationBus(rpc::Channel& channel) : channel_(&channel) {}
+
+  /// Register a subscriber node. Returns its subscriber id.
+  std::size_t subscribe(sim::Node& node, Handler handler);
+
+  /// Publish an invalidation from `writer` to every subscriber except
+  /// `skipSubscriber` (the writer's own cache, already updated in place).
+  /// Returns the slowest delivery latency.
+  double publish(sim::Node& writer, std::string_view key,
+                 std::uint64_t version,
+                 std::size_t skipSubscriber = SIZE_MAX);
+
+  /// Publish to exactly one subscriber (sharded caches: only the owner).
+  double publishTo(std::size_t subscriber, sim::Node& writer,
+                   std::string_view key, std::uint64_t version);
+
+  [[nodiscard]] std::uint64_t published() const noexcept { return published_; }
+  [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
+  [[nodiscard]] std::size_t subscriberCount() const noexcept {
+    return subscribers_.size();
+  }
+
+ private:
+  struct Subscriber {
+    sim::Node* node;
+    Handler handler;
+  };
+
+  rpc::Channel* channel_;
+  std::vector<Subscriber> subscribers_;
+  std::uint64_t published_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace dcache::consistency

@@ -1,0 +1,46 @@
+#include "consistency/lease.hpp"
+
+namespace dcache::consistency {
+
+LeaseManager::LeaseManager(sim::Tier& appTier, sim::Node& authority,
+                           rpc::Channel& channel, LeaseConfig config)
+    : tier_(&appTier),
+      authority_(&authority),
+      channel_(&channel),
+      config_(config),
+      leases_(appTier.size()) {}
+
+bool LeaseManager::canServeLocally(std::size_t member,
+                                   std::uint64_t nowMicros) {
+  if (member >= leases_.size()) return false;
+  tier_->node(member).charge(sim::CpuComponent::kLeaseValidation,
+                             config_.localCheckMicros);
+  ++localChecks_;
+  const Lease& lease = leases_[member];
+  return !lease.revoked && lease.expiry > nowMicros;
+}
+
+void LeaseManager::renew(std::size_t member, std::uint64_t nowMicros) {
+  if (member >= leases_.size()) return;
+  Lease& lease = leases_[member];
+  // Renew at half-term, as lease clients do to ride over one lost renewal.
+  if (!lease.revoked && lease.expiry > nowMicros + config_.leaseTermMicros / 2) {
+    return;
+  }
+  channel_->call(tier_->node(member), *authority_,
+                 config_.renewalMessageBytes, config_.renewalMessageBytes);
+  if (lease.revoked) {
+    ++lease.epoch;  // re-acquisition after revocation starts a new epoch
+    lease.revoked = false;
+  }
+  lease.expiry = nowMicros + config_.leaseTermMicros;
+  ++renewals_;
+}
+
+void LeaseManager::revoke(std::size_t member) {
+  if (member >= leases_.size()) return;
+  leases_[member].revoked = true;
+  ++leases_[member].epoch;
+}
+
+}  // namespace dcache::consistency

@@ -1,0 +1,64 @@
+#include "consistency/linearizability.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace dcache::consistency {
+
+std::vector<Violation> checkLinearizable(const History& history) {
+  std::vector<Violation> violations;
+  const auto& ops = history.ops();
+
+  // Per-session last-read version per key, for monotonic-reads checking.
+  std::map<std::pair<std::uint64_t, std::string>, std::uint64_t> sessionRead;
+
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const HistoryOp& op = ops[i];
+    if (op.type != HistoryOpType::kRead) continue;
+
+    // Lower bound: any write on the key that completed before this read
+    // began must be visible.
+    std::uint64_t mustSee = 0;
+    // Upper bound: the read cannot return a version whose write had not
+    // even started when the read completed.
+    std::uint64_t maxPossible = 0;
+    for (const HistoryOp& other : ops) {
+      if (other.type != HistoryOpType::kWrite || other.key != op.key) {
+        continue;
+      }
+      if (other.completeMicros <= op.invokeMicros) {
+        mustSee = std::max(mustSee, other.version);
+      }
+      if (other.invokeMicros <= op.completeMicros) {
+        maxPossible = std::max(maxPossible, other.version);
+      }
+    }
+    if (op.version < mustSee) {
+      violations.push_back(Violation{
+          i, "stale read: returned v" + std::to_string(op.version) +
+                 " but v" + std::to_string(mustSee) +
+                 " completed before the read began (key " + op.key + ")"});
+    }
+    if (op.version > maxPossible) {
+      violations.push_back(Violation{
+          i, "read from the future: returned v" + std::to_string(op.version) +
+                 " but no such write had started (key " + op.key + ")"});
+    }
+
+    auto [it, inserted] =
+        sessionRead.try_emplace({op.session, op.key}, op.version);
+    if (!inserted) {
+      if (op.version < it->second) {
+        violations.push_back(Violation{
+            i, "non-monotonic read in session " + std::to_string(op.session) +
+                   ": v" + std::to_string(op.version) + " after v" +
+                   std::to_string(it->second) + " (key " + op.key + ")"});
+      } else {
+        it->second = op.version;
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace dcache::consistency

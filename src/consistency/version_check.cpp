@@ -1,0 +1,19 @@
+#include "consistency/version_check.hpp"
+
+namespace dcache::consistency {
+
+VersionChecker::Outcome VersionChecker::check(sim::Node& client,
+                                              std::string_view key,
+                                              std::uint64_t cachedVersion) {
+  const auto result = db_->versionCheck(client, key);
+  ++checks_;
+  Outcome outcome;
+  outcome.found = result.found;
+  outcome.storageVersion = result.version;
+  outcome.latencyMicros = result.latencyMicros;
+  outcome.consistent = result.found && result.version == cachedVersion;
+  if (!outcome.consistent) ++mismatches_;
+  return outcome;
+}
+
+}  // namespace dcache::consistency

@@ -1,0 +1,48 @@
+// Per-read version check (§2.4 Linked+Version, §5.5). On every cache hit
+// the application asks storage for the row's current 8-byte version and
+// serves the cached object only if it matches. The check request carries
+// just the key — yet it traverses the full storage read path, which is
+// precisely the cost this module lets the benches expose.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "storage/database.hpp"
+
+namespace dcache::consistency {
+
+class VersionChecker {
+ public:
+  explicit VersionChecker(storage::Database& db) : db_(&db) {}
+
+  struct Outcome {
+    bool consistent = false;    // cached version matches storage
+    bool found = false;         // key exists in storage
+    std::uint64_t storageVersion = 0;
+    double latencyMicros = 0.0;
+  };
+
+  /// Validate `cachedVersion` for `key` from `client`. The full check cost
+  /// (front-end parse/plan, lease validation, row fetch) is charged inside
+  /// Database::versionCheck.
+  Outcome check(sim::Node& client, std::string_view key,
+                std::uint64_t cachedVersion);
+
+  [[nodiscard]] std::uint64_t checks() const noexcept { return checks_; }
+  [[nodiscard]] std::uint64_t mismatches() const noexcept {
+    return mismatches_;
+  }
+  [[nodiscard]] double mismatchRate() const noexcept {
+    return checks_ ? static_cast<double>(mismatches_) /
+                         static_cast<double>(checks_)
+                   : 0.0;
+  }
+
+ private:
+  storage::Database* db_;
+  std::uint64_t checks_ = 0;
+  std::uint64_t mismatches_ = 0;
+};
+
+}  // namespace dcache::consistency

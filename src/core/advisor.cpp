@@ -1,0 +1,91 @@
+#include "core/advisor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace dcache::core {
+
+util::Money CacheAdvisor::costAt(double missRatio,
+                                 util::Bytes cacheSize) const {
+  const double busyMicrosPerSecond =
+      config_.qps * missRatio * config_.missCostMicros;
+  const double cores =
+      busyMicrosPerSecond / 1e6 / config_.targetUtilization;
+  return config_.pricing.computeCost(cores) +
+         config_.pricing.memoryCost(cacheSize * config_.replicas);
+}
+
+Recommendation CacheAdvisor::advise(workload::Workload& workload) const {
+  cache::MattsonProfiler profiler;
+  double objectBytes = 0.0;
+  std::uint64_t reads = 0;
+  for (std::uint64_t i = 0; i < config_.sampleOps; ++i) {
+    const workload::Op op = workload.next();
+    if (!op.isRead()) continue;
+    profiler.access(workload::keyName(op.keyIndex));
+    objectBytes += static_cast<double>(op.valueSize);
+    ++reads;
+  }
+  const double meanBytes =
+      reads ? objectBytes / static_cast<double>(reads) : 1.0;
+  return adviseFromProfile(profiler, meanBytes);
+}
+
+Recommendation CacheAdvisor::adviseFromProfile(
+    const cache::MattsonProfiler& profiler, double meanObjectBytes) const {
+  Recommendation rec;
+  rec.distinctKeys = profiler.distinctKeys();
+  rec.sampledOps = profiler.accessCount();
+  rec.meanObjectBytes = std::max(meanObjectBytes, 1.0);
+  rec.costAtZero = costAt(1.0, util::Bytes::of(0));
+
+  if (rec.distinctKeys == 0) {
+    rec.bestSize = util::Bytes::of(0);
+    rec.missRatioAtBest = 1.0;
+    rec.costAtBest = rec.costAtZero;
+    return rec;
+  }
+
+  // Candidate sizes: geometric grid from one object to the full footprint.
+  const double perDecade =
+      std::max<std::size_t>(config_.pointsPerDecade, 1);
+  const double step = std::pow(10.0, 1.0 / perDecade);
+  const double maxItems = static_cast<double>(rec.distinctKeys);
+
+  rec.costAtBest = rec.costAtZero;
+  rec.bestSize = util::Bytes::of(0);
+  rec.missRatioAtBest = 1.0;
+  for (double items = 1.0; items <= maxItems * step; items *= step) {
+    const auto clamped =
+        static_cast<std::uint64_t>(std::min(items, maxItems));
+    const double missRatio = profiler.missRatio(clamped);
+    const auto size = util::Bytes::of(static_cast<std::uint64_t>(
+        static_cast<double>(clamped) * rec.meanObjectBytes));
+    const util::Money cost = costAt(missRatio, size);
+    rec.curve.push_back(CurvePoint{size, missRatio, cost});
+    if (cost < rec.costAtBest) {
+      rec.costAtBest = cost;
+      rec.bestSize = size;
+      rec.missRatioAtBest = missRatio;
+    }
+  }
+  return rec;
+}
+
+std::string Recommendation::summary() const {
+  std::ostringstream os;
+  os << "profiled " << sampledOps << " reads over " << distinctKeys
+     << " distinct keys (mean object "
+     << util::Bytes::of(static_cast<std::uint64_t>(meanObjectBytes)).str()
+     << ")\n";
+  os << "no cache:    " << costAtZero.str() << "/month\n";
+  char tail[96];
+  std::snprintf(tail, sizeof tail, "(miss ratio %.3f, saving %.2fx)",
+                missRatioAtBest, savingFactor());
+  os << "recommended: " << bestSize.str() << " of linked cache -> "
+     << costAtBest.str() << "/month " << tail << "\n";
+  return os.str();
+}
+
+}  // namespace dcache::core

@@ -1,0 +1,85 @@
+// Cache-sizing advisor: the practical tool the paper's analysis implies.
+// Feed it a workload (or a recorded trace); it profiles the exact LRU
+// miss-ratio curve (Mattson), attaches the deployment's measured per-miss
+// CPU costs and cloud prices, and reports the cost-optimal linked-cache
+// size — the point where the marginal CPU saving of one more byte of cache
+// equals its DRAM price (§4's |∂T/∂s_A| = 0 condition, computed from the
+// real trace instead of a Zipf closed form).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/mrc.hpp"
+#include "core/pricing.hpp"
+#include "util/bytes.hpp"
+#include "workload/workload.hpp"
+
+namespace dcache::core {
+
+struct AdvisorConfig {
+  /// Accesses profiled from the workload.
+  std::uint64_t sampleOps = 200000;
+  /// Offered load the recommendation is for.
+  double qps = 40000.0;
+  /// CPU per linked-cache miss (the full storage round trip). The default
+  /// is the simulator's measured Base read path; pass your own measurement
+  /// when advising a real system.
+  double missCostMicros = 220.0;
+  double targetUtilization = 0.7;
+  Pricing pricing = Pricing::gcp();
+  /// Cache replica sets paying for the same bytes (the model's N_r).
+  double replicas = 1.0;
+  /// Candidate curve resolution: points per decade of cache size.
+  std::size_t pointsPerDecade = 8;
+};
+
+struct CurvePoint {
+  util::Bytes cacheSize;
+  double missRatio = 0.0;
+  util::Money monthlyCost;  // compute-from-misses + cache DRAM
+};
+
+struct Recommendation {
+  util::Bytes bestSize;
+  double missRatioAtBest = 0.0;
+  util::Money costAtBest;
+  util::Money costAtZero;  // no cache: every read pays the miss cost
+  std::vector<CurvePoint> curve;
+  std::uint64_t distinctKeys = 0;
+  std::uint64_t sampledOps = 0;
+  double meanObjectBytes = 0.0;
+
+  [[nodiscard]] double savingFactor() const noexcept {
+    return costAtBest.micros() != 0 ? costAtZero / costAtBest : 0.0;
+  }
+  /// Human-readable report.
+  [[nodiscard]] std::string summary() const;
+};
+
+class CacheAdvisor {
+ public:
+  explicit CacheAdvisor(AdvisorConfig config = {}) : config_(config) {}
+
+  /// Profile `workload` (reads only — writes don't populate a lookaside
+  /// cache's reuse distances) and recommend a linked-cache size.
+  [[nodiscard]] Recommendation advise(workload::Workload& workload) const;
+
+  /// Advise from an already-built profiler + mean object size (e.g. from a
+  /// recorded production trace).
+  [[nodiscard]] Recommendation adviseFromProfile(
+      const cache::MattsonProfiler& profiler, double meanObjectBytes) const;
+
+  [[nodiscard]] const AdvisorConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  [[nodiscard]] util::Money costAt(double missRatio,
+                                   util::Bytes cacheSize) const;
+
+  AdvisorConfig config_;
+};
+
+}  // namespace dcache::core

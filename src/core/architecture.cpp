@@ -1,0 +1,26 @@
+#include "core/architecture.hpp"
+
+namespace dcache::core {
+
+std::string_view architectureName(Architecture arch) noexcept {
+  switch (arch) {
+    case Architecture::kBase: return "Base";
+    case Architecture::kRemote: return "Remote";
+    case Architecture::kLinked: return "Linked";
+    case Architecture::kLinkedVersion: return "Linked+Version";
+  }
+  return "unknown";
+}
+
+std::optional<Architecture> parseArchitecture(std::string_view name) noexcept {
+  if (name == "Base" || name == "base") return Architecture::kBase;
+  if (name == "Remote" || name == "remote") return Architecture::kRemote;
+  if (name == "Linked" || name == "linked") return Architecture::kLinked;
+  if (name == "Linked+Version" || name == "linked+version" ||
+      name == "linked_version" || name == "LinkedVersion") {
+    return Architecture::kLinkedVersion;
+  }
+  return std::nullopt;
+}
+
+}  // namespace dcache::core

@@ -1,0 +1,25 @@
+// The four deployment shapes under study (Fig. 1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace dcache::core {
+
+enum class Architecture : std::uint8_t {
+  kBase,           // storage-layer cache only (Fig. 1a)
+  kRemote,         // + remote lookaside cache tier (Fig. 1b)
+  kLinked,         // + in-process sharded cache (Fig. 1c)
+  kLinkedVersion,  // linked + per-read version check (Fig. 1d)
+};
+
+inline constexpr Architecture kAllArchitectures[] = {
+    Architecture::kBase, Architecture::kRemote, Architecture::kLinked,
+    Architecture::kLinkedVersion};
+
+[[nodiscard]] std::string_view architectureName(Architecture arch) noexcept;
+[[nodiscard]] std::optional<Architecture> parseArchitecture(
+    std::string_view name) noexcept;
+
+}  // namespace dcache::core

@@ -1,0 +1,4 @@
+#include "core/calibration.hpp"
+
+// Constants live in the parameter structs' default member initializers;
+// this TU anchors the header in the library.

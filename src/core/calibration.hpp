@@ -1,0 +1,46 @@
+// Single source of truth for every CPU/network cost constant in the
+// simulation, with the reasoning behind each number. All values are
+// microseconds of one ~3.2 GHz vCPU.
+//
+// Derivations (see also EXPERIMENTS.md "Calibration"):
+//  * RPC per-message 10 µs/side: tuned gRPC unary overhead (connection
+//    handling, HTTP/2 framing, syscalls) measured in public gRPC benchmarks
+//    lands at 5–20 µs per side; 10 µs is the midpoint.
+//  * Serialization 1 ns/B, deserialization 1.6 ns/B: protobuf-style codecs
+//    sustain ~1 GB/s encode, ~0.6 GB/s decode on one core; our own wire
+//    codec (bench/micro_serialization) shows the same linear shape.
+//  * SQL front-end 85 µs/statement (15 connection + 30 parse + 40 plan):
+//    TiDB point selects burn 50–150 µs of CPU in the front end; the split
+//    is sized so that, on small-value workloads, connection/parse/plan take
+//    40–65 % of database cycles — the §5.3 breakdown.
+//  * KV execution 3 µs/row + 1 ns/B (coprocessor copies), memtable 2 µs.
+//  * Raft leader 8 µs + 2 followers × 5 µs + 0.9 ns/B; lease check 1.5 µs.
+//  * Block-cache miss: 18 µs + 3 ns/B CPU (NVMe submission, checksum,
+//    decompression) and 90 µs device latency.
+//  * App server: 5 µs to prepare/issue a storage or cache request; object
+//    composition 2 µs per statement + 0.4 ns/B — sized so a Linked app's
+//    cycles split ≈60 % request prep / ≈31 % client comm as in §5.3.
+#pragma once
+
+#include "cache/remote_cache.hpp"
+#include "richobject/assembler.hpp"
+#include "rpc/serialization_model.hpp"
+#include "sim/network.hpp"
+#include "storage/database.hpp"
+#include "storage/raft.hpp"
+
+namespace dcache::core {
+
+struct Calibration {
+  sim::NetworkParams network{};
+  rpc::SerializationParams serialization{};
+  storage::StorageCosts storage{};
+  storage::RaftCosts raft{};
+  cache::CacheOpCosts cacheOps{};
+  richobject::AppCosts app{};
+
+  /// The defaults above; named constructor for emphasis at call sites.
+  [[nodiscard]] static Calibration defaults() { return Calibration{}; }
+};
+
+}  // namespace dcache::core

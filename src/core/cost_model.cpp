@@ -1,0 +1,62 @@
+#include "core/cost_model.hpp"
+
+namespace dcache::core {
+
+const TierUsage* CostBreakdown::tier(sim::TierKind kind) const noexcept {
+  for (const TierUsage& usage : tiers) {
+    if (usage.kind == kind) return &usage;
+  }
+  return nullptr;
+}
+
+double CostBreakdown::memoryShare() const noexcept {
+  return totalCost.micros() != 0 ? memoryCost / totalCost : 0.0;
+}
+
+TierUsage CostModel::tierUsage(const sim::Tier& tier,
+                               double simulatedSeconds) const {
+  TierUsage usage;
+  usage.name = tier.name();
+  usage.kind = tier.kind();
+  usage.nodes = tier.size();
+
+  const sim::CpuMeter cpu = tier.aggregateCpu();
+  for (std::size_t c = 0; c < sim::kNumCpuComponents; ++c) {
+    usage.cpuMicrosByComponent[c] =
+        cpu.micros(static_cast<sim::CpuComponent>(c));
+  }
+  usage.cpuMicrosTotal = cpu.totalMicros();
+
+  const double busyCores =
+      simulatedSeconds > 0.0 ? cpu.totalSeconds() / simulatedSeconds : 0.0;
+  usage.cores = busyCores / utilization_;
+  usage.memoryProvisioned = tier.totalProvisionedMemory();
+
+  usage.computeCost = pricing_.computeCost(usage.cores);
+  usage.memoryCost = pricing_.memoryCost(usage.memoryProvisioned);
+  return usage;
+}
+
+CostBreakdown CostModel::breakdown(const std::vector<const sim::Tier*>& tiers,
+                                   double simulatedSeconds,
+                                   util::Bytes storedBytes,
+                                   std::size_t replicationFactor) const {
+  CostBreakdown breakdown;
+  breakdown.simulatedSeconds = simulatedSeconds;
+  for (const sim::Tier* tier : tiers) {
+    if (!tier) continue;
+    // Client tiers model the load generators; their cost belongs to the
+    // callers of the service, not to the deployment under study.
+    if (tier->kind() == sim::TierKind::kClient) continue;
+    breakdown.tiers.push_back(tierUsage(*tier, simulatedSeconds));
+    breakdown.computeCost += breakdown.tiers.back().computeCost;
+    breakdown.memoryCost += breakdown.tiers.back().memoryCost;
+  }
+  breakdown.storageCost = pricing_.storageCost(
+      storedBytes * static_cast<double>(replicationFactor));
+  breakdown.totalCost =
+      breakdown.computeCost + breakdown.memoryCost + breakdown.storageCost;
+  return breakdown;
+}
+
+}  // namespace dcache::core

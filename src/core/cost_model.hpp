@@ -1,0 +1,73 @@
+// Resource usage -> monthly bill (§5.1 "Cost model"). Compute is priced at
+// the vCPU cores a tier must provision: measured CPU-seconds divided by the
+// simulated wall-clock duration, headroom-adjusted by a target utilization
+// (production platforms provision for peak; auto-scalers trigger on CPU).
+// Memory is priced on *provisioned* bytes — you pay for the GB you reserve,
+// not the GB you touch. Persistent storage is priced on replicated bytes.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/pricing.hpp"
+#include "sim/resource.hpp"
+#include "sim/tier.hpp"
+
+namespace dcache::core {
+
+struct TierUsage {
+  std::string name;
+  sim::TierKind kind = sim::TierKind::kAppServer;
+  std::size_t nodes = 0;
+  double cores = 0.0;  // provisioned cores (headroom-adjusted)
+  std::array<double, sim::kNumCpuComponents> cpuMicrosByComponent{};
+  double cpuMicrosTotal = 0.0;
+  util::Bytes memoryProvisioned;
+  util::Money computeCost;
+  util::Money memoryCost;
+
+  [[nodiscard]] util::Money total() const { return computeCost + memoryCost; }
+};
+
+struct CostBreakdown {
+  std::vector<TierUsage> tiers;
+  util::Money computeCost;
+  util::Money memoryCost;
+  util::Money storageCost;   // persistent (disk) bytes, all architectures
+  util::Money totalCost;
+  double simulatedSeconds = 0.0;
+
+  [[nodiscard]] const TierUsage* tier(sim::TierKind kind) const noexcept;
+  /// Fraction of the total bill that is memory (the §5.3 "6-22% for
+  /// Linked, 1-5% for Base" number).
+  [[nodiscard]] double memoryShare() const noexcept;
+};
+
+class CostModel {
+ public:
+  CostModel(Pricing pricing, double targetUtilization = 0.7)
+      : pricing_(pricing),
+        utilization_(targetUtilization > 0.0 ? targetUtilization : 0.7) {}
+
+  /// Account one tier's meters over `simulatedSeconds` of traffic.
+  [[nodiscard]] TierUsage tierUsage(const sim::Tier& tier,
+                                    double simulatedSeconds) const;
+
+  /// Assemble the full bill. `storedBytes` are pre-replication persistent
+  /// bytes; `replicationFactor` multiplies them.
+  [[nodiscard]] CostBreakdown breakdown(
+      const std::vector<const sim::Tier*>& tiers, double simulatedSeconds,
+      util::Bytes storedBytes, std::size_t replicationFactor) const;
+
+  [[nodiscard]] const Pricing& pricing() const noexcept { return pricing_; }
+  [[nodiscard]] double targetUtilization() const noexcept {
+    return utilization_;
+  }
+
+ private:
+  Pricing pricing_;
+  double utilization_;
+};
+
+}  // namespace dcache::core

@@ -1,0 +1,410 @@
+#include "core/deployment.hpp"
+
+#include "rpc/messages.hpp"
+#include "workload/workload.hpp"
+
+namespace dcache::core {
+namespace {
+
+[[nodiscard]] std::string objectKey(std::uint64_t tableId) {
+  return "obj:tbl" + std::to_string(tableId);
+}
+
+[[nodiscard]] std::string tablePk(std::uint64_t tableId) {
+  return std::to_string(tableId);
+}
+
+}  // namespace
+
+Deployment::Deployment(DeploymentConfig config) : config_(config) {
+  const Calibration& cal = config_.calibration;
+  network_ = sim::NetworkModel(cal.network);
+  channel_ = std::make_unique<rpc::Channel>(
+      network_, rpc::SerializationModel(cal.serialization));
+
+  client_ = std::make_unique<sim::Tier>("client", sim::TierKind::kClient, 1);
+  app_ = std::make_unique<sim::Tier>("app", sim::TierKind::kAppServer,
+                                     config_.appServers);
+  app_->provisionMemoryPerNode(config_.appBaseMemoryPerNode);
+  sql_ = std::make_unique<sim::Tier>("sql", sim::TierKind::kSqlFrontend,
+                                     config_.sqlFrontends);
+  sql_->provisionMemoryPerNode(config_.sqlBaseMemoryPerNode);
+  kv_ = std::make_unique<sim::Tier>("kv", sim::TierKind::kKvStorage,
+                                    config_.kvStorageNodes);
+
+  storage::Database::Config dbConfig;
+  dbConfig.costs = cal.storage;
+  dbConfig.raftCosts = cal.raft;
+  dbConfig.blockCachePerNode = config_.blockCachePerNode;
+  dbConfig.replicationFactor = config_.replicationFactor;
+  db_ = std::make_unique<storage::Database>(*sql_, *kv_, *channel_, dbConfig);
+
+  switch (config_.architecture) {
+    case Architecture::kBase:
+      break;
+    case Architecture::kRemote:
+      remoteTier_ = std::make_unique<sim::Tier>(
+          "remote-cache", sim::TierKind::kRemoteCache,
+          config_.remoteCacheNodes);
+      remote_ = std::make_unique<cache::RemoteCache>(
+          *remoteTier_, config_.remoteCachePerNode, *channel_,
+          config_.evictionPolicy, cal.cacheOps);
+      break;
+    case Architecture::kLinked:
+    case Architecture::kLinkedVersion:
+      linked_ = std::make_unique<cache::LinkedCache>(
+          *app_, config_.appCachePerNode, *channel_, config_.evictionPolicy,
+          cal.cacheOps);
+      break;
+  }
+  versionChecker_ = std::make_unique<consistency::VersionChecker>(*db_);
+}
+
+void Deployment::populateKv(const workload::Workload& workload) {
+  for (std::uint64_t k = 0; k < workload.keyCount(); ++k) {
+    db_->loadValue(workload::keyName(k), workload.valueSizeFor(k));
+  }
+}
+
+void Deployment::populateCatalog(const workload::UcTraceWorkload& trace,
+                                 richobject::CatalogStoreConfig storeConfig) {
+  catalogStore_ = std::make_unique<richobject::CatalogStore>(*db_, trace,
+                                                             storeConfig);
+  catalogStore_->createSchemas();
+  catalogStore_->populate();
+  assembler_ = std::make_unique<richobject::Assembler>(
+      *catalogStore_, config_.calibration.app);
+}
+
+std::size_t Deployment::appIndexFor(const std::string& key) {
+  if (linked_ && config_.affinityRouting) {
+    return linked_->ownerOf(key);  // Slicer-style affinity
+  }
+  const std::size_t idx = rrApp_ % app_->size();
+  ++rrApp_;
+  return idx;
+}
+
+double Deployment::clientLeg(sim::Node& app, std::uint64_t requestBytes,
+                             std::uint64_t responseBytes) {
+  return channel_
+      ->call(client_->node(0), app, requestBytes, responseBytes,
+             /*marshal=*/true, sim::CpuComponent::kClientComm)
+      .latencyMicros;
+}
+
+double Deployment::readFromStorageAndFill(sim::Node& app,
+                                          std::size_t appIndex,
+                                          const std::string& key) {
+  app.charge(sim::CpuComponent::kRequestPrep,
+             config_.calibration.app.requestPrepMicros);
+  const auto read = db_->readValue(app, key);
+  if (!read.found) return read.latencyMicros;
+  if (remote_) {
+    return read.latencyMicros +
+           remote_->put(app, key, read.size, read.version);
+  }
+  if (linked_) {
+    if (config_.affinityRouting) {
+      linked_->fill(key, read.size, read.version);
+    } else {
+      // The receiving server read the value; shipping it to the owning
+      // shard is a marshalled intra-tier transfer.
+      linked_->update(appIndex, key, read.size, read.version);
+    }
+    noteFill(key);
+  }
+  return read.latencyMicros;
+}
+
+bool Deployment::ttlExpired(const std::string& key) const {
+  if (config_.ttlFreshnessMicros == 0) return false;
+  const auto it = fillTimes_.find(key);
+  if (it == fillTimes_.end()) return false;  // age unknown: trust the entry
+  return it->second + config_.ttlFreshnessMicros <= simNowMicros_;
+}
+
+void Deployment::noteFill(const std::string& key) {
+  if (config_.ttlFreshnessMicros == 0) return;
+  fillTimes_[key] = simNowMicros_;
+}
+
+Deployment::OpResult Deployment::serve(const workload::Op& op) {
+  const std::string key = workload::keyName(op.keyIndex);
+  OpResult result =
+      op.isRead() ? serveRead(key, op) : serveWrite(key, op);
+  latency_.record(result.latencyMicros);
+  return result;
+}
+
+Deployment::OpResult Deployment::serveRead(const std::string& key,
+                                           const workload::Op& op) {
+  ++counters_.reads;
+  OpResult result;
+  const std::size_t appIndex = appIndexFor(key);
+  sim::Node& app = app_->node(appIndex);
+  std::uint64_t servedBytes = op.valueSize;
+
+  switch (config_.architecture) {
+    case Architecture::kBase: {
+      app.charge(sim::CpuComponent::kRequestPrep,
+                 config_.calibration.app.requestPrepMicros);
+      const auto read = db_->readValue(app, key);
+      servedBytes = read.size;
+      result.latencyMicros += read.latencyMicros;
+      break;
+    }
+    case Architecture::kRemote: {
+      const auto hit = remote_->get(app, key);
+      result.latencyMicros += hit.latencyMicros;
+      if (hit.hit) {
+        ++counters_.cacheHits;
+        result.cacheHit = true;
+        servedBytes = hit.size;
+      } else {
+        ++counters_.cacheMisses;
+        result.latencyMicros += readFromStorageAndFill(app, appIndex, key);
+      }
+      break;
+    }
+    case Architecture::kLinked:
+    case Architecture::kLinkedVersion: {
+      const auto hit = linked_->get(appIndex, key);
+      result.latencyMicros += hit.latencyMicros;
+      if (hit.hit && ttlExpired(key)) {
+        // Bounded-staleness mode: the entry outlived its freshness bound;
+        // revalidate from storage (far cheaper than per-read version
+        // checks, but only TTL-consistent).
+        ++counters_.ttlExpirations;
+        ++counters_.cacheMisses;
+        result.latencyMicros += readFromStorageAndFill(app, appIndex, key);
+        break;
+      }
+      if (hit.hit) {
+        servedBytes = hit.size;
+        bool consistent = true;
+        if (config_.architecture == Architecture::kLinkedVersion) {
+          // §5.5: every read validates the cached version against storage.
+          const auto check = versionChecker_->check(app, key, hit.version);
+          ++counters_.versionChecks;
+          result.latencyMicros += check.latencyMicros;
+          if (!check.consistent) {
+            ++counters_.versionMismatches;
+            consistent = false;
+            result.latencyMicros +=
+                readFromStorageAndFill(app, appIndex, key);
+          }
+        }
+        if (consistent) {
+          ++counters_.cacheHits;
+          result.cacheHit = true;
+        } else {
+          ++counters_.cacheMisses;
+        }
+      } else {
+        ++counters_.cacheMisses;
+        result.latencyMicros += readFromStorageAndFill(app, appIndex, key);
+      }
+      break;
+    }
+  }
+
+  const rpc::GetRequest req{key};
+  rpc::GetResponse resp;
+  resp.found = true;
+  result.latencyMicros +=
+      clientLeg(app, req.encodedSize(), resp.encodedSize() + servedBytes);
+  return result;
+}
+
+Deployment::OpResult Deployment::serveWrite(const std::string& key,
+                                            const workload::Op& op) {
+  ++counters_.writes;
+  OpResult result;
+  const std::size_t appIndex = appIndexFor(key);
+  sim::Node& app = app_->node(appIndex);
+
+  app.charge(sim::CpuComponent::kRequestPrep,
+             config_.calibration.app.requestPrepMicros);
+  const auto write = db_->writeValue(app, key, op.valueSize);
+  result.latencyMicros += write.latencyMicros;
+
+  if (remote_) {
+    result.latencyMicros +=
+        config_.writeThroughCache
+            ? remote_->put(app, key, op.valueSize, write.version)
+            : remote_->invalidate(app, key);
+  } else if (linked_) {
+    if (config_.writeThroughCache) {
+      result.latencyMicros +=
+          linked_->update(appIndex, key, op.valueSize, write.version);
+      noteFill(key);
+    } else {
+      result.latencyMicros += linked_->invalidate(appIndex, key);
+      fillTimes_.erase(key);
+    }
+  }
+
+  const rpc::PutRequest req{key, {}, 0};
+  const rpc::PutResponse resp{true, write.version};
+  result.latencyMicros += clientLeg(app, req.encodedSize() + op.valueSize,
+                                    resp.encodedSize());
+  return result;
+}
+
+Deployment::OpResult Deployment::serveObject(const workload::Op& op) {
+  OpResult result = op.isRead() ? serveObjectRead(op) : serveObjectWrite(op);
+  latency_.record(result.latencyMicros);
+  return result;
+}
+
+Deployment::OpResult Deployment::serveObjectRead(const workload::Op& op) {
+  ++counters_.reads;
+  OpResult result;
+  const std::string key = objectKey(op.keyIndex);
+  const std::size_t appIndex = appIndexFor(key);
+  sim::Node& app = app_->node(appIndex);
+  std::uint64_t servedBytes = op.valueSize;
+
+  auto assembleAndFill = [&]() {
+    const auto assembled = assembler_->getTable(app, op.keyIndex);
+    counters_.statementsIssued += assembled.statementsIssued;
+    result.latencyMicros += assembled.latencyMicros;
+    if (!assembled.ok) return;
+    servedBytes = assembled.object.approximateSize();
+    const auto version =
+        db_->peekRowVersion("tables", tablePk(op.keyIndex)).value_or(0);
+    if (remote_) {
+      // The remote cache stores the *encoded* object; encoding it is real
+      // work charged at the app before the cache RPC ships it.
+      channel_->serializer().chargeSerialize(app, servedBytes);
+      result.latencyMicros += remote_->put(app, key, servedBytes, version);
+    } else if (linked_) {
+      linked_->fill(key, servedBytes, version);
+    }
+  };
+
+  switch (config_.architecture) {
+    case Architecture::kBase:
+      assembleAndFill();  // no cache to fill: plain assembly
+      break;
+    case Architecture::kRemote: {
+      const auto hit = remote_->get(app, key);
+      result.latencyMicros += hit.latencyMicros;
+      if (hit.hit) {
+        ++counters_.cacheHits;
+        result.cacheHit = true;
+        servedBytes = hit.size;
+        // The app must decode the cached object before using it — the cost
+        // a linked cache avoids. The channel already charged the transfer
+        // deserialization; object graph materialization is app logic.
+        app.charge(sim::CpuComponent::kAppLogic,
+                   config_.calibration.app.composePerByteMicros *
+                       static_cast<double>(hit.size));
+      } else {
+        ++counters_.cacheMisses;
+        assembleAndFill();
+      }
+      break;
+    }
+    case Architecture::kLinked:
+    case Architecture::kLinkedVersion: {
+      const auto hit = linked_->get(appIndex, key);
+      result.latencyMicros += hit.latencyMicros;
+      if (hit.hit) {
+        servedBytes = hit.size;
+        bool consistent = true;
+        if (config_.architecture == Architecture::kLinkedVersion) {
+          const auto check = db_->versionCheckRow(app, "tables",
+                                                  tablePk(op.keyIndex));
+          ++counters_.versionChecks;
+          result.latencyMicros += check.latencyMicros;
+          if (!check.found || check.version != hit.version) {
+            ++counters_.versionMismatches;
+            consistent = false;
+            assembleAndFill();
+          }
+        }
+        if (consistent) {
+          ++counters_.cacheHits;
+          result.cacheHit = true;
+        } else {
+          ++counters_.cacheMisses;
+        }
+      } else {
+        ++counters_.cacheMisses;
+        assembleAndFill();
+      }
+      break;
+    }
+  }
+
+  const rpc::GetRequest req{key};
+  rpc::GetResponse resp;
+  resp.found = true;
+  result.latencyMicros +=
+      clientLeg(app, req.encodedSize(), resp.encodedSize() + servedBytes);
+  return result;
+}
+
+Deployment::OpResult Deployment::serveObjectWrite(const workload::Op& op) {
+  ++counters_.writes;
+  OpResult result;
+  const std::string key = objectKey(op.keyIndex);
+  const std::size_t appIndex = appIndexFor(key);
+  sim::Node& app = app_->node(appIndex);
+
+  result.latencyMicros += assembler_->updateTable(app, op.keyIndex);
+  counters_.statementsIssued += 2;  // read + update statements
+
+  const auto version =
+      db_->peekRowVersion("tables", tablePk(op.keyIndex)).value_or(0);
+  if (remote_) {
+    result.latencyMicros += remote_->invalidate(app, key);
+  } else if (linked_) {
+    if (config_.writeThroughCache &&
+        linked_->shard(linked_->ownerOf(key)).peek(key) != nullptr) {
+      result.latencyMicros +=
+          linked_->update(appIndex, key, op.valueSize, version);
+    } else {
+      result.latencyMicros += linked_->invalidate(appIndex, key);
+    }
+  }
+
+  const rpc::PutRequest req{key, {}, 0};
+  const rpc::PutResponse resp{true, version};
+  result.latencyMicros +=
+      clientLeg(app, req.encodedSize() + 256, resp.encodedSize());
+  return result;
+}
+
+void Deployment::clearMeters() {
+  client_->clearMeters();
+  app_->clearMeters();
+  if (remoteTier_) remoteTier_->clearMeters();
+  sql_->clearMeters();
+  kv_->clearMeters();
+  counters_.clear();
+  latency_.clear();
+  network_.clearCounters();
+}
+
+std::vector<const sim::Tier*> Deployment::tiers() const {
+  std::vector<const sim::Tier*> out{client_.get(), app_.get()};
+  if (remoteTier_) out.push_back(remoteTier_.get());
+  out.push_back(sql_.get());
+  out.push_back(kv_.get());
+  return out;
+}
+
+util::Bytes Deployment::totalCacheMemoryProvisioned() const {
+  util::Bytes total;
+  if (linked_) total += config_.appCachePerNode * double(app_->size());
+  if (remote_) {
+    total += config_.remoteCachePerNode * double(remoteTier_->size());
+  }
+  total += config_.blockCachePerNode * double(kv_->size());
+  return total;
+}
+
+}  // namespace dcache::core

@@ -1,0 +1,190 @@
+// A full simulated service deployment: client tier, app-server tier,
+// optional remote-cache tier, SQL front-end tier and KV storage tier, wired
+// per one of the four architectures. serve() pushes one workload operation
+// through the deployment, charging every hop and every byte; afterwards the
+// tiers' meters hold exactly the CPU/memory picture the cost model prices.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/linked_cache.hpp"
+#include "cache/remote_cache.hpp"
+#include "consistency/version_check.hpp"
+#include "core/architecture.hpp"
+#include "core/calibration.hpp"
+#include "richobject/assembler.hpp"
+#include "richobject/catalog_store.hpp"
+#include "rpc/channel.hpp"
+#include "sim/network.hpp"
+#include "sim/tier.hpp"
+#include "storage/database.hpp"
+#include "util/histogram.hpp"
+#include "workload/uc_trace.hpp"
+#include "workload/workload.hpp"
+
+namespace dcache::core {
+
+struct DeploymentConfig {
+  Architecture architecture = Architecture::kLinked;
+
+  std::size_t appServers = 3;
+  std::size_t remoteCacheNodes = 3;  // only instantiated for kRemote
+  std::size_t sqlFrontends = 3;
+  std::size_t kvStorageNodes = 3;
+
+  // §5.1: each app server gets 6 GB of cache; TiKV pods get block cache.
+  util::Bytes appCachePerNode = util::Bytes::gb(6);
+  util::Bytes remoteCachePerNode = util::Bytes::gb(6);
+  util::Bytes blockCachePerNode = util::Bytes::gb(1);
+  util::Bytes appBaseMemoryPerNode = util::Bytes::gb(2);
+  util::Bytes sqlBaseMemoryPerNode = util::Bytes::gb(1);
+
+  cache::EvictionPolicy evictionPolicy = cache::EvictionPolicy::kLru;
+  /// Slicer-style affinity routing: client requests for a key land directly
+  /// on the app server whose linked-cache shard owns it. When false, the
+  /// load balancer sprays round-robin and non-owners forward probes inside
+  /// the app tier (§2.4), paying an extra marshalled hop on ~(N-1)/N of
+  /// requests — the cost of running a linked cache without an auto-sharder.
+  bool affinityRouting = true;
+  /// Writes refresh the cache in place (write-through); false = invalidate.
+  bool writeThroughCache = true;
+  std::size_t replicationFactor = 3;
+
+  /// TTL freshness bound for linked-cache hits (0 = off). A hit older than
+  /// the TTL is revalidated from storage — the classic bounded-staleness
+  /// compromise the paper's related work surveys: far cheaper than a
+  /// per-read version check, but only *eventually* consistent within the
+  /// bound. Requires the clock: ExperimentRunner drives it from QPS, or
+  /// call setSimTimeMicros() directly.
+  std::uint64_t ttlFreshnessMicros = 0;
+
+  Calibration calibration{};
+};
+
+struct ServeCounters {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t cacheHits = 0;
+  std::uint64_t cacheMisses = 0;
+  std::uint64_t versionChecks = 0;
+  std::uint64_t versionMismatches = 0;
+  std::uint64_t statementsIssued = 0;
+  std::uint64_t ttlExpirations = 0;
+
+  [[nodiscard]] double hitRatio() const noexcept {
+    const std::uint64_t n = cacheHits + cacheMisses;
+    return n ? static_cast<double>(cacheHits) / static_cast<double>(n) : 0.0;
+  }
+  void clear() noexcept { *this = ServeCounters{}; }
+};
+
+class Deployment {
+ public:
+  explicit Deployment(DeploymentConfig config);
+
+  // ---- population (cost-free experiment setup) ----
+  /// Load every key of a KV-style workload into storage.
+  void populateKv(const workload::Workload& workload);
+  /// Create and load the catalog dataset for rich-object serving.
+  void populateCatalog(const workload::UcTraceWorkload& trace,
+                       richobject::CatalogStoreConfig storeConfig = {});
+
+  // ---- serving ----
+  struct OpResult {
+    bool cacheHit = false;
+    double latencyMicros = 0.0;
+  };
+  /// KV-style operation (synthetic / Meta / UC-KV).
+  OpResult serve(const workload::Op& op);
+  /// Rich-object operation (UC-Object): kObjectRead assembles via SQL.
+  OpResult serveObject(const workload::Op& op);
+
+  /// Advance the simulated wall clock (drives TTL freshness).
+  void setSimTimeMicros(std::uint64_t nowMicros) noexcept {
+    simNowMicros_ = nowMicros;
+  }
+  [[nodiscard]] std::uint64_t simTimeMicros() const noexcept {
+    return simNowMicros_;
+  }
+
+  // ---- metering ----
+  void clearMeters();
+  [[nodiscard]] std::vector<const sim::Tier*> tiers() const;
+  [[nodiscard]] const ServeCounters& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const util::Histogram& latencies() const noexcept {
+    return latency_;
+  }
+
+  // ---- component access ----
+  [[nodiscard]] const DeploymentConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] storage::Database& db() noexcept { return *db_; }
+  [[nodiscard]] sim::Tier& appTier() noexcept { return *app_; }
+  [[nodiscard]] cache::LinkedCache* linkedCache() noexcept {
+    return linked_.get();
+  }
+  [[nodiscard]] cache::RemoteCache* remoteCache() noexcept {
+    return remote_.get();
+  }
+  [[nodiscard]] richobject::CatalogStore* catalogStore() noexcept {
+    return catalogStore_.get();
+  }
+  [[nodiscard]] util::Bytes totalCacheMemoryProvisioned() const;
+
+ private:
+  OpResult serveRead(const std::string& key, const workload::Op& op);
+  OpResult serveWrite(const std::string& key, const workload::Op& op);
+  OpResult serveObjectRead(const workload::Op& op);
+  OpResult serveObjectWrite(const workload::Op& op);
+
+  /// App server handling this key under the active routing policy
+  /// (affinity to the linked-cache owner; round-robin otherwise).
+  [[nodiscard]] std::size_t appIndexFor(const std::string& key);
+
+  /// Client <-> app leg: every architecture pays it, with the value bytes.
+  double clientLeg(sim::Node& app, std::uint64_t requestBytes,
+                   std::uint64_t responseBytes);
+
+  /// Read through storage and fill the architecture's cache.
+  double readFromStorageAndFill(sim::Node& app, std::size_t appIndex,
+                                const std::string& key);
+
+  DeploymentConfig config_;
+  sim::NetworkModel network_;
+  std::unique_ptr<rpc::Channel> channel_;
+
+  std::unique_ptr<sim::Tier> client_;
+  std::unique_ptr<sim::Tier> app_;
+  std::unique_ptr<sim::Tier> remoteTier_;
+  std::unique_ptr<sim::Tier> sql_;
+  std::unique_ptr<sim::Tier> kv_;
+
+  std::unique_ptr<storage::Database> db_;
+  std::unique_ptr<cache::RemoteCache> remote_;
+  std::unique_ptr<cache::LinkedCache> linked_;
+  std::unique_ptr<consistency::VersionChecker> versionChecker_;
+
+  std::unique_ptr<richobject::CatalogStore> catalogStore_;
+  std::unique_ptr<richobject::Assembler> assembler_;
+
+  /// TTL bookkeeping: last fill time per cached key (only when the TTL
+  /// freshness bound is enabled).
+  [[nodiscard]] bool ttlExpired(const std::string& key) const;
+  void noteFill(const std::string& key);
+
+  ServeCounters counters_;
+  util::Histogram latency_;
+  std::size_t rrApp_ = 0;
+  std::uint64_t simNowMicros_ = 0;
+  std::unordered_map<std::string, std::uint64_t> fillTimes_;
+};
+
+}  // namespace dcache::core

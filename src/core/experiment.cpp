@@ -1,0 +1,67 @@
+#include "core/experiment.hpp"
+
+#include "workload/uc_trace.hpp"
+
+namespace dcache::core {
+
+ExperimentResult ExperimentRunner::run(Deployment& deployment,
+                                       workload::Workload& workload) {
+  // Drive the deployment's wall clock from the offered load so that
+  // time-based behaviour (TTL freshness) sees realistic inter-arrival gaps.
+  const double microsPerOp = config_.qps > 0.0 ? 1e6 / config_.qps : 0.0;
+  std::uint64_t opIndex = 0;
+  auto serveOne = [&] {
+    deployment.setSimTimeMicros(
+        static_cast<std::uint64_t>(microsPerOp * static_cast<double>(opIndex)));
+    ++opIndex;
+    const workload::Op op = workload.next();
+    if (config_.richObjects) {
+      deployment.serveObject(op);
+    } else {
+      deployment.serve(op);
+    }
+  };
+
+  // Warm caches and block caches; warmup work is not priced.
+  for (std::uint64_t i = 0; i < config_.warmupOperations; ++i) serveOne();
+  deployment.clearMeters();
+  for (std::uint64_t i = 0; i < config_.operations; ++i) serveOne();
+
+  ExperimentResult result;
+  result.architecture =
+      std::string(architectureName(deployment.config().architecture));
+  result.workload = workload.name();
+  result.simulatedSeconds =
+      config_.qps > 0.0 ? static_cast<double>(config_.operations) / config_.qps
+                        : 1.0;
+
+  const CostModel model(config_.pricing, config_.targetUtilization);
+  result.cost = model.breakdown(
+      deployment.tiers(), result.simulatedSeconds,
+      deployment.db().totalStoredBytes(),
+      deployment.config().replicationFactor);
+  result.counters = deployment.counters();
+  result.meanLatencyMicros = deployment.latencies().mean();
+  result.p99LatencyMicros = deployment.latencies().p99();
+  return result;
+}
+
+ExperimentResult runArchitecture(Architecture arch,
+                                 workload::Workload& workload,
+                                 DeploymentConfig deploymentConfig,
+                                 ExperimentConfig experimentConfig) {
+  deploymentConfig.architecture = arch;
+  Deployment deployment(deploymentConfig);
+  if (experimentConfig.richObjects) {
+    const auto* trace = dynamic_cast<workload::UcTraceWorkload*>(&workload);
+    if (trace) {
+      deployment.populateCatalog(*trace);
+    }
+  } else {
+    deployment.populateKv(workload);
+  }
+  ExperimentRunner runner(experimentConfig);
+  return runner.run(deployment, workload);
+}
+
+}  // namespace dcache::core

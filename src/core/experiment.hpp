@@ -1,0 +1,62 @@
+// Experiment runner: populate, warm, measure, price. One call produces the
+// CostBreakdown + counters a figure bench needs for one (architecture,
+// workload) cell.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/cost_model.hpp"
+#include "core/deployment.hpp"
+#include "workload/workload.hpp"
+
+namespace dcache::core {
+
+struct ExperimentConfig {
+  std::uint64_t operations = 200000;   // measured ops
+  std::uint64_t warmupOperations = 100000;
+  double qps = 40000.0;                // offered load (§5.2: UC serves 40K)
+  double targetUtilization = 0.7;      // peak-provisioning headroom
+  Pricing pricing = Pricing::gcp();
+  bool richObjects = false;            // serveObject() instead of serve()
+};
+
+struct ExperimentResult {
+  std::string architecture;
+  std::string workload;
+  CostBreakdown cost;
+  ServeCounters counters;
+  double meanLatencyMicros = 0.0;
+  double p99LatencyMicros = 0.0;
+  double simulatedSeconds = 0.0;
+
+  [[nodiscard]] util::Money totalCost() const { return cost.totalCost; }
+};
+
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(ExperimentConfig config = {})
+      : config_(config) {}
+
+  /// Run `workload` through `deployment`. The deployment must already be
+  /// populated (populateKv / populateCatalog). Meters are cleared after
+  /// warmup so only steady-state work is priced.
+  ExperimentResult run(Deployment& deployment, workload::Workload& workload);
+
+  [[nodiscard]] const ExperimentConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  ExperimentConfig config_;
+};
+
+/// Convenience: build a deployment for `arch`, populate it for `workload`,
+/// run, and return the result. `deploymentConfig.architecture` is
+/// overridden by `arch`.
+ExperimentResult runArchitecture(Architecture arch,
+                                 workload::Workload& workload,
+                                 DeploymentConfig deploymentConfig,
+                                 ExperimentConfig experimentConfig);
+
+}  // namespace dcache::core

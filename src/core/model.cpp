@@ -1,0 +1,129 @@
+#include "core/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace dcache::core {
+
+TheoreticalModel::TheoreticalModel(ModelParams params) : params_(params) {
+  // Bin ranks geometrically (~160 bins for 1M keys): ranks r..1.09r share
+  // nearly equal Zipf rates, so each bin keeps the exact rate mass.
+  const double h = util::generalizedHarmonic(params_.numKeys, params_.alpha);
+  std::uint64_t lo = 1;
+  while (lo <= params_.numKeys) {
+    std::uint64_t hi =
+        std::max(lo + 1, static_cast<std::uint64_t>(
+                             static_cast<double>(lo) * 1.09));
+    hi = std::min(hi, params_.numKeys + 1);
+    double mass = 0.0;
+    for (std::uint64_t r = lo; r < hi; ++r) {
+      mass += std::pow(static_cast<double>(r), -params_.alpha) / h;
+    }
+    const double count = static_cast<double>(hi - lo);
+    bins_.push_back(PopularityBin{mass / count, count});
+    totalRate_ += mass;
+    lo = hi;
+  }
+}
+
+double TheoreticalModel::hitRatio(double items) const {
+  if (items <= 0.0) return 0.0;
+  if (items >= static_cast<double>(params_.numKeys)) return 1.0;
+  auto occupancy = [&](double t) {
+    double sum = 0.0;
+    for (const PopularityBin& bin : bins_) {
+      sum += bin.count * -std::expm1(-bin.rate * t);
+    }
+    return sum;
+  };
+  double lo = 0.0;
+  double hi = 1.0;
+  while (occupancy(hi) < items && hi < 1e18) hi *= 2.0;
+  for (int iter = 0; iter < 64; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    (occupancy(mid) < items ? lo : hi) = mid;
+  }
+  const double t = 0.5 * (lo + hi);
+  double hit = 0.0;
+  for (const PopularityBin& bin : bins_) {
+    hit += bin.count * bin.rate * -std::expm1(-bin.rate * t);
+  }
+  return totalRate_ > 0.0 ? hit / totalRate_ : 0.0;
+}
+
+double TheoreticalModel::missRatio(util::Bytes bytes) const {
+  const double items =
+      static_cast<double>(bytes.count()) / params_.avgObjectBytes;
+  return 1.0 - hitRatio(items);
+}
+
+util::Money TheoreticalModel::totalCost(util::Bytes appCache,
+                                        util::Bytes storageCache) const {
+  const double mrApp = missRatio(appCache);
+  const double mrBoth = missRatio(appCache + storageCache);
+  const double busyMicrosPerSecond =
+      params_.qps * (mrApp * params_.missCostAppMicros +
+                     mrBoth * params_.missCostStorageMicros);
+  const double cores = busyMicrosPerSecond / 1e6 / params_.utilization;
+
+  const util::Bytes memory =
+      appCache * params_.replicas + storageCache;
+  return params_.pricing.computeCost(cores) +
+         params_.pricing.memoryCost(memory);
+}
+
+double TheoreticalModel::dTdAppCache(util::Bytes appCache,
+                                     util::Bytes storageCache) const {
+  const util::Bytes h = util::Bytes::mb(64);
+  const util::Money up = totalCost(appCache + h, storageCache);
+  const util::Money down =
+      totalCost(appCache >= h ? appCache - h : util::Bytes::of(0),
+                storageCache);
+  const double span =
+      appCache >= h ? 2.0 * h.asGb() : appCache.asGb() + h.asGb();
+  return span > 0.0 ? (up - down).dollars() / span : 0.0;
+}
+
+double TheoreticalModel::dTdStorageCache(util::Bytes appCache,
+                                         util::Bytes storageCache) const {
+  const util::Bytes h = util::Bytes::mb(64);
+  const util::Money up = totalCost(appCache, storageCache + h);
+  const util::Money down = totalCost(
+      appCache, storageCache >= h ? storageCache - h : util::Bytes::of(0));
+  const double span =
+      storageCache >= h ? 2.0 * h.asGb() : storageCache.asGb() + h.asGb();
+  return span > 0.0 ? (up - down).dollars() / span : 0.0;
+}
+
+util::Bytes TheoreticalModel::optimalAppCache(util::Bytes storageCache,
+                                              util::Bytes maxBytes) const {
+  double lo = 0.0;
+  double hi = static_cast<double>(maxBytes.count());
+  for (int iter = 0; iter < 120 && hi - lo > 1024.0; ++iter) {
+    const double m1 = lo + (hi - lo) / 3.0;
+    const double m2 = hi - (hi - lo) / 3.0;
+    const auto c1 = totalCost(util::Bytes::of(static_cast<std::uint64_t>(m1)),
+                              storageCache);
+    const auto c2 = totalCost(util::Bytes::of(static_cast<std::uint64_t>(m2)),
+                              storageCache);
+    if (c1 < c2) {
+      hi = m2;
+    } else {
+      lo = m1;
+    }
+  }
+  return util::Bytes::of(static_cast<std::uint64_t>((lo + hi) / 2.0));
+}
+
+double TheoreticalModel::savingVsBase(util::Bytes appCache,
+                                      util::Bytes storageCache,
+                                      util::Bytes baselineStorageCache) const {
+  const util::Money base =
+      totalCost(util::Bytes::of(0), baselineStorageCache);
+  const util::Money withCache = totalCost(appCache, storageCache);
+  return withCache.micros() != 0 ? base / withCache : 0.0;
+}
+
+}  // namespace dcache::core

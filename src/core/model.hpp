@@ -1,0 +1,86 @@
+// The Section-4 theoretical model.
+//
+//   T = QPS · ( MR(s_A)·c_A + MR(s_A + s_D)·c_D ) + c_M · (s_A·N_r + s_D)
+//
+// s_A: linked-cache size per replica set, s_D: storage-layer cache size,
+// MR(x): LRU miss ratio at capacity x (Che approximation over the Zipf
+// popularity), c_A: CPU cost of a linked-cache miss (the request must travel
+// to storage), c_D: extra cost when the storage-layer cache also misses
+// (disk path), c_M: memory price, N_r: cache replicas. The model backs the
+// Fig. 2 sweeps and the optimal-allocation takeaway |∂T/∂s_A| > |∂T/∂s_D|.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pricing.hpp"
+#include "util/bytes.hpp"
+
+namespace dcache::core {
+
+struct ModelParams {
+  double qps = 40000.0;
+  std::uint64_t numKeys = 1000000;  // 1M × 23KB ≈ 22GB of cacheable data
+  double alpha = 1.2;
+  double avgObjectBytes = 23.0 * 1024;
+  /// CPU per app-cache miss: the full storage round trip measured from the
+  /// simulation (EXPERIMENTS.md documents the measured value).
+  double missCostAppMicros = 220.0;
+  /// Extra CPU when the storage-layer cache misses too (disk path).
+  double missCostStorageMicros = 60.0;
+  double replicas = 1.0;  // N_r
+  double utilization = 0.7;
+  Pricing pricing = Pricing::gcp();
+};
+
+class TheoreticalModel {
+ public:
+  explicit TheoreticalModel(ModelParams params);
+
+  /// LRU miss ratio of a cache of `bytes` capacity under the workload.
+  [[nodiscard]] double missRatio(util::Bytes bytes) const;
+
+  /// Total monthly cost at the given cache allocation.
+  [[nodiscard]] util::Money totalCost(util::Bytes appCache,
+                                      util::Bytes storageCache) const;
+
+  /// Numeric partial derivatives in $/GB (central difference).
+  [[nodiscard]] double dTdAppCache(util::Bytes appCache,
+                                   util::Bytes storageCache) const;
+  [[nodiscard]] double dTdStorageCache(util::Bytes appCache,
+                                       util::Bytes storageCache) const;
+
+  /// Optimal s_A for a fixed s_D: grows the linked cache until the marginal
+  /// benefit equals the marginal memory cost (∂T/∂s_A = 0), via ternary
+  /// search over [0, maxBytes] — T is unimodal in s_A.
+  [[nodiscard]] util::Bytes optimalAppCache(util::Bytes storageCache,
+                                            util::Bytes maxBytes) const;
+
+  /// Cost saving factor of (appCache, storageCache) vs a baseline with no
+  /// linked cache and `baselineStorageCache` of in-storage cache — the
+  /// Fig. 2 y-axis.
+  [[nodiscard]] double savingVsBase(util::Bytes appCache,
+                                    util::Bytes storageCache,
+                                    util::Bytes baselineStorageCache) const;
+
+  [[nodiscard]] const ModelParams& params() const noexcept { return params_; }
+
+ private:
+  /// Popularity bucket: `count` keys sharing (approximately) request rate
+  /// `rate`. The Che fixed point only needs rate sums, so geometric rank
+  /// binning turns every evaluation from O(numKeys) into O(bins) with
+  /// negligible error — the Fig. 2 sweeps evaluate the model thousands of
+  /// times.
+  struct PopularityBin {
+    double rate = 0.0;
+    double count = 0.0;
+  };
+
+  [[nodiscard]] double hitRatio(double items) const;
+
+  ModelParams params_;
+  std::vector<PopularityBin> bins_;
+  double totalRate_ = 0.0;
+};
+
+}  // namespace dcache::core

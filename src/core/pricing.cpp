@@ -1,0 +1,3 @@
+#include "core/pricing.hpp"
+
+// Header-only; TU anchors the library.

@@ -1,0 +1,37 @@
+// Cloud resource prices (§3): on GCP, one vCPU costs ≈ $17/month, DRAM
+// ≈ $2/GB-month, and persistent storage ≈ $2 per 100 GB-month. The memory
+// price multiplier exists for the Fig. 2 sensitivity sweep ("even at 40×
+// today's DRAM price, caches still save money").
+#pragma once
+
+#include "util/bytes.hpp"
+#include "util/money.hpp"
+
+namespace dcache::core {
+
+struct Pricing {
+  util::Money vcpuPerMonth = util::Money::fromDollars(17.0);
+  util::Money dramPerGbMonth = util::Money::fromDollars(2.0);
+  util::Money storagePerGbMonth = util::Money::fromDollars(0.02);
+
+  [[nodiscard]] util::Money computeCost(double cores) const {
+    return vcpuPerMonth * cores;
+  }
+  [[nodiscard]] util::Money memoryCost(util::Bytes bytes) const {
+    return dramPerGbMonth * bytes.asGb();
+  }
+  [[nodiscard]] util::Money storageCost(util::Bytes bytes) const {
+    return storagePerGbMonth * bytes.asGb();
+  }
+
+  /// Same prices with DRAM scaled by `multiplier` (Fig. 2b sweep).
+  [[nodiscard]] Pricing withMemoryMultiplier(double multiplier) const {
+    Pricing scaled = *this;
+    scaled.dramPerGbMonth = dramPerGbMonth * multiplier;
+    return scaled;
+  }
+
+  [[nodiscard]] static Pricing gcp() { return Pricing{}; }
+};
+
+}  // namespace dcache::core

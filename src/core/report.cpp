@@ -1,0 +1,87 @@
+#include "core/report.hpp"
+
+#include <cstdio>
+
+#include "util/table_printer.hpp"
+
+namespace dcache::core {
+namespace {
+
+[[nodiscard]] std::string percent(double fraction) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+}  // namespace
+
+std::string costComparisonTable(std::span<const ExperimentResult> results,
+                                const std::string& title) {
+  util::TablePrinter table({"architecture", "compute", "memory", "storage",
+                            "total", "hit%", "mean_lat_us", "saving"});
+  for (const ExperimentResult& r : results) {
+    const double saving =
+        results.empty() ? 1.0 : savingsVs(results.front(), r);
+    char savingBuf[16];
+    std::snprintf(savingBuf, sizeof savingBuf, "%.2fx", saving);
+    table.addRow({r.architecture, r.cost.computeCost.str(),
+                  r.cost.memoryCost.str(), r.cost.storageCost.str(),
+                  r.cost.totalCost.str(), percent(r.counters.hitRatio()),
+                  util::TablePrinter::toCell(r.meanLatencyMicros),
+                  savingBuf});
+  }
+  return table.str(title);
+}
+
+std::string cpuBreakdownTable(const ExperimentResult& result,
+                              const std::string& title) {
+  util::TablePrinter table({"tier", "cores", "component", "share"});
+  for (const TierUsage& tier : result.cost.tiers) {
+    if (tier.cpuMicrosTotal <= 0.0) continue;
+    bool first = true;
+    for (std::size_t c = 0; c < sim::kNumCpuComponents; ++c) {
+      const double micros = tier.cpuMicrosByComponent[c];
+      if (micros <= 0.0) continue;
+      table.addRow({first ? tier.name : "",
+                    first ? util::TablePrinter::toCell(tier.cores) : "",
+                    std::string(sim::cpuComponentName(
+                        static_cast<sim::CpuComponent>(c))),
+                    percent(micros / tier.cpuMicrosTotal)});
+      first = false;
+    }
+  }
+  return table.str(title);
+}
+
+double memoryCostShare(const ExperimentResult& result) {
+  return result.cost.memoryShare();
+}
+
+double savingsVs(const ExperimentResult& baseline,
+                 const ExperimentResult& result) {
+  return result.cost.totalCost.micros() != 0
+             ? baseline.cost.totalCost / result.cost.totalCost
+             : 0.0;
+}
+
+double queryProcessingShare(const ExperimentResult& result) {
+  double queryMicros = 0.0;
+  double totalMicros = 0.0;
+  for (const TierUsage& tier : result.cost.tiers) {
+    if (tier.kind != sim::TierKind::kSqlFrontend &&
+        tier.kind != sim::TierKind::kKvStorage) {
+      continue;
+    }
+    totalMicros += tier.cpuMicrosTotal;
+    queryMicros +=
+        tier.cpuMicrosByComponent[static_cast<std::size_t>(
+            sim::CpuComponent::kConnectionMgmt)] +
+        tier.cpuMicrosByComponent[static_cast<std::size_t>(
+            sim::CpuComponent::kQueryParse)] +
+        tier.cpuMicrosByComponent[static_cast<std::size_t>(
+            sim::CpuComponent::kQueryPlan)];
+  }
+  return totalMicros > 0.0 ? queryMicros / totalMicros : 0.0;
+}
+
+}  // namespace dcache::core

@@ -1,0 +1,33 @@
+// Report formatting shared by the figure benches and examples: cost
+// comparison tables across architectures, per-tier CPU component breakdowns
+// (Fig. 6) and savings factors.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/experiment.hpp"
+
+namespace dcache::core {
+
+/// One row per experiment: compute / memory / storage / total cost, hit
+/// ratio, latency and the saving factor vs the first row (the baseline).
+[[nodiscard]] std::string costComparisonTable(
+    std::span<const ExperimentResult> results, const std::string& title);
+
+/// Per-tier CPU share by component for one experiment (Fig. 6 panels).
+[[nodiscard]] std::string cpuBreakdownTable(const ExperimentResult& result,
+                                            const std::string& title);
+
+/// Fraction of total cost spent on memory (§5.3: 6-22% Linked, 1-5% Base).
+[[nodiscard]] double memoryCostShare(const ExperimentResult& result);
+
+/// Savings factor baseline/result (>1 means `result` is cheaper).
+[[nodiscard]] double savingsVs(const ExperimentResult& baseline,
+                               const ExperimentResult& result);
+
+/// Share of a tier's CPU attributable to "query processing" (connection
+/// management + parse + plan) — the §5.3 40-65% claim for storage.
+[[nodiscard]] double queryProcessingShare(const ExperimentResult& result);
+
+}  // namespace dcache::core

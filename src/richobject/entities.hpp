@@ -1,0 +1,82 @@
+// Unity-Catalog-like entity model (§2.2, §5.2). The hierarchy is
+// metastore -> catalog -> schema -> table; privileges are granted to
+// principals on any level and inherit downward; tables additionally carry
+// constraints, lineage edges and free-form properties. A getTable request
+// materializes all of this into one RichTableObject — the "rich application
+// object" whose caching behaviour §5.4 studies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dcache::richobject {
+
+struct CatalogInfo {
+  std::int64_t id = 0;
+  std::int64_t metastoreId = 0;
+  std::string name;
+  std::string owner;
+};
+
+struct SchemaInfo {
+  std::int64_t id = 0;
+  std::int64_t catalogId = 0;
+  std::string name;
+  std::string owner;
+};
+
+struct TableInfo {
+  std::int64_t id = 0;
+  std::int64_t schemaId = 0;
+  std::string name;
+  std::string owner;
+  std::string format;      // "delta", "parquet", …
+  std::int64_t dataBytes = 0;  // column-metadata blob size (declared bytes)
+  std::int64_t version = 0;
+};
+
+/// Securable levels for privilege grants, ordered by inheritance depth.
+enum class SecurableLevel : std::uint8_t { kCatalog, kSchema, kTable };
+
+struct Privilege {
+  SecurableLevel level = SecurableLevel::kTable;
+  std::string principal;  // "user42", "group7", …
+  std::string action;     // "SELECT", "MODIFY", "OWN", …
+};
+
+struct Constraint {
+  std::string kind;        // "primary_key", "foreign_key", "check"
+  std::string definition;
+};
+
+struct LineageEdge {
+  std::int64_t upstreamTableId = 0;
+  std::string kind;  // "read", "transform"
+};
+
+/// The fully materialized rich object a getTable returns.
+struct RichTableObject {
+  TableInfo table;
+  SchemaInfo schema;
+  CatalogInfo catalog;
+  std::vector<Privilege> privileges;
+  std::vector<Constraint> constraints;
+  std::vector<LineageEdge> lineage;
+  std::map<std::string, std::string> properties;
+
+  /// Application-level permission check with downward inheritance: a grant
+  /// at catalog or schema level covers the table; owners of any ancestor
+  /// are implicitly allowed.
+  [[nodiscard]] bool allowed(std::string_view principal,
+                             std::string_view action) const;
+
+  /// Logical size in bytes: the declared blob plus the structured parts.
+  [[nodiscard]] std::uint64_t approximateSize() const;
+};
+
+[[nodiscard]] std::string_view securableLevelName(SecurableLevel level) noexcept;
+
+}  // namespace dcache::richobject

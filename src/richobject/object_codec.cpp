@@ -1,0 +1,207 @@
+#include "richobject/object_codec.hpp"
+
+#include "rpc/wire.hpp"
+
+namespace dcache::richobject {
+namespace {
+
+using rpc::WireDecoder;
+using rpc::WireEncoder;
+
+// Field layout (top level):
+//  1 table(msg)  2 schema(msg)  3 catalog(msg)  4* privilege(msg)
+//  5* constraint(msg)  6* lineage(msg)  7* property(msg)
+
+void encodeTable(WireEncoder& enc, const TableInfo& t) {
+  WireEncoder sub;
+  sub.writeSint(1, t.id);
+  sub.writeSint(2, t.schemaId);
+  sub.writeString(3, t.name);
+  sub.writeString(4, t.owner);
+  sub.writeString(5, t.format);
+  sub.writeSint(6, t.dataBytes);
+  sub.writeSint(7, t.version);
+  enc.writeMessage(1, sub);
+}
+
+void encodeSchema(WireEncoder& enc, const SchemaInfo& s) {
+  WireEncoder sub;
+  sub.writeSint(1, s.id);
+  sub.writeSint(2, s.catalogId);
+  sub.writeString(3, s.name);
+  sub.writeString(4, s.owner);
+  enc.writeMessage(2, sub);
+}
+
+void encodeCatalog(WireEncoder& enc, const CatalogInfo& c) {
+  WireEncoder sub;
+  sub.writeSint(1, c.id);
+  sub.writeSint(2, c.metastoreId);
+  sub.writeString(3, c.name);
+  sub.writeString(4, c.owner);
+  enc.writeMessage(3, sub);
+}
+
+template <typename Fn>
+bool decodeNested(WireDecoder& dec, Fn&& fn) {
+  const auto bytes = dec.readBytes();
+  if (!bytes) return false;
+  WireDecoder sub(*bytes);
+  return fn(sub);
+}
+
+}  // namespace
+
+std::string encodeObject(const RichTableObject& object) {
+  WireEncoder enc;
+  encodeTable(enc, object.table);
+  encodeSchema(enc, object.schema);
+  encodeCatalog(enc, object.catalog);
+  for (const Privilege& p : object.privileges) {
+    WireEncoder sub;
+    sub.writeUint(1, static_cast<std::uint64_t>(p.level));
+    sub.writeString(2, p.principal);
+    sub.writeString(3, p.action);
+    enc.writeMessage(4, sub);
+  }
+  for (const Constraint& c : object.constraints) {
+    WireEncoder sub;
+    sub.writeString(1, c.kind);
+    sub.writeString(2, c.definition);
+    enc.writeMessage(5, sub);
+  }
+  for (const LineageEdge& l : object.lineage) {
+    WireEncoder sub;
+    sub.writeSint(1, l.upstreamTableId);
+    sub.writeString(2, l.kind);
+    enc.writeMessage(6, sub);
+  }
+  for (const auto& [key, value] : object.properties) {
+    WireEncoder sub;
+    sub.writeString(1, key);
+    sub.writeString(2, value);
+    enc.writeMessage(7, sub);
+  }
+  return std::string(enc.view());
+}
+
+std::optional<RichTableObject> decodeObject(std::string_view bytes) {
+  WireDecoder dec(bytes);
+  RichTableObject object;
+  while (!dec.done()) {
+    const auto tag = dec.readTag();
+    if (!tag) return std::nullopt;
+    if (tag->type != rpc::WireType::kLengthDelimited) {
+      if (!dec.skip(tag->type)) return std::nullopt;
+      continue;
+    }
+    bool ok = true;
+    switch (tag->number) {
+      case 1:
+        ok = decodeNested(dec, [&](WireDecoder& sub) {
+          // Field order is fixed by our encoder.
+          const auto id = sub.readTag() ? sub.readSint() : std::nullopt;
+          const auto schemaId = sub.readTag() ? sub.readSint() : std::nullopt;
+          const auto name = sub.readTag() ? sub.readBytes() : std::nullopt;
+          const auto owner = sub.readTag() ? sub.readBytes() : std::nullopt;
+          const auto format = sub.readTag() ? sub.readBytes() : std::nullopt;
+          const auto blob = sub.readTag() ? sub.readSint() : std::nullopt;
+          const auto version = sub.readTag() ? sub.readSint() : std::nullopt;
+          if (!id || !schemaId || !name || !owner || !format || !blob ||
+              !version) {
+            return false;
+          }
+          object.table = TableInfo{*id,          *schemaId,
+                                   std::string(*name), std::string(*owner),
+                                   std::string(*format), *blob,
+                                   *version};
+          return true;
+        });
+        break;
+      case 2:
+        ok = decodeNested(dec, [&](WireDecoder& sub) {
+          const auto id = sub.readTag() ? sub.readSint() : std::nullopt;
+          const auto catalogId = sub.readTag() ? sub.readSint() : std::nullopt;
+          const auto name = sub.readTag() ? sub.readBytes() : std::nullopt;
+          const auto owner = sub.readTag() ? sub.readBytes() : std::nullopt;
+          if (!id || !catalogId || !name || !owner) return false;
+          object.schema = SchemaInfo{*id, *catalogId, std::string(*name),
+                                     std::string(*owner)};
+          return true;
+        });
+        break;
+      case 3:
+        ok = decodeNested(dec, [&](WireDecoder& sub) {
+          const auto id = sub.readTag() ? sub.readSint() : std::nullopt;
+          const auto msId = sub.readTag() ? sub.readSint() : std::nullopt;
+          const auto name = sub.readTag() ? sub.readBytes() : std::nullopt;
+          const auto owner = sub.readTag() ? sub.readBytes() : std::nullopt;
+          if (!id || !msId || !name || !owner) return false;
+          object.catalog = CatalogInfo{*id, *msId, std::string(*name),
+                                       std::string(*owner)};
+          return true;
+        });
+        break;
+      case 4:
+        ok = decodeNested(dec, [&](WireDecoder& sub) {
+          std::optional<std::uint64_t> level;
+          if (sub.readTag()) level = sub.readVarint();
+          const auto principal = sub.readTag() ? sub.readBytes() : std::nullopt;
+          const auto action = sub.readTag() ? sub.readBytes() : std::nullopt;
+          if (!level || !principal || !action || *level > 2) return false;
+          object.privileges.push_back(
+              Privilege{static_cast<SecurableLevel>(*level),
+                        std::string(*principal), std::string(*action)});
+          return true;
+        });
+        break;
+      case 5:
+        ok = decodeNested(dec, [&](WireDecoder& sub) {
+          const auto kind = sub.readTag() ? sub.readBytes() : std::nullopt;
+          const auto def = sub.readTag() ? sub.readBytes() : std::nullopt;
+          if (!kind || !def) return false;
+          object.constraints.push_back(
+              Constraint{std::string(*kind), std::string(*def)});
+          return true;
+        });
+        break;
+      case 6:
+        ok = decodeNested(dec, [&](WireDecoder& sub) {
+          const auto upstream = sub.readTag() ? sub.readSint() : std::nullopt;
+          const auto kind = sub.readTag() ? sub.readBytes() : std::nullopt;
+          if (!upstream || !kind) return false;
+          object.lineage.push_back(
+              LineageEdge{*upstream, std::string(*kind)});
+          return true;
+        });
+        break;
+      case 7:
+        ok = decodeNested(dec, [&](WireDecoder& sub) {
+          const auto key = sub.readTag() ? sub.readBytes() : std::nullopt;
+          const auto value = sub.readTag() ? sub.readBytes() : std::nullopt;
+          if (!key || !value) return false;
+          object.properties.emplace(std::string(*key), std::string(*value));
+          return true;
+        });
+        break;
+      default:
+        ok = dec.skip(tag->type);
+        break;
+    }
+    if (!ok) return std::nullopt;
+  }
+  return object;
+}
+
+std::uint64_t encodedObjectSize(const RichTableObject& object) {
+  // Structured parts measured through the real encoder (objects are small
+  // enough that this is cheap), plus the declared blob bytes.
+  const std::uint64_t structured = encodeObject(object).size();
+  const std::uint64_t blob =
+      object.table.dataBytes > 0
+          ? static_cast<std::uint64_t>(object.table.dataBytes)
+          : 0;
+  return structured + blob;
+}
+
+}  // namespace dcache::richobject

@@ -1,0 +1,44 @@
+#include "rpc/channel.hpp"
+
+namespace dcache::rpc {
+
+CallResult Channel::call(sim::Node& client, sim::Node& server,
+                         std::uint64_t requestBytes,
+                         std::uint64_t responseBytes, bool marshal,
+                         sim::CpuComponent framingComponent) noexcept {
+  ++calls_;
+  CallResult result;
+  result.requestBytes = requestBytes;
+  result.responseBytes = responseBytes;
+
+  if (&client == &server) return result;  // in-process: free by design
+
+  if (marshal) {
+    serializer_.chargeSerialize(client, requestBytes);
+  }
+  result.latencyMicros +=
+      network_->transfer(client, server, requestBytes, framingComponent);
+  if (marshal) {
+    serializer_.chargeDeserialize(server, requestBytes);
+    serializer_.chargeSerialize(server, responseBytes);
+  }
+  result.latencyMicros +=
+      network_->transfer(server, client, responseBytes, framingComponent);
+  if (marshal) {
+    serializer_.chargeDeserialize(client, responseBytes);
+  }
+  return result;
+}
+
+double Channel::oneWay(sim::Node& from, sim::Node& to, std::uint64_t bytes,
+                       bool marshal,
+                       sim::CpuComponent framingComponent) noexcept {
+  ++calls_;
+  if (&from == &to) return 0.0;
+  if (marshal) serializer_.chargeSerialize(from, bytes);
+  const double latency = network_->transfer(from, to, bytes, framingComponent);
+  if (marshal) serializer_.chargeDeserialize(to, bytes);
+  return latency;
+}
+
+}  // namespace dcache::rpc

@@ -1,0 +1,66 @@
+// RPC channel: one unary call = marshal request at the client, ship it,
+// unmarshal at the server, run the handler, marshal the response, ship it
+// back, unmarshal at the client. Every step charges the correct node, which
+// is precisely the accounting the paper's architecture comparison rests on:
+// Remote pays this full path per cache access, Linked pays none of it on a
+// local hit.
+#pragma once
+
+#include <cstdint>
+
+#include "rpc/serialization_model.hpp"
+#include "sim/network.hpp"
+#include "sim/node.hpp"
+
+namespace dcache::rpc {
+
+/// Outcome of a unary call as seen by the transport: how long it took and
+/// how many payload bytes crossed the wire.
+struct CallResult {
+  double latencyMicros = 0.0;
+  std::uint64_t requestBytes = 0;
+  std::uint64_t responseBytes = 0;
+};
+
+class Channel {
+ public:
+  Channel(sim::NetworkModel& network, SerializationModel serializer) noexcept
+      : network_(&network), serializer_(serializer) {}
+
+  /// Unary call with pre-computed encoded sizes. `marshal` toggles value
+  /// (de)serialization accounting — a linked in-process access sets it
+  /// false, every cross-process RPC sets it true. `framingComponent` lets
+  /// callers attribute the hop (client traffic vs inter-tier traffic) so
+  /// the Fig. 6 CPU breakdown can separate them.
+  CallResult call(sim::Node& client, sim::Node& server,
+                  std::uint64_t requestBytes, std::uint64_t responseBytes,
+                  bool marshal = true,
+                  sim::CpuComponent framingComponent =
+                      sim::CpuComponent::kRpcFraming) noexcept;
+
+  /// One-way message (e.g. an invalidation fan-out) — no response leg.
+  double oneWay(sim::Node& from, sim::Node& to, std::uint64_t bytes,
+                bool marshal = true,
+                sim::CpuComponent framingComponent =
+                    sim::CpuComponent::kRpcFraming) noexcept;
+
+  /// Convenience for typed messages exposing encodedSize().
+  template <typename Request, typename Response>
+  CallResult callTyped(sim::Node& client, sim::Node& server,
+                       const Request& request, const Response& response) {
+    return call(client, server, request.encodedSize(), response.encodedSize());
+  }
+
+  [[nodiscard]] std::uint64_t callCount() const noexcept { return calls_; }
+  [[nodiscard]] const SerializationModel& serializer() const noexcept {
+    return serializer_;
+  }
+  [[nodiscard]] sim::NetworkModel& network() noexcept { return *network_; }
+
+ private:
+  sim::NetworkModel* network_;
+  SerializationModel serializer_;
+  std::uint64_t calls_ = 0;
+};
+
+}  // namespace dcache::rpc

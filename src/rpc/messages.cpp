@@ -1,0 +1,235 @@
+#include "rpc/messages.hpp"
+
+namespace dcache::rpc {
+namespace {
+
+// Shared field numbers: 1 = key/statement, 2 = value/found, 3 = version.
+// Each message documents its own layout next to encode().
+
+}  // namespace
+
+// ---- GetRequest: 1=key ----
+void GetRequest::encode(WireEncoder& enc) const { enc.writeString(1, key); }
+
+std::optional<GetRequest> GetRequest::decode(std::string_view bytes) {
+  WireDecoder dec(bytes);
+  GetRequest out;
+  while (!dec.done()) {
+    const auto tag = dec.readTag();
+    if (!tag) return std::nullopt;
+    if (tag->number == 1 && tag->type == WireType::kLengthDelimited) {
+      const auto s = dec.readBytes();
+      if (!s) return std::nullopt;
+      out.key.assign(*s);
+    } else if (!dec.skip(tag->type)) {
+      return std::nullopt;
+    }
+  }
+  return out;
+}
+
+std::uint64_t GetRequest::encodedSize() const noexcept {
+  return bytesFieldSize(key.size());
+}
+
+// ---- GetResponse: 1=found, 2=version(fixed64), 3=value ----
+void GetResponse::encode(WireEncoder& enc) const {
+  enc.writeBool(1, found);
+  enc.writeFixed64(2, version);
+  enc.writeBytes(3, value);
+}
+
+std::optional<GetResponse> GetResponse::decode(std::string_view bytes) {
+  WireDecoder dec(bytes);
+  GetResponse out;
+  while (!dec.done()) {
+    const auto tag = dec.readTag();
+    if (!tag) return std::nullopt;
+    if (tag->number == 1 && tag->type == WireType::kVarint) {
+      const auto v = dec.readVarint();
+      if (!v) return std::nullopt;
+      out.found = *v != 0;
+    } else if (tag->number == 2 && tag->type == WireType::kFixed64) {
+      const auto v = dec.readFixed64();
+      if (!v) return std::nullopt;
+      out.version = *v;
+    } else if (tag->number == 3 && tag->type == WireType::kLengthDelimited) {
+      const auto s = dec.readBytes();
+      if (!s) return std::nullopt;
+      out.value.assign(*s);
+    } else if (!dec.skip(tag->type)) {
+      return std::nullopt;
+    }
+  }
+  return out;
+}
+
+std::uint64_t GetResponse::encodedSize() const noexcept {
+  return 2 + 9 + bytesFieldSize(value.size());
+}
+
+// ---- PutRequest: 1=key, 2=value, 3=version(fixed64) ----
+void PutRequest::encode(WireEncoder& enc) const {
+  enc.writeString(1, key);
+  enc.writeBytes(2, value);
+  enc.writeFixed64(3, version);
+}
+
+std::optional<PutRequest> PutRequest::decode(std::string_view bytes) {
+  WireDecoder dec(bytes);
+  PutRequest out;
+  while (!dec.done()) {
+    const auto tag = dec.readTag();
+    if (!tag) return std::nullopt;
+    if (tag->number == 1 && tag->type == WireType::kLengthDelimited) {
+      const auto s = dec.readBytes();
+      if (!s) return std::nullopt;
+      out.key.assign(*s);
+    } else if (tag->number == 2 && tag->type == WireType::kLengthDelimited) {
+      const auto s = dec.readBytes();
+      if (!s) return std::nullopt;
+      out.value.assign(*s);
+    } else if (tag->number == 3 && tag->type == WireType::kFixed64) {
+      const auto v = dec.readFixed64();
+      if (!v) return std::nullopt;
+      out.version = *v;
+    } else if (!dec.skip(tag->type)) {
+      return std::nullopt;
+    }
+  }
+  return out;
+}
+
+std::uint64_t PutRequest::encodedSize() const noexcept {
+  return bytesFieldSize(key.size()) + bytesFieldSize(value.size()) + 9;
+}
+
+// ---- PutResponse: 1=ok, 2=version(fixed64) ----
+void PutResponse::encode(WireEncoder& enc) const {
+  enc.writeBool(1, ok);
+  enc.writeFixed64(2, version);
+}
+
+std::optional<PutResponse> PutResponse::decode(std::string_view bytes) {
+  WireDecoder dec(bytes);
+  PutResponse out;
+  while (!dec.done()) {
+    const auto tag = dec.readTag();
+    if (!tag) return std::nullopt;
+    if (tag->number == 1 && tag->type == WireType::kVarint) {
+      const auto v = dec.readVarint();
+      if (!v) return std::nullopt;
+      out.ok = *v != 0;
+    } else if (tag->number == 2 && tag->type == WireType::kFixed64) {
+      const auto v = dec.readFixed64();
+      if (!v) return std::nullopt;
+      out.version = *v;
+    } else if (!dec.skip(tag->type)) {
+      return std::nullopt;
+    }
+  }
+  return out;
+}
+
+std::uint64_t PutResponse::encodedSize() const noexcept { return 2 + 9; }
+
+// ---- SqlRequest: 1=statement, 2*=params ----
+void SqlRequest::encode(WireEncoder& enc) const {
+  enc.writeString(1, statement);
+  for (const auto& p : params) enc.writeString(2, p);
+}
+
+std::optional<SqlRequest> SqlRequest::decode(std::string_view bytes) {
+  WireDecoder dec(bytes);
+  SqlRequest out;
+  while (!dec.done()) {
+    const auto tag = dec.readTag();
+    if (!tag) return std::nullopt;
+    if (tag->number == 1 && tag->type == WireType::kLengthDelimited) {
+      const auto s = dec.readBytes();
+      if (!s) return std::nullopt;
+      out.statement.assign(*s);
+    } else if (tag->number == 2 && tag->type == WireType::kLengthDelimited) {
+      const auto s = dec.readBytes();
+      if (!s) return std::nullopt;
+      out.params.emplace_back(*s);
+    } else if (!dec.skip(tag->type)) {
+      return std::nullopt;
+    }
+  }
+  return out;
+}
+
+std::uint64_t SqlRequest::encodedSize() const noexcept {
+  std::uint64_t size = bytesFieldSize(statement.size());
+  for (const auto& p : params) size += bytesFieldSize(p.size());
+  return size;
+}
+
+// ---- SqlResponse: 1=ok, 2*=rows ----
+void SqlResponse::encode(WireEncoder& enc) const {
+  enc.writeBool(1, ok);
+  for (const auto& r : rows) enc.writeBytes(2, r);
+}
+
+std::optional<SqlResponse> SqlResponse::decode(std::string_view bytes) {
+  WireDecoder dec(bytes);
+  SqlResponse out;
+  while (!dec.done()) {
+    const auto tag = dec.readTag();
+    if (!tag) return std::nullopt;
+    if (tag->number == 1 && tag->type == WireType::kVarint) {
+      const auto v = dec.readVarint();
+      if (!v) return std::nullopt;
+      out.ok = *v != 0;
+    } else if (tag->number == 2 && tag->type == WireType::kLengthDelimited) {
+      const auto s = dec.readBytes();
+      if (!s) return std::nullopt;
+      out.rows.emplace_back(*s);
+    } else if (!dec.skip(tag->type)) {
+      return std::nullopt;
+    }
+  }
+  return out;
+}
+
+std::uint64_t SqlResponse::encodedSize() const noexcept {
+  std::uint64_t size = 2;
+  for (const auto& r : rows) size += bytesFieldSize(r.size());
+  return size;
+}
+
+// ---- VersionCheckRequest: 1=key ----
+void VersionCheckRequest::encode(WireEncoder& enc) const {
+  enc.writeString(1, key);
+}
+
+std::optional<VersionCheckRequest> VersionCheckRequest::decode(
+    std::string_view bytes) {
+  const auto get = GetRequest::decode(bytes);  // identical layout
+  if (!get) return std::nullopt;
+  return VersionCheckRequest{get->key};
+}
+
+std::uint64_t VersionCheckRequest::encodedSize() const noexcept {
+  return bytesFieldSize(key.size());
+}
+
+// ---- VersionCheckResponse: 1=found, 2=version(fixed64) ----
+void VersionCheckResponse::encode(WireEncoder& enc) const {
+  enc.writeBool(1, found);
+  enc.writeFixed64(2, version);
+}
+
+std::optional<VersionCheckResponse> VersionCheckResponse::decode(
+    std::string_view bytes) {
+  const auto put = PutResponse::decode(bytes);  // identical layout
+  if (!put) return std::nullopt;
+  return VersionCheckResponse{put->ok, put->version};
+}
+
+std::uint64_t VersionCheckResponse::encodedSize() const noexcept {
+  return 2 + 9;
+}
+
+}  // namespace dcache::rpc

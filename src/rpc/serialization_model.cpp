@@ -1,0 +1,4 @@
+#include "rpc/serialization_model.hpp"
+
+// Header-only today; the translation unit anchors the library and keeps the
+// door open for calibration loading without touching dependents.

@@ -1,0 +1,57 @@
+// Serialization cost model. The experiment hot path simulates millions of
+// requests, so it charges (de)serialization CPU analytically from encoded
+// byte counts instead of materializing buffers. The per-byte constants are
+// calibrated against the real wire codec by bench/micro_serialization — the
+// model and the measured codec must agree in shape (linear in bytes with a
+// small per-message constant), which the tests assert.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/node.hpp"
+
+namespace dcache::rpc {
+
+struct SerializationParams {
+  // Fixed per-message overhead: allocation, field dispatch, descriptor walk.
+  double perMessageMicros = 0.25;
+  // Encoding throughput ≈ 1 GB/s on one core.
+  double serializePerByteMicros = 0.001;
+  // Decoding is slower: validation + string materialization.
+  double deserializePerByteMicros = 0.0016;
+};
+
+class SerializationModel {
+ public:
+  SerializationModel() = default;
+  explicit SerializationModel(SerializationParams params) noexcept
+      : params_(params) {}
+
+  /// Charge `node` for encoding a message of `bytes` encoded size.
+  void chargeSerialize(sim::Node& node, std::uint64_t bytes) const noexcept {
+    node.charge(sim::CpuComponent::kSerialization, serializeMicros(bytes));
+  }
+
+  /// Charge `node` for decoding a message of `bytes` encoded size.
+  void chargeDeserialize(sim::Node& node, std::uint64_t bytes) const noexcept {
+    node.charge(sim::CpuComponent::kDeserialization, deserializeMicros(bytes));
+  }
+
+  [[nodiscard]] double serializeMicros(std::uint64_t bytes) const noexcept {
+    return params_.perMessageMicros +
+           params_.serializePerByteMicros * static_cast<double>(bytes);
+  }
+  [[nodiscard]] double deserializeMicros(std::uint64_t bytes) const noexcept {
+    return params_.perMessageMicros +
+           params_.deserializePerByteMicros * static_cast<double>(bytes);
+  }
+
+  [[nodiscard]] const SerializationParams& params() const noexcept {
+    return params_;
+  }
+
+ private:
+  SerializationParams params_{};
+};
+
+}  // namespace dcache::rpc

@@ -1,0 +1,145 @@
+#include "rpc/wire.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace dcache::rpc {
+
+void WireEncoder::writeVarint(std::uint64_t value) {
+  while (value >= 0x80) {
+    buffer_.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  buffer_.push_back(static_cast<std::uint8_t>(value));
+}
+
+void WireEncoder::writeTag(std::uint32_t fieldNumber, WireType type) {
+  writeVarint((static_cast<std::uint64_t>(fieldNumber) << 3) |
+              static_cast<std::uint64_t>(type));
+}
+
+void WireEncoder::writeUint(std::uint32_t field, std::uint64_t value) {
+  writeTag(field, WireType::kVarint);
+  writeVarint(value);
+}
+
+void WireEncoder::writeSint(std::uint32_t field, std::int64_t value) {
+  writeTag(field, WireType::kVarint);
+  writeVarint(zigzagEncode(value));
+}
+
+void WireEncoder::writeBool(std::uint32_t field, bool value) {
+  writeUint(field, value ? 1 : 0);
+}
+
+void WireEncoder::writeFixed64(std::uint32_t field, std::uint64_t value) {
+  writeTag(field, WireType::kFixed64);
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+}
+
+void WireEncoder::writeFixed32(std::uint32_t field, std::uint32_t value) {
+  writeTag(field, WireType::kFixed32);
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+}
+
+void WireEncoder::writeDouble(std::uint32_t field, double value) {
+  writeFixed64(field, std::bit_cast<std::uint64_t>(value));
+}
+
+void WireEncoder::writeBytes(std::uint32_t field, std::string_view bytes) {
+  writeTag(field, WireType::kLengthDelimited);
+  writeVarint(bytes.size());
+  const auto* p = reinterpret_cast<const std::uint8_t*>(bytes.data());
+  buffer_.insert(buffer_.end(), p, p + bytes.size());
+}
+
+std::optional<WireDecoder::Field> WireDecoder::readTag() {
+  if (done()) return std::nullopt;
+  const auto raw = readVarint();
+  if (!raw) return std::nullopt;
+  const auto typeBits = static_cast<std::uint8_t>(*raw & 0x7);
+  switch (typeBits) {
+    case 0:
+    case 1:
+    case 2:
+    case 5:
+      break;
+    default:
+      return std::nullopt;  // unknown wire type
+  }
+  return Field{static_cast<std::uint32_t>(*raw >> 3),
+               static_cast<WireType>(typeBits)};
+}
+
+std::optional<std::uint64_t> WireDecoder::readVarint() {
+  std::uint64_t result = 0;
+  int shift = 0;
+  while (pos_ < size_ && shift < 64) {
+    const std::uint8_t byte = data_[pos_++];
+    result |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return result;
+    shift += 7;
+  }
+  return std::nullopt;  // truncated or overlong
+}
+
+std::optional<std::int64_t> WireDecoder::readSint() {
+  const auto raw = readVarint();
+  if (!raw) return std::nullopt;
+  return zigzagDecode(*raw);
+}
+
+std::optional<std::uint64_t> WireDecoder::readFixed64() {
+  if (size_ - pos_ < 8) return std::nullopt;
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  return value;
+}
+
+std::optional<std::uint32_t> WireDecoder::readFixed32() {
+  if (size_ - pos_ < 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  return value;
+}
+
+std::optional<double> WireDecoder::readDouble() {
+  const auto raw = readFixed64();
+  if (!raw) return std::nullopt;
+  return std::bit_cast<double>(*raw);
+}
+
+std::optional<std::string_view> WireDecoder::readBytes() {
+  const auto length = readVarint();
+  if (!length || *length > size_ - pos_) return std::nullopt;
+  std::string_view out(reinterpret_cast<const char*>(data_ + pos_),
+                       static_cast<std::size_t>(*length));
+  pos_ += static_cast<std::size_t>(*length);
+  return out;
+}
+
+bool WireDecoder::skip(WireType type) {
+  switch (type) {
+    case WireType::kVarint:
+      return readVarint().has_value();
+    case WireType::kFixed64:
+      return readFixed64().has_value();
+    case WireType::kFixed32:
+      return readFixed32().has_value();
+    case WireType::kLengthDelimited:
+      return readBytes().has_value();
+  }
+  return false;
+}
+
+}  // namespace dcache::rpc

@@ -1,0 +1,63 @@
+#include "sim/event_loop.hpp"
+
+#include <memory>
+
+namespace dcache::sim {
+
+std::uint64_t EventLoop::schedule(std::uint64_t delayMicros, Action action) {
+  auto event = std::make_unique<Event>();
+  event->time = now_ + delayMicros;
+  event->seq = nextSeq_++;
+  event->id = nextId_++;
+  event->action = std::move(action);
+  queue_.push(event.get());
+  storage_.push_back(std::move(event));
+  ++live_;
+  return storage_.back()->id;
+}
+
+bool EventLoop::cancel(std::uint64_t id) {
+  // Linear scan is fine: scenario scripts schedule tens of events.
+  for (auto& event : storage_) {
+    if (event->id == id && !event->cancelled && event->action) {
+      event->cancelled = true;
+      --live_;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool EventLoop::popAndRunOne() {
+  while (!queue_.empty()) {
+    Event* event = queue_.top();
+    queue_.pop();
+    if (event->cancelled || !event->action) continue;
+    now_ = event->time;
+    Action action = std::move(event->action);
+    event->action = nullptr;
+    --live_;
+    action();
+    return true;
+  }
+  return false;
+}
+
+std::size_t EventLoop::run() {
+  std::size_t executed = 0;
+  while (popAndRunOne()) ++executed;
+  storage_.clear();
+  return executed;
+}
+
+std::size_t EventLoop::runUntil(std::uint64_t deadlineMicros) {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    const Event* next = queue_.top();
+    if (!next->cancelled && next->time > deadlineMicros) break;
+    if (popAndRunOne()) ++executed;
+  }
+  return executed;
+}
+
+}  // namespace dcache::sim

@@ -1,0 +1,64 @@
+// Deterministic discrete-event loop. The cost experiments charge CPU
+// synchronously and do not need it; it exists for the scenarios where
+// *interleaving* is the phenomenon under study — most importantly the
+// delayed-writes anomaly of Figure 8, where a write RPC is delayed past a
+// cache reshard. Events at the same timestamp run in scheduling order, so a
+// given seed always produces the same history.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace dcache::sim {
+
+class EventLoop {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulated time in microseconds.
+  [[nodiscard]] std::uint64_t now() const noexcept { return now_; }
+
+  /// Schedule `action` to run `delayMicros` after the current time.
+  /// Returns an id usable with cancel().
+  std::uint64_t schedule(std::uint64_t delayMicros, Action action);
+
+  /// Cancel a scheduled event. Returns false if it already ran / unknown.
+  bool cancel(std::uint64_t id);
+
+  /// Run until the queue is empty. Returns the number of events executed.
+  std::size_t run();
+
+  /// Run until the queue is empty or simulated time exceeds `deadline`.
+  std::size_t runUntil(std::uint64_t deadlineMicros);
+
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+
+ private:
+  struct Event {
+    std::uint64_t time;
+    std::uint64_t seq;  // tie-breaker: FIFO within a timestamp
+    std::uint64_t id;
+    Action action;
+    bool cancelled = false;
+  };
+  struct Order {
+    bool operator()(const Event* a, const Event* b) const noexcept {
+      if (a->time != b->time) return a->time > b->time;
+      return a->seq > b->seq;
+    }
+  };
+
+  bool popAndRunOne();
+
+  std::uint64_t now_ = 0;
+  std::uint64_t nextSeq_ = 0;
+  std::uint64_t nextId_ = 1;
+  std::size_t live_ = 0;
+  std::vector<std::unique_ptr<Event>> storage_;
+  std::priority_queue<Event*, std::vector<Event*>, Order> queue_;
+};
+
+}  // namespace dcache::sim

@@ -1,0 +1,22 @@
+#include "sim/network.hpp"
+
+namespace dcache::sim {
+
+double NetworkModel::transfer(Node& src, Node& dst, std::uint64_t payloadBytes,
+                              CpuComponent component) noexcept {
+  if (&src == &dst) return 0.0;  // in-process handoff
+
+  const double perEnd = params_.perMessageCpuMicros +
+                        params_.perByteCpuMicros *
+                            static_cast<double>(payloadBytes);
+  src.charge(component, perEnd);
+  dst.charge(component, perEnd);
+
+  ++messages_;
+  bytes_ += payloadBytes;
+
+  return params_.oneWayLatencyMicros +
+         params_.perByteLatencyMicros * static_cast<double>(payloadBytes);
+}
+
+}  // namespace dcache::sim

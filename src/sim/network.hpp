@@ -1,0 +1,51 @@
+// Network cost model. A message transfer charges CPU at both endpoints
+// (framing + per-byte work) and contributes propagation/transmission delay
+// to the request latency. The CPU side is what feeds the paper's cost
+// analysis; latency is tracked so examples can also report the latency
+// benefit the paper sets aside.
+#pragma once
+
+#include "sim/node.hpp"
+
+namespace dcache::sim {
+
+struct NetworkParams {
+  // CPU charged at each endpoint per message (syscalls, framing, interrupt
+  // handling). Modeled on a tuned gRPC path.
+  double perMessageCpuMicros = 10.0;
+  // CPU per payload byte at each endpoint (copies, checksums).
+  double perByteCpuMicros = 0.0004;  // 0.4 ns/byte
+  // One-way propagation within a datacenter.
+  double oneWayLatencyMicros = 25.0;
+  // Transmission: 10 Gbps ≈ 0.8 ns/byte.
+  double perByteLatencyMicros = 0.0008;
+};
+
+class NetworkModel {
+ public:
+  NetworkModel() = default;
+  explicit NetworkModel(NetworkParams params) noexcept : params_(params) {}
+
+  /// Transfer `payloadBytes` from `src` to `dst`. Charges CPU at both ends
+  /// under `component` and returns the one-way latency in microseconds.
+  /// In-process transfers (src == dst) are free: a linked cache hit must not
+  /// pay network cost — that is the architectural point being measured.
+  double transfer(Node& src, Node& dst, std::uint64_t payloadBytes,
+                  CpuComponent component) noexcept;
+
+  [[nodiscard]] const NetworkParams& params() const noexcept { return params_; }
+
+  [[nodiscard]] std::uint64_t messagesSent() const noexcept { return messages_; }
+  [[nodiscard]] std::uint64_t bytesSent() const noexcept { return bytes_; }
+  void clearCounters() noexcept {
+    messages_ = 0;
+    bytes_ = 0;
+  }
+
+ private:
+  NetworkParams params_{};
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace dcache::sim

@@ -1,0 +1,17 @@
+#include "sim/node.hpp"
+
+namespace dcache::sim {
+
+std::string_view tierKindName(TierKind kind) noexcept {
+  switch (kind) {
+    case TierKind::kClient: return "client";
+    case TierKind::kAppServer: return "app_server";
+    case TierKind::kRemoteCache: return "remote_cache";
+    case TierKind::kSqlFrontend: return "sql_frontend";
+    case TierKind::kKvStorage: return "kv_storage";
+    case TierKind::kCount: break;
+  }
+  return "unknown";
+}
+
+}  // namespace dcache::sim

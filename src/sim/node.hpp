@@ -1,0 +1,50 @@
+// A simulated machine (pod). Nodes belong to a tier (application, remote
+// cache, SQL front-end, KV storage) and carry CPU and memory meters that the
+// cost model later converts into a monthly bill.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/resource.hpp"
+
+namespace dcache::sim {
+
+/// The role a node plays in the deployment. Tier identity is what the
+/// paper's cost breakdowns (app vs cache vs storage) are keyed on.
+enum class TierKind : std::uint8_t {
+  kClient,       // load generators; their cost is out of scope, tracked anyway
+  kAppServer,    // application servers (and linked caches living inside them)
+  kRemoteCache,  // memcached/redis-like remote cache pods
+  kSqlFrontend,  // TiDB-like stateless SQL layer
+  kKvStorage,    // TiKV-like replicated storage nodes
+  kCount,
+};
+
+[[nodiscard]] std::string_view tierKindName(TierKind kind) noexcept;
+
+class Node {
+ public:
+  Node(std::string name, TierKind tier) : name_(std::move(name)), tier_(tier) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] TierKind tier() const noexcept { return tier_; }
+
+  [[nodiscard]] CpuMeter& cpu() noexcept { return cpu_; }
+  [[nodiscard]] const CpuMeter& cpu() const noexcept { return cpu_; }
+  [[nodiscard]] MemMeter& mem() noexcept { return mem_; }
+  [[nodiscard]] const MemMeter& mem() const noexcept { return mem_; }
+
+  /// Convenience: charge CPU microseconds to this node.
+  void charge(CpuComponent component, double micros) noexcept {
+    cpu_.charge(component, micros);
+  }
+
+ private:
+  std::string name_;
+  TierKind tier_;
+  CpuMeter cpu_;
+  MemMeter mem_;
+};
+
+}  // namespace dcache::sim

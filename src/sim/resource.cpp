@@ -1,0 +1,46 @@
+#include "sim/resource.hpp"
+
+#include <algorithm>
+
+namespace dcache::sim {
+
+std::string_view cpuComponentName(CpuComponent c) noexcept {
+  switch (c) {
+    case CpuComponent::kRpcFraming: return "rpc_framing";
+    case CpuComponent::kSerialization: return "serialization";
+    case CpuComponent::kDeserialization: return "deserialization";
+    case CpuComponent::kConnectionMgmt: return "connection_mgmt";
+    case CpuComponent::kQueryParse: return "query_parse";
+    case CpuComponent::kQueryPlan: return "query_plan";
+    case CpuComponent::kKvExecution: return "kv_execution";
+    case CpuComponent::kReplication: return "replication";
+    case CpuComponent::kLeaseValidation: return "lease_validation";
+    case CpuComponent::kDiskIo: return "disk_io";
+    case CpuComponent::kCacheOp: return "cache_op";
+    case CpuComponent::kAppLogic: return "app_logic";
+    case CpuComponent::kRequestPrep: return "request_prep";
+    case CpuComponent::kClientComm: return "client_comm";
+    case CpuComponent::kCount: break;
+  }
+  return "unknown";
+}
+
+void CpuMeter::charge(CpuComponent component, double micros) noexcept {
+  if (micros <= 0.0) return;
+  byComponent_[static_cast<std::size_t>(component)] += micros;
+  total_ += micros;
+}
+
+void CpuMeter::merge(const CpuMeter& other) noexcept {
+  for (std::size_t i = 0; i < kNumCpuComponents; ++i) {
+    byComponent_[i] += other.byComponent_[i];
+  }
+  total_ += other.total_;
+}
+
+void CpuMeter::clear() noexcept {
+  byComponent_.fill(0.0);
+  total_ = 0.0;
+}
+
+}  // namespace dcache::sim

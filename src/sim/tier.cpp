@@ -1,0 +1,41 @@
+#include "sim/tier.hpp"
+
+namespace dcache::sim {
+
+Tier::Tier(std::string name, TierKind kind, std::size_t nodeCount)
+    : name_(std::move(name)), kind_(kind) {
+  if (nodeCount == 0) nodeCount = 1;
+  nodes_.reserve(nodeCount);
+  for (std::size_t i = 0; i < nodeCount; ++i) {
+    nodes_.push_back(
+        std::make_unique<Node>(name_ + "-" + std::to_string(i), kind_));
+  }
+}
+
+void Tier::provisionMemoryPerNode(util::Bytes perNode) noexcept {
+  for (auto& n : nodes_) n->mem().provision(perNode);
+}
+
+CpuMeter Tier::aggregateCpu() const noexcept {
+  CpuMeter total;
+  for (const auto& n : nodes_) total.merge(n->cpu());
+  return total;
+}
+
+util::Bytes Tier::totalProvisionedMemory() const noexcept {
+  util::Bytes total;
+  for (const auto& n : nodes_) total += n->mem().provisioned();
+  return total;
+}
+
+util::Bytes Tier::totalPeakMemory() const noexcept {
+  util::Bytes total;
+  for (const auto& n : nodes_) total += n->mem().peak();
+  return total;
+}
+
+void Tier::clearMeters() noexcept {
+  for (auto& n : nodes_) n->cpu().clear();
+}
+
+}  // namespace dcache::sim

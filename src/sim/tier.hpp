@@ -1,0 +1,59 @@
+// A tier is a named group of identical nodes (e.g. "3 TiKV pods"). It owns
+// its nodes, provides placement (hash-based or round-robin) and aggregates
+// their meters for reporting.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/node.hpp"
+#include "util/hash.hpp"
+
+namespace dcache::sim {
+
+class Tier {
+ public:
+  Tier(std::string name, TierKind kind, std::size_t nodeCount);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] TierKind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+
+  [[nodiscard]] Node& node(std::size_t i) noexcept { return *nodes_[i]; }
+  [[nodiscard]] const Node& node(std::size_t i) const noexcept {
+    return *nodes_[i];
+  }
+
+  /// Node that owns a key (stable hash placement).
+  [[nodiscard]] Node& nodeForKey(std::uint64_t keyHash) noexcept {
+    return *nodes_[keyHash % nodes_.size()];
+  }
+  [[nodiscard]] std::size_t indexForKey(std::uint64_t keyHash) const noexcept {
+    return keyHash % nodes_.size();
+  }
+
+  /// Round-robin placement for stateless tiers (SQL front-ends, app LB).
+  [[nodiscard]] Node& nextNode() noexcept {
+    Node& n = *nodes_[rr_ % nodes_.size()];
+    ++rr_;
+    return n;
+  }
+
+  /// Provision every node in the tier with the same memory capacity.
+  void provisionMemoryPerNode(util::Bytes perNode) noexcept;
+
+  [[nodiscard]] CpuMeter aggregateCpu() const noexcept;
+  [[nodiscard]] util::Bytes totalProvisionedMemory() const noexcept;
+  [[nodiscard]] util::Bytes totalPeakMemory() const noexcept;
+
+  void clearMeters() noexcept;
+
+ private:
+  std::string name_;
+  TierKind kind_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::size_t rr_ = 0;
+};
+
+}  // namespace dcache::sim

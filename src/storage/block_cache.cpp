@@ -1,0 +1,39 @@
+#include "storage/block_cache.hpp"
+
+#include <cstdio>
+
+#include "util/hash.hpp"
+
+namespace dcache::storage {
+
+std::string BlockCache::blockIdFor(std::string_view key) {
+  // Group 16 hash buckets per block: preserves the "over-read" property of
+  // block storage (a hot key drags its block neighbours into memory).
+  std::uint64_t block = util::hashKey(key) >> 4;
+  char buf[17];
+  buf[0] = 'b';
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (int i = 16; i > 0; --i) {
+    buf[i] = kHex[block & 0xF];
+    block >>= 4;
+  }
+  return std::string(buf, sizeof buf);
+}
+
+bool BlockCache::touchRead(std::string_view key, std::uint64_t rowBytes) {
+  const std::string id = blockIdFor(key);
+  if (cache_.get(id) != nullptr) return true;
+  cache_.put(id, cache::CacheEntry::sized(blockSizeFor(rowBytes)));
+  return false;
+}
+
+void BlockCache::touchWrite(std::string_view key, std::uint64_t rowBytes) {
+  const std::string id = blockIdFor(key);
+  cache_.put(id, cache::CacheEntry::sized(blockSizeFor(rowBytes)));
+}
+
+void BlockCache::invalidate(std::string_view key) {
+  cache_.erase(blockIdFor(key));
+}
+
+}  // namespace dcache::storage

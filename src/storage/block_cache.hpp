@@ -1,0 +1,55 @@
+// Storage-layer block cache — the "Base" architecture's cache (Fig. 1a).
+// TiKV-style: rows live in fixed-granularity blocks; a read that misses
+// pays the disk path, a hit pays only a probe. CLOCK eviction, matching the
+// lock-free approximation real block caches use. Writes are applied
+// write-through (a freshly written row sits in the memtable, so an
+// immediately following read is cheap — write-invalidate would overstate
+// disk traffic).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "cache/clock.hpp"
+
+namespace dcache::storage {
+
+class BlockCache {
+ public:
+  static constexpr std::uint64_t kBlockBytes = 4096;
+
+  explicit BlockCache(util::Bytes capacity) : cache_(capacity) {}
+
+  /// Probe for the block containing `key` (a row of `rowBytes`). On a miss
+  /// the block is loaded (inserted); the caller charges the disk path.
+  /// Returns true on hit.
+  bool touchRead(std::string_view key, std::uint64_t rowBytes);
+
+  /// Apply a write: the row's block is refreshed in cache.
+  void touchWrite(std::string_view key, std::uint64_t rowBytes);
+
+  /// Drop the block containing `key` (compaction, explicit invalidation).
+  void invalidate(std::string_view key);
+
+  [[nodiscard]] const cache::CacheStats& stats() const noexcept {
+    return cache_.stats();
+  }
+  [[nodiscard]] util::Bytes bytesUsed() const noexcept {
+    return cache_.bytesUsed();
+  }
+  [[nodiscard]] util::Bytes capacity() const noexcept {
+    return cache_.capacity();
+  }
+
+  /// Block identifier for a key: 16 adjacent hash buckets share a block.
+  [[nodiscard]] static std::string blockIdFor(std::string_view key);
+  /// Bytes charged for a block holding a row of `rowBytes`.
+  [[nodiscard]] static std::uint64_t blockSizeFor(std::uint64_t rowBytes) noexcept {
+    return rowBytes > kBlockBytes ? rowBytes : kBlockBytes;
+  }
+
+ private:
+  cache::ClockCache cache_;
+};
+
+}  // namespace dcache::storage

@@ -1,0 +1,436 @@
+#include "storage/database.hpp"
+
+#include <algorithm>
+
+#include "rpc/messages.hpp"
+#include "storage/executor.hpp"
+#include "storage/sql_parser.hpp"
+#include "util/hash.hpp"
+
+namespace dcache::storage {
+namespace {
+
+/// Approximate wire size of the plan fragment shipped front-end -> KV node.
+constexpr std::uint64_t kPlanFragmentBytes = 96;
+
+}  // namespace
+
+Database::Database(sim::Tier& sqlTier, sim::Tier& kvTier,
+                   rpc::Channel& channel, Config config)
+    : sqlTier_(&sqlTier),
+      kvTier_(&kvTier),
+      channel_(&channel),
+      config_(config),
+      raft_(kvTier, channel.network(), config.raftCosts,
+            config.replicationFactor),
+      engines_(kvTier.size()),
+      planner_([this](std::string_view table) { return schema(table); }) {
+  blockCaches_.reserve(kvTier.size());
+  for (std::size_t i = 0; i < kvTier.size(); ++i) {
+    blockCaches_.push_back(
+        std::make_unique<BlockCache>(config_.blockCachePerNode));
+    kvTier.node(i).mem().provision(config_.blockCachePerNode);
+  }
+}
+
+Database::Database(sim::Tier& sqlTier, sim::Tier& kvTier,
+                   rpc::Channel& channel)
+    : Database(sqlTier, kvTier, channel, Config{}) {}
+
+// ---- key layout ----
+
+std::string Database::rowKey(std::string_view table, std::string_view pk) {
+  std::string key;
+  key.reserve(2 + table.size() + 3 + pk.size());
+  key.append("t/").append(table).append("/r/").append(pk);
+  return key;
+}
+
+std::string Database::rowPrefix(std::string_view table) {
+  std::string key;
+  key.append("t/").append(table).append("/r/");
+  return key;
+}
+
+std::string Database::indexKey(std::string_view table, std::string_view column,
+                               std::string_view value, std::string_view pk) {
+  std::string key = indexPrefix(table, column, value);
+  key.append(pk);
+  return key;
+}
+
+std::string Database::indexPrefix(std::string_view table,
+                                  std::string_view column,
+                                  std::string_view value) {
+  std::string key;
+  key.append("t/").append(table).append("/i/").append(column).append("/");
+  key.append(value).append("/");
+  return key;
+}
+
+std::string Database::kvKey(std::string_view key) {
+  std::string out;
+  out.reserve(3 + key.size());
+  out.append("kv/").append(key);
+  return out;
+}
+
+// ---- schema / population ----
+
+void Database::createTable(TableSchema schema) {
+  std::string name = schema.name();
+  schemas_.insert_or_assign(std::move(name), std::move(schema));
+}
+
+const TableSchema* Database::schema(std::string_view table) const {
+  const auto it = schemas_.find(table);
+  return it == schemas_.end() ? nullptr : &it->second;
+}
+
+void Database::loadRow(std::string_view table, const Row& row) {
+  const TableSchema* s = schema(table);
+  if (!s) return;
+  const std::string pk = valueToString(row.values[s->primaryKeyColumn()]);
+  const std::string key = rowKey(table, pk);
+  StoredValue stored = StoredValue::of(encodeRow(*s, row));
+  stored.size += declaredPayloadBytes(*s, row);
+  engines_[nodeFor(key)].put(key, std::move(stored), ++ts_);
+  for (const std::size_t col : s->indexedColumns()) {
+    const std::string ik = indexKey(table, s->columns()[col].name,
+                                    valueToString(row.values[col]), pk);
+    engines_[nodeFor(ik)].put(ik, StoredValue::sized(0), ++ts_);
+  }
+}
+
+void Database::loadValue(std::string_view key, std::uint64_t size) {
+  const std::string k = kvKey(key);
+  engines_[nodeFor(k)].put(k, StoredValue::sized(size), ++ts_);
+}
+
+// ---- engine-level API ----
+
+std::size_t Database::nodeFor(std::string_view key) const noexcept {
+  return util::hashKey(key) % engines_.size();
+}
+
+void Database::syncMemoryMeters(std::size_t nodeIndex) {
+  kvTier_->node(nodeIndex).mem().use(blockCaches_[nodeIndex]->bytesUsed());
+}
+
+const StoredValue* Database::engineGet(std::string_view key,
+                                       ExecTrace& trace) {
+  const std::size_t idx = nodeFor(key);
+  sim::Node& node = kvTier_->node(idx);
+  const StorageCosts& costs = config_.costs;
+
+  if (config_.consistentReads) raft_.validateLease(idx);
+
+  const StoredValue* stored = engines_[idx].get(key);
+  if (!stored) {
+    // Bloom filter / memtable probe only: no block fetch for absent keys.
+    node.charge(sim::CpuComponent::kKvExecution, costs.execPerRowMicros);
+    trace.latencyMicros += costs.execPerRowMicros;
+    return nullptr;
+  }
+
+  const double execMicros =
+      costs.execPerRowMicros +
+      costs.execPerByteMicros * static_cast<double>(stored->size);
+  node.charge(sim::CpuComponent::kKvExecution, execMicros);
+  trace.latencyMicros += execMicros;
+
+  if (!blockCaches_[idx]->touchRead(key, stored->size)) {
+    const std::uint64_t blockBytes = BlockCache::blockSizeFor(stored->size);
+    node.charge(sim::CpuComponent::kDiskIo,
+                costs.diskFixedMicros +
+                    costs.diskPerByteMicros * static_cast<double>(blockBytes));
+    trace.latencyMicros += costs.diskLatencyMicros;
+    ++trace.blockMisses;
+  } else {
+    ++trace.blockHits;
+  }
+  syncMemoryMeters(idx);
+
+  ++trace.rowsRead;
+  trace.bytesRead += stored->size;
+  trace.nodeBytes[idx] += stored->size;
+  return stored;
+}
+
+bool Database::enginePut(std::string_view key, StoredValue value,
+                         ExecTrace& trace) {
+  const std::size_t idx = nodeFor(key);
+  sim::Node& node = kvTier_->node(idx);
+  const StorageCosts& costs = config_.costs;
+  const std::uint64_t bytes = value.size + key.size();
+
+  const double execMicros =
+      costs.execPerRowMicros + costs.memtableMicros +
+      costs.execPerByteMicros * static_cast<double>(value.size);
+  node.charge(sim::CpuComponent::kKvExecution, execMicros);
+
+  const std::uint64_t rowSize = value.size;
+  if (!engines_[idx].put(key, std::move(value), ++ts_)) return false;
+  trace.latencyMicros += execMicros + raft_.replicate(idx, bytes);
+  blockCaches_[idx]->touchWrite(key, rowSize);
+  syncMemoryMeters(idx);
+
+  ++trace.rowsWritten;
+  trace.bytesWritten += rowSize;
+  trace.nodeBytes[idx] += rowSize;
+  return true;
+}
+
+bool Database::engineDelete(std::string_view key, ExecTrace& trace) {
+  const std::size_t idx = nodeFor(key);
+  sim::Node& node = kvTier_->node(idx);
+  const StorageCosts& costs = config_.costs;
+
+  node.charge(sim::CpuComponent::kKvExecution,
+              costs.execPerRowMicros + costs.memtableMicros);
+  if (!engines_[idx].erase(key, ++ts_)) return false;
+  trace.latencyMicros += raft_.replicate(idx, key.size());
+  blockCaches_[idx]->invalidate(key);
+  ++trace.rowsWritten;
+  return true;
+}
+
+void Database::engineScanPrefix(
+    std::string_view prefix, ExecTrace& trace,
+    const std::function<bool(std::string_view, const StoredValue&)>& fn) {
+  const StorageCosts& costs = config_.costs;
+  for (std::size_t idx = 0; idx < engines_.size(); ++idx) {
+    sim::Node& node = kvTier_->node(idx);
+    if (config_.consistentReads) raft_.validateLease(idx);
+    engines_[idx].scanPrefix(
+        prefix, KvEngine::kLatest,
+        [&](std::string_view key, const StoredValue& stored) {
+          const double execMicros =
+              costs.execPerRowMicros +
+              costs.execPerByteMicros * static_cast<double>(stored.size);
+          node.charge(sim::CpuComponent::kKvExecution, execMicros);
+          trace.latencyMicros += execMicros;
+          ++trace.rowsRead;
+          trace.bytesRead += stored.size;
+          trace.nodeBytes[idx] += stored.size;
+          return fn(key, stored);
+        });
+  }
+}
+
+// ---- statement front-end ----
+
+sim::Node& Database::frontendForStatement() {
+  sim::Node& frontend = sqlTier_->nextNode();
+  const StorageCosts& costs = config_.costs;
+  frontend.charge(sim::CpuComponent::kConnectionMgmt, costs.connectionMicros);
+  frontend.charge(sim::CpuComponent::kQueryParse, costs.parseMicros);
+  frontend.charge(sim::CpuComponent::kQueryPlan, costs.planMicros);
+  return frontend;
+}
+
+double Database::settleRpc(sim::Node& client, sim::Node& frontend,
+                           std::uint64_t requestBytes,
+                           std::uint64_t responseBytes,
+                           const ExecTrace& trace) {
+  // Front-end fans out to the KV nodes it touched (parallel; latency is the
+  // slowest leg), then answers the client.
+  double kvLatency = 0.0;
+  for (const auto& [idx, bytes] : trace.nodeBytes) {
+    const auto call = channel_->call(frontend, kvTier_->node(idx),
+                                     kPlanFragmentBytes, bytes);
+    kvLatency = std::max(kvLatency, call.latencyMicros);
+  }
+  const auto clientCall =
+      channel_->call(client, frontend, requestBytes, responseBytes);
+  return kvLatency + clientCall.latencyMicros;
+}
+
+Database::QueryResult Database::exec(sim::Node& client, std::string_view sql,
+                                     std::span<const Value> params) {
+  QueryResult result;
+  sim::Node& frontend = frontendForStatement();
+
+  ParseResult parsed = parseSql(sql);
+  if (const auto* err = std::get_if<ParseError>(&parsed)) {
+    result.error = "parse error: " + err->message;
+    result.latencyMicros =
+        settleRpc(client, frontend, sql.size(), 32, ExecTrace{});
+    return result;
+  }
+  PlanResult planned = planner_.plan(std::get<Statement>(parsed));
+  if (const auto* err = std::get_if<PlanError>(&planned)) {
+    result.error = "plan error: " + err->message;
+    result.latencyMicros =
+        settleRpc(client, frontend, sql.size(), 32, ExecTrace{});
+    return result;
+  }
+
+  ExecTrace trace;
+  Executor executor(*this);
+  Executor::Outcome outcome =
+      executor.run(std::get<QueryPlan>(planned), params, trace);
+  if (!outcome.ok) {
+    result.error = outcome.error;
+    result.latencyMicros =
+        settleRpc(client, frontend, sql.size(), 32, trace);
+    return result;
+  }
+
+  frontend.charge(sim::CpuComponent::kKvExecution,
+                  config_.costs.resultPerRowMicros *
+                      static_cast<double>(outcome.rows.size()));
+
+  std::uint64_t requestBytes = sql.size();
+  for (const Value& p : params) requestBytes += valueToString(p).size() + 2;
+  std::uint64_t responseBytes = 16;
+  const TableSchema* outSchema =
+      std::get<QueryPlan>(planned).primary.schema;
+  for (const Row& row : outcome.rows) {
+    // Projection can mix schemas; approximate with the primary schema's
+    // encoding, which the projected rows were sized from.
+    responseBytes += outSchema ? encodedRowSize(*outSchema, row) + 3 : 32;
+  }
+
+  result.ok = true;
+  result.rows = std::move(outcome.rows);
+  result.rowsAffected = outcome.rowsAffected;
+  result.latencyMicros =
+      trace.latencyMicros +
+      settleRpc(client, frontend, requestBytes, responseBytes, trace);
+  return result;
+}
+
+// ---- KV path ----
+
+Database::ReadResult Database::readValue(sim::Node& client,
+                                         std::string_view key) {
+  ReadResult result;
+  sim::Node& frontend = frontendForStatement();  // SELECT v FROM kv WHERE k=?
+
+  ExecTrace trace;
+  const StoredValue* stored = engineGet(kvKey(key), trace);
+  result.found = stored != nullptr;
+  result.size = stored ? stored->size : 0;
+  result.version = stored ? stored->version : 0;
+
+  const rpc::GetRequest req{std::string(key)};
+  rpc::GetResponse resp;
+  resp.found = result.found;
+  result.latencyMicros =
+      trace.latencyMicros +
+      settleRpc(client, frontend, req.encodedSize(),
+                resp.encodedSize() + result.size, trace);
+  return result;
+}
+
+Database::WriteResult Database::writeValue(sim::Node& client,
+                                           std::string_view key,
+                                           std::uint64_t size) {
+  WriteResult result;
+  sim::Node& frontend = frontendForStatement();  // UPDATE kv SET v=? WHERE k=?
+
+  ExecTrace trace;
+  enginePut(kvKey(key), StoredValue::sized(size), trace);
+  result.version = ts_;
+
+  const rpc::PutRequest req{std::string(key), {}, 0};
+  const rpc::PutResponse resp{true, result.version};
+  result.latencyMicros =
+      trace.latencyMicros +
+      settleRpc(client, frontend, req.encodedSize() + size,
+                resp.encodedSize(), trace);
+  return result;
+}
+
+Database::VersionResult Database::versionCheck(sim::Node& client,
+                                               std::string_view key) {
+  VersionResult result;
+  // §5.5: the version check traverses the full read path — SQL front-end
+  // parse/plan, lease validation, and a full row fetch at TiKV that ships
+  // the row to the front-end; only the 8-byte version returns to the client.
+  sim::Node& frontend = frontendForStatement();
+
+  ExecTrace trace;
+  const StoredValue* stored = engineGet(kvKey(key), trace);
+  result.found = stored != nullptr;
+  result.version = stored ? stored->version : 0;
+
+  const rpc::VersionCheckRequest req{std::string(key)};
+  const rpc::VersionCheckResponse resp{result.found, result.version};
+  result.latencyMicros =
+      trace.latencyMicros +
+      settleRpc(client, frontend, req.encodedSize(), resp.encodedSize(),
+                trace);
+  return result;
+}
+
+Database::VersionResult Database::versionCheckRow(sim::Node& client,
+                                                  std::string_view table,
+                                                  std::string_view pk) {
+  VersionResult result;
+  sim::Node& frontend = frontendForStatement();
+
+  ExecTrace trace;
+  const StoredValue* stored = engineGet(rowKey(table, pk), trace);
+  result.found = stored != nullptr;
+  result.version = stored ? stored->version : 0;
+
+  const rpc::VersionCheckRequest req{std::string(pk)};
+  const rpc::VersionCheckResponse resp{result.found, result.version};
+  result.latencyMicros =
+      trace.latencyMicros +
+      settleRpc(client, frontend, req.encodedSize(), resp.encodedSize(),
+                trace);
+  return result;
+}
+
+std::optional<std::uint64_t> Database::peekRowVersion(
+    std::string_view table, std::string_view pk) const {
+  const std::string key = rowKey(table, pk);
+  const StoredValue* stored = engines_[nodeFor(key)].get(key);
+  if (!stored) return std::nullopt;
+  return stored->version;
+}
+
+std::optional<std::uint64_t> Database::peekValueVersion(
+    std::string_view key) const {
+  const std::string k = kvKey(key);
+  const StoredValue* stored = engines_[nodeFor(k)].get(k);
+  if (!stored) return std::nullopt;
+  return stored->version;
+}
+
+// ---- introspection ----
+
+util::Bytes Database::totalStoredBytes() const {
+  util::Bytes total;
+  for (const KvEngine& engine : engines_) total += engine.liveBytes();
+  return total;
+}
+
+util::Bytes Database::blockCacheProvisioned() const {
+  util::Bytes total;
+  for (const auto& bc : blockCaches_) total += bc->capacity();
+  return total;
+}
+
+std::uint64_t Database::blockCacheHits() const {
+  std::uint64_t n = 0;
+  for (const auto& bc : blockCaches_) n += bc->stats().hits;
+  return n;
+}
+
+std::uint64_t Database::blockCacheMisses() const {
+  std::uint64_t n = 0;
+  for (const auto& bc : blockCaches_) n += bc->stats().misses;
+  return n;
+}
+
+std::size_t Database::runGc(std::size_t keepVersions) {
+  std::size_t reclaimed = 0;
+  for (KvEngine& engine : engines_) reclaimed += engine.gc(keepVersions);
+  return reclaimed;
+}
+
+}  // namespace dcache::storage

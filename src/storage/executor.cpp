@@ -1,0 +1,361 @@
+#include "storage/executor.hpp"
+
+#include <algorithm>
+
+namespace dcache::storage {
+namespace {
+
+[[nodiscard]] Value literalToValue(const std::string& literal,
+                                   ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt:
+      return static_cast<std::int64_t>(
+          std::strtoll(literal.c_str(), nullptr, 10));
+    case ColumnType::kDouble:
+      return std::strtod(literal.c_str(), nullptr);
+    case ColumnType::kString:
+      return literal;
+  }
+  return literal;
+}
+
+[[nodiscard]] Value coerce(const Value& v, ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt:
+      return valueToInt(v);
+    case ColumnType::kDouble:
+      if (const auto* d = std::get_if<double>(&v)) return *d;
+      return static_cast<double>(valueToInt(v));
+    case ColumnType::kString:
+      return valueToString(v);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::optional<Value> Executor::resolve(const BoundRhs& rhs,
+                                       std::span<const Value> params,
+                                       ColumnType type) {
+  if (rhs.literal) return literalToValue(*rhs.literal, type);
+  if (rhs.paramIndex >= params.size()) return std::nullopt;
+  return coerce(params[rhs.paramIndex], type);
+}
+
+Executor::Outcome Executor::run(const QueryPlan& plan,
+                                std::span<const Value> params,
+                                ExecTrace& trace) {
+  switch (plan.kind) {
+    case StatementKind::kSelect: return runSelect(plan, params, trace);
+    case StatementKind::kInsert: return runInsert(plan, params, trace);
+    case StatementKind::kUpdate: return runUpdate(plan, params, trace);
+    case StatementKind::kDelete: return runDelete(plan, params, trace);
+  }
+  return Outcome{false, "unknown plan kind", {}, 0};
+}
+
+bool Executor::fetchPrimary(const TableAccessPlan& access,
+                            std::span<const Value> params,
+                            std::optional<std::uint64_t> limit,
+                            ExecTrace& trace, std::vector<FetchedRow>& out,
+                            std::string& error) {
+  const TableSchema& schema = *access.schema;
+
+  // Residual filter evaluated against a decoded row.
+  auto passesResidual = [&](const Row& row) {
+    for (const BoundCondition& cond : access.residual) {
+      const ColumnType type = schema.columns()[cond.columnIndex].type;
+      const auto want = resolve(cond.rhs, params, type);
+      if (!want || !valueEquals(row.values[cond.columnIndex], *want)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  auto atLimit = [&] { return limit && out.size() >= *limit; };
+
+  switch (access.path) {
+    case AccessPath::kPointGet: {
+      const ColumnType pkType =
+          schema.columns()[schema.primaryKeyColumn()].type;
+      const auto pkValue = resolve(access.key->rhs, params, pkType);
+      if (!pkValue) {
+        error = "missing parameter for key condition";
+        return false;
+      }
+      const std::string pk = valueToString(*pkValue);
+      const StoredValue* stored =
+          db_->engineGet(Database::rowKey(schema.name(), pk), trace);
+      if (!stored) return true;  // no row: empty result, not an error
+      auto row = decodeRow(schema, stored->payload);
+      if (!row) {
+        error = "corrupt row for pk " + pk;
+        return false;
+      }
+      if (passesResidual(*row)) out.push_back(FetchedRow{pk, std::move(*row)});
+      return true;
+    }
+    case AccessPath::kIndexLookup: {
+      const Column& column = schema.columns()[access.key->columnIndex];
+      const auto keyValue = resolve(access.key->rhs, params, column.type);
+      if (!keyValue) {
+        error = "missing parameter for index condition";
+        return false;
+      }
+      // Collect matching primary keys from the index, then fetch rows.
+      std::vector<std::string> pks;
+      const std::string prefix = Database::indexPrefix(
+          schema.name(), column.name, valueToString(*keyValue));
+      db_->engineScanPrefix(prefix, trace,
+                            [&](std::string_view key, const StoredValue&) {
+                              pks.emplace_back(key.substr(prefix.size()));
+                              return true;
+                            });
+      for (const std::string& pk : pks) {
+        if (atLimit()) break;
+        const StoredValue* stored =
+            db_->engineGet(Database::rowKey(schema.name(), pk), trace);
+        if (!stored) continue;  // index entry raced a delete
+        auto row = decodeRow(schema, stored->payload);
+        if (row && passesResidual(*row)) {
+          out.push_back(FetchedRow{pk, std::move(*row)});
+        }
+      }
+      return true;
+    }
+    case AccessPath::kTableScan: {
+      const std::string prefix = Database::rowPrefix(schema.name());
+      bool corrupt = false;
+      db_->engineScanPrefix(
+          prefix, trace, [&](std::string_view key, const StoredValue& stored) {
+            if (atLimit()) return false;
+            auto row = decodeRow(schema, stored.payload);
+            if (!row) {
+              corrupt = true;
+              return false;
+            }
+            if (passesResidual(*row)) {
+              out.push_back(
+                  FetchedRow{std::string(key.substr(prefix.size())),
+                             std::move(*row)});
+            }
+            return true;
+          });
+      if (corrupt) {
+        error = "corrupt row during scan of " + schema.name();
+        return false;
+      }
+      return true;
+    }
+  }
+  error = "unknown access path";
+  return false;
+}
+
+void Executor::fetchJoinMatches(const JoinPlan& join, const Value& key,
+                                ExecTrace& trace, std::vector<Row>& out) {
+  const TableSchema& schema = *join.schema;
+  const std::string keyString = valueToString(key);
+
+  switch (join.path) {
+    case AccessPath::kPointGet: {
+      const StoredValue* stored =
+          db_->engineGet(Database::rowKey(schema.name(), keyString), trace);
+      if (!stored) return;
+      if (auto row = decodeRow(schema, stored->payload)) {
+        out.push_back(std::move(*row));
+      }
+      return;
+    }
+    case AccessPath::kIndexLookup: {
+      const std::string& columnName = schema.columns()[join.rightColumn].name;
+      std::vector<std::string> pks;
+      const std::string prefix =
+          Database::indexPrefix(schema.name(), columnName, keyString);
+      db_->engineScanPrefix(prefix, trace,
+                            [&](std::string_view k, const StoredValue&) {
+                              pks.emplace_back(k.substr(prefix.size()));
+                              return true;
+                            });
+      for (const std::string& pk : pks) {
+        const StoredValue* stored =
+            db_->engineGet(Database::rowKey(schema.name(), pk), trace);
+        if (!stored) continue;
+        if (auto row = decodeRow(schema, stored->payload)) {
+          out.push_back(std::move(*row));
+        }
+      }
+      return;
+    }
+    case AccessPath::kTableScan: {
+      db_->engineScanPrefix(
+          Database::rowPrefix(schema.name()), trace,
+          [&](std::string_view, const StoredValue& stored) {
+            auto row = decodeRow(schema, stored.payload);
+            if (row && valueEquals(row->values[join.rightColumn], key)) {
+              out.push_back(std::move(*row));
+            }
+            return true;
+          });
+      return;
+    }
+  }
+}
+
+Executor::Outcome Executor::runSelect(const QueryPlan& plan,
+                                      std::span<const Value> params,
+                                      ExecTrace& trace) {
+  Outcome outcome;
+  std::vector<FetchedRow> primary;
+  // With a join the limit applies to joined output, so fetch unbounded.
+  const auto primaryLimit = plan.join ? std::nullopt : plan.limit;
+  if (!fetchPrimary(plan.primary, params, primaryLimit, trace, primary,
+                    outcome.error)) {
+    return outcome;
+  }
+
+  auto project = [&](const Row& left, const Row* right) {
+    if (plan.projection.empty()) return left;  // SELECT *
+    Row out;
+    out.values.reserve(plan.projection.size());
+    for (const ProjectionItem& item : plan.projection) {
+      if (item.fromJoin) {
+        out.values.push_back(right ? right->values[item.column]
+                                   : Value{std::string{}});
+      } else {
+        out.values.push_back(left.values[item.column]);
+      }
+    }
+    return out;
+  };
+
+  for (const FetchedRow& fetched : primary) {
+    if (plan.limit && outcome.rows.size() >= *plan.limit) break;
+    if (!plan.join) {
+      outcome.rows.push_back(project(fetched.row, nullptr));
+      continue;
+    }
+    std::vector<Row> matches;
+    fetchJoinMatches(*plan.join, fetched.row.values[plan.join->leftColumn],
+                     trace, matches);
+    for (const Row& right : matches) {
+      if (plan.limit && outcome.rows.size() >= *plan.limit) break;
+      outcome.rows.push_back(project(fetched.row, &right));
+    }
+  }
+  outcome.ok = true;
+  return outcome;
+}
+
+bool Executor::writeRow(const TableSchema& schema, const Row& row,
+                        ExecTrace& trace) {
+  const std::string pk =
+      valueToString(row.values[schema.primaryKeyColumn()]);
+  StoredValue stored = StoredValue::of(encodeRow(schema, row));
+  stored.size += declaredPayloadBytes(schema, row);
+  if (!db_->enginePut(Database::rowKey(schema.name(), pk), std::move(stored),
+                      trace)) {
+    return false;
+  }
+  for (const std::size_t col : schema.indexedColumns()) {
+    const std::string key =
+        Database::indexKey(schema.name(), schema.columns()[col].name,
+                           valueToString(row.values[col]), pk);
+    db_->enginePut(key, StoredValue::sized(0), trace);
+  }
+  return true;
+}
+
+void Executor::deleteRowIndexes(const TableSchema& schema, const Row& row,
+                                std::string_view pk, ExecTrace& trace) {
+  for (const std::size_t col : schema.indexedColumns()) {
+    const std::string key =
+        Database::indexKey(schema.name(), schema.columns()[col].name,
+                           valueToString(row.values[col]), pk);
+    db_->engineDelete(key, trace);
+  }
+}
+
+Executor::Outcome Executor::runInsert(const QueryPlan& plan,
+                                      std::span<const Value> params,
+                                      ExecTrace& trace) {
+  Outcome outcome;
+  const TableSchema& schema = *plan.primary.schema;
+  Row row;
+  row.values.reserve(schema.columnCount());
+  for (std::size_t c = 0; c < plan.insertValues.size(); ++c) {
+    const auto& spec = plan.insertValues[c];
+    const auto value =
+        resolve(BoundRhs{spec.literal, spec.paramIndex}, params,
+                schema.columns()[c].type);
+    if (!value) {
+      outcome.error = "missing parameter in INSERT";
+      return outcome;
+    }
+    row.values.push_back(*value);
+  }
+  if (!writeRow(schema, row, trace)) {
+    outcome.error = "write conflict";
+    return outcome;
+  }
+  outcome.ok = true;
+  outcome.rowsAffected = 1;
+  return outcome;
+}
+
+Executor::Outcome Executor::runUpdate(const QueryPlan& plan,
+                                      std::span<const Value> params,
+                                      ExecTrace& trace) {
+  Outcome outcome;
+  const TableSchema& schema = *plan.primary.schema;
+  std::vector<FetchedRow> targets;
+  if (!fetchPrimary(plan.primary, params, std::nullopt, trace, targets,
+                    outcome.error)) {
+    return outcome;
+  }
+  for (FetchedRow& target : targets) {
+    // Remove index entries for columns about to change, then rewrite.
+    for (const auto& [col, rhs] : plan.assignments) {
+      const auto value = resolve(rhs, params, schema.columns()[col].type);
+      if (!value) {
+        outcome.error = "missing parameter in SET";
+        return outcome;
+      }
+      if (schema.hasIndexOn(col) &&
+          !valueEquals(target.row.values[col], *value)) {
+        db_->engineDelete(
+            Database::indexKey(schema.name(), schema.columns()[col].name,
+                               valueToString(target.row.values[col]),
+                               target.pk),
+            trace);
+      }
+      target.row.values[col] = *value;
+    }
+    if (writeRow(schema, target.row, trace)) ++outcome.rowsAffected;
+  }
+  outcome.ok = true;
+  return outcome;
+}
+
+Executor::Outcome Executor::runDelete(const QueryPlan& plan,
+                                      std::span<const Value> params,
+                                      ExecTrace& trace) {
+  Outcome outcome;
+  const TableSchema& schema = *plan.primary.schema;
+  std::vector<FetchedRow> targets;
+  if (!fetchPrimary(plan.primary, params, std::nullopt, trace, targets,
+                    outcome.error)) {
+    return outcome;
+  }
+  for (const FetchedRow& target : targets) {
+    deleteRowIndexes(schema, target.row, target.pk, trace);
+    if (db_->engineDelete(Database::rowKey(schema.name(), target.pk),
+                          trace)) {
+      ++outcome.rowsAffected;
+    }
+  }
+  outcome.ok = true;
+  return outcome;
+}
+
+}  // namespace dcache::storage

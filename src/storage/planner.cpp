@@ -1,0 +1,156 @@
+#include "storage/planner.hpp"
+
+namespace dcache::storage {
+namespace {
+
+[[nodiscard]] BoundRhs bindRhs(const Condition& cond) {
+  return BoundRhs{cond.literal, cond.paramIndex};
+}
+
+}  // namespace
+
+PlanResult Planner::plan(const Statement& statement) const {
+  switch (statement.kind) {
+    case StatementKind::kSelect: return planSelect(statement);
+    case StatementKind::kInsert: return planInsert(statement);
+    case StatementKind::kUpdate: return planUpdate(statement);
+    case StatementKind::kDelete: return planDelete(statement);
+  }
+  return PlanError{"unknown statement kind"};
+}
+
+std::optional<TableAccessPlan> Planner::planAccess(
+    const TableSchema& schema, const std::vector<Condition>& where,
+    std::string_view tableName) const {
+  TableAccessPlan access;
+  access.schema = &schema;
+
+  std::vector<BoundCondition> bound;
+  for (const Condition& cond : where) {
+    if (!cond.table.empty() && cond.table != tableName) continue;
+    const auto col = schema.columnIndex(cond.column);
+    if (!col) return std::nullopt;  // unknown column
+    bound.push_back(BoundCondition{*col, bindRhs(cond)});
+  }
+
+  // Primary key equality beats everything.
+  for (std::size_t i = 0; i < bound.size(); ++i) {
+    if (bound[i].columnIndex == schema.primaryKeyColumn()) {
+      access.path = AccessPath::kPointGet;
+      access.key = bound[i];
+      bound.erase(bound.begin() + static_cast<std::ptrdiff_t>(i));
+      access.residual = std::move(bound);
+      return access;
+    }
+  }
+  // Then any secondary-index equality.
+  for (std::size_t i = 0; i < bound.size(); ++i) {
+    if (schema.hasIndexOn(bound[i].columnIndex)) {
+      access.path = AccessPath::kIndexLookup;
+      access.key = bound[i];
+      bound.erase(bound.begin() + static_cast<std::ptrdiff_t>(i));
+      access.residual = std::move(bound);
+      return access;
+    }
+  }
+  access.path = AccessPath::kTableScan;
+  access.residual = std::move(bound);
+  return access;
+}
+
+PlanResult Planner::planSelect(const Statement& statement) const {
+  const SelectStatement& sel = statement.select;
+  const TableSchema* schema = catalog_(sel.table);
+  if (!schema) return PlanError{"unknown table: " + sel.table};
+
+  QueryPlan plan;
+  plan.kind = StatementKind::kSelect;
+  plan.limit = sel.limit;
+
+  auto access = planAccess(*schema, sel.where, sel.table);
+  if (!access) return PlanError{"unknown column in WHERE of " + sel.table};
+  plan.primary = std::move(*access);
+
+  const TableSchema* joinSchema = nullptr;
+  if (sel.join) {
+    joinSchema = catalog_(sel.join->table);
+    if (!joinSchema) return PlanError{"unknown table: " + sel.join->table};
+    JoinPlan join;
+    join.schema = joinSchema;
+    const auto left = schema->columnIndex(sel.join->leftColumn);
+    const auto right = joinSchema->columnIndex(sel.join->rightColumn);
+    if (!left || !right) return PlanError{"unknown join column"};
+    join.leftColumn = *left;
+    join.rightColumn = *right;
+    if (*right == joinSchema->primaryKeyColumn()) {
+      join.path = AccessPath::kPointGet;
+    } else if (joinSchema->hasIndexOn(*right)) {
+      join.path = AccessPath::kIndexLookup;
+    } else {
+      join.path = AccessPath::kTableScan;
+    }
+    plan.join = join;
+  }
+
+  // Projection: resolve each named column against primary first, then join.
+  for (const std::string& name : sel.columns) {
+    if (const auto col = schema->columnIndex(name)) {
+      plan.projection.push_back(ProjectionItem{false, *col});
+    } else if (joinSchema) {
+      const auto jcol = joinSchema->columnIndex(name);
+      if (!jcol) return PlanError{"unknown column: " + name};
+      plan.projection.push_back(ProjectionItem{true, *jcol});
+    } else {
+      return PlanError{"unknown column: " + name};
+    }
+  }
+  return plan;
+}
+
+PlanResult Planner::planInsert(const Statement& statement) const {
+  const InsertStatement& ins = statement.insert;
+  const TableSchema* schema = catalog_(ins.table);
+  if (!schema) return PlanError{"unknown table: " + ins.table};
+  if (ins.values.size() != schema->columnCount()) {
+    return PlanError{"value count does not match column count"};
+  }
+  QueryPlan plan;
+  plan.kind = StatementKind::kInsert;
+  plan.primary.schema = schema;
+  plan.insertValues = ins.values;
+  return plan;
+}
+
+PlanResult Planner::planUpdate(const Statement& statement) const {
+  const UpdateStatement& upd = statement.update;
+  const TableSchema* schema = catalog_(upd.table);
+  if (!schema) return PlanError{"unknown table: " + upd.table};
+
+  QueryPlan plan;
+  plan.kind = StatementKind::kUpdate;
+  auto access = planAccess(*schema, upd.where, upd.table);
+  if (!access) return PlanError{"unknown column in WHERE of " + upd.table};
+  plan.primary = std::move(*access);
+
+  for (const auto& [name, rhs] : upd.assignments) {
+    const auto col = schema->columnIndex(name);
+    if (!col) return PlanError{"unknown column: " + name};
+    plan.assignments.emplace_back(*col, BoundRhs{rhs.literal, rhs.paramIndex});
+  }
+  return plan;
+}
+
+PlanResult Planner::planDelete(const Statement& statement) const {
+  const DeleteStatement& del = statement.del;
+  const TableSchema* schema = catalog_(del.table);
+  if (!schema) return PlanError{"unknown table: " + del.table};
+
+  QueryPlan plan;
+  plan.kind = StatementKind::kDelete;
+  auto access = planAccess(*schema, del.where, del.table);
+  if (!access) return PlanError{"unknown column in WHERE of " + del.table};
+  plan.primary = std::move(*access);
+  return plan;
+}
+
+}  // namespace dcache::storage

@@ -1,0 +1,140 @@
+#include "storage/row.hpp"
+
+#include <cmath>
+
+#include "rpc/messages.hpp"
+#include "rpc/wire.hpp"
+
+namespace dcache::storage {
+
+std::string valueToString(const Value& v) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return std::to_string(*i);
+  if (const auto* d = std::get_if<double>(&v)) return std::to_string(*d);
+  return std::get<std::string>(v);
+}
+
+std::int64_t valueToInt(const Value& v) noexcept {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return *i;
+  if (const auto* d = std::get_if<double>(&v)) {
+    return static_cast<std::int64_t>(*d);
+  }
+  const auto& s = std::get<std::string>(v);
+  return std::strtoll(s.c_str(), nullptr, 10);
+}
+
+bool valueEquals(const Value& a, const Value& b) noexcept {
+  if (a.index() == b.index()) return a == b;
+  // Numeric cross-type comparison; strings never equal numbers.
+  const bool aNum = !std::holds_alternative<std::string>(a);
+  const bool bNum = !std::holds_alternative<std::string>(b);
+  if (!aNum || !bNum) return false;
+  auto asDouble = [](const Value& v) {
+    if (const auto* i = std::get_if<std::int64_t>(&v)) {
+      return static_cast<double>(*i);
+    }
+    return std::get<double>(v);
+  };
+  return asDouble(a) == asDouble(b);
+}
+
+std::string encodeRow(const TableSchema& schema, const Row& row) {
+  rpc::WireEncoder enc;
+  const std::size_t n = std::min(schema.columnCount(), row.values.size());
+  for (std::size_t c = 0; c < n; ++c) {
+    const auto field = static_cast<std::uint32_t>(c + 1);
+    switch (schema.columns()[c].type) {
+      case ColumnType::kInt:
+        enc.writeSint(field, valueToInt(row.values[c]));
+        break;
+      case ColumnType::kDouble: {
+        double d = 0.0;
+        if (const auto* p = std::get_if<double>(&row.values[c])) {
+          d = *p;
+        } else {
+          d = static_cast<double>(valueToInt(row.values[c]));
+        }
+        enc.writeDouble(field, d);
+        break;
+      }
+      case ColumnType::kString:
+        enc.writeString(field, valueToString(row.values[c]));
+        break;
+    }
+  }
+  return std::string(enc.view());
+}
+
+std::optional<Row> decodeRow(const TableSchema& schema,
+                             std::string_view bytes) {
+  rpc::WireDecoder dec(bytes);
+  Row row;
+  row.values.resize(schema.columnCount(), std::int64_t{0});
+  // Default-initialize strings for string columns.
+  for (std::size_t c = 0; c < schema.columnCount(); ++c) {
+    if (schema.columns()[c].type == ColumnType::kString) {
+      row.values[c] = std::string{};
+    } else if (schema.columns()[c].type == ColumnType::kDouble) {
+      row.values[c] = 0.0;
+    }
+  }
+  while (!dec.done()) {
+    const auto tag = dec.readTag();
+    if (!tag) return std::nullopt;
+    const std::size_t c = tag->number == 0 ? schema.columnCount()
+                                           : static_cast<std::size_t>(tag->number - 1);
+    if (c >= schema.columnCount()) {
+      if (!dec.skip(tag->type)) return std::nullopt;
+      continue;
+    }
+    switch (schema.columns()[c].type) {
+      case ColumnType::kInt: {
+        const auto v = dec.readSint();
+        if (!v) return std::nullopt;
+        row.values[c] = *v;
+        break;
+      }
+      case ColumnType::kDouble: {
+        const auto v = dec.readDouble();
+        if (!v) return std::nullopt;
+        row.values[c] = *v;
+        break;
+      }
+      case ColumnType::kString: {
+        const auto v = dec.readBytes();
+        if (!v) return std::nullopt;
+        row.values[c] = std::string(*v);
+        break;
+      }
+    }
+  }
+  return row;
+}
+
+std::uint64_t declaredPayloadBytes(const TableSchema& schema,
+                                   const Row& row) noexcept {
+  const auto col = schema.payloadSizeColumn();
+  if (!col || *col >= row.values.size()) return 0;
+  const std::int64_t declared = valueToInt(row.values[*col]);
+  return declared > 0 ? static_cast<std::uint64_t>(declared) : 0;
+}
+
+std::uint64_t encodedRowSize(const TableSchema& schema, const Row& row) {
+  std::uint64_t size = 0;
+  const std::size_t n = std::min(schema.columnCount(), row.values.size());
+  for (std::size_t c = 0; c < n; ++c) {
+    switch (schema.columns()[c].type) {
+      case ColumnType::kInt:
+        size += 1 + rpc::varintSize(rpc::zigzagEncode(valueToInt(row.values[c])));
+        break;
+      case ColumnType::kDouble:
+        size += 9;
+        break;
+      case ColumnType::kString:
+        size += rpc::bytesFieldSize(valueToString(row.values[c]).size());
+        break;
+    }
+  }
+  return size;
+}
+
+}  // namespace dcache::storage

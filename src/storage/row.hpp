@@ -1,0 +1,47 @@
+// Row values and the row codec. Rows are encoded with the shared wire
+// format (column index + 1 as the field number), so storage pays the same
+// honest serialization costs as the RPC layer and the codec round-trips are
+// testable against corrupted input.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "storage/schema.hpp"
+
+namespace dcache::storage {
+
+using Value = std::variant<std::int64_t, double, std::string>;
+
+[[nodiscard]] std::string valueToString(const Value& v);
+[[nodiscard]] std::int64_t valueToInt(const Value& v) noexcept;
+
+/// Compare for WHERE equality; int/double compare numerically.
+[[nodiscard]] bool valueEquals(const Value& a, const Value& b) noexcept;
+
+struct Row {
+  std::vector<Value> values;
+
+  [[nodiscard]] const Value& at(std::size_t i) const { return values.at(i); }
+};
+
+/// Encode a row per the schema. Columns beyond the schema are dropped.
+[[nodiscard]] std::string encodeRow(const TableSchema& schema, const Row& row);
+
+/// Decode; nullopt on malformed bytes or type mismatch.
+[[nodiscard]] std::optional<Row> decodeRow(const TableSchema& schema,
+                                           std::string_view bytes);
+
+/// Encoded size without materializing the buffer.
+[[nodiscard]] std::uint64_t encodedRowSize(const TableSchema& schema,
+                                           const Row& row);
+
+/// Declared opaque-attachment bytes for a row (0 when the schema declares
+/// no payload-size column). See TableSchema::withPayloadSizeColumn.
+[[nodiscard]] std::uint64_t declaredPayloadBytes(const TableSchema& schema,
+                                                 const Row& row) noexcept;
+
+}  // namespace dcache::storage

@@ -1,0 +1,38 @@
+#include "storage/schema.hpp"
+
+#include <algorithm>
+
+namespace dcache::storage {
+
+TableSchema::TableSchema(std::string name, std::vector<Column> columns,
+                         std::size_t primaryKeyColumn,
+                         std::vector<std::size_t> indexedColumns)
+    : name_(std::move(name)),
+      columns_(std::move(columns)),
+      pk_(primaryKeyColumn < columns_.size() ? primaryKeyColumn : 0),
+      indexes_(std::move(indexedColumns)) {
+  std::erase_if(indexes_,
+                [this](std::size_t c) { return c >= columns_.size(); });
+}
+
+std::optional<std::size_t> TableSchema::columnIndex(
+    std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+TableSchema& TableSchema::withPayloadSizeColumn(std::string_view column) {
+  const auto idx = columnIndex(column);
+  if (idx && columns_[*idx].type == ColumnType::kInt) {
+    payloadSizeColumn_ = *idx;
+  }
+  return *this;
+}
+
+bool TableSchema::hasIndexOn(std::size_t column) const noexcept {
+  return std::find(indexes_.begin(), indexes_.end(), column) != indexes_.end();
+}
+
+}  // namespace dcache::storage

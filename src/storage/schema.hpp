@@ -1,0 +1,64 @@
+// Relational schemas for the mini SQL engine. A table has typed columns, a
+// single-column primary key and optional single-column secondary indexes —
+// exactly the shapes the Unity-Catalog-like catalog schema needs (entity
+// tables keyed by id, indexed by parent id / securable id).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dcache::storage {
+
+enum class ColumnType : std::uint8_t { kInt, kDouble, kString };
+
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kString;
+};
+
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string name, std::vector<Column> columns,
+              std::size_t primaryKeyColumn,
+              std::vector<std::size_t> indexedColumns = {});
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<Column>& columns() const noexcept {
+    return columns_;
+  }
+  [[nodiscard]] std::size_t columnCount() const noexcept {
+    return columns_.size();
+  }
+  [[nodiscard]] std::size_t primaryKeyColumn() const noexcept { return pk_; }
+  [[nodiscard]] const std::vector<std::size_t>& indexedColumns() const noexcept {
+    return indexes_;
+  }
+
+  /// Column index by name; nullopt if absent.
+  [[nodiscard]] std::optional<std::size_t> columnIndex(
+      std::string_view name) const noexcept;
+
+  [[nodiscard]] bool hasIndexOn(std::size_t column) const noexcept;
+
+  /// Declare an int column whose value is counted as that many additional
+  /// stored/transferred bytes — an opaque binary attachment (e.g. a column-
+  /// metadata blob) carried by the row but not materialized in simulation.
+  /// Storage, RPC and serialization accounting all see the declared bytes.
+  TableSchema& withPayloadSizeColumn(std::string_view column);
+  [[nodiscard]] std::optional<std::size_t> payloadSizeColumn() const noexcept {
+    return payloadSizeColumn_;
+  }
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+  std::size_t pk_ = 0;
+  std::vector<std::size_t> indexes_;
+  std::optional<std::size_t> payloadSizeColumn_;
+};
+
+}  // namespace dcache::storage

@@ -1,0 +1,58 @@
+#include "util/bytes.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dcache::util {
+
+std::optional<Bytes> Bytes::parse(std::string_view text) {
+  // Trim surrounding whitespace.
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  if (text.empty()) return std::nullopt;
+
+  std::string num(text);
+  char* end = nullptr;
+  const double value = std::strtod(num.c_str(), &end);
+  if (end == num.c_str() || value < 0.0) return std::nullopt;
+
+  std::string_view suffix(end);
+  while (!suffix.empty() &&
+         std::isspace(static_cast<unsigned char>(suffix.front()))) {
+    suffix.remove_prefix(1);
+  }
+  auto eq = [](std::string_view a, std::string_view b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(a[i])) != b[i]) return false;
+    }
+    return true;
+  };
+  if (suffix.empty() || eq(suffix, "b")) return of(static_cast<std::uint64_t>(value));
+  if (eq(suffix, "kb") || eq(suffix, "k")) return kb(value);
+  if (eq(suffix, "mb") || eq(suffix, "m")) return mb(value);
+  if (eq(suffix, "gb") || eq(suffix, "g")) return gb(value);
+  return std::nullopt;
+}
+
+std::string Bytes::str() const {
+  char buf[32];
+  if (n_ >= 1024ULL * 1024 * 1024) {
+    std::snprintf(buf, sizeof buf, "%.1fGB", asGb());
+  } else if (n_ >= 1024ULL * 1024) {
+    std::snprintf(buf, sizeof buf, "%.1fMB", asMb());
+  } else if (n_ >= 1024ULL) {
+    std::snprintf(buf, sizeof buf, "%.1fKB", asKb());
+  } else {
+    std::snprintf(buf, sizeof buf, "%lluB",
+                  static_cast<unsigned long long>(n_));
+  }
+  return buf;
+}
+
+}  // namespace dcache::util

@@ -1,0 +1,73 @@
+// Strong type for byte quantities (cache capacities, value sizes, memory
+// footprints) with parsing ("6GB", "23KB") and human-readable formatting.
+// Keeping sizes in a dedicated type prevents the classic KB/GB unit mixups
+// in capacity math.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dcache::util {
+
+class Bytes {
+ public:
+  constexpr Bytes() noexcept = default;
+
+  [[nodiscard]] static constexpr Bytes of(std::uint64_t n) noexcept {
+    return Bytes(n);
+  }
+  [[nodiscard]] static constexpr Bytes kb(double n) noexcept {
+    return Bytes(static_cast<std::uint64_t>(n * 1024.0));
+  }
+  [[nodiscard]] static constexpr Bytes mb(double n) noexcept {
+    return Bytes(static_cast<std::uint64_t>(n * 1024.0 * 1024.0));
+  }
+  [[nodiscard]] static constexpr Bytes gb(double n) noexcept {
+    return Bytes(static_cast<std::uint64_t>(n * 1024.0 * 1024.0 * 1024.0));
+  }
+
+  /// Parse "512", "16KB", "1.5MB", "6GB" (case-insensitive, optional space).
+  [[nodiscard]] static std::optional<Bytes> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] constexpr double asKb() const noexcept {
+    return static_cast<double>(n_) / 1024.0;
+  }
+  [[nodiscard]] constexpr double asMb() const noexcept {
+    return asKb() / 1024.0;
+  }
+  [[nodiscard]] constexpr double asGb() const noexcept {
+    return asMb() / 1024.0;
+  }
+
+  constexpr Bytes& operator+=(Bytes other) noexcept {
+    n_ += other.n_;
+    return *this;
+  }
+  constexpr Bytes& operator-=(Bytes other) noexcept {
+    n_ = n_ >= other.n_ ? n_ - other.n_ : 0;  // saturating
+    return *this;
+  }
+  [[nodiscard]] friend constexpr Bytes operator+(Bytes a, Bytes b) noexcept {
+    return a += b;
+  }
+  [[nodiscard]] friend constexpr Bytes operator-(Bytes a, Bytes b) noexcept {
+    return a -= b;
+  }
+  [[nodiscard]] friend constexpr Bytes operator*(Bytes a, double k) noexcept {
+    return Bytes(static_cast<std::uint64_t>(static_cast<double>(a.n_) * k));
+  }
+  friend constexpr auto operator<=>(Bytes, Bytes) noexcept = default;
+
+  /// "23.0KB", "1.5MB", "6.0GB", "512B".
+  [[nodiscard]] std::string str() const;
+
+ private:
+  explicit constexpr Bytes(std::uint64_t n) noexcept : n_(n) {}
+  std::uint64_t n_ = 0;
+};
+
+}  // namespace dcache::util

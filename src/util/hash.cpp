@@ -1,0 +1,18 @@
+#include "util/hash.hpp"
+
+namespace dcache::util {
+
+std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t hashKey(std::string_view key) noexcept {
+  return mix64(fnv1a64(key));
+}
+
+}  // namespace dcache::util

@@ -1,0 +1,95 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace dcache::util {
+
+Histogram::Histogram(double growth)
+    : growth_(growth > 1.0 ? growth : 1.06), logGrowth_(std::log(growth_)) {}
+
+std::size_t Histogram::bucketFor(double value) const noexcept {
+  if (!(value > 1.0)) return 0;  // also catches NaN and negatives
+  return static_cast<std::size_t>(std::log(value) / logGrowth_) + 1;
+}
+
+double Histogram::bucketLow(std::size_t index) const noexcept {
+  if (index == 0) return 0.0;
+  return std::exp(static_cast<double>(index - 1) * logGrowth_);
+}
+
+void Histogram::record(double value) noexcept { recordN(value, 1); }
+
+void Histogram::recordN(double value, std::uint64_t count) noexcept {
+  if (count == 0) return;
+  const std::size_t b = bucketFor(value);
+  if (b >= buckets_.size()) buckets_.resize(b + 1, 0);
+  buckets_[b] += count;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += count;
+  sum_ += value * static_cast<double>(count);
+}
+
+double Histogram::mean() const noexcept {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_ - 1);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (static_cast<double>(seen) > target) {
+      // Geometric midpoint of the bucket bounds; clamp to observed range.
+      const double lo = bucketLow(i);
+      const double hi = bucketLow(i + 1);
+      const double mid = lo > 0.0 ? std::sqrt(lo * hi) : hi * 0.5;
+      return std::clamp(mid, min_, max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (buckets_.size() < other.buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::clear() noexcept {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = max_ = 0.0;
+}
+
+std::string Histogram::summary(const std::string& unit) const {
+  std::ostringstream os;
+  os << "count=" << count_ << " mean=" << mean() << unit << " p50=" << p50()
+     << unit << " p90=" << p90() << unit << " p99=" << p99() << unit
+     << " max=" << max() << unit;
+  return os.str();
+}
+
+}  // namespace dcache::util

@@ -1,0 +1,54 @@
+// Log-bucketed histogram for latencies and sizes. Buckets grow
+// geometrically so that relative error is bounded (~3%) across nine orders
+// of magnitude while memory stays constant — the standard structure for
+// recording microsecond latencies next to multi-second tails.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcache::util {
+
+class Histogram {
+ public:
+  /// `growth` is the geometric bucket growth factor (>1). The default gives
+  /// ≈3% relative quantile error.
+  explicit Histogram(double growth = 1.06);
+
+  void record(double value) noexcept;
+  void recordN(double value, std::uint64_t count) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+
+  /// Quantile in [0,1]; returns the geometric midpoint of the bucket that
+  /// contains the q-th sample. q outside [0,1] is clamped.
+  [[nodiscard]] double quantile(double q) const noexcept;
+  [[nodiscard]] double p50() const noexcept { return quantile(0.50); }
+  [[nodiscard]] double p90() const noexcept { return quantile(0.90); }
+  [[nodiscard]] double p99() const noexcept { return quantile(0.99); }
+
+  void merge(const Histogram& other);
+  void clear() noexcept;
+
+  /// Multi-line human-readable summary (count/mean/p50/p90/p99/max).
+  [[nodiscard]] std::string summary(const std::string& unit = "") const;
+
+ private:
+  [[nodiscard]] std::size_t bucketFor(double value) const noexcept;
+  [[nodiscard]] double bucketLow(std::size_t index) const noexcept;
+
+  double growth_;
+  double logGrowth_;
+  std::vector<std::uint64_t> buckets_;  // bucket 0 holds values <= 1.0
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace dcache::util

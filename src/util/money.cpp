@@ -1,0 +1,21 @@
+#include "util/money.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dcache::util {
+
+std::string Money::str() const {
+  const double d = dollars();
+  char buf[48];
+  if (std::abs(d) >= 100.0) {
+    std::snprintf(buf, sizeof buf, "$%.0f", d);
+  } else if (std::abs(d) >= 1.0) {
+    std::snprintf(buf, sizeof buf, "$%.2f", d);
+  } else {
+    std::snprintf(buf, sizeof buf, "$%.4f", d);
+  }
+  return buf;
+}
+
+}  // namespace dcache::util

@@ -1,0 +1,69 @@
+// Fixed-point money type. All costs in the library are monthly USD amounts
+// held as integral micro-dollars, so cost accounting is exact and
+// associative regardless of summation order — important when we sum millions
+// of tiny per-request charges into a monthly bill.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace dcache::util {
+
+class Money {
+ public:
+  constexpr Money() noexcept = default;
+
+  [[nodiscard]] static constexpr Money fromDollars(double dollars) noexcept {
+    return Money(static_cast<std::int64_t>(dollars * kMicrosPerDollar +
+                                           (dollars >= 0 ? 0.5 : -0.5)));
+  }
+  [[nodiscard]] static constexpr Money fromMicros(std::int64_t micros) noexcept {
+    return Money(micros);
+  }
+
+  [[nodiscard]] constexpr double dollars() const noexcept {
+    return static_cast<double>(micros_) / kMicrosPerDollar;
+  }
+  [[nodiscard]] constexpr std::int64_t micros() const noexcept { return micros_; }
+
+  constexpr Money& operator+=(Money other) noexcept {
+    micros_ += other.micros_;
+    return *this;
+  }
+  constexpr Money& operator-=(Money other) noexcept {
+    micros_ -= other.micros_;
+    return *this;
+  }
+  [[nodiscard]] friend constexpr Money operator+(Money a, Money b) noexcept {
+    return a += b;
+  }
+  [[nodiscard]] friend constexpr Money operator-(Money a, Money b) noexcept {
+    return a -= b;
+  }
+  [[nodiscard]] friend constexpr Money operator*(Money a, double scale) noexcept {
+    return fromDollars(a.dollars() * scale);
+  }
+  [[nodiscard]] friend constexpr Money operator*(double scale, Money a) noexcept {
+    return a * scale;
+  }
+  /// Ratio of two amounts (e.g. a savings factor). Returns 0 if b is zero.
+  [[nodiscard]] friend constexpr double operator/(Money a, Money b) noexcept {
+    return b.micros_ == 0 ? 0.0
+                          : static_cast<double>(a.micros_) /
+                                static_cast<double>(b.micros_);
+  }
+
+  friend constexpr auto operator<=>(Money, Money) noexcept = default;
+
+  /// "$123.46" / "$0.0042" style rendering with sensible precision.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  explicit constexpr Money(std::int64_t micros) noexcept : micros_(micros) {}
+  static constexpr double kMicrosPerDollar = 1'000'000.0;
+
+  std::int64_t micros_ = 0;
+};
+
+}  // namespace dcache::util

@@ -1,0 +1,37 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace dcache::util {
+
+double uniform01(Pcg32& rng) noexcept {
+  // 53 random mantissa bits -> uniform in [0,1).
+  const std::uint64_t bits = rng.next64() >> 11U;
+  return static_cast<double>(bits) * 0x1.0p-53;
+}
+
+double standardNormal(Pcg32& rng) noexcept {
+  // Marsaglia polar method; loop terminates with probability 1.
+  for (;;) {
+    const double u = 2.0 * uniform01(rng) - 1.0;
+    const double v = 2.0 * uniform01(rng) - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double logNormal(Pcg32& rng, double mu, double sigma) noexcept {
+  return std::exp(mu + sigma * standardNormal(rng));
+}
+
+double exponential(Pcg32& rng, double rate) noexcept {
+  return -std::log(1.0 - uniform01(rng)) / rate;
+}
+
+double pareto(Pcg32& rng, double xm, double alpha) noexcept {
+  return xm / std::pow(1.0 - uniform01(rng), 1.0 / alpha);
+}
+
+}  // namespace dcache::util

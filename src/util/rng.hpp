@@ -1,0 +1,98 @@
+// Deterministic random number generation. Experiments must be reproducible,
+// so all randomness flows through explicitly seeded generators — never
+// std::random_device or global state.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dcache::util {
+
+/// SplitMix64: used to expand a single user seed into stream seeds.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// PCG32 (XSH-RR): small, fast, statistically solid generator. Satisfies
+/// UniformRandomBitGenerator so it can drive std distributions as well.
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  constexpr Pcg32() noexcept : Pcg32(0x853c49e6748fea9bULL, 0xda3e39cb94b95bdbULL) {}
+  constexpr explicit Pcg32(std::uint64_t seed, std::uint64_t stream = 1) noexcept
+      : state_(0), inc_((stream << 1U) | 1U) {
+    next();
+    state_ += seed;
+    next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept { return next(); }
+
+  constexpr result_type next() noexcept {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18U) ^ old) >> 27U);
+    const auto rot = static_cast<std::uint32_t>(old >> 59U);
+    return (xorshifted >> rot) | (xorshifted << ((32U - rot) & 31U));
+  }
+
+  /// Unbiased uniform integer in [0, bound) via Lemire rejection.
+  constexpr std::uint32_t nextBounded(std::uint32_t bound) noexcept {
+    if (bound <= 1) return 0;
+    std::uint64_t m = static_cast<std::uint64_t>(next()) * bound;
+    auto lo = static_cast<std::uint32_t>(m);
+    if (lo < bound) {
+      const std::uint32_t threshold = (0U - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<std::uint64_t>(next()) * bound;
+        lo = static_cast<std::uint32_t>(m);
+      }
+    }
+    return static_cast<std::uint32_t>(m >> 32U);
+  }
+
+  /// 64-bit draw composed from two 32-bit outputs.
+  constexpr std::uint64_t next64() noexcept {
+    return (static_cast<std::uint64_t>(next()) << 32U) | next();
+  }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+/// Uniform double in [0,1) with full 53-bit mantissa randomness.
+[[nodiscard]] double uniform01(Pcg32& rng) noexcept;
+
+/// Normal(0,1) via Marsaglia polar method (deterministic given the rng).
+[[nodiscard]] double standardNormal(Pcg32& rng) noexcept;
+
+/// Lognormal draw with the given parameters of the underlying normal.
+[[nodiscard]] double logNormal(Pcg32& rng, double mu, double sigma) noexcept;
+
+/// Exponential draw with the given rate.
+[[nodiscard]] double exponential(Pcg32& rng, double rate) noexcept;
+
+/// Pareto (Lomax-style, scale xm, shape alpha): heavy-tailed sizes.
+[[nodiscard]] double pareto(Pcg32& rng, double xm, double alpha) noexcept;
+
+}  // namespace dcache::util

@@ -1,0 +1,110 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dcache::util {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double exactQuantile(std::span<const double> sample, double q) {
+  if (sample.empty()) return 0.0;
+  std::vector<double> copy(sample.begin(), sample.end());
+  std::sort(copy.begin(), copy.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(copy.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, copy.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return copy[lo] * (1.0 - frac) + copy[hi] * frac;
+}
+
+double correlation(std::span<const double> xs, std::span<const double> ys) {
+  const std::size_t n = std::min(xs.size(), ys.size());
+  if (n < 2) return 0.0;
+  RunningStats sx;
+  RunningStats sy;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx.add(xs[i]);
+    sy.add(ys[i]);
+  }
+  if (sx.stddev() == 0.0 || sy.stddev() == 0.0) return 0.0;
+  double cov = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cov += (xs[i] - sx.mean()) * (ys[i] - sy.mean());
+  }
+  cov /= static_cast<double>(n);
+  return cov / (sx.stddev() * sy.stddev());
+}
+
+double logLogSlope(std::span<const double> xs, std::span<const double> ys) {
+  const std::size_t n = std::min(xs.size(), ys.size());
+  std::vector<double> lx;
+  std::vector<double> ly;
+  lx.reserve(n);
+  ly.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (xs[i] > 0.0 && ys[i] > 0.0) {
+      lx.push_back(std::log(xs[i]));
+      ly.push_back(std::log(ys[i]));
+    }
+  }
+  if (lx.size() < 2) return 0.0;
+  RunningStats sx;
+  RunningStats sy;
+  for (std::size_t i = 0; i < lx.size(); ++i) {
+    sx.add(lx[i]);
+    sy.add(ly[i]);
+  }
+  double cov = 0.0;
+  for (std::size_t i = 0; i < lx.size(); ++i) {
+    cov += (lx[i] - sx.mean()) * (ly[i] - sy.mean());
+  }
+  const double varX = sx.variance() * static_cast<double>(lx.size());
+  if (varX == 0.0) return 0.0;
+  return cov / varX;
+}
+
+double generalizedHarmonic(std::uint64_t n, double s) {
+  double h = 0.0;
+  for (std::uint64_t k = 1; k <= n; ++k) {
+    h += std::pow(static_cast<double>(k), -s);
+  }
+  return h;
+}
+
+}  // namespace dcache::util

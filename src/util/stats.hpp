@@ -1,0 +1,48 @@
+// Streaming statistics (Welford) plus small helpers for distribution checks
+// used by the workload-generator tests and trace analysis benches.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dcache::util {
+
+/// Numerically stable running mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  // population variance
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact quantile of a sample (copies and sorts; test/analysis use only).
+[[nodiscard]] double exactQuantile(std::span<const double> sample, double q);
+
+/// Pearson correlation of two equally sized samples; 0 if degenerate.
+[[nodiscard]] double correlation(std::span<const double> xs,
+                                 std::span<const double> ys);
+
+/// Least-squares slope of log(y) vs log(x) — used to estimate the Zipf
+/// exponent from rank-frequency data. Skips non-positive points.
+[[nodiscard]] double logLogSlope(std::span<const double> xs,
+                                 std::span<const double> ys);
+
+/// Harmonic-like generalized number H_{n,s} = sum_{k=1..n} k^{-s}.
+[[nodiscard]] double generalizedHarmonic(std::uint64_t n, double s);
+
+}  // namespace dcache::util

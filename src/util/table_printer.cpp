@@ -1,0 +1,74 @@
+#include "util/table_printer.hpp"
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+namespace dcache::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::addRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::toCell(double v) {
+  char buf[40];
+  if (v == 0.0) return "0";
+  const double a = v < 0 ? -v : v;
+  if (a >= 1000.0) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else if (a >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.2f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4f", v);
+  }
+  return buf;
+}
+
+std::string TablePrinter::toCell(int v) { return std::to_string(v); }
+std::string TablePrinter::toCell(long v) { return std::to_string(v); }
+std::string TablePrinter::toCell(long long v) { return std::to_string(v); }
+std::string TablePrinter::toCell(unsigned long v) { return std::to_string(v); }
+std::string TablePrinter::toCell(unsigned long long v) {
+  return std::to_string(v);
+}
+
+std::string TablePrinter::str(const std::string& title) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  if (!title.empty()) os << title << '\n';
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c ? "  " : "");
+      os << cells[c];
+      os << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void TablePrinter::print(const std::string& title) const {
+  std::cout << str(title) << std::flush;
+}
+
+}  // namespace dcache::util

@@ -1,0 +1,44 @@
+// Aligned ASCII tables. Every benchmark binary reports its figure/table as
+// rows printed through this class so all reproduction output has a uniform,
+// diffable format.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace dcache::util {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void addRow(std::vector<std::string> cells);
+
+  /// Convenience: format doubles/ints/strings into a row.
+  template <typename... Ts>
+  void row(const Ts&... cells) {
+    addRow({toCell(cells)...});
+  }
+
+  /// Render with a header rule; optionally a title line above.
+  [[nodiscard]] std::string str(const std::string& title = "") const;
+
+  /// Print to stdout.
+  void print(const std::string& title = "") const;
+
+  [[nodiscard]] static std::string toCell(const std::string& s) { return s; }
+  [[nodiscard]] static std::string toCell(const char* s) { return s; }
+  [[nodiscard]] static std::string toCell(double v);
+  [[nodiscard]] static std::string toCell(int v);
+  [[nodiscard]] static std::string toCell(long v);
+  [[nodiscard]] static std::string toCell(long long v);
+  [[nodiscard]] static std::string toCell(unsigned long v);
+  [[nodiscard]] static std::string toCell(unsigned long long v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dcache::util

@@ -1,0 +1,49 @@
+#include "workload/meta_trace.hpp"
+
+#include <cstdio>
+
+namespace dcache::workload {
+
+MetaTraceWorkload::MetaTraceWorkload(MetaTraceConfig config)
+    : config_(config),
+      zipf_(config.numKeys, config.alpha),
+      sizes_(config.medianValueBytes, config.sigma, 1, config.maxValueBytes),
+      rng_(config.seed, 2) {}
+
+MetaTraceWorkload::MetaTraceWorkload(MetaTraceConfig config,
+                                     std::vector<TraceRecord> records)
+    : MetaTraceWorkload(config) {
+  replay_ = std::move(records);
+}
+
+std::uint64_t MetaTraceWorkload::valueSizeFor(std::uint64_t keyIndex) const {
+  return sizes_.sizeForKey(keyIndex);
+}
+
+Op MetaTraceWorkload::next() {
+  Op op;
+  if (!replay_.empty()) {
+    const TraceRecord& rec = replay_[replayPos_];
+    replayPos_ = (replayPos_ + 1) % replay_.size();
+    op.type = rec.write ? OpType::kWrite : OpType::kRead;
+    op.keyIndex = rec.keyIndex % config_.numKeys;
+    op.valueSize = rec.valueSize ? rec.valueSize : valueSizeFor(op.keyIndex);
+    return op;
+  }
+  op.keyIndex = zipf_.nextKey(rng_);
+  op.type = util::uniform01(rng_) < config_.readRatio ? OpType::kRead
+                                                      : OpType::kWrite;
+  op.valueSize = valueSizeFor(op.keyIndex);
+  return op;
+}
+
+std::string MetaTraceWorkload::name() const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "meta(n=%llu,a=%.2f,r=%.2f,med=%.0fB)%s",
+                static_cast<unsigned long long>(config_.numKeys),
+                config_.alpha, config_.readRatio, config_.medianValueBytes,
+                replay_.empty() ? "" : "[replay]");
+  return buf;
+}
+
+}  // namespace dcache::workload

@@ -1,0 +1,30 @@
+#include "workload/synthetic.hpp"
+
+#include <cstdio>
+
+namespace dcache::workload {
+
+SyntheticWorkload::SyntheticWorkload(SyntheticConfig config)
+    : config_(config),
+      zipf_(config.numKeys, config.alpha),
+      rng_(config.seed, 1) {}
+
+Op SyntheticWorkload::next() {
+  Op op;
+  op.keyIndex = zipf_.nextKey(rng_);
+  op.type = util::uniform01(rng_) < config_.readRatio ? OpType::kRead
+                                                      : OpType::kWrite;
+  op.valueSize = config_.valueSize;
+  return op;
+}
+
+std::string SyntheticWorkload::name() const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "synthetic(n=%llu,a=%.2f,r=%.2f,v=%lluB)",
+                static_cast<unsigned long long>(config_.numKeys),
+                config_.alpha, config_.readRatio,
+                static_cast<unsigned long long>(config_.valueSize));
+  return buf;
+}
+
+}  // namespace dcache::workload

@@ -1,0 +1,45 @@
+// Synthetic workload from §5.2: 100K keys, Zipfian(α = 1.2) popularity,
+// read ratio swept 50–99 %, value size swept 1 KB–1 MB. The Figure 4
+// benches build one of these per sweep point.
+#pragma once
+
+#include "workload/size_dist.hpp"
+#include "workload/workload.hpp"
+#include "workload/zipf.hpp"
+
+namespace dcache::workload {
+
+struct SyntheticConfig {
+  std::uint64_t numKeys = 100000;
+  double alpha = 1.2;
+  double readRatio = 0.93;
+  std::uint64_t valueSize = 4096;
+  std::uint64_t seed = 42;
+};
+
+class SyntheticWorkload final : public Workload {
+ public:
+  explicit SyntheticWorkload(SyntheticConfig config);
+
+  [[nodiscard]] Op next() override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::uint64_t keyCount() const override {
+    return config_.numKeys;
+  }
+  [[nodiscard]] std::uint64_t valueSizeFor(std::uint64_t) const override {
+    return config_.valueSize;
+  }
+  [[nodiscard]] double readFraction() const override {
+    return config_.readRatio;
+  }
+  [[nodiscard]] const SyntheticConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  SyntheticConfig config_;
+  ZipfianGenerator zipf_;
+  util::Pcg32 rng_;
+};
+
+}  // namespace dcache::workload

@@ -1,0 +1,98 @@
+#include "workload/trace_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "rpc/wire.hpp"
+
+namespace dcache::workload {
+namespace {
+
+constexpr std::string_view kBinaryMagic = "DCTR1";
+
+}  // namespace
+
+bool writeCsvTrace(const std::string& path,
+                   const std::vector<TraceRecord>& records) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "op,key,size\n";
+  for (const TraceRecord& rec : records) {
+    out << (rec.write ? "set" : "get") << ',' << rec.keyIndex << ','
+        << rec.valueSize << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<std::vector<TraceRecord>> readCsvTrace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::vector<TraceRecord> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line.rfind("op,", 0) == 0) continue;  // header/blank
+    std::istringstream ls(line);
+    std::string op;
+    std::string key;
+    std::string size;
+    if (!std::getline(ls, op, ',') || !std::getline(ls, key, ',') ||
+        !std::getline(ls, size, ',')) {
+      return std::nullopt;
+    }
+    TraceRecord rec;
+    rec.write = op == "set" || op == "SET" || op == "put";
+    rec.keyIndex = std::strtoull(key.c_str(), nullptr, 10);
+    rec.valueSize = std::strtoull(size.c_str(), nullptr, 10);
+    records.push_back(rec);
+  }
+  return records;
+}
+
+std::string encodeTrace(const std::vector<TraceRecord>& records) {
+  rpc::WireEncoder enc;
+  for (const TraceRecord& rec : records) {
+    enc.writeVarint(rec.write ? 1 : 0);
+    enc.writeVarint(rec.keyIndex);
+    enc.writeVarint(rec.valueSize);
+  }
+  std::string out(kBinaryMagic);
+  out.append(enc.view());
+  return out;
+}
+
+std::optional<std::vector<TraceRecord>> decodeTrace(std::string_view bytes) {
+  if (bytes.substr(0, kBinaryMagic.size()) != kBinaryMagic) {
+    return std::nullopt;
+  }
+  rpc::WireDecoder dec(bytes.substr(kBinaryMagic.size()));
+  std::vector<TraceRecord> records;
+  while (!dec.done()) {
+    const auto op = dec.readVarint();
+    const auto key = dec.readVarint();
+    const auto size = dec.readVarint();
+    if (!op || !key || !size) return std::nullopt;
+    records.push_back(TraceRecord{*op != 0, *key, *size});
+  }
+  return records;
+}
+
+bool writeBinaryTrace(const std::string& path,
+                      const std::vector<TraceRecord>& records) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  const std::string encoded = encodeTrace(records);
+  out.write(encoded.data(), static_cast<std::streamsize>(encoded.size()));
+  return static_cast<bool>(out);
+}
+
+std::optional<std::vector<TraceRecord>> readBinaryTrace(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return decodeTrace(buffer.str());
+}
+
+}  // namespace dcache::workload

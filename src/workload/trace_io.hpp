@@ -1,0 +1,41 @@
+// Trace persistence: CSV (human-readable, CacheLib-convertible) and a
+// compact varint binary format built on the shared wire codec. Lets users
+// capture a generated workload once and replay it across architecture runs,
+// or feed in real production traces.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dcache::workload {
+
+struct TraceRecord {
+  bool write = false;
+  std::uint64_t keyIndex = 0;
+  std::uint64_t valueSize = 0;
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+/// CSV: one "op,key,size" line per record; op ∈ {get, set}. A header line
+/// is written and tolerated on read.
+bool writeCsvTrace(const std::string& path,
+                   const std::vector<TraceRecord>& records);
+[[nodiscard]] std::optional<std::vector<TraceRecord>> readCsvTrace(
+    const std::string& path);
+
+/// Binary: magic + varint-encoded records (delta-friendly, ~3 bytes/record
+/// for small keys).
+bool writeBinaryTrace(const std::string& path,
+                      const std::vector<TraceRecord>& records);
+[[nodiscard]] std::optional<std::vector<TraceRecord>> readBinaryTrace(
+    const std::string& path);
+
+/// In-memory encode/decode used by both the binary file format and tests.
+[[nodiscard]] std::string encodeTrace(const std::vector<TraceRecord>& records);
+[[nodiscard]] std::optional<std::vector<TraceRecord>> decodeTrace(
+    std::string_view bytes);
+
+}  // namespace dcache::workload

@@ -1,0 +1,34 @@
+#include "workload/twitter_trace.hpp"
+
+#include <cstdio>
+
+namespace dcache::workload {
+
+TwitterTraceWorkload::TwitterTraceWorkload(TwitterTraceConfig config)
+    : config_(config),
+      zipf_(config.numKeys, config.alpha),
+      sizes_(config.medianValueBytes, config.sigma, 1, config.maxValueBytes),
+      rng_(config.seed, 4) {}
+
+std::uint64_t TwitterTraceWorkload::valueSizeFor(std::uint64_t keyIndex) const {
+  return sizes_.sizeForKey(keyIndex);
+}
+
+Op TwitterTraceWorkload::next() {
+  Op op;
+  op.keyIndex = zipf_.nextKey(rng_);
+  op.type = util::uniform01(rng_) < config_.readRatio ? OpType::kRead
+                                                      : OpType::kWrite;
+  op.valueSize = valueSizeFor(op.keyIndex);
+  return op;
+}
+
+std::string TwitterTraceWorkload::name() const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "twitter(n=%llu,a=%.2f,r=%.2f,med=%.0fB)",
+                static_cast<unsigned long long>(config_.numKeys),
+                config_.alpha, config_.readRatio, config_.medianValueBytes);
+  return buf;
+}
+
+}  // namespace dcache::workload

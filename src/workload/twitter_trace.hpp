@@ -1,0 +1,44 @@
+// Twitter-style cache workload (extension; Yang et al., TOS '21 cite in the
+// paper's §2.2): median value ≈ 230 B, mixed read/write clusters. Used by
+// the ablation benches to show the cost conclusions hold beyond the two
+// workloads the paper evaluates.
+#pragma once
+
+#include "workload/size_dist.hpp"
+#include "workload/workload.hpp"
+#include "workload/zipf.hpp"
+
+namespace dcache::workload {
+
+struct TwitterTraceConfig {
+  std::uint64_t numKeys = 300000;
+  double alpha = 1.0;
+  double readRatio = 0.8;
+  double medianValueBytes = 230.0;
+  double sigma = 1.2;
+  std::uint64_t maxValueBytes = 64 * 1024;
+  std::uint64_t seed = 13;
+};
+
+class TwitterTraceWorkload final : public Workload {
+ public:
+  explicit TwitterTraceWorkload(TwitterTraceConfig config);
+
+  [[nodiscard]] Op next() override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::uint64_t keyCount() const override {
+    return config_.numKeys;
+  }
+  [[nodiscard]] std::uint64_t valueSizeFor(std::uint64_t keyIndex) const override;
+  [[nodiscard]] double readFraction() const override {
+    return config_.readRatio;
+  }
+
+ private:
+  TwitterTraceConfig config_;
+  ZipfianGenerator zipf_;
+  LogNormalSize sizes_;
+  util::Pcg32 rng_;
+};
+
+}  // namespace dcache::workload

@@ -1,0 +1,54 @@
+#include "workload/uc_trace.hpp"
+
+#include <cstdio>
+
+#include "util/hash.hpp"
+
+namespace dcache::workload {
+
+UcTraceWorkload::UcTraceWorkload(UcTraceConfig config)
+    : config_(config),
+      zipf_(config.numTables, config.alpha),
+      sizes_(config.medianValueBytes, config.sigma, config.tailProbability,
+             config.tailStartBytes, config.tailShape, config.maxValueBytes),
+      rng_(config.seed, 3) {}
+
+std::uint64_t UcTraceWorkload::valueSizeFor(std::uint64_t keyIndex) const {
+  return sizes_.sizeForKey(keyIndex);
+}
+
+std::size_t UcTraceWorkload::statementsFor(std::uint64_t keyIndex) const {
+  // 4..8 statements; bigger objects (more metadata) need more queries, so
+  // couple the count to the size bucket deterministically. getTable is the
+  // dominant, most expensive operation (§5.2): even the lean case reads the
+  // table row plus parents and table privileges, and the common case runs
+  // close to the 8-query worst case.
+  const std::uint64_t size = valueSizeFor(keyIndex);
+  std::size_t base = 4;
+  for (std::uint64_t threshold = 4096; threshold < size && base < 8;
+       threshold *= 4) {
+    ++base;
+  }
+  // Spread within the bucket by key identity.
+  const std::size_t jitter = util::hashU64(keyIndex) % 2;
+  return std::min<std::size_t>(8, base + jitter);
+}
+
+Op UcTraceWorkload::next() {
+  Op op;
+  op.keyIndex = zipf_.nextKey(rng_);
+  op.type = util::uniform01(rng_) < config_.readRatio ? OpType::kObjectRead
+                                                      : OpType::kWrite;
+  op.valueSize = valueSizeFor(op.keyIndex);
+  return op;
+}
+
+std::string UcTraceWorkload::name() const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "unity-catalog(n=%llu,a=%.2f,r=%.2f)",
+                static_cast<unsigned long long>(config_.numTables),
+                config_.alpha, config_.readRatio);
+  return buf;
+}
+
+}  // namespace dcache::workload

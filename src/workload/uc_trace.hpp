@@ -1,0 +1,58 @@
+// Unity-Catalog-style workload (§5.2, Fig. 3): read-heavy (≈ 93 %),
+// ~40K QPS of catalog operations dominated by getTable. Object sizes are
+// lognormal with a 23 KB median and a Pareto tail into the MBs; popularity
+// is Zipfian over tables. Reads are emitted as kObjectRead so the rich-
+// object experiment (Fig. 7) can expand each into its 8-statement SQL plan,
+// while the UC-KV variant (Fig. 5a) treats the same stream as single-row
+// denormalized lookups.
+#pragma once
+
+#include "workload/size_dist.hpp"
+#include "workload/workload.hpp"
+#include "workload/zipf.hpp"
+
+namespace dcache::workload {
+
+struct UcTraceConfig {
+  std::uint64_t numTables = 50000;
+  double alpha = 1.05;
+  double readRatio = 0.93;
+  double medianValueBytes = 23.0 * 1024;
+  double sigma = 1.1;
+  double tailProbability = 0.02;          // large objects at the tail
+  double tailStartBytes = 256.0 * 1024;   // Pareto tail from 256 KB…
+  double tailShape = 1.1;                 // …reaching multi-MB objects
+  std::uint64_t maxValueBytes = 8ULL * 1024 * 1024;
+  std::uint64_t seed = 11;
+};
+
+class UcTraceWorkload final : public Workload {
+ public:
+  explicit UcTraceWorkload(UcTraceConfig config);
+
+  [[nodiscard]] Op next() override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::uint64_t keyCount() const override {
+    return config_.numTables;
+  }
+  [[nodiscard]] std::uint64_t valueSizeFor(std::uint64_t keyIndex) const override;
+  [[nodiscard]] double readFraction() const override {
+    return config_.readRatio;
+  }
+  [[nodiscard]] const UcTraceConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Number of SQL statements a getTable for this table expands to in the
+  /// rich-object experiment (2–8, deterministic per table — tables with
+  /// more metadata need more queries, see richobject::Assembler).
+  [[nodiscard]] std::size_t statementsFor(std::uint64_t keyIndex) const;
+
+ private:
+  UcTraceConfig config_;
+  ZipfianGenerator zipf_;
+  LogNormalParetoTailSize sizes_;
+  util::Pcg32 rng_;
+};
+
+}  // namespace dcache::workload

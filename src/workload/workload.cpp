@@ -1,0 +1,29 @@
+#include "workload/workload.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dcache::workload {
+
+std::string keyName(std::uint64_t keyIndex) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "k%09llu",
+                static_cast<unsigned long long>(keyIndex));
+  return buf;
+}
+
+double Workload::meanValueSize(std::uint64_t sampleKeys) const {
+  const std::uint64_t n = std::min(sampleKeys, keyCount());
+  if (n == 0) return 0.0;
+  double total = 0.0;
+  // Stride across the keyspace so the sample is not biased to low indexes.
+  const std::uint64_t stride = std::max<std::uint64_t>(1, keyCount() / n);
+  std::uint64_t counted = 0;
+  for (std::uint64_t k = 0; k < keyCount() && counted < n; k += stride) {
+    total += static_cast<double>(valueSizeFor(k));
+    ++counted;
+  }
+  return counted ? total / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace dcache::workload

@@ -1,0 +1,68 @@
+#include "workload/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dcache::workload {
+namespace {
+
+/// log1p(t)/t with its t -> 0 limit.
+[[nodiscard]] double helper1(double t) noexcept {
+  return std::abs(t) > 1e-8 ? std::log1p(t) / t : 1.0 - t * 0.5 + t * t / 3.0;
+}
+
+/// expm1(t)/t with its t -> 0 limit.
+[[nodiscard]] double helper2(double t) noexcept {
+  return std::abs(t) > 1e-8 ? std::expm1(t) / t : 1.0 + t * 0.5 + t * t / 6.0;
+}
+
+// Bijection multiplier: prime larger than any practical key count keeps
+// gcd(prime, n) = 1, so (rank * prime) mod n is a permutation.
+constexpr std::uint64_t kScramblePrime = 2654435761ULL;
+
+}  // namespace
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t numKeys, double alpha)
+    : n_(numKeys == 0 ? 1 : numKeys), alpha_(alpha < 0.0 ? 0.0 : alpha) {
+  hIntegralX1_ = hIntegral(1.5) - 1.0;
+  hIntegralN_ = hIntegral(static_cast<double>(n_) + 0.5);
+  s_ = 2.0 - hIntegralInverse(hIntegral(2.5) - h(2.0));
+}
+
+double ZipfianGenerator::h(double x) const {
+  return std::exp(-alpha_ * std::log(x));
+}
+
+double ZipfianGenerator::hIntegral(double x) const {
+  const double logX = std::log(x);
+  return helper2((1.0 - alpha_) * logX) * logX;
+}
+
+double ZipfianGenerator::hIntegralInverse(double x) const {
+  double t = x * (1.0 - alpha_);
+  if (t < -1.0) t = -1.0;  // numerical guard near the distribution head
+  return std::exp(helper1(t) * x);
+}
+
+std::uint64_t ZipfianGenerator::nextRank(util::Pcg32& rng) const {
+  if (n_ == 1) return 1;
+  for (;;) {
+    const double u =
+        hIntegralN_ + util::uniform01(rng) * (hIntegralX1_ - hIntegralN_);
+    const double x = hIntegralInverse(u);
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    k = std::clamp<std::uint64_t>(k, 1, n_);
+    const double kd = static_cast<double>(k);
+    // Accept immediately within the squeeze, otherwise do the exact test.
+    if (kd - x <= s_ || u >= hIntegral(kd + 0.5) - h(kd)) {
+      return k;
+    }
+  }
+}
+
+std::uint64_t ZipfianGenerator::permuteRank(std::uint64_t rank) const noexcept {
+  // rank is 1-based; output is a 0-based key index.
+  return ((rank - 1) % n_ * (kScramblePrime % n_)) % n_;
+}
+
+}  // namespace dcache::workload

@@ -1,0 +1,45 @@
+// Zipf(α) rank sampler using Hörmann's rejection-inversion method —
+// O(1) per sample for any α ≥ 0 (including α = 1), no per-rank tables, so
+// 100K-key synthetic workloads sample in nanoseconds. Ranks are 1-based;
+// rank 1 is the hottest. A multiplicative permutation optionally scrambles
+// rank → key index so the hot set spreads uniformly over the keyspace (and
+// therefore over cache/storage shards), as in YCSB.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace dcache::workload {
+
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(std::uint64_t numKeys, double alpha);
+
+  /// Draw a rank in [1, numKeys], P(k) ∝ k^-alpha.
+  [[nodiscard]] std::uint64_t nextRank(util::Pcg32& rng) const;
+
+  /// Draw a scrambled key index in [0, numKeys).
+  [[nodiscard]] std::uint64_t nextKey(util::Pcg32& rng) const {
+    return permuteRank(nextRank(rng));
+  }
+
+  /// Bijective rank -> key-index mapping (1-based rank to 0-based index).
+  [[nodiscard]] std::uint64_t permuteRank(std::uint64_t rank) const noexcept;
+
+  [[nodiscard]] std::uint64_t numKeys() const noexcept { return n_; }
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+ private:
+  [[nodiscard]] double h(double x) const;
+  [[nodiscard]] double hIntegral(double x) const;
+  [[nodiscard]] double hIntegralInverse(double x) const;
+
+  std::uint64_t n_;
+  double alpha_;
+  double hIntegralX1_;
+  double hIntegralN_;
+  double s_;
+};
+
+}  // namespace dcache::workload

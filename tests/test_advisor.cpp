@@ -1,0 +1,216 @@
+// Tests for the trace-driven cache advisor and the TTL freshness bound in
+// the deployment.
+#include <gtest/gtest.h>
+
+#include "core/advisor.hpp"
+#include "core/deployment.hpp"
+#include "core/experiment.hpp"
+#include "workload/synthetic.hpp"
+
+namespace dcache::core {
+namespace {
+
+[[nodiscard]] workload::SyntheticConfig skewedWorkload() {
+  workload::SyntheticConfig config;
+  config.numKeys = 5000;
+  config.alpha = 1.2;
+  config.valueSize = 4096;
+  config.readRatio = 0.95;
+  return config;
+}
+
+TEST(Advisor, CheapDramMeansCacheEverything) {
+  // At list prices, 5000 x 4KB costs cents while misses cost cores: the
+  // optimum is full coverage — the paper's "caches pay for themselves".
+  AdvisorConfig config;
+  config.sampleOps = 60000;
+  CacheAdvisor advisor(config);
+  workload::SyntheticWorkload workload(skewedWorkload());
+  const Recommendation rec = advisor.advise(workload);
+
+  EXPECT_GT(rec.distinctKeys, 1000u);
+  EXPECT_EQ(rec.bestSize.count(),
+            rec.distinctKeys * skewedWorkload().valueSize);
+  EXPECT_GT(rec.savingFactor(), 5.0);
+  EXPECT_LT(rec.missRatioAtBest, 0.1);
+  EXPECT_GT(rec.costAtZero.dollars(), rec.costAtBest.dollars());
+  EXPECT_FALSE(rec.curve.empty());
+}
+
+TEST(Advisor, InteriorOptimumWhenDramIsDear) {
+  // Large objects + expensive DRAM: the tail never repays its bytes, so
+  // the optimum is strictly interior (§4: grow s_A until the marginal
+  // benefit equals the memory price).
+  AdvisorConfig config;
+  config.sampleOps = 60000;
+  config.pricing = Pricing::gcp().withMemoryMultiplier(200.0);
+  workload::SyntheticConfig big = skewedWorkload();
+  big.valueSize = 1 << 20;
+  workload::SyntheticWorkload workload(big);
+  const Recommendation rec = CacheAdvisor(config).advise(workload);
+  EXPECT_GT(rec.bestSize.count(), 0u);
+  EXPECT_LT(rec.bestSize.count(), rec.distinctKeys * big.valueSize);
+  EXPECT_GT(rec.savingFactor(), 1.0);
+}
+
+TEST(Advisor, RecommendationIsOptimalOnItsOwnCurve) {
+  CacheAdvisor advisor;
+  workload::SyntheticWorkload workload(skewedWorkload());
+  const Recommendation rec = advisor.advise(workload);
+  for (const CurvePoint& point : rec.curve) {
+    EXPECT_GE(point.monthlyCost.micros(), rec.costAtBest.micros());
+  }
+}
+
+TEST(Advisor, CurveMissRatiosMonotone) {
+  CacheAdvisor advisor;
+  workload::SyntheticWorkload workload(skewedWorkload());
+  const Recommendation rec = advisor.advise(workload);
+  for (std::size_t i = 1; i < rec.curve.size(); ++i) {
+    EXPECT_LE(rec.curve[i].missRatio, rec.curve[i - 1].missRatio + 1e-12);
+    EXPECT_GE(rec.curve[i].cacheSize.count(),
+              rec.curve[i - 1].cacheSize.count());
+  }
+}
+
+TEST(Advisor, ExpensiveMemoryShrinksTheRecommendation) {
+  workload::SyntheticConfig big = skewedWorkload();
+  big.valueSize = 1 << 20;  // DRAM must matter for the price to bite
+  AdvisorConfig cheap;
+  AdvisorConfig expensive;
+  expensive.pricing = Pricing::gcp().withMemoryMultiplier(400.0);
+  workload::SyntheticWorkload workloadA(big);
+  workload::SyntheticWorkload workloadB(big);
+  const auto cheapRec = CacheAdvisor(cheap).advise(workloadA);
+  const auto priceyRec = CacheAdvisor(expensive).advise(workloadB);
+  EXPECT_LT(priceyRec.bestSize.count(), cheapRec.bestSize.count());
+}
+
+TEST(Advisor, HigherLoadGrowsTheRecommendation) {
+  AdvisorConfig light;
+  light.qps = 5000;
+  AdvisorConfig heavy;
+  heavy.qps = 500000;
+  workload::SyntheticWorkload workloadA(skewedWorkload());
+  workload::SyntheticWorkload workloadB(skewedWorkload());
+  const auto lightRec = CacheAdvisor(light).advise(workloadA);
+  const auto heavyRec = CacheAdvisor(heavy).advise(workloadB);
+  EXPECT_GE(heavyRec.bestSize.count(), lightRec.bestSize.count());
+}
+
+TEST(Advisor, EmptyWorkloadIsSafe) {
+  AdvisorConfig config;
+  config.sampleOps = 0;
+  CacheAdvisor advisor(config);
+  workload::SyntheticWorkload workload(skewedWorkload());
+  const Recommendation rec = advisor.advise(workload);
+  EXPECT_EQ(rec.bestSize.count(), 0u);
+  EXPECT_EQ(rec.costAtBest.micros(), rec.costAtZero.micros());
+}
+
+TEST(Advisor, SummaryMentionsTheNumbers) {
+  CacheAdvisor advisor;
+  workload::SyntheticWorkload workload(skewedWorkload());
+  const Recommendation rec = advisor.advise(workload);
+  const std::string summary = rec.summary();
+  EXPECT_NE(summary.find("recommended"), std::string::npos);
+  EXPECT_NE(summary.find("saving"), std::string::npos);
+}
+
+// ---- TTL freshness bound in the deployment ----
+
+[[nodiscard]] DeploymentConfig ttlDeployment(std::uint64_t ttlMicros) {
+  DeploymentConfig config;
+  config.architecture = Architecture::kLinked;
+  config.appCachePerNode = util::Bytes::mb(64);
+  config.blockCachePerNode = util::Bytes::mb(64);
+  config.ttlFreshnessMicros = ttlMicros;
+  return config;
+}
+
+TEST(TtlFreshness, ExpiredHitsRevalidate) {
+  Deployment deployment(ttlDeployment(1000));
+  workload::SyntheticConfig workloadConfig;
+  workloadConfig.numKeys = 50;
+  workloadConfig.readRatio = 1.0;
+  workload::SyntheticWorkload workload(workloadConfig);
+  deployment.populateKv(workload);
+
+  // Fill at t=0, read within the TTL, then far past it.
+  deployment.setSimTimeMicros(0);
+  for (int i = 0; i < 200; ++i) deployment.serve(workload.next());
+  const auto before = deployment.counters().ttlExpirations;
+  deployment.setSimTimeMicros(500);
+  for (int i = 0; i < 50; ++i) deployment.serve(workload.next());
+  // Refills at t<=500 keep entries fresh until t=1500; jump far beyond.
+  deployment.setSimTimeMicros(10000);
+  for (int i = 0; i < 50; ++i) deployment.serve(workload.next());
+  EXPECT_GT(deployment.counters().ttlExpirations, before);
+}
+
+TEST(TtlFreshness, DisabledByDefault) {
+  Deployment deployment(ttlDeployment(0));
+  workload::SyntheticConfig workloadConfig;
+  workloadConfig.numKeys = 50;
+  workloadConfig.readRatio = 1.0;
+  workload::SyntheticWorkload workload(workloadConfig);
+  deployment.populateKv(workload);
+  deployment.setSimTimeMicros(0);
+  for (int i = 0; i < 100; ++i) deployment.serve(workload.next());
+  deployment.setSimTimeMicros(1ULL << 40);  // far future
+  for (int i = 0; i < 100; ++i) deployment.serve(workload.next());
+  EXPECT_EQ(deployment.counters().ttlExpirations, 0u);
+}
+
+TEST(TtlFreshness, RunnerDrivesTheClock) {
+  // With qps=1000 (1ms between ops) and a 10ms TTL, a small hot keyspace
+  // sees periodic revalidations.
+  DeploymentConfig config = ttlDeployment(10000);
+  Deployment deployment(config);
+  workload::SyntheticConfig workloadConfig;
+  workloadConfig.numKeys = 20;
+  workloadConfig.readRatio = 1.0;
+  workload::SyntheticWorkload workload(workloadConfig);
+  deployment.populateKv(workload);
+
+  ExperimentConfig experiment;
+  experiment.operations = 2000;
+  experiment.warmupOperations = 100;
+  experiment.qps = 1000;
+  ExperimentRunner runner(experiment);
+  const auto result = runner.run(deployment, workload);
+  EXPECT_GT(result.counters.ttlExpirations, 50u);
+  // Freshness costs hit ratio but not correctness.
+  EXPECT_LT(result.counters.hitRatio(), 1.0);
+  EXPECT_GT(result.counters.hitRatio(), 0.3);
+}
+
+TEST(TtlFreshness, CostSitsBetweenLinkedAndVersionChecked) {
+  workload::SyntheticConfig workloadConfig;
+  workloadConfig.numKeys = 2000;
+  workloadConfig.valueSize = 8192;
+  ExperimentConfig experiment;
+  experiment.operations = 20000;
+  experiment.warmupOperations = 20000;
+  experiment.qps = 50000;
+
+  auto runWith = [&](DeploymentConfig config) {
+    workload::SyntheticWorkload workload(workloadConfig);
+    Deployment deployment(config);
+    deployment.populateKv(workload);
+    ExperimentRunner runner(experiment);
+    return runner.run(deployment, workload);
+  };
+
+  const auto linked = runWith(ttlDeployment(0));
+  const auto ttl = runWith(ttlDeployment(100000));  // 100ms bound
+  DeploymentConfig versioned = ttlDeployment(0);
+  versioned.architecture = Architecture::kLinkedVersion;
+  const auto checked = runWith(versioned);
+
+  EXPECT_LE(linked.cost.totalCost.micros(), ttl.cost.totalCost.micros());
+  EXPECT_LT(ttl.cost.totalCost.micros(), checked.cost.totalCost.micros());
+}
+
+}  // namespace
+}  // namespace dcache::core

@@ -1,0 +1,181 @@
+// Core library tests: pricing, cost model math, architecture plumbing, the
+// Section-4 theoretical model (including the paper's takeaways) and report
+// formatting helpers.
+#include <gtest/gtest.h>
+
+#include "core/architecture.hpp"
+#include "core/cost_model.hpp"
+#include "core/model.hpp"
+#include "core/pricing.hpp"
+
+namespace dcache::core {
+namespace {
+
+TEST(Pricing, PaperConstants) {
+  const Pricing gcp = Pricing::gcp();
+  EXPECT_DOUBLE_EQ(gcp.vcpuPerMonth.dollars(), 17.0);
+  EXPECT_DOUBLE_EQ(gcp.dramPerGbMonth.dollars(), 2.0);
+  // $2 per 100 GB.
+  EXPECT_DOUBLE_EQ(gcp.storageCost(util::Bytes::gb(100)).dollars(), 2.0);
+}
+
+TEST(Pricing, MemoryMultiplier) {
+  const Pricing scaled = Pricing::gcp().withMemoryMultiplier(40.0);
+  EXPECT_DOUBLE_EQ(scaled.dramPerGbMonth.dollars(), 80.0);
+  EXPECT_DOUBLE_EQ(scaled.vcpuPerMonth.dollars(), 17.0);  // unchanged
+}
+
+TEST(CostModel, CoresFromBusyTime) {
+  sim::Tier tier("app", sim::TierKind::kAppServer, 2);
+  // 7 busy seconds over a 10-second window at 70% utilization = 1 core.
+  tier.node(0).charge(sim::CpuComponent::kAppLogic, 7e6);
+  const CostModel model(Pricing::gcp(), 0.7);
+  const TierUsage usage = model.tierUsage(tier, 10.0);
+  EXPECT_NEAR(usage.cores, 1.0, 1e-9);
+  EXPECT_NEAR(usage.computeCost.dollars(), 17.0, 1e-6);
+}
+
+TEST(CostModel, BreakdownSumsTiersAndExcludesClients) {
+  sim::Tier clients("client", sim::TierKind::kClient, 1);
+  sim::Tier app("app", sim::TierKind::kAppServer, 1);
+  clients.node(0).charge(sim::CpuComponent::kClientComm, 1e9);
+  app.node(0).charge(sim::CpuComponent::kAppLogic, 7e6);
+  app.node(0).mem().provision(util::Bytes::gb(3));
+
+  const CostModel model(Pricing::gcp(), 0.7);
+  const auto breakdown = model.breakdown({&clients, &app}, 10.0,
+                                         util::Bytes::gb(100), 3);
+  ASSERT_EQ(breakdown.tiers.size(), 1u);  // client tier excluded
+  EXPECT_NEAR(breakdown.computeCost.dollars(), 17.0, 1e-6);
+  EXPECT_NEAR(breakdown.memoryCost.dollars(), 6.0, 1e-6);
+  EXPECT_NEAR(breakdown.storageCost.dollars(), 6.0, 1e-6);  // 300 GB × $0.02
+  EXPECT_NEAR(breakdown.totalCost.dollars(), 29.0, 1e-6);
+  EXPECT_NEAR(breakdown.memoryShare(), 6.0 / 29.0, 1e-6);
+  EXPECT_NE(breakdown.tier(sim::TierKind::kAppServer), nullptr);
+  EXPECT_EQ(breakdown.tier(sim::TierKind::kKvStorage), nullptr);
+}
+
+TEST(Architecture, NamesRoundtrip) {
+  for (const Architecture arch : kAllArchitectures) {
+    const auto parsed = parseArchitecture(architectureName(arch));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, arch);
+  }
+  EXPECT_FALSE(parseArchitecture("bogus").has_value());
+  EXPECT_EQ(parseArchitecture("linked"), Architecture::kLinked);
+}
+
+class ModelTest : public ::testing::Test {
+ protected:
+  ModelTest() : model_(ModelParams{}) {}
+  TheoreticalModel model_;
+};
+
+TEST_F(ModelTest, MissRatioMonotone) {
+  // Strictly decreasing until the cache covers the whole keyspace
+  // (1M × 23KB ≈ 22 GB), then pinned at zero.
+  double previous = 1.1;
+  for (const double gb : {0.05, 0.25, 1.0, 4.0, 8.0, 16.0}) {
+    const double mr = model_.missRatio(util::Bytes::gb(gb));
+    EXPECT_LT(mr, previous) << gb;
+    previous = mr;
+  }
+  EXPECT_DOUBLE_EQ(model_.missRatio(util::Bytes::gb(32)), 0.0);
+}
+
+TEST_F(ModelTest, AppCacheBeatsStorageCacheAtTheMargin) {
+  // §4 takeaway: |∂T/∂s_A| > |∂T/∂s_D| — a GB of linked cache removes the
+  // full miss cost, a GB of storage cache only the disk residual.
+  const util::Bytes sA = util::Bytes::gb(1);
+  const util::Bytes sD = util::Bytes::gb(1);
+  EXPECT_GT(std::abs(model_.dTdAppCache(sA, sD)),
+            std::abs(model_.dTdStorageCache(sA, sD)));
+}
+
+TEST_F(ModelTest, MoreSkewMorePronounced) {
+  // Fig. 2a: the s_A advantage grows with workload skew — evaluated on the
+  // steep part of the curve, where provisioning decisions actually live.
+  ModelParams lowSkew;
+  lowSkew.alpha = 0.8;
+  ModelParams highSkew;
+  highSkew.alpha = 1.3;
+  const TheoreticalModel low(lowSkew);
+  const TheoreticalModel high(highSkew);
+  const util::Bytes sA = util::Bytes::mb(128);
+  const util::Bytes sD = util::Bytes::mb(128);
+  const double advLow =
+      std::abs(low.dTdAppCache(sA, sD)) / std::abs(low.dTdStorageCache(sA, sD));
+  const double advHigh = std::abs(high.dTdAppCache(sA, sD)) /
+                         std::abs(high.dTdStorageCache(sA, sD));
+  EXPECT_GT(advLow, 1.0);   // the §4 inequality holds at both skews…
+  EXPECT_GT(advHigh, advLow);  // …and strengthens with skew
+}
+
+TEST_F(ModelTest, LinkedCacheSavesVsBase) {
+  // Fig. 2 configuration: Linked (s_A = 8 GB, s_D = 1 GB) vs Base (1 GB).
+  const double saving = model_.savingVsBase(
+      util::Bytes::gb(8), util::Bytes::gb(1), util::Bytes::gb(1));
+  EXPECT_GT(saving, 1.5);
+}
+
+TEST_F(ModelTest, SavingsSurviveExpensiveMemory) {
+  // §4: even at 40× memory prices, adding linked cache (at its then-optimal
+  // size — expensive DRAM shrinks the optimum, it does not zero it) still
+  // beats the no-linked-cache baseline.
+  ModelParams params;
+  params.pricing = Pricing::gcp().withMemoryMultiplier(40.0);
+  const TheoreticalModel expensive(params);
+  const util::Bytes best =
+      expensive.optimalAppCache(util::Bytes::gb(1), util::Bytes::gb(16));
+  EXPECT_GT(best.count(), 0u);
+  const double saving =
+      expensive.savingVsBase(best, util::Bytes::gb(1), util::Bytes::gb(1));
+  EXPECT_GT(saving, 1.0);
+}
+
+TEST_F(ModelTest, SavingsSurviveReplication) {
+  // Fig. 2b: larger N_r erodes but does not erase the saving.
+  ModelParams params;
+  params.replicas = 4.0;
+  const TheoreticalModel replicated(params);
+  const double saving = replicated.savingVsBase(
+      util::Bytes::gb(8), util::Bytes::gb(1), util::Bytes::gb(1));
+  EXPECT_GT(saving, 1.0);
+  EXPECT_LT(saving, model_.savingVsBase(util::Bytes::gb(8),
+                                        util::Bytes::gb(1),
+                                        util::Bytes::gb(1)));
+}
+
+TEST_F(ModelTest, OptimalAllocationIsInterior) {
+  // The optimum sits where the marginal benefit matches the memory price:
+  // strictly positive, strictly below the search bound, near-zero gradient.
+  const util::Bytes best =
+      model_.optimalAppCache(util::Bytes::gb(1), util::Bytes::gb(64));
+  EXPECT_GT(best.count(), util::Bytes::mb(100).count());
+  EXPECT_LT(best.count(), util::Bytes::gb(64).count());
+  // Near-zero gradient: the 64 MB central difference carries discretization
+  // bias near the minimum, so the tolerance is loose in absolute terms but
+  // tiny next to the ~$20/GB slope at the origin.
+  EXPECT_NEAR(model_.dTdAppCache(best, util::Bytes::gb(1)), 0.0, 2.0);
+  // And it is no worse than neighbouring allocations.
+  const auto atBest = model_.totalCost(best, util::Bytes::gb(1));
+  EXPECT_LE(atBest.micros(),
+            model_.totalCost(best + util::Bytes::gb(1), util::Bytes::gb(1))
+                .micros());
+  EXPECT_LE(atBest.micros(),
+            model_.totalCost(best - util::Bytes::gb(1), util::Bytes::gb(1))
+                .micros());
+}
+
+TEST_F(ModelTest, CostDecomposition) {
+  // With zero cache everything misses: pure compute + tiny memory.
+  const auto none = model_.totalCost(util::Bytes::of(0), util::Bytes::of(0));
+  const double expectedCores =
+      model_.params().qps *
+      (model_.params().missCostAppMicros + model_.params().missCostStorageMicros) /
+      1e6 / model_.params().utilization;
+  EXPECT_NEAR(none.dollars(), expectedCores * 17.0, 0.5);
+}
+
+}  // namespace
+}  // namespace dcache::core

@@ -1,0 +1,207 @@
+// Integration tests: full deployments of all four architectures serving
+// real workload streams — hit ratios, cost ordering, component charging,
+// version-check behaviour and the rich-object serving mode.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/deployment.hpp"
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/uc_trace.hpp"
+
+namespace dcache::core {
+namespace {
+
+[[nodiscard]] DeploymentConfig smallDeployment(Architecture arch) {
+  DeploymentConfig config;
+  config.architecture = arch;
+  config.appCachePerNode = util::Bytes::mb(64);
+  config.remoteCachePerNode = util::Bytes::mb(64);
+  config.blockCachePerNode = util::Bytes::mb(64);
+  return config;
+}
+
+[[nodiscard]] workload::SyntheticConfig smallWorkload() {
+  workload::SyntheticConfig config;
+  config.numKeys = 2000;
+  config.valueSize = 1024;
+  config.readRatio = 0.9;
+  return config;
+}
+
+TEST(Deployment, LinkedHitsAfterWarmup) {
+  Deployment deployment(smallDeployment(Architecture::kLinked));
+  workload::SyntheticWorkload workload(smallWorkload());
+  deployment.populateKv(workload);
+  for (int i = 0; i < 20000; ++i) deployment.serve(workload.next());
+  EXPECT_GT(deployment.counters().hitRatio(), 0.8);
+  EXPECT_GT(deployment.counters().reads, 0u);
+  EXPECT_GT(deployment.counters().writes, 0u);
+}
+
+TEST(Deployment, BaseNeverUsesAppCache) {
+  Deployment deployment(smallDeployment(Architecture::kBase));
+  workload::SyntheticWorkload workload(smallWorkload());
+  deployment.populateKv(workload);
+  for (int i = 0; i < 2000; ++i) deployment.serve(workload.next());
+  EXPECT_EQ(deployment.counters().cacheHits, 0u);
+  EXPECT_EQ(deployment.linkedCache(), nullptr);
+  EXPECT_EQ(deployment.remoteCache(), nullptr);
+}
+
+TEST(Deployment, RemoteTierOnlyExistsForRemote) {
+  Deployment remote(smallDeployment(Architecture::kRemote));
+  EXPECT_NE(remote.remoteCache(), nullptr);
+  EXPECT_EQ(remote.tiers().size(), 5u);  // client, app, remote, sql, kv
+  Deployment linked(smallDeployment(Architecture::kLinked));
+  EXPECT_EQ(linked.tiers().size(), 4u);
+  EXPECT_NE(linked.linkedCache(), nullptr);
+}
+
+TEST(Deployment, VersionChecksHappenOnlyInLinkedVersion) {
+  for (const Architecture arch : kAllArchitectures) {
+    Deployment deployment(smallDeployment(arch));
+    workload::SyntheticWorkload workload(smallWorkload());
+    deployment.populateKv(workload);
+    for (int i = 0; i < 5000; ++i) deployment.serve(workload.next());
+    if (arch == Architecture::kLinkedVersion) {
+      EXPECT_GT(deployment.counters().versionChecks, 0u);
+    } else {
+      EXPECT_EQ(deployment.counters().versionChecks, 0u);
+    }
+  }
+}
+
+TEST(Deployment, WriteThenReadIsConsistentUnderVersionCheck) {
+  // With write-through updates the cached version matches storage, so
+  // version checks pass; disable write-through and they must miss.
+  DeploymentConfig config = smallDeployment(Architecture::kLinkedVersion);
+  config.writeThroughCache = false;  // invalidate on write
+  Deployment deployment(config);
+  workload::SyntheticWorkload workload(smallWorkload());
+  deployment.populateKv(workload);
+  for (int i = 0; i < 20000; ++i) deployment.serve(workload.next());
+  // Invalidation-on-write means reads after writes miss but never serve a
+  // stale version: mismatches only happen when a cached version raced a
+  // write, which write-invalidate prevents entirely.
+  EXPECT_EQ(deployment.counters().versionMismatches, 0u);
+  EXPECT_GT(deployment.counters().versionChecks, 0u);
+}
+
+TEST(Deployment, WriteThroughKeepsVersionsFresh) {
+  Deployment deployment(smallDeployment(Architecture::kLinkedVersion));
+  workload::SyntheticWorkload workload(smallWorkload());
+  deployment.populateKv(workload);
+  for (int i = 0; i < 20000; ++i) deployment.serve(workload.next());
+  // Write-through updates carry the storage version, so checks pass.
+  EXPECT_EQ(deployment.counters().versionMismatches, 0u);
+  EXPECT_GT(deployment.counters().hitRatio(), 0.8);
+}
+
+TEST(Deployment, ComponentChargingMatchesArchitecture) {
+  // Linked: app servers must show cache ops but the remote tier does not
+  // exist; Base: neither.
+  Deployment linked(smallDeployment(Architecture::kLinked));
+  workload::SyntheticWorkload workload(smallWorkload());
+  linked.populateKv(workload);
+  for (int i = 0; i < 5000; ++i) linked.serve(workload.next());
+  EXPECT_GT(linked.appTier().aggregateCpu().micros(
+                sim::CpuComponent::kCacheOp),
+            0.0);
+  EXPECT_GT(linked.appTier().aggregateCpu().micros(
+                sim::CpuComponent::kClientComm),
+            0.0);
+
+  Deployment base(smallDeployment(Architecture::kBase));
+  workload::SyntheticWorkload workload2(smallWorkload());
+  base.populateKv(workload2);
+  for (int i = 0; i < 5000; ++i) base.serve(workload2.next());
+  EXPECT_DOUBLE_EQ(
+      base.appTier().aggregateCpu().micros(sim::CpuComponent::kCacheOp), 0.0);
+}
+
+TEST(Deployment, ClearMetersResetsEverything) {
+  Deployment deployment(smallDeployment(Architecture::kLinked));
+  workload::SyntheticWorkload workload(smallWorkload());
+  deployment.populateKv(workload);
+  for (int i = 0; i < 1000; ++i) deployment.serve(workload.next());
+  deployment.clearMeters();
+  EXPECT_EQ(deployment.counters().reads, 0u);
+  EXPECT_DOUBLE_EQ(deployment.appTier().aggregateCpu().totalMicros(), 0.0);
+  EXPECT_EQ(deployment.latencies().count(), 0u);
+  // The cache contents survive (only the meters reset).
+  const workload::Op op = workload.next();
+  deployment.serve(op);
+  EXPECT_EQ(deployment.counters().reads + deployment.counters().writes, 1u);
+}
+
+TEST(Deployment, CostOrderingOnSkewedReadHeavyWorkload) {
+  // The paper's headline: Linked < Remote < Base in total cost on a skewed
+  // read-heavy workload; Linked+Version erases most of Linked's advantage.
+  ExperimentConfig experiment;
+  experiment.operations = 30000;
+  experiment.warmupOperations = 30000;
+  experiment.qps = 50000;
+
+  std::map<Architecture, ExperimentResult> results;
+  for (const Architecture arch : kAllArchitectures) {
+    workload::SyntheticWorkload workload(smallWorkload());
+    results.emplace(arch, runArchitecture(arch, workload,
+                                          smallDeployment(arch), experiment));
+  }
+  const auto total = [&](Architecture arch) {
+    return results.at(arch).cost.totalCost.dollars();
+  };
+  EXPECT_LT(total(Architecture::kLinked), total(Architecture::kRemote));
+  EXPECT_LT(total(Architecture::kRemote), total(Architecture::kBase));
+  EXPECT_GT(total(Architecture::kLinkedVersion),
+            total(Architecture::kLinked) * 1.5);
+}
+
+TEST(Deployment, ObjectModeServesRichObjects) {
+  workload::UcTraceConfig traceConfig;
+  traceConfig.numTables = 300;
+  workload::UcTraceWorkload trace(traceConfig);
+
+  DeploymentConfig config = smallDeployment(Architecture::kLinked);
+  Deployment deployment(config);
+  deployment.populateCatalog(trace);
+  ASSERT_NE(deployment.catalogStore(), nullptr);
+
+  for (int i = 0; i < 5000; ++i) deployment.serveObject(trace.next());
+  EXPECT_GT(deployment.counters().hitRatio(), 0.5);
+  EXPECT_GT(deployment.counters().statementsIssued, 0u);
+  // Query amplification: on average more than one statement per miss.
+  EXPECT_GT(deployment.counters().statementsIssued,
+            deployment.counters().cacheMisses);
+}
+
+TEST(Deployment, ObjectModeBaseAmplifiesQueries) {
+  workload::UcTraceConfig traceConfig;
+  traceConfig.numTables = 200;
+  traceConfig.readRatio = 1.0;
+  workload::UcTraceWorkload trace(traceConfig);
+
+  Deployment deployment(smallDeployment(Architecture::kBase));
+  deployment.populateCatalog(trace);
+  for (int i = 0; i < 1000; ++i) deployment.serveObject(trace.next());
+  // Base assembles every read: statements per read between 1 and 8.
+  const double perRead =
+      static_cast<double>(deployment.counters().statementsIssued) /
+      static_cast<double>(deployment.counters().reads);
+  EXPECT_GT(perRead, 2.0);
+  EXPECT_LE(perRead, 8.0);
+}
+
+TEST(Deployment, TotalCacheMemoryProvisioned) {
+  DeploymentConfig config = smallDeployment(Architecture::kLinked);
+  Deployment deployment(config);
+  // 3 app shards × 64 MB + 3 block caches × 64 MB.
+  EXPECT_EQ(deployment.totalCacheMemoryProvisioned().count(),
+            util::Bytes::mb(64 * 6).count());
+}
+
+}  // namespace
+}  // namespace dcache::core

@@ -1,0 +1,132 @@
+// Experiment runner and report tests.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "workload/synthetic.hpp"
+
+namespace dcache::core {
+namespace {
+
+[[nodiscard]] workload::SyntheticConfig tinyWorkload() {
+  workload::SyntheticConfig config;
+  config.numKeys = 500;
+  config.valueSize = 512;
+  return config;
+}
+
+[[nodiscard]] DeploymentConfig tinyDeployment() {
+  DeploymentConfig config;
+  config.appCachePerNode = util::Bytes::mb(16);
+  config.remoteCachePerNode = util::Bytes::mb(16);
+  config.blockCachePerNode = util::Bytes::mb(16);
+  return config;
+}
+
+TEST(Experiment, WarmupIsNotPriced) {
+  ExperimentConfig experiment;
+  experiment.operations = 1000;
+  experiment.warmupOperations = 5000;
+  experiment.qps = 1000;
+
+  workload::SyntheticWorkload workload(tinyWorkload());
+  Deployment deployment(tinyDeployment());
+  deployment.populateKv(workload);
+  ExperimentRunner runner(experiment);
+  const auto result = runner.run(deployment, workload);
+
+  // Counters reflect only the measured window.
+  EXPECT_EQ(result.counters.reads + result.counters.writes, 1000u);
+  EXPECT_DOUBLE_EQ(result.simulatedSeconds, 1.0);
+  EXPECT_GT(result.cost.totalCost.dollars(), 0.0);
+  EXPECT_GT(result.meanLatencyMicros, 0.0);
+  EXPECT_GE(result.p99LatencyMicros, result.meanLatencyMicros);
+}
+
+TEST(Experiment, CostScalesWithQps) {
+  // Same per-op work at 10x the offered load needs ~10x the cores.
+  auto runAt = [&](double qps) {
+    ExperimentConfig experiment;
+    experiment.operations = 5000;
+    experiment.warmupOperations = 5000;
+    experiment.qps = qps;
+    workload::SyntheticWorkload workload(tinyWorkload());
+    return runArchitecture(Architecture::kLinked, workload, tinyDeployment(),
+                           experiment);
+  };
+  const auto slow = runAt(1000);
+  const auto fast = runAt(10000);
+  EXPECT_NEAR(fast.cost.computeCost / slow.cost.computeCost, 10.0, 0.5);
+  // Memory cost does not scale with load.
+  EXPECT_NEAR(fast.cost.memoryCost / slow.cost.memoryCost, 1.0, 1e-6);
+}
+
+TEST(Experiment, UtilizationHeadroomInflatesCores) {
+  auto runWith = [&](double utilization) {
+    ExperimentConfig experiment;
+    experiment.operations = 2000;
+    experiment.warmupOperations = 1000;
+    experiment.targetUtilization = utilization;
+    workload::SyntheticWorkload workload(tinyWorkload());
+    return runArchitecture(Architecture::kBase, workload, tinyDeployment(),
+                           experiment);
+  };
+  const auto tight = runWith(1.0);
+  const auto headroom = runWith(0.5);
+  EXPECT_NEAR(headroom.cost.computeCost / tight.cost.computeCost, 2.0, 0.05);
+}
+
+TEST(Experiment, RunArchitectureLabelsResult) {
+  ExperimentConfig experiment;
+  experiment.operations = 500;
+  experiment.warmupOperations = 500;
+  workload::SyntheticWorkload workload(tinyWorkload());
+  const auto result = runArchitecture(Architecture::kRemote, workload,
+                                      tinyDeployment(), experiment);
+  EXPECT_EQ(result.architecture, "Remote");
+  EXPECT_NE(result.workload.find("synthetic"), std::string::npos);
+}
+
+TEST(Report, TablesContainAllArchitectures) {
+  ExperimentConfig experiment;
+  experiment.operations = 500;
+  experiment.warmupOperations = 500;
+  std::vector<ExperimentResult> results;
+  for (const Architecture arch : kAllArchitectures) {
+    workload::SyntheticWorkload workload(tinyWorkload());
+    results.push_back(
+        runArchitecture(arch, workload, tinyDeployment(), experiment));
+  }
+  const std::string table = costComparisonTable(results, "Costs");
+  for (const Architecture arch : kAllArchitectures) {
+    EXPECT_NE(table.find(architectureName(arch)), std::string::npos);
+  }
+  // The baseline row reports 1.00x against itself.
+  EXPECT_NE(table.find("1.00x"), std::string::npos);
+
+  const std::string breakdown = cpuBreakdownTable(results.back(), "CPU");
+  EXPECT_NE(breakdown.find("app"), std::string::npos);
+  EXPECT_NE(breakdown.find("%"), std::string::npos);
+}
+
+TEST(Report, SavingsAndShares) {
+  ExperimentConfig experiment;
+  experiment.operations = 2000;
+  experiment.warmupOperations = 2000;
+  workload::SyntheticWorkload workloadA(tinyWorkload());
+  const auto base = runArchitecture(Architecture::kBase, workloadA,
+                                    tinyDeployment(), experiment);
+  workload::SyntheticWorkload workloadB(tinyWorkload());
+  const auto linked = runArchitecture(Architecture::kLinked, workloadB,
+                                      tinyDeployment(), experiment);
+  EXPECT_GT(savingsVs(base, linked), 1.0);
+  EXPECT_GT(memoryCostShare(linked), memoryCostShare(base));
+  // §5.3: most database cycles on the Base path are query processing.
+  EXPECT_GT(queryProcessingShare(base), 0.3);
+  EXPECT_LT(queryProcessingShare(base), 0.8);
+}
+
+}  // namespace
+}  // namespace dcache::core

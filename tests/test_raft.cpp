@@ -1,0 +1,82 @@
+// Raft replication cost model tests.
+#include <gtest/gtest.h>
+
+#include "sim/network.hpp"
+#include "sim/tier.hpp"
+#include "storage/raft.hpp"
+
+namespace dcache::storage {
+namespace {
+
+class RaftTest : public ::testing::Test {
+ protected:
+  RaftTest() : tier_("kv", sim::TierKind::kKvStorage, 5) {}
+
+  sim::NetworkModel network_;
+  sim::Tier tier_;
+};
+
+TEST_F(RaftTest, FollowersAreRingNeighbours) {
+  RaftReplicator raft(tier_, network_, RaftCosts{}, 3);
+  EXPECT_EQ(raft.followersOf(0), (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(raft.followersOf(4), (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(raft.replicationFactor(), 3u);
+}
+
+TEST_F(RaftTest, ReplicationFactorClampedToTierSize) {
+  RaftReplicator raft(tier_, network_, RaftCosts{}, 100);
+  EXPECT_EQ(raft.replicationFactor(), 5u);
+}
+
+TEST_F(RaftTest, ReplicateChargesLeaderAndFollowers) {
+  const RaftCosts costs{};
+  RaftReplicator raft(tier_, network_, costs, 3);
+  const double latency = raft.replicate(1, 1000);
+  EXPECT_GT(latency, 0.0);
+
+  const double leaderExpected =
+      costs.leaderAppendMicros + costs.perByteMicros * 1000;
+  EXPECT_NEAR(
+      tier_.node(1).cpu().micros(sim::CpuComponent::kReplication),
+      leaderExpected + 2 * (network_.params().perMessageCpuMicros * 2 +
+                            network_.params().perByteCpuMicros * 1016),
+      1e-6);
+  // Followers 2 and 3 charged; nodes 0 and 4 untouched.
+  EXPECT_GT(tier_.node(2).cpu().totalMicros(), 0.0);
+  EXPECT_GT(tier_.node(3).cpu().totalMicros(), 0.0);
+  EXPECT_DOUBLE_EQ(tier_.node(0).cpu().totalMicros(), 0.0);
+  EXPECT_DOUBLE_EQ(tier_.node(4).cpu().totalMicros(), 0.0);
+}
+
+TEST_F(RaftTest, IndexesAdvance) {
+  RaftReplicator raft(tier_, network_, RaftCosts{}, 3);
+  raft.replicate(0, 10);
+  raft.replicate(0, 10);
+  raft.replicate(3, 10);
+  EXPECT_EQ(raft.committedIndex(), 3u);
+  // Node 0 applied twice as leader and once as follower of node 3's group
+  // (followers of 3 are nodes 4 and 0).
+  EXPECT_EQ(raft.appliedIndex(0), 3u);
+  EXPECT_EQ(raft.appliedIndex(1), 2u);  // follower of node 0 only
+}
+
+TEST_F(RaftTest, LeaseValidationCountsAndCharges) {
+  const RaftCosts costs{};
+  RaftReplicator raft(tier_, network_, costs, 3);
+  raft.validateLease(2);
+  raft.validateLease(2);
+  EXPECT_EQ(raft.leaseChecks(), 2u);
+  EXPECT_DOUBLE_EQ(
+      tier_.node(2).cpu().micros(sim::CpuComponent::kLeaseValidation),
+      2 * costs.leaseValidateMicros);
+}
+
+TEST_F(RaftTest, SingleReplicaHasNoFollowers) {
+  RaftReplicator raft(tier_, network_, RaftCosts{}, 1);
+  EXPECT_TRUE(raft.followersOf(0).empty());
+  const double latency = raft.replicate(0, 100);
+  EXPECT_DOUBLE_EQ(latency, 0.0);  // commits locally
+}
+
+}  // namespace
+}  // namespace dcache::storage

@@ -1,0 +1,213 @@
+// Sharded cache and consistent-hash ring tests: routing stability, load
+// balance, minimal disruption on membership change, and the remote/linked
+// cache front-ends' accounting.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cache/hash_ring.hpp"
+#include "cache/linked_cache.hpp"
+#include "cache/remote_cache.hpp"
+#include "cache/sharded.hpp"
+#include "util/hash.hpp"
+
+namespace dcache::cache {
+namespace {
+
+TEST(Sharded, RoutesKeyToSameShardAlways) {
+  ShardedCache cache(util::Bytes::mb(1), 8);
+  const std::size_t shard = cache.shardForKey("stable-key");
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(cache.shardForKey("stable-key"), shard);
+  }
+}
+
+TEST(Sharded, GetPutEraseWork) {
+  ShardedCache cache(util::Bytes::mb(1), 4);
+  cache.put("k1", CacheEntry::sized(100, 5));
+  const CacheEntry* hit = cache.get("k1");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->version, 5u);
+  EXPECT_TRUE(cache.erase("k1"));
+  EXPECT_EQ(cache.get("k1"), nullptr);
+}
+
+TEST(Sharded, AggregateStatsSumShards) {
+  ShardedCache cache(util::Bytes::mb(1), 4);
+  for (int i = 0; i < 100; ++i) {
+    cache.put("key" + std::to_string(i), CacheEntry::sized(10));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NE(cache.get("key" + std::to_string(i)), nullptr);
+  }
+  const CacheStats agg = cache.aggregateStats();
+  EXPECT_EQ(agg.hits, 100u);
+  EXPECT_EQ(agg.insertions, 100u);
+  EXPECT_EQ(cache.itemCount(), 100u);
+}
+
+TEST(Sharded, ShardsRoughlyBalanced) {
+  ShardedCache cache(util::Bytes::mb(8), 4);
+  for (int i = 0; i < 20000; ++i) {
+    cache.put("key" + std::to_string(i), CacheEntry::sized(1));
+  }
+  for (std::size_t s = 0; s < cache.shardCount(); ++s) {
+    EXPECT_NEAR(static_cast<double>(cache.shard(s).itemCount()), 5000.0,
+                5000.0 * 0.15);
+  }
+}
+
+TEST(HashRing, OwnerStableAcrossQueries) {
+  HashRing ring;
+  for (std::size_t m = 0; m < 5; ++m) ring.addMember(m);
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    const auto owner = ring.ownerOf(util::hashU64(k));
+    ASSERT_TRUE(owner.has_value());
+    EXPECT_EQ(ring.ownerOf(util::hashU64(k)), owner);
+  }
+}
+
+TEST(HashRing, EmptyRingHasNoOwner) {
+  const HashRing ring;
+  EXPECT_FALSE(ring.ownerOf(123).has_value());
+}
+
+TEST(HashRing, BalancedOwnership) {
+  HashRing ring(160);
+  for (std::size_t m = 0; m < 4; ++m) ring.addMember(m);
+  const auto shares = ring.ownershipShares(50000);
+  ASSERT_EQ(shares.size(), 4u);
+  for (const double share : shares) {
+    EXPECT_NEAR(share, 0.25, 0.08);
+  }
+}
+
+TEST(HashRing, RemovalMovesOnlyVictimKeys) {
+  HashRing ring;
+  for (std::size_t m = 0; m < 4; ++m) ring.addMember(m);
+  std::vector<std::size_t> before(10000);
+  for (std::uint64_t k = 0; k < before.size(); ++k) {
+    before[k] = *ring.ownerOf(util::hashU64(k));
+  }
+  ASSERT_TRUE(ring.removeMember(2));
+  EXPECT_FALSE(ring.removeMember(2));
+  std::size_t moved = 0;
+  for (std::uint64_t k = 0; k < before.size(); ++k) {
+    const std::size_t after = *ring.ownerOf(util::hashU64(k));
+    EXPECT_NE(after, 2u);
+    if (before[k] != 2 && after != before[k]) ++moved;
+  }
+  // Consistent hashing: keys not owned by the removed member must not move.
+  EXPECT_EQ(moved, 0u);
+}
+
+TEST(HashRing, DuplicateAddIgnored) {
+  HashRing ring;
+  ring.addMember(1);
+  ring.addMember(1);
+  EXPECT_EQ(ring.memberCount(), 1u);
+}
+
+// ---- Remote / linked cache front-ends over the sim fabric ----
+
+class CacheFrontends : public ::testing::Test {
+ protected:
+  CacheFrontends()
+      : appTier_("app", sim::TierKind::kAppServer, 3),
+        cacheTier_("cache", sim::TierKind::kRemoteCache, 3),
+        channel_(network_, rpc::SerializationModel{}) {}
+
+  sim::NetworkModel network_;
+  sim::Tier appTier_;
+  sim::Tier cacheTier_;
+  rpc::Channel channel_;
+};
+
+TEST_F(CacheFrontends, RemoteCacheMissThenHit) {
+  RemoteCache remote(cacheTier_, util::Bytes::mb(64), channel_);
+  sim::Node& app = appTier_.node(0);
+
+  auto miss = remote.get(app, "k");
+  EXPECT_FALSE(miss.hit);
+  remote.put(app, "k", 4096, 3);
+  auto hit = remote.get(app, "k");
+  EXPECT_TRUE(hit.hit);
+  EXPECT_EQ(hit.size, 4096u);
+  EXPECT_EQ(hit.version, 3u);
+  EXPECT_GT(hit.latencyMicros, 0.0);
+
+  // RPC + value serialization must have charged the app server.
+  EXPECT_GT(app.cpu().micros(sim::CpuComponent::kRpcFraming), 0.0);
+  EXPECT_GT(app.cpu().micros(sim::CpuComponent::kDeserialization), 0.0);
+  // And the owning cache node paid for the probe.
+  const CacheStats agg = remote.aggregateStats();
+  EXPECT_EQ(agg.hits, 1u);
+  EXPECT_EQ(agg.misses, 1u);
+}
+
+TEST_F(CacheFrontends, RemoteInvalidateRemoves) {
+  RemoteCache remote(cacheTier_, util::Bytes::mb(64), channel_);
+  sim::Node& app = appTier_.node(0);
+  remote.put(app, "k", 100, 1);
+  remote.invalidate(app, "k");
+  EXPECT_FALSE(remote.get(app, "k").hit);
+}
+
+TEST_F(CacheFrontends, LinkedLocalHitPaysNoRpcOrMarshalling) {
+  LinkedCache linked(appTier_, util::Bytes::mb(64), channel_);
+  linked.fill("k", 4096, 9);
+  const std::size_t owner = linked.ownerOf("k");
+
+  // Snapshot app CPU, probe from the owner itself.
+  const double framingBefore =
+      appTier_.node(owner).cpu().micros(sim::CpuComponent::kRpcFraming);
+  const auto hit = linked.get(owner, "k");
+  EXPECT_TRUE(hit.hit);
+  EXPECT_TRUE(hit.local);
+  EXPECT_EQ(hit.version, 9u);
+  EXPECT_DOUBLE_EQ(hit.latencyMicros, 0.0);
+  EXPECT_DOUBLE_EQ(
+      appTier_.node(owner).cpu().micros(sim::CpuComponent::kRpcFraming),
+      framingBefore);
+}
+
+TEST_F(CacheFrontends, LinkedForwardedProbePaysRpc) {
+  LinkedCache linked(appTier_, util::Bytes::mb(64), channel_);
+  linked.fill("k", 4096, 1);
+  const std::size_t owner = linked.ownerOf("k");
+  const std::size_t other = (owner + 1) % appTier_.size();
+
+  const auto hit = linked.get(other, "k");
+  EXPECT_TRUE(hit.hit);
+  EXPECT_FALSE(hit.local);
+  EXPECT_GT(hit.latencyMicros, 0.0);
+  EXPECT_GT(appTier_.node(other).cpu().micros(sim::CpuComponent::kRpcFraming),
+            0.0);
+}
+
+TEST_F(CacheFrontends, LinkedRemoveServerDropsShard) {
+  LinkedCache linked(appTier_, util::Bytes::mb(64), channel_);
+  linked.fill("k", 100, 1);
+  const std::size_t owner = linked.ownerOf("k");
+  linked.removeServer(owner);
+  const std::size_t newOwner = linked.ownerOf("k");
+  EXPECT_NE(newOwner, owner);
+  EXPECT_FALSE(linked.get(newOwner, "k").hit);  // shard content was dropped
+}
+
+TEST_F(CacheFrontends, LinkedUpdateAndInvalidate) {
+  LinkedCache linked(appTier_, util::Bytes::mb(64), channel_);
+  const std::size_t owner = linked.ownerOf("k");
+  const std::size_t writer = (owner + 1) % appTier_.size();
+
+  linked.update(writer, "k", 256, 2);
+  auto hit = linked.get(owner, "k");
+  EXPECT_TRUE(hit.hit);
+  EXPECT_EQ(hit.version, 2u);
+
+  linked.invalidate(writer, "k");
+  EXPECT_FALSE(linked.get(owner, "k").hit);
+}
+
+}  // namespace
+}  // namespace dcache::cache

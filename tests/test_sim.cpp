@@ -1,0 +1,183 @@
+// Tests for the simulation substrate: resource meters, tiers, the network
+// cost model and the deterministic event loop.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_loop.hpp"
+#include "sim/network.hpp"
+#include "sim/node.hpp"
+#include "sim/resource.hpp"
+#include "sim/tier.hpp"
+
+namespace dcache::sim {
+namespace {
+
+TEST(CpuMeter, ComponentsSumToTotal) {
+  CpuMeter meter;
+  meter.charge(CpuComponent::kQueryParse, 10.0);
+  meter.charge(CpuComponent::kKvExecution, 5.5);
+  meter.charge(CpuComponent::kQueryParse, 4.5);
+  double sum = 0.0;
+  for (std::size_t c = 0; c < kNumCpuComponents; ++c) {
+    sum += meter.micros(static_cast<CpuComponent>(c));
+  }
+  EXPECT_DOUBLE_EQ(sum, meter.totalMicros());
+  EXPECT_DOUBLE_EQ(meter.totalMicros(), 20.0);
+  EXPECT_DOUBLE_EQ(meter.micros(CpuComponent::kQueryParse), 14.5);
+}
+
+TEST(CpuMeter, IgnoresNonPositiveCharges) {
+  CpuMeter meter;
+  meter.charge(CpuComponent::kDiskIo, 0.0);
+  meter.charge(CpuComponent::kDiskIo, -5.0);
+  EXPECT_DOUBLE_EQ(meter.totalMicros(), 0.0);
+}
+
+TEST(CpuMeter, MergeAddsComponentwise) {
+  CpuMeter a;
+  CpuMeter b;
+  a.charge(CpuComponent::kReplication, 3.0);
+  b.charge(CpuComponent::kReplication, 4.0);
+  b.charge(CpuComponent::kDiskIo, 1.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.micros(CpuComponent::kReplication), 7.0);
+  EXPECT_DOUBLE_EQ(a.totalMicros(), 8.0);
+}
+
+TEST(CpuMeter, AllComponentsHaveNames) {
+  for (std::size_t c = 0; c < kNumCpuComponents; ++c) {
+    EXPECT_NE(cpuComponentName(static_cast<CpuComponent>(c)), "unknown");
+  }
+}
+
+TEST(MemMeter, TracksPeak) {
+  MemMeter meter;
+  meter.provision(util::Bytes::gb(4));
+  meter.use(util::Bytes::mb(100));
+  meter.use(util::Bytes::mb(500));
+  meter.use(util::Bytes::mb(200));
+  EXPECT_EQ(meter.peak().count(), util::Bytes::mb(500).count());
+  EXPECT_EQ(meter.used().count(), util::Bytes::mb(200).count());
+  EXPECT_EQ(meter.provisioned().count(), util::Bytes::gb(4).count());
+}
+
+TEST(Tier, AggregatesAcrossNodes) {
+  Tier tier("kv", TierKind::kKvStorage, 3);
+  tier.node(0).charge(CpuComponent::kKvExecution, 10.0);
+  tier.node(2).charge(CpuComponent::kKvExecution, 20.0);
+  EXPECT_DOUBLE_EQ(tier.aggregateCpu().totalMicros(), 30.0);
+  tier.provisionMemoryPerNode(util::Bytes::gb(15));
+  EXPECT_EQ(tier.totalProvisionedMemory().count(),
+            util::Bytes::gb(45).count());
+}
+
+TEST(Tier, StablePlacementByKey) {
+  Tier tier("app", TierKind::kAppServer, 5);
+  for (std::uint64_t h : {0ULL, 17ULL, 123456789ULL}) {
+    EXPECT_EQ(&tier.nodeForKey(h), &tier.nodeForKey(h));
+    EXPECT_EQ(tier.indexForKey(h), h % 5);
+  }
+}
+
+TEST(Tier, RoundRobinCyclesAllNodes) {
+  Tier tier("sql", TierKind::kSqlFrontend, 3);
+  std::vector<const Node*> seen;
+  for (int i = 0; i < 3; ++i) seen.push_back(&tier.nextNode());
+  EXPECT_NE(seen[0], seen[1]);
+  EXPECT_NE(seen[1], seen[2]);
+  EXPECT_EQ(&tier.nextNode(), seen[0]);  // wraps
+}
+
+TEST(Tier, ZeroNodesClampedToOne) {
+  Tier tier("x", TierKind::kAppServer, 0);
+  EXPECT_EQ(tier.size(), 1u);
+}
+
+TEST(Network, ChargesBothEndpoints) {
+  NetworkModel net;
+  Node a("a", TierKind::kAppServer);
+  Node b("b", TierKind::kKvStorage);
+  const double latency = net.transfer(a, b, 1000, CpuComponent::kRpcFraming);
+  const double expectedPerEnd =
+      net.params().perMessageCpuMicros + net.params().perByteCpuMicros * 1000;
+  EXPECT_DOUBLE_EQ(a.cpu().totalMicros(), expectedPerEnd);
+  EXPECT_DOUBLE_EQ(b.cpu().totalMicros(), expectedPerEnd);
+  EXPECT_DOUBLE_EQ(latency, net.params().oneWayLatencyMicros +
+                                net.params().perByteLatencyMicros * 1000);
+  EXPECT_EQ(net.messagesSent(), 1u);
+  EXPECT_EQ(net.bytesSent(), 1000u);
+}
+
+TEST(Network, InProcessTransferIsFree) {
+  NetworkModel net;
+  Node a("a", TierKind::kAppServer);
+  EXPECT_DOUBLE_EQ(net.transfer(a, a, 1 << 20, CpuComponent::kRpcFraming),
+                   0.0);
+  EXPECT_DOUBLE_EQ(a.cpu().totalMicros(), 0.0);
+  EXPECT_EQ(net.messagesSent(), 0u);
+}
+
+TEST(EventLoop, RunsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule(30, [&] { order.push_back(3); });
+  loop.schedule(10, [&] { order.push_back(1); });
+  loop.schedule(20, [&] { order.push_back(2); });
+  EXPECT_EQ(loop.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoop, FifoWithinSameTimestamp) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule(5, [&] { order.push_back(1); });
+  loop.schedule(5, [&] { order.push_back(2); });
+  loop.schedule(5, [&] { order.push_back(3); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoop, NestedSchedulingAdvancesClock) {
+  EventLoop loop;
+  std::vector<std::uint64_t> times;
+  loop.schedule(10, [&] {
+    times.push_back(loop.now());
+    loop.schedule(15, [&] { times.push_back(loop.now()); });
+  });
+  loop.run();
+  EXPECT_EQ(times, (std::vector<std::uint64_t>{10, 25}));
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  bool ran = false;
+  const auto id = loop.schedule(10, [&] { ran = true; });
+  EXPECT_TRUE(loop.cancel(id));
+  EXPECT_FALSE(loop.cancel(id));  // second cancel is a no-op
+  loop.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventLoop, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int count = 0;
+  loop.schedule(10, [&] { ++count; });
+  loop.schedule(20, [&] { ++count; });
+  loop.schedule(30, [&] { ++count; });
+  EXPECT_EQ(loop.runUntil(20), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(loop.empty());
+  loop.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(TierKindNames, AllNamed) {
+  for (std::uint8_t k = 0; k < static_cast<std::uint8_t>(TierKind::kCount);
+       ++k) {
+    EXPECT_NE(tierKindName(static_cast<TierKind>(k)), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace dcache::sim

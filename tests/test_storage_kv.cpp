@@ -1,0 +1,214 @@
+// Storage engine unit tests: MVCC visibility, tombstones, GC, prefix scans,
+// the block cache's hit/miss/grouping behaviour and the row codec.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "storage/block_cache.hpp"
+#include "storage/kv_engine.hpp"
+#include "storage/row.hpp"
+#include "storage/schema.hpp"
+#include "util/rng.hpp"
+
+namespace dcache::storage {
+namespace {
+
+TEST(KvEngine, LatestWinsAndSnapshotsSeePast) {
+  KvEngine engine;
+  EXPECT_TRUE(engine.put("k", StoredValue::sized(10), 5));
+  EXPECT_TRUE(engine.put("k", StoredValue::sized(20), 9));
+
+  const StoredValue* latest = engine.get("k");
+  ASSERT_NE(latest, nullptr);
+  EXPECT_EQ(latest->size, 20u);
+  EXPECT_EQ(latest->version, 9u);
+
+  const StoredValue* snapshot = engine.get("k", 7);
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->size, 10u);
+
+  EXPECT_EQ(engine.get("k", 4), nullptr);  // before the first write
+}
+
+TEST(KvEngine, RejectsOutOfOrderCommits) {
+  KvEngine engine;
+  EXPECT_TRUE(engine.put("k", StoredValue::sized(1), 10));
+  EXPECT_FALSE(engine.put("k", StoredValue::sized(2), 10));  // same ts
+  EXPECT_FALSE(engine.put("k", StoredValue::sized(2), 9));   // older ts
+  EXPECT_EQ(engine.get("k")->size, 1u);
+}
+
+TEST(KvEngine, TombstoneHidesValue) {
+  KvEngine engine;
+  engine.put("k", StoredValue::sized(10), 1);
+  EXPECT_TRUE(engine.erase("k", 2));
+  EXPECT_EQ(engine.get("k"), nullptr);
+  EXPECT_FALSE(engine.latestVersion("k").has_value());
+  // The old snapshot still sees the value.
+  ASSERT_NE(engine.get("k", 1), nullptr);
+  // A later write resurrects the key.
+  engine.put("k", StoredValue::sized(30), 3);
+  EXPECT_EQ(engine.get("k")->size, 30u);
+}
+
+TEST(KvEngine, LiveBytesTracksNewestVersions) {
+  KvEngine engine;
+  engine.put("a", StoredValue::sized(100), 1);
+  engine.put("b", StoredValue::sized(50), 2);
+  EXPECT_EQ(engine.liveBytes().count(), 150u);
+  engine.put("a", StoredValue::sized(10), 3);  // replaces the 100
+  EXPECT_EQ(engine.liveBytes().count(), 60u);
+  engine.erase("b", 4);
+  EXPECT_EQ(engine.liveBytes().count(), 10u);
+}
+
+TEST(KvEngine, ScanPrefixOrderedAndBounded) {
+  KvEngine engine;
+  engine.put("t/users/r/1", StoredValue::of("u1"), 1);
+  engine.put("t/users/r/2", StoredValue::of("u2"), 2);
+  engine.put("t/users/r/3", StoredValue::of("u3"), 3);
+  engine.put("t/orders/r/1", StoredValue::of("o1"), 4);
+
+  std::vector<std::string> keys;
+  engine.scanPrefix("t/users/r/", KvEngine::kLatest,
+                    [&](std::string_view key, const StoredValue&) {
+                      keys.emplace_back(key);
+                      return true;
+                    });
+  EXPECT_EQ(keys, (std::vector<std::string>{"t/users/r/1", "t/users/r/2",
+                                            "t/users/r/3"}));
+
+  // Early stop.
+  keys.clear();
+  engine.scanPrefix("t/users/r/", KvEngine::kLatest,
+                    [&](std::string_view key, const StoredValue&) {
+                      keys.emplace_back(key);
+                      return false;
+                    });
+  EXPECT_EQ(keys.size(), 1u);
+}
+
+TEST(KvEngine, ScanSkipsTombstones) {
+  KvEngine engine;
+  engine.put("p/a", StoredValue::sized(1), 1);
+  engine.put("p/b", StoredValue::sized(1), 2);
+  engine.erase("p/a", 3);
+  std::size_t visited = engine.scanPrefix(
+      "p/", KvEngine::kLatest,
+      [](std::string_view, const StoredValue&) { return true; });
+  EXPECT_EQ(visited, 1u);
+}
+
+TEST(KvEngine, GcTrimsHistory) {
+  KvEngine engine;
+  for (std::uint64_t v = 1; v <= 10; ++v) {
+    engine.put("k", StoredValue::sized(v), v);
+  }
+  EXPECT_EQ(engine.gc(2), 8u);
+  // Newest two survive.
+  EXPECT_EQ(engine.get("k")->size, 10u);
+  ASSERT_NE(engine.get("k", 9), nullptr);
+  EXPECT_EQ(engine.get("k", 8), nullptr);  // history gone
+}
+
+TEST(BlockCache, MissThenHit) {
+  BlockCache cache(util::Bytes::mb(4));
+  EXPECT_FALSE(cache.touchRead("key1", 100));  // cold miss loads block
+  EXPECT_TRUE(cache.touchRead("key1", 100));
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(BlockCache, WriteWarmsBlock) {
+  BlockCache cache(util::Bytes::mb(4));
+  cache.touchWrite("key1", 100);
+  EXPECT_TRUE(cache.touchRead("key1", 100));
+}
+
+TEST(BlockCache, InvalidateForcesMiss) {
+  BlockCache cache(util::Bytes::mb(4));
+  cache.touchWrite("key1", 100);
+  cache.invalidate("key1");
+  EXPECT_FALSE(cache.touchRead("key1", 100));
+}
+
+TEST(BlockCache, BlocksAtLeastPageSized) {
+  EXPECT_EQ(BlockCache::blockSizeFor(10), BlockCache::kBlockBytes);
+  EXPECT_EQ(BlockCache::blockSizeFor(1 << 20), 1u << 20);
+}
+
+TEST(BlockCache, BlockIdGroupsAndIsStable) {
+  const std::string id = BlockCache::blockIdFor("some-key");
+  EXPECT_EQ(id, BlockCache::blockIdFor("some-key"));
+  EXPECT_EQ(id.size(), 17u);
+  EXPECT_EQ(id[0], 'b');
+}
+
+TEST(BlockCache, EvictsUnderPressure) {
+  BlockCache cache(util::Bytes::of(3 * (BlockCache::kBlockBytes + 200)));
+  util::Pcg32 rng(3, 1);
+  for (int i = 0; i < 1000; ++i) {
+    cache.touchRead("key" + std::to_string(i), 100);
+  }
+  EXPECT_GT(cache.stats().evictions, 0u);
+  EXPECT_LE(cache.bytesUsed().count(), cache.capacity().count());
+}
+
+// ---- Row codec ----
+
+TEST(RowCodec, RoundtripAllTypes) {
+  const TableSchema schema("t",
+                           {Column{"id", ColumnType::kInt},
+                            Column{"score", ColumnType::kDouble},
+                            Column{"name", ColumnType::kString}},
+                           0);
+  const Row row{{std::int64_t{-42}, 3.5, std::string("alice")}};
+  const std::string bytes = encodeRow(schema, row);
+  EXPECT_EQ(bytes.size(), encodedRowSize(schema, row));
+  const auto back = decodeRow(schema, bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(valueToInt(back->at(0)), -42);
+  EXPECT_DOUBLE_EQ(std::get<double>(back->at(1)), 3.5);
+  EXPECT_EQ(std::get<std::string>(back->at(2)), "alice");
+}
+
+TEST(RowCodec, DecodeRejectsGarbage) {
+  const TableSchema schema("t", {Column{"id", ColumnType::kInt}}, 0);
+  // Length-delimited field claiming more bytes than present.
+  const std::string bad = "\x0a\xff";
+  EXPECT_FALSE(decodeRow(schema, bad).has_value());
+}
+
+TEST(RowCodec, DeclaredPayloadBytes) {
+  TableSchema schema("t",
+                     {Column{"id", ColumnType::kInt},
+                      Column{"blob_bytes", ColumnType::kInt}},
+                     0);
+  schema.withPayloadSizeColumn("blob_bytes");
+  ASSERT_TRUE(schema.payloadSizeColumn().has_value());
+  const Row row{{std::int64_t{1}, std::int64_t{5000}}};
+  EXPECT_EQ(declaredPayloadBytes(schema, row), 5000u);
+  const Row negative{{std::int64_t{1}, std::int64_t{-10}}};
+  EXPECT_EQ(declaredPayloadBytes(schema, negative), 0u);
+}
+
+TEST(RowCodec, PayloadColumnMustBeInt) {
+  TableSchema schema("t",
+                     {Column{"id", ColumnType::kInt},
+                      Column{"name", ColumnType::kString}},
+                     0);
+  schema.withPayloadSizeColumn("name");  // wrong type: ignored
+  EXPECT_FALSE(schema.payloadSizeColumn().has_value());
+}
+
+TEST(ValueHelpers, CrossTypeEquality) {
+  EXPECT_TRUE(valueEquals(Value{std::int64_t{5}}, Value{5.0}));
+  EXPECT_FALSE(valueEquals(Value{std::int64_t{5}}, Value{std::string("5")}));
+  EXPECT_TRUE(valueEquals(Value{std::string("x")}, Value{std::string("x")}));
+  EXPECT_EQ(valueToInt(Value{std::string("123")}), 123);
+  EXPECT_EQ(valueToString(Value{std::int64_t{7}}), "7");
+}
+
+}  // namespace
+}  // namespace dcache::storage

@@ -1,0 +1,284 @@
+// Unit tests for the util library: hashing, RNG, histograms, statistics,
+// money and byte quantities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/hash.hpp"
+#include "util/histogram.hpp"
+#include "util/money.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table_printer.hpp"
+
+namespace dcache::util {
+namespace {
+
+TEST(Hash, Fnv1aMatchesKnownVectors) {
+  // FNV-1a 64-bit published test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Hash, StableAcrossCalls) {
+  EXPECT_EQ(hashKey("hello"), hashKey("hello"));
+  EXPECT_NE(hashKey("hello"), hashKey("hellp"));
+}
+
+TEST(Hash, Mix64Avalanche) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int totalFlips = 0;
+  constexpr int kTrials = 64;
+  for (int bit = 0; bit < kTrials; ++bit) {
+    const std::uint64_t a = mix64(0x123456789abcdefULL);
+    const std::uint64_t b = mix64(0x123456789abcdefULL ^ (1ULL << bit));
+    totalFlips += __builtin_popcountll(a ^ b);
+  }
+  const double avg = static_cast<double>(totalFlips) / kTrials;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(Hash, CombineOrderDependent) {
+  EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
+}
+
+TEST(Hash, TransparentHasherAgreesWithStringView) {
+  const TransparentStringHash hasher;
+  const std::string s = "some-key";
+  EXPECT_EQ(hasher(s), hasher(std::string_view(s)));
+}
+
+TEST(Rng, DeterministicBySeed) {
+  Pcg32 a(42, 1);
+  Pcg32 b(42, 1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  Pcg32 c(43, 1);
+  Pcg32 d(42, 1);
+  bool differs = false;
+  for (int i = 0; i < 100; ++i) differs |= c.next() != d.next();
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Pcg32 rng(7, 1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = uniform01(rng);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01Moments) {
+  Pcg32 rng(11, 1);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(uniform01(rng));
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, BoundedIsUnbiasedEnough) {
+  Pcg32 rng(3, 1);
+  std::vector<int> counts(10, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.nextBounded(10)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / 10, kDraws / 10 * 0.1);
+  }
+}
+
+TEST(Rng, StandardNormalMoments) {
+  Pcg32 rng(5, 1);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(standardNormal(rng));
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, LogNormalMedian) {
+  Pcg32 rng(9, 1);
+  std::vector<double> sample;
+  for (int i = 0; i < 50000; ++i) {
+    sample.push_back(logNormal(rng, std::log(100.0), 0.5));
+  }
+  EXPECT_NEAR(exactQuantile(sample, 0.5), 100.0, 5.0);
+}
+
+TEST(Rng, ParetoTailIsHeavy) {
+  Pcg32 rng(13, 1);
+  double maxSeen = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    maxSeen = std::max(maxSeen, pareto(rng, 1.0, 1.1));
+  }
+  EXPECT_GT(maxSeen, 100.0);  // heavy tail reaches far past the scale
+}
+
+TEST(Histogram, QuantilesApproximateExact) {
+  Histogram hist;
+  std::vector<double> values;
+  Pcg32 rng(1, 1);
+  for (int i = 0; i < 50000; ++i) {
+    const double v = std::exp(uniform01(rng) * 10.0);  // spans 5 decades
+    values.push_back(v);
+    hist.record(v);
+  }
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const double exact = exactQuantile(values, q);
+    const double approx = hist.quantile(q);
+    EXPECT_NEAR(approx / exact, 1.0, 0.08) << "q=" << q;
+  }
+}
+
+TEST(Histogram, TracksCountSumMinMax) {
+  Histogram hist;
+  hist.record(10.0);
+  hist.record(20.0);
+  hist.recordN(5.0, 3);
+  EXPECT_EQ(hist.count(), 5u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 45.0);
+  EXPECT_DOUBLE_EQ(hist.min(), 5.0);
+  EXPECT_DOUBLE_EQ(hist.max(), 20.0);
+  EXPECT_DOUBLE_EQ(hist.mean(), 9.0);
+}
+
+TEST(Histogram, MergePreservesTotals) {
+  Histogram a;
+  Histogram b;
+  a.record(1.0);
+  a.record(100.0);
+  b.record(50.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.sum(), 151.0);
+  EXPECT_DOUBLE_EQ(a.max(), 100.0);
+}
+
+TEST(Histogram, EmptyIsSafe) {
+  const Histogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_DOUBLE_EQ(hist.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(hist.mean(), 0.0);
+}
+
+TEST(Stats, WelfordMatchesNaive) {
+  RunningStats stats;
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0};
+  double sum = 0.0;
+  for (const double x : xs) {
+    stats.add(x);
+    sum += x;
+  }
+  const double mean = sum / xs.size();
+  double var = 0.0;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  var /= xs.size();
+  EXPECT_DOUBLE_EQ(stats.mean(), mean);
+  EXPECT_NEAR(stats.variance(), var, 1e-9);
+}
+
+TEST(Stats, MergeEqualsSequential) {
+  RunningStats whole;
+  RunningStats partA;
+  RunningStats partB;
+  Pcg32 rng(2, 1);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = uniform01(rng) * 100.0;
+    whole.add(x);
+    (i % 2 == 0 ? partA : partB).add(x);
+  }
+  partA.merge(partB);
+  EXPECT_NEAR(partA.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(partA.variance(), whole.variance(), 1e-6);
+  EXPECT_EQ(partA.count(), whole.count());
+}
+
+TEST(Stats, LogLogSlopeRecoversExponent) {
+  // y = x^-1.2 exactly.
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 1; i <= 100; ++i) {
+    xs.push_back(i);
+    ys.push_back(std::pow(i, -1.2));
+  }
+  EXPECT_NEAR(logLogSlope(xs, ys), -1.2, 1e-9);
+}
+
+TEST(Stats, GeneralizedHarmonic) {
+  EXPECT_NEAR(generalizedHarmonic(3, 1.0), 1.0 + 0.5 + 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(generalizedHarmonic(1, 2.5), 1.0, 1e-12);
+}
+
+TEST(Stats, CorrelationSigns) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> up = {2, 4, 6, 8, 10};
+  const std::vector<double> down = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(correlation(xs, up), 1.0, 1e-9);
+  EXPECT_NEAR(correlation(xs, down), -1.0, 1e-9);
+}
+
+TEST(Money, ExactArithmetic) {
+  const Money a = Money::fromDollars(17.0);
+  Money total;
+  for (int i = 0; i < 1000; ++i) total += a;
+  EXPECT_DOUBLE_EQ(total.dollars(), 17000.0);
+  EXPECT_EQ(total.micros(), 17000000000LL);
+}
+
+TEST(Money, RatioAndScale) {
+  const Money a = Money::fromDollars(300.0);
+  const Money b = Money::fromDollars(100.0);
+  EXPECT_DOUBLE_EQ(a / b, 3.0);
+  EXPECT_DOUBLE_EQ((a * 0.5).dollars(), 150.0);
+  EXPECT_DOUBLE_EQ((0.5 * a).dollars(), 150.0);
+  EXPECT_DOUBLE_EQ((a - b).dollars(), 200.0);
+}
+
+TEST(Money, Formatting) {
+  EXPECT_EQ(Money::fromDollars(123.456).str(), "$123");
+  EXPECT_EQ(Money::fromDollars(12.345).str(), "$12.35");  // rounded
+  EXPECT_EQ(Money::fromDollars(0.0042).str(), "$0.0042");
+}
+
+TEST(Bytes, Construction) {
+  EXPECT_EQ(Bytes::kb(1).count(), 1024u);
+  EXPECT_EQ(Bytes::mb(1).count(), 1024u * 1024);
+  EXPECT_EQ(Bytes::gb(1.5).count(), 1536ull * 1024 * 1024);
+}
+
+TEST(Bytes, ParseRoundtrip) {
+  EXPECT_EQ(Bytes::parse("512")->count(), 512u);
+  EXPECT_EQ(Bytes::parse("16KB")->count(), 16384u);
+  EXPECT_EQ(Bytes::parse("1.5 MB")->count(), Bytes::mb(1.5).count());
+  EXPECT_EQ(Bytes::parse("6gb")->count(), Bytes::gb(6).count());
+  EXPECT_FALSE(Bytes::parse("abc").has_value());
+  EXPECT_FALSE(Bytes::parse("-5KB").has_value());
+  EXPECT_FALSE(Bytes::parse("").has_value());
+}
+
+TEST(Bytes, SaturatingSubtraction) {
+  EXPECT_EQ((Bytes::kb(1) - Bytes::kb(2)).count(), 0u);
+}
+
+TEST(Bytes, Formatting) {
+  EXPECT_EQ(Bytes::of(512).str(), "512B");
+  EXPECT_EQ(Bytes::kb(23).str(), "23.0KB");
+  EXPECT_EQ(Bytes::gb(6).str(), "6.0GB");
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.row("short", 1);
+  table.row("much-longer-name", 123456);
+  const std::string out = table.str("Title");
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("much-longer-name"), std::string::npos);
+  // Header row plus rule plus two data rows plus title.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 5);
+}
+
+}  // namespace
+}  // namespace dcache::util
