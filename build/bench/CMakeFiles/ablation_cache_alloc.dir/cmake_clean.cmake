@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cache_alloc.dir/ablation_cache_alloc.cpp.o"
+  "CMakeFiles/ablation_cache_alloc.dir/ablation_cache_alloc.cpp.o.d"
+  "ablation_cache_alloc"
+  "ablation_cache_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cache_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

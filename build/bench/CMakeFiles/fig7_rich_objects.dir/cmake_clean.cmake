@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_rich_objects.dir/fig7_rich_objects.cpp.o"
+  "CMakeFiles/fig7_rich_objects.dir/fig7_rich_objects.cpp.o.d"
+  "fig7_rich_objects"
+  "fig7_rich_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_rich_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_delayed_writes.dir/fig8_delayed_writes.cpp.o"
+  "CMakeFiles/fig8_delayed_writes.dir/fig8_delayed_writes.cpp.o.d"
+  "fig8_delayed_writes"
+  "fig8_delayed_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_delayed_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consistent_cache_demo.dir/consistent_cache_demo.cpp.o"
+  "CMakeFiles/consistent_cache_demo.dir/consistent_cache_demo.cpp.o.d"
+  "consistent_cache_demo"
+  "consistent_cache_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consistent_cache_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for consistent_cache_demo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dcache_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/consistency/CMakeFiles/dcache_consistency.dir/DependInfo.cmake"
+  "/root/repo/build/src/richobject/CMakeFiles/dcache_richobject.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dcache_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dcache_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dcache_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/dcache_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcache_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dcache_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unity_catalog_service.dir/unity_catalog_service.cpp.o"
+  "CMakeFiles/unity_catalog_service.dir/unity_catalog_service.cpp.o.d"
+  "unity_catalog_service"
+  "unity_catalog_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unity_catalog_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

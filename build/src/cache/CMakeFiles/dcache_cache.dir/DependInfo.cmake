@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/clock.cpp" "src/cache/CMakeFiles/dcache_cache.dir/clock.cpp.o" "gcc" "src/cache/CMakeFiles/dcache_cache.dir/clock.cpp.o.d"
+  "/root/repo/src/cache/fifo.cpp" "src/cache/CMakeFiles/dcache_cache.dir/fifo.cpp.o" "gcc" "src/cache/CMakeFiles/dcache_cache.dir/fifo.cpp.o.d"
+  "/root/repo/src/cache/hash_ring.cpp" "src/cache/CMakeFiles/dcache_cache.dir/hash_ring.cpp.o" "gcc" "src/cache/CMakeFiles/dcache_cache.dir/hash_ring.cpp.o.d"
+  "/root/repo/src/cache/kv_cache.cpp" "src/cache/CMakeFiles/dcache_cache.dir/kv_cache.cpp.o" "gcc" "src/cache/CMakeFiles/dcache_cache.dir/kv_cache.cpp.o.d"
+  "/root/repo/src/cache/lfu.cpp" "src/cache/CMakeFiles/dcache_cache.dir/lfu.cpp.o" "gcc" "src/cache/CMakeFiles/dcache_cache.dir/lfu.cpp.o.d"
+  "/root/repo/src/cache/linked_cache.cpp" "src/cache/CMakeFiles/dcache_cache.dir/linked_cache.cpp.o" "gcc" "src/cache/CMakeFiles/dcache_cache.dir/linked_cache.cpp.o.d"
+  "/root/repo/src/cache/lru.cpp" "src/cache/CMakeFiles/dcache_cache.dir/lru.cpp.o" "gcc" "src/cache/CMakeFiles/dcache_cache.dir/lru.cpp.o.d"
+  "/root/repo/src/cache/mrc.cpp" "src/cache/CMakeFiles/dcache_cache.dir/mrc.cpp.o" "gcc" "src/cache/CMakeFiles/dcache_cache.dir/mrc.cpp.o.d"
+  "/root/repo/src/cache/remote_cache.cpp" "src/cache/CMakeFiles/dcache_cache.dir/remote_cache.cpp.o" "gcc" "src/cache/CMakeFiles/dcache_cache.dir/remote_cache.cpp.o.d"
+  "/root/repo/src/cache/s3fifo.cpp" "src/cache/CMakeFiles/dcache_cache.dir/s3fifo.cpp.o" "gcc" "src/cache/CMakeFiles/dcache_cache.dir/s3fifo.cpp.o.d"
+  "/root/repo/src/cache/sharded.cpp" "src/cache/CMakeFiles/dcache_cache.dir/sharded.cpp.o" "gcc" "src/cache/CMakeFiles/dcache_cache.dir/sharded.cpp.o.d"
+  "/root/repo/src/cache/slru.cpp" "src/cache/CMakeFiles/dcache_cache.dir/slru.cpp.o" "gcc" "src/cache/CMakeFiles/dcache_cache.dir/slru.cpp.o.d"
+  "/root/repo/src/cache/ttl.cpp" "src/cache/CMakeFiles/dcache_cache.dir/ttl.cpp.o" "gcc" "src/cache/CMakeFiles/dcache_cache.dir/ttl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rpc/CMakeFiles/dcache_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcache_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dcache_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

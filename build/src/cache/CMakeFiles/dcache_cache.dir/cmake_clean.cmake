@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcache_cache.dir/clock.cpp.o"
+  "CMakeFiles/dcache_cache.dir/clock.cpp.o.d"
+  "CMakeFiles/dcache_cache.dir/fifo.cpp.o"
+  "CMakeFiles/dcache_cache.dir/fifo.cpp.o.d"
+  "CMakeFiles/dcache_cache.dir/hash_ring.cpp.o"
+  "CMakeFiles/dcache_cache.dir/hash_ring.cpp.o.d"
+  "CMakeFiles/dcache_cache.dir/kv_cache.cpp.o"
+  "CMakeFiles/dcache_cache.dir/kv_cache.cpp.o.d"
+  "CMakeFiles/dcache_cache.dir/lfu.cpp.o"
+  "CMakeFiles/dcache_cache.dir/lfu.cpp.o.d"
+  "CMakeFiles/dcache_cache.dir/linked_cache.cpp.o"
+  "CMakeFiles/dcache_cache.dir/linked_cache.cpp.o.d"
+  "CMakeFiles/dcache_cache.dir/lru.cpp.o"
+  "CMakeFiles/dcache_cache.dir/lru.cpp.o.d"
+  "CMakeFiles/dcache_cache.dir/mrc.cpp.o"
+  "CMakeFiles/dcache_cache.dir/mrc.cpp.o.d"
+  "CMakeFiles/dcache_cache.dir/remote_cache.cpp.o"
+  "CMakeFiles/dcache_cache.dir/remote_cache.cpp.o.d"
+  "CMakeFiles/dcache_cache.dir/s3fifo.cpp.o"
+  "CMakeFiles/dcache_cache.dir/s3fifo.cpp.o.d"
+  "CMakeFiles/dcache_cache.dir/sharded.cpp.o"
+  "CMakeFiles/dcache_cache.dir/sharded.cpp.o.d"
+  "CMakeFiles/dcache_cache.dir/slru.cpp.o"
+  "CMakeFiles/dcache_cache.dir/slru.cpp.o.d"
+  "CMakeFiles/dcache_cache.dir/ttl.cpp.o"
+  "CMakeFiles/dcache_cache.dir/ttl.cpp.o.d"
+  "libdcache_cache.a"
+  "libdcache_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcache_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

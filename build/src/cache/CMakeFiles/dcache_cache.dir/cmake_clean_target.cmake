@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdcache_cache.a"
+)

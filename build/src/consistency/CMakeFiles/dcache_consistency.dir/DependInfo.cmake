@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consistency/delayed_write.cpp" "src/consistency/CMakeFiles/dcache_consistency.dir/delayed_write.cpp.o" "gcc" "src/consistency/CMakeFiles/dcache_consistency.dir/delayed_write.cpp.o.d"
+  "/root/repo/src/consistency/invalidation.cpp" "src/consistency/CMakeFiles/dcache_consistency.dir/invalidation.cpp.o" "gcc" "src/consistency/CMakeFiles/dcache_consistency.dir/invalidation.cpp.o.d"
+  "/root/repo/src/consistency/lease.cpp" "src/consistency/CMakeFiles/dcache_consistency.dir/lease.cpp.o" "gcc" "src/consistency/CMakeFiles/dcache_consistency.dir/lease.cpp.o.d"
+  "/root/repo/src/consistency/linearizability.cpp" "src/consistency/CMakeFiles/dcache_consistency.dir/linearizability.cpp.o" "gcc" "src/consistency/CMakeFiles/dcache_consistency.dir/linearizability.cpp.o.d"
+  "/root/repo/src/consistency/version_check.cpp" "src/consistency/CMakeFiles/dcache_consistency.dir/version_check.cpp.o" "gcc" "src/consistency/CMakeFiles/dcache_consistency.dir/version_check.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/dcache_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dcache_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/dcache_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcache_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dcache_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcache_consistency.dir/delayed_write.cpp.o"
+  "CMakeFiles/dcache_consistency.dir/delayed_write.cpp.o.d"
+  "CMakeFiles/dcache_consistency.dir/invalidation.cpp.o"
+  "CMakeFiles/dcache_consistency.dir/invalidation.cpp.o.d"
+  "CMakeFiles/dcache_consistency.dir/lease.cpp.o"
+  "CMakeFiles/dcache_consistency.dir/lease.cpp.o.d"
+  "CMakeFiles/dcache_consistency.dir/linearizability.cpp.o"
+  "CMakeFiles/dcache_consistency.dir/linearizability.cpp.o.d"
+  "CMakeFiles/dcache_consistency.dir/version_check.cpp.o"
+  "CMakeFiles/dcache_consistency.dir/version_check.cpp.o.d"
+  "libdcache_consistency.a"
+  "libdcache_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcache_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

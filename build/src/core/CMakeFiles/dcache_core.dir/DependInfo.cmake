@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cpp" "src/core/CMakeFiles/dcache_core.dir/advisor.cpp.o" "gcc" "src/core/CMakeFiles/dcache_core.dir/advisor.cpp.o.d"
+  "/root/repo/src/core/architecture.cpp" "src/core/CMakeFiles/dcache_core.dir/architecture.cpp.o" "gcc" "src/core/CMakeFiles/dcache_core.dir/architecture.cpp.o.d"
+  "/root/repo/src/core/calibration.cpp" "src/core/CMakeFiles/dcache_core.dir/calibration.cpp.o" "gcc" "src/core/CMakeFiles/dcache_core.dir/calibration.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "src/core/CMakeFiles/dcache_core.dir/cost_model.cpp.o" "gcc" "src/core/CMakeFiles/dcache_core.dir/cost_model.cpp.o.d"
+  "/root/repo/src/core/deployment.cpp" "src/core/CMakeFiles/dcache_core.dir/deployment.cpp.o" "gcc" "src/core/CMakeFiles/dcache_core.dir/deployment.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/dcache_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/dcache_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/dcache_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/dcache_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/pricing.cpp" "src/core/CMakeFiles/dcache_core.dir/pricing.cpp.o" "gcc" "src/core/CMakeFiles/dcache_core.dir/pricing.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/dcache_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/dcache_core.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/consistency/CMakeFiles/dcache_consistency.dir/DependInfo.cmake"
+  "/root/repo/build/src/richobject/CMakeFiles/dcache_richobject.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dcache_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dcache_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dcache_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/dcache_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcache_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dcache_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcache_core.dir/advisor.cpp.o"
+  "CMakeFiles/dcache_core.dir/advisor.cpp.o.d"
+  "CMakeFiles/dcache_core.dir/architecture.cpp.o"
+  "CMakeFiles/dcache_core.dir/architecture.cpp.o.d"
+  "CMakeFiles/dcache_core.dir/calibration.cpp.o"
+  "CMakeFiles/dcache_core.dir/calibration.cpp.o.d"
+  "CMakeFiles/dcache_core.dir/cost_model.cpp.o"
+  "CMakeFiles/dcache_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/dcache_core.dir/deployment.cpp.o"
+  "CMakeFiles/dcache_core.dir/deployment.cpp.o.d"
+  "CMakeFiles/dcache_core.dir/experiment.cpp.o"
+  "CMakeFiles/dcache_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/dcache_core.dir/model.cpp.o"
+  "CMakeFiles/dcache_core.dir/model.cpp.o.d"
+  "CMakeFiles/dcache_core.dir/pricing.cpp.o"
+  "CMakeFiles/dcache_core.dir/pricing.cpp.o.d"
+  "CMakeFiles/dcache_core.dir/report.cpp.o"
+  "CMakeFiles/dcache_core.dir/report.cpp.o.d"
+  "libdcache_core.a"
+  "libdcache_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcache_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcache_richobject.dir/assembler.cpp.o"
+  "CMakeFiles/dcache_richobject.dir/assembler.cpp.o.d"
+  "CMakeFiles/dcache_richobject.dir/catalog_store.cpp.o"
+  "CMakeFiles/dcache_richobject.dir/catalog_store.cpp.o.d"
+  "CMakeFiles/dcache_richobject.dir/entities.cpp.o"
+  "CMakeFiles/dcache_richobject.dir/entities.cpp.o.d"
+  "CMakeFiles/dcache_richobject.dir/object_codec.cpp.o"
+  "CMakeFiles/dcache_richobject.dir/object_codec.cpp.o.d"
+  "libdcache_richobject.a"
+  "libdcache_richobject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcache_richobject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/channel.cpp" "src/rpc/CMakeFiles/dcache_rpc.dir/channel.cpp.o" "gcc" "src/rpc/CMakeFiles/dcache_rpc.dir/channel.cpp.o.d"
+  "/root/repo/src/rpc/messages.cpp" "src/rpc/CMakeFiles/dcache_rpc.dir/messages.cpp.o" "gcc" "src/rpc/CMakeFiles/dcache_rpc.dir/messages.cpp.o.d"
+  "/root/repo/src/rpc/serialization_model.cpp" "src/rpc/CMakeFiles/dcache_rpc.dir/serialization_model.cpp.o" "gcc" "src/rpc/CMakeFiles/dcache_rpc.dir/serialization_model.cpp.o.d"
+  "/root/repo/src/rpc/wire.cpp" "src/rpc/CMakeFiles/dcache_rpc.dir/wire.cpp.o" "gcc" "src/rpc/CMakeFiles/dcache_rpc.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dcache_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dcache_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

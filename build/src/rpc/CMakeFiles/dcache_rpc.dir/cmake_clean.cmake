@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcache_rpc.dir/channel.cpp.o"
+  "CMakeFiles/dcache_rpc.dir/channel.cpp.o.d"
+  "CMakeFiles/dcache_rpc.dir/messages.cpp.o"
+  "CMakeFiles/dcache_rpc.dir/messages.cpp.o.d"
+  "CMakeFiles/dcache_rpc.dir/serialization_model.cpp.o"
+  "CMakeFiles/dcache_rpc.dir/serialization_model.cpp.o.d"
+  "CMakeFiles/dcache_rpc.dir/wire.cpp.o"
+  "CMakeFiles/dcache_rpc.dir/wire.cpp.o.d"
+  "libdcache_rpc.a"
+  "libdcache_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcache_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

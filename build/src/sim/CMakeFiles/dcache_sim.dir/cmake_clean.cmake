@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcache_sim.dir/event_loop.cpp.o"
+  "CMakeFiles/dcache_sim.dir/event_loop.cpp.o.d"
+  "CMakeFiles/dcache_sim.dir/network.cpp.o"
+  "CMakeFiles/dcache_sim.dir/network.cpp.o.d"
+  "CMakeFiles/dcache_sim.dir/node.cpp.o"
+  "CMakeFiles/dcache_sim.dir/node.cpp.o.d"
+  "CMakeFiles/dcache_sim.dir/resource.cpp.o"
+  "CMakeFiles/dcache_sim.dir/resource.cpp.o.d"
+  "CMakeFiles/dcache_sim.dir/tier.cpp.o"
+  "CMakeFiles/dcache_sim.dir/tier.cpp.o.d"
+  "libdcache_sim.a"
+  "libdcache_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcache_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

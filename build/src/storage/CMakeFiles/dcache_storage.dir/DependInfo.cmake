@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/block_cache.cpp" "src/storage/CMakeFiles/dcache_storage.dir/block_cache.cpp.o" "gcc" "src/storage/CMakeFiles/dcache_storage.dir/block_cache.cpp.o.d"
+  "/root/repo/src/storage/database.cpp" "src/storage/CMakeFiles/dcache_storage.dir/database.cpp.o" "gcc" "src/storage/CMakeFiles/dcache_storage.dir/database.cpp.o.d"
+  "/root/repo/src/storage/executor.cpp" "src/storage/CMakeFiles/dcache_storage.dir/executor.cpp.o" "gcc" "src/storage/CMakeFiles/dcache_storage.dir/executor.cpp.o.d"
+  "/root/repo/src/storage/kv_engine.cpp" "src/storage/CMakeFiles/dcache_storage.dir/kv_engine.cpp.o" "gcc" "src/storage/CMakeFiles/dcache_storage.dir/kv_engine.cpp.o.d"
+  "/root/repo/src/storage/planner.cpp" "src/storage/CMakeFiles/dcache_storage.dir/planner.cpp.o" "gcc" "src/storage/CMakeFiles/dcache_storage.dir/planner.cpp.o.d"
+  "/root/repo/src/storage/raft.cpp" "src/storage/CMakeFiles/dcache_storage.dir/raft.cpp.o" "gcc" "src/storage/CMakeFiles/dcache_storage.dir/raft.cpp.o.d"
+  "/root/repo/src/storage/row.cpp" "src/storage/CMakeFiles/dcache_storage.dir/row.cpp.o" "gcc" "src/storage/CMakeFiles/dcache_storage.dir/row.cpp.o.d"
+  "/root/repo/src/storage/schema.cpp" "src/storage/CMakeFiles/dcache_storage.dir/schema.cpp.o" "gcc" "src/storage/CMakeFiles/dcache_storage.dir/schema.cpp.o.d"
+  "/root/repo/src/storage/sql_parser.cpp" "src/storage/CMakeFiles/dcache_storage.dir/sql_parser.cpp.o" "gcc" "src/storage/CMakeFiles/dcache_storage.dir/sql_parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/dcache_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/dcache_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcache_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dcache_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcache_storage.dir/block_cache.cpp.o"
+  "CMakeFiles/dcache_storage.dir/block_cache.cpp.o.d"
+  "CMakeFiles/dcache_storage.dir/database.cpp.o"
+  "CMakeFiles/dcache_storage.dir/database.cpp.o.d"
+  "CMakeFiles/dcache_storage.dir/executor.cpp.o"
+  "CMakeFiles/dcache_storage.dir/executor.cpp.o.d"
+  "CMakeFiles/dcache_storage.dir/kv_engine.cpp.o"
+  "CMakeFiles/dcache_storage.dir/kv_engine.cpp.o.d"
+  "CMakeFiles/dcache_storage.dir/planner.cpp.o"
+  "CMakeFiles/dcache_storage.dir/planner.cpp.o.d"
+  "CMakeFiles/dcache_storage.dir/raft.cpp.o"
+  "CMakeFiles/dcache_storage.dir/raft.cpp.o.d"
+  "CMakeFiles/dcache_storage.dir/row.cpp.o"
+  "CMakeFiles/dcache_storage.dir/row.cpp.o.d"
+  "CMakeFiles/dcache_storage.dir/schema.cpp.o"
+  "CMakeFiles/dcache_storage.dir/schema.cpp.o.d"
+  "CMakeFiles/dcache_storage.dir/sql_parser.cpp.o"
+  "CMakeFiles/dcache_storage.dir/sql_parser.cpp.o.d"
+  "libdcache_storage.a"
+  "libdcache_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcache_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcache_util.dir/bytes.cpp.o"
+  "CMakeFiles/dcache_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/dcache_util.dir/hash.cpp.o"
+  "CMakeFiles/dcache_util.dir/hash.cpp.o.d"
+  "CMakeFiles/dcache_util.dir/histogram.cpp.o"
+  "CMakeFiles/dcache_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/dcache_util.dir/money.cpp.o"
+  "CMakeFiles/dcache_util.dir/money.cpp.o.d"
+  "CMakeFiles/dcache_util.dir/rng.cpp.o"
+  "CMakeFiles/dcache_util.dir/rng.cpp.o.d"
+  "CMakeFiles/dcache_util.dir/stats.cpp.o"
+  "CMakeFiles/dcache_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dcache_util.dir/table_printer.cpp.o"
+  "CMakeFiles/dcache_util.dir/table_printer.cpp.o.d"
+  "libdcache_util.a"
+  "libdcache_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcache_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/meta_trace.cpp" "src/workload/CMakeFiles/dcache_workload.dir/meta_trace.cpp.o" "gcc" "src/workload/CMakeFiles/dcache_workload.dir/meta_trace.cpp.o.d"
+  "/root/repo/src/workload/size_dist.cpp" "src/workload/CMakeFiles/dcache_workload.dir/size_dist.cpp.o" "gcc" "src/workload/CMakeFiles/dcache_workload.dir/size_dist.cpp.o.d"
+  "/root/repo/src/workload/synthetic.cpp" "src/workload/CMakeFiles/dcache_workload.dir/synthetic.cpp.o" "gcc" "src/workload/CMakeFiles/dcache_workload.dir/synthetic.cpp.o.d"
+  "/root/repo/src/workload/trace_io.cpp" "src/workload/CMakeFiles/dcache_workload.dir/trace_io.cpp.o" "gcc" "src/workload/CMakeFiles/dcache_workload.dir/trace_io.cpp.o.d"
+  "/root/repo/src/workload/twitter_trace.cpp" "src/workload/CMakeFiles/dcache_workload.dir/twitter_trace.cpp.o" "gcc" "src/workload/CMakeFiles/dcache_workload.dir/twitter_trace.cpp.o.d"
+  "/root/repo/src/workload/uc_trace.cpp" "src/workload/CMakeFiles/dcache_workload.dir/uc_trace.cpp.o" "gcc" "src/workload/CMakeFiles/dcache_workload.dir/uc_trace.cpp.o.d"
+  "/root/repo/src/workload/workload.cpp" "src/workload/CMakeFiles/dcache_workload.dir/workload.cpp.o" "gcc" "src/workload/CMakeFiles/dcache_workload.dir/workload.cpp.o.d"
+  "/root/repo/src/workload/zipf.cpp" "src/workload/CMakeFiles/dcache_workload.dir/zipf.cpp.o" "gcc" "src/workload/CMakeFiles/dcache_workload.dir/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rpc/CMakeFiles/dcache_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dcache_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcache_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

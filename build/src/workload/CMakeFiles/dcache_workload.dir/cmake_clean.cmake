@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcache_workload.dir/meta_trace.cpp.o"
+  "CMakeFiles/dcache_workload.dir/meta_trace.cpp.o.d"
+  "CMakeFiles/dcache_workload.dir/size_dist.cpp.o"
+  "CMakeFiles/dcache_workload.dir/size_dist.cpp.o.d"
+  "CMakeFiles/dcache_workload.dir/synthetic.cpp.o"
+  "CMakeFiles/dcache_workload.dir/synthetic.cpp.o.d"
+  "CMakeFiles/dcache_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/dcache_workload.dir/trace_io.cpp.o.d"
+  "CMakeFiles/dcache_workload.dir/twitter_trace.cpp.o"
+  "CMakeFiles/dcache_workload.dir/twitter_trace.cpp.o.d"
+  "CMakeFiles/dcache_workload.dir/uc_trace.cpp.o"
+  "CMakeFiles/dcache_workload.dir/uc_trace.cpp.o.d"
+  "CMakeFiles/dcache_workload.dir/workload.cpp.o"
+  "CMakeFiles/dcache_workload.dir/workload.cpp.o.d"
+  "CMakeFiles/dcache_workload.dir/zipf.cpp.o"
+  "CMakeFiles/dcache_workload.dir/zipf.cpp.o.d"
+  "libdcache_workload.a"
+  "libdcache_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcache_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lfu_s3fifo.dir/test_lfu_s3fifo.cpp.o"
+  "CMakeFiles/test_lfu_s3fifo.dir/test_lfu_s3fifo.cpp.o.d"
+  "test_lfu_s3fifo"
+  "test_lfu_s3fifo.pdb"
+  "test_lfu_s3fifo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lfu_s3fifo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_lfu_s3fifo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_richobject.dir/test_richobject.cpp.o"
+  "CMakeFiles/test_richobject.dir/test_richobject.cpp.o.d"
+  "test_richobject"
+  "test_richobject.pdb"
+  "test_richobject[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_richobject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_storage_sql.dir/test_storage_sql.cpp.o"
+  "CMakeFiles/test_storage_sql.dir/test_storage_sql.cpp.o.d"
+  "test_storage_sql"
+  "test_storage_sql.pdb"
+  "test_storage_sql[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_storage_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_wire[1]_include.cmake")
+include("/root/repo/build/tests/test_cache_policies[1]_include.cmake")
+include("/root/repo/build/tests/test_sharded_ring[1]_include.cmake")
+include("/root/repo/build/tests/test_mrc[1]_include.cmake")
+include("/root/repo/build/tests/test_storage_kv[1]_include.cmake")
+include("/root/repo/build/tests/test_storage_sql[1]_include.cmake")
+include("/root/repo/build/tests/test_database[1]_include.cmake")
+include("/root/repo/build/tests/test_raft[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_richobject[1]_include.cmake")
+include("/root/repo/build/tests/test_consistency[1]_include.cmake")
+include("/root/repo/build/tests/test_core_model[1]_include.cmake")
+include("/root/repo/build/tests/test_deployment[1]_include.cmake")
+include("/root/repo/build/tests/test_experiment[1]_include.cmake")
+include("/root/repo/build/tests/test_advisor[1]_include.cmake")
+include("/root/repo/build/tests/test_channel[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_lfu_s3fifo[1]_include.cmake")
