@@ -5,6 +5,8 @@
 // falls monotonically as memory moves toward the app: a linked-cache hit
 // eliminates the whole storage round trip, a block-cache hit only the disk
 // read. A second table ablates the linked cache's eviction policy.
+// Every sweep point is an experiment-matrix cell; block-cache stats are
+// captured into per-cell slots alongside the priced result.
 #include <cstdio>
 #include <vector>
 
@@ -17,60 +19,56 @@ using namespace dcache;
 
 namespace {
 
-void memorySplitSweep() {
-  // 24 GB of cache DRAM total across 3 app servers + 3 storage nodes.
-  // 100K keys x 256KB = 25.6GB of data, so the split decides who misses.
-  constexpr double kTotalGb = 24.0;
-  workload::SyntheticConfig workload;
-  workload.valueSize = 262144;
-  workload.readRatio = 0.93;
+constexpr double kAppGbPerNode[] = {0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0};
+constexpr cache::EvictionPolicy kPolicies[] = {
+    cache::EvictionPolicy::kLru,  cache::EvictionPolicy::kFifo,
+    cache::EvictionPolicy::kClock, cache::EvictionPolicy::kSlru,
+    cache::EvictionPolicy::kLfu,  cache::EvictionPolicy::kS3Fifo};
 
-  util::TablePrinter table({"linked_GB(total)", "storage_GB(total)", "hit%",
-                            "block_hit%", "total_cost"});
-  for (const double appGbPerNode : {0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
-    const double storageGbPerNode = (kTotalGb - 3.0 * appGbPerNode) / 3.0;
-    core::DeploymentConfig deployment;
-    deployment.architecture = core::Architecture::kLinked;
-    deployment.appCachePerNode = util::Bytes::gb(appGbPerNode);
-    deployment.blockCachePerNode = util::Bytes::gb(storageGbPerNode);
+// 24 GB of cache DRAM total across 3 app servers + 3 storage nodes.
+// 100K keys x 256KB = 25.6GB of data, so the split decides who misses.
+constexpr double kTotalGb = 24.0;
 
-    core::ExperimentConfig experiment;
-    experiment.operations = 150000;
-    experiment.warmupOperations = 250000;
-    experiment.qps = bench::kSyntheticQps;
+struct BlockCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t lookups = 0;
+};
 
-    workload::SyntheticWorkload instance(workload);
-    core::Deployment built(deployment);
-    built.populateKv(instance);
-    core::ExperimentRunner runner(experiment);
-    const auto result = runner.run(built, instance);
+void addSplitCells(core::ExperimentMatrix& matrix,
+                   std::vector<BlockCacheStats>& blockStats) {
+  for (std::size_t i = 0; i < std::size(kAppGbPerNode); ++i) {
+    const double appGbPerNode = kAppGbPerNode[i];
+    matrix.add([appGbPerNode, i, &blockStats](util::Pcg32&) {
+      const double storageGbPerNode = (kTotalGb - 3.0 * appGbPerNode) / 3.0;
+      core::DeploymentConfig deployment;
+      deployment.architecture = core::Architecture::kLinked;
+      deployment.appCachePerNode = util::Bytes::gb(appGbPerNode);
+      deployment.blockCachePerNode = util::Bytes::gb(storageGbPerNode);
 
-    const std::uint64_t blockLookups =
-        built.db().blockCacheHits() + built.db().blockCacheMisses();
-    char hit[16];
-    std::snprintf(hit, sizeof hit, "%.1f",
-                  100.0 * result.counters.hitRatio());
-    char blockHit[16];
-    std::snprintf(blockHit, sizeof blockHit, "%.1f",
-                  blockLookups ? 100.0 *
-                                     static_cast<double>(
-                                         built.db().blockCacheHits()) /
-                                     static_cast<double>(blockLookups)
-                               : 0.0);
-    table.addRow({util::TablePrinter::toCell(appGbPerNode * 3.0),
-                  util::TablePrinter::toCell(storageGbPerNode * 3.0), hit,
-                  blockHit, result.cost.totalCost.str()});
+      core::ExperimentConfig experiment;
+      experiment.operations = 150000;
+      experiment.warmupOperations = 250000;
+      experiment.qps = bench::kSyntheticQps;
+
+      workload::SyntheticConfig workload;
+      workload.valueSize = 262144;
+      workload.readRatio = 0.93;
+      workload::SyntheticWorkload instance(workload);
+      core::Deployment built(deployment);
+      built.populateKv(instance);
+      core::ExperimentRunner runner(experiment);
+      const auto result = runner.run(built, instance);
+      // Each cell owns exactly its slot: no cross-worker contention.
+      blockStats[i].hits = built.db().blockCacheHits();
+      blockStats[i].lookups =
+          built.db().blockCacheHits() + built.db().blockCacheMisses();
+      return result;
+    });
   }
-  table.print("Hypothesis 2: fixed 24GB cache DRAM split between linked "
-              "and storage-layer caches (256KB values, r=0.93)");
 }
 
-void evictionPolicySweep() {
-  util::TablePrinter table({"policy", "hit%", "total_cost"});
-  for (const cache::EvictionPolicy policy :
-       {cache::EvictionPolicy::kLru, cache::EvictionPolicy::kFifo,
-        cache::EvictionPolicy::kClock, cache::EvictionPolicy::kSlru,
-        cache::EvictionPolicy::kLfu, cache::EvictionPolicy::kS3Fifo}) {
+void addPolicyCells(core::ExperimentMatrix& matrix) {
+  for (const cache::EvictionPolicy policy : kPolicies) {
     core::DeploymentConfig deployment;
     deployment.architecture = core::Architecture::kLinked;
     deployment.evictionPolicy = policy;
@@ -83,14 +81,46 @@ void evictionPolicySweep() {
     experiment.qps = bench::kSyntheticQps;
 
     workload::MetaTraceConfig workload;  // skew + one-touch scan traffic
-    const auto result =
-        bench::runCell(core::Architecture::kLinked,
-                       workload::MetaTraceWorkload(workload), deployment,
-                       experiment);
+    bench::addCell(matrix, core::Architecture::kLinked,
+                   workload::MetaTraceWorkload(workload), deployment,
+                   experiment);
+  }
+}
+
+void memorySplitTable(const std::vector<core::ExperimentResult>& results,
+                      const std::vector<BlockCacheStats>& blockStats) {
+  util::TablePrinter table({"linked_GB(total)", "storage_GB(total)", "hit%",
+                            "block_hit%", "total_cost"});
+  for (std::size_t i = 0; i < std::size(kAppGbPerNode); ++i) {
+    const double appGbPerNode = kAppGbPerNode[i];
+    const double storageGbPerNode = (kTotalGb - 3.0 * appGbPerNode) / 3.0;
+    const auto& result = results[i];
     char hit[16];
     std::snprintf(hit, sizeof hit, "%.1f",
                   100.0 * result.counters.hitRatio());
-    table.addRow({std::string(cache::evictionPolicyName(policy)), hit,
+    char blockHit[16];
+    std::snprintf(blockHit, sizeof blockHit, "%.1f",
+                  blockStats[i].lookups
+                      ? 100.0 * static_cast<double>(blockStats[i].hits) /
+                            static_cast<double>(blockStats[i].lookups)
+                      : 0.0);
+    table.addRow({util::TablePrinter::toCell(appGbPerNode * 3.0),
+                  util::TablePrinter::toCell(storageGbPerNode * 3.0), hit,
+                  blockHit, result.cost.totalCost.str()});
+  }
+  table.print("Hypothesis 2: fixed 24GB cache DRAM split between linked "
+              "and storage-layer caches (256KB values, r=0.93)");
+}
+
+void evictionPolicyTable(const std::vector<core::ExperimentResult>& results,
+                         std::size_t offset) {
+  util::TablePrinter table({"policy", "hit%", "total_cost"});
+  for (std::size_t i = 0; i < std::size(kPolicies); ++i) {
+    const auto& result = results[offset + i];
+    char hit[16];
+    std::snprintf(hit, sizeof hit, "%.1f",
+                  100.0 * result.counters.hitRatio());
+    table.addRow({std::string(cache::evictionPolicyName(kPolicies[i])), hit,
                   result.cost.totalCost.str()});
   }
   table.print("\nEviction-policy ablation for the linked cache (Meta-style "
@@ -99,8 +129,13 @@ void evictionPolicySweep() {
 
 }  // namespace
 
-int main() {
-  memorySplitSweep();
-  evictionPolicySweep();
+int main(int argc, char** argv) {
+  core::ExperimentMatrix matrix(core::parseMatrixOptions(argc, argv));
+  std::vector<BlockCacheStats> blockStats(std::size(kAppGbPerNode));
+  addSplitCells(matrix, blockStats);
+  addPolicyCells(matrix);
+  const std::vector<core::ExperimentResult> results = matrix.run();
+  memorySplitTable(results, blockStats);
+  evictionPolicyTable(results, std::size(kAppGbPerNode));
   return 0;
 }

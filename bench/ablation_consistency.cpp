@@ -8,6 +8,9 @@
 //                     leases make owner reads consistent with only a local
 //                     epoch check; the per-read storage round trip becomes
 //                     an O(shards/lease-term) renewal stream.
+//   Linked+TTL      — bounded staleness as the cheap eventual baseline.
+// All five variants run as concurrent matrix cells; side counters (lease
+// renewals) land in per-cell slots and print after the run.
 #include <cstdio>
 #include <vector>
 
@@ -37,28 +40,26 @@ core::ExperimentConfig experimentConfig() {
   return experiment;
 }
 
-// The lease renewal RPC needs a channel over the deployment's network; the
-// deployment does not expose its channel, so renewals run over a dedicated
-// equivalent channel that charges the same nodes with the same parameters.
-rpc::Channel* leaseChannel() {
-  static sim::NetworkModel network;
-  static rpc::Channel channel(network, rpc::SerializationModel{});
-  return &channel;
-}
-
 /// Linked+Lease: Linked serving, plus a LeaseManager renewed on simulated
 /// time; consistent reads are served locally while the lease is valid.
-core::ExperimentResult runLinkedLease() {
+core::ExperimentResult runLinkedLease(std::uint64_t& renewalsOut) {
   workload::SyntheticWorkload workload(workloadConfig());
   core::DeploymentConfig deploymentConfig;
   deploymentConfig.architecture = core::Architecture::kLinked;
   core::Deployment deployment(deploymentConfig);
   deployment.populateKv(workload);
 
+  // The lease renewal RPC needs a channel over the deployment's network;
+  // the deployment does not expose its channel, so renewals run over a
+  // dedicated equivalent channel that charges the same nodes with the same
+  // parameters. The channel is cell-local: cells must not share state.
+  sim::NetworkModel network;
+  rpc::Channel channel(network, rpc::SerializationModel{});
+
   // The lease authority is a storage node (it owns the write fence).
   consistency::LeaseManager leases(deployment.appTier(),
-                                   deployment.db().kvTier().node(0),
-                                   *leaseChannel(), consistency::LeaseConfig{});
+                                   deployment.db().kvTier().node(0), channel,
+                                   consistency::LeaseConfig{});
   const double qps = bench::kSyntheticQps;
   auto simNow = [&](std::uint64_t op) {
     return static_cast<std::uint64_t>(1e6 * static_cast<double>(op) / qps);
@@ -90,17 +91,12 @@ core::ExperimentResult runLinkedLease() {
                                 deployment.db().totalStoredBytes(),
                                 deploymentConfig.replicationFactor);
   result.counters = deployment.counters();
+  result.latencies = deployment.latencies();
   result.meanLatencyMicros = deployment.latencies().mean();
   result.p99LatencyMicros = deployment.latencies().p99();
-  std::printf("Linked+Lease: %llu lease renewals vs %llu reads (the "
-              "version-check path would have done one storage round trip "
-              "per read)\n\n",
-              static_cast<unsigned long long>(leases.renewals()),
-              static_cast<unsigned long long>(result.counters.reads));
+  renewalsOut = leases.renewals();
   return result;
 }
-
-}  // namespace
 
 core::ExperimentResult runLinkedTtl(std::uint64_t ttlMicros) {
   // Bounded staleness: hits older than the TTL revalidate from storage.
@@ -113,23 +109,35 @@ core::ExperimentResult runLinkedTtl(std::uint64_t ttlMicros) {
                                workload::SyntheticWorkload(workloadConfig()),
                                deployment, experimentConfig());
   result.architecture = "Linked+TTL(1s)";
-  std::printf("Linked+TTL: %llu freshness expirations over %llu reads\n\n",
-              static_cast<unsigned long long>(result.counters.ttlExpirations),
-              static_cast<unsigned long long>(result.counters.reads));
   return result;
 }
 
-int main() {
-  std::vector<core::ExperimentResult> results;
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::ExperimentMatrix matrix(core::parseMatrixOptions(argc, argv));
   for (const core::Architecture arch :
        {core::Architecture::kBase, core::Architecture::kLinked,
         core::Architecture::kLinkedVersion}) {
-    results.push_back(bench::runCell(
-        arch, workload::SyntheticWorkload(workloadConfig()),
-        core::DeploymentConfig{}, experimentConfig()));
+    bench::addCell(matrix, arch, workload::SyntheticWorkload(workloadConfig()),
+                   core::DeploymentConfig{}, experimentConfig());
   }
-  results.push_back(runLinkedLease());
-  results.push_back(runLinkedTtl(1000000));
+  std::uint64_t leaseRenewals = 0;
+  matrix.add(
+      [&leaseRenewals](util::Pcg32&) { return runLinkedLease(leaseRenewals); });
+  matrix.add([](util::Pcg32&) { return runLinkedTtl(1000000); });
+
+  const std::vector<core::ExperimentResult> results = matrix.run();
+
+  std::printf("Linked+Lease: %llu lease renewals vs %llu reads (the "
+              "version-check path would have done one storage round trip "
+              "per read)\n\n",
+              static_cast<unsigned long long>(leaseRenewals),
+              static_cast<unsigned long long>(results[3].counters.reads));
+  std::printf("Linked+TTL: %llu freshness expirations over %llu reads\n\n",
+              static_cast<unsigned long long>(
+                  results[4].counters.ttlExpirations),
+              static_cast<unsigned long long>(results[4].counters.reads));
 
   std::fputs(core::costComparisonTable(
                  results,

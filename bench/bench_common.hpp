@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/matrix.hpp"
 #include "core/report.hpp"
 
 namespace dcache::bench {
@@ -25,7 +26,22 @@ inline constexpr double kUcQps = 40000.0;
   return buf;
 }
 
-/// Run one (architecture, workload) cell with a fresh deployment.
+/// Queue one (architecture, workload) cell on `matrix`; the cell builds a
+/// fresh deployment and copies the workload template so nothing is shared
+/// across workers. Returns the cell's result index.
+template <typename WorkloadT>
+std::size_t addCell(core::ExperimentMatrix& matrix, core::Architecture arch,
+                    const WorkloadT& workloadTemplate,
+                    core::DeploymentConfig deployment,
+                    core::ExperimentConfig experiment) {
+  return matrix.add(
+      [arch, workloadTemplate, deployment, experiment](util::Pcg32&) {
+        WorkloadT workload = workloadTemplate;  // fresh RNG state per cell
+        return core::runArchitecture(arch, workload, deployment, experiment);
+      });
+}
+
+/// Run one (architecture, workload) cell inline with a fresh deployment.
 template <typename WorkloadT>
 core::ExperimentResult runCell(core::Architecture arch,
                                const WorkloadT& workloadTemplate,

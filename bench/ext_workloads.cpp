@@ -6,12 +6,15 @@
 //       per architecture, which favour caches even more strongly than cost,
 //   (c) the trace-driven cache advisor applied to each workload: the
 //       cost-optimal linked-cache size from the measured miss-ratio curve.
+// The experiment cells run on the matrix; the advisor analyses fan out on
+// the same worker pool settings.
 #include <cstdio>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/advisor.hpp"
 #include "util/table_printer.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/meta_trace.hpp"
 #include "workload/synthetic.hpp"
 #include "workload/twitter_trace.hpp"
@@ -21,28 +24,24 @@ using namespace dcache;
 
 namespace {
 
-void twitterPanel() {
+constexpr core::Architecture kTwitterArchs[] = {
+    core::Architecture::kBase, core::Architecture::kRemote,
+    core::Architecture::kLinked, core::Architecture::kLinkedVersion};
+
+void addTwitterCells(core::ExperimentMatrix& matrix) {
   core::ExperimentConfig experiment;
   experiment.operations = 200000;
   experiment.warmupOperations = 400000;
   experiment.qps = bench::kSyntheticQps;
-
-  std::vector<core::ExperimentResult> results;
-  for (const core::Architecture arch :
-       {core::Architecture::kBase, core::Architecture::kRemote,
-        core::Architecture::kLinked, core::Architecture::kLinkedVersion}) {
-    results.push_back(bench::runCell(
-        arch, workload::TwitterTraceWorkload(workload::TwitterTraceConfig{}),
-        core::DeploymentConfig{}, experiment));
+  for (const core::Architecture arch : kTwitterArchs) {
+    bench::addCell(matrix, arch,
+                   workload::TwitterTraceWorkload(
+                       workload::TwitterTraceConfig{}),
+                   core::DeploymentConfig{}, experiment);
   }
-  std::fputs(core::costComparisonTable(
-                 results, "Extension: Twitter-style trace (230B median, "
-                          "r=0.8, 120K QPS)")
-                 .c_str(),
-             stdout);
 }
 
-void latencyPanel() {
+void addLatencyCells(core::ExperimentMatrix& matrix) {
   core::ExperimentConfig experiment;
   experiment.operations = 120000;
   experiment.warmupOperations = 120000;
@@ -50,15 +49,29 @@ void latencyPanel() {
   workload::SyntheticConfig workload;
   workload.valueSize = 16384;
   workload.readRatio = 0.93;
+  for (const core::Architecture arch : core::kAllArchitectures) {
+    bench::addCell(matrix, arch, workload::SyntheticWorkload(workload),
+                   core::DeploymentConfig{}, experiment);
+  }
+}
 
+void twitterPanel(const std::vector<core::ExperimentResult>& results) {
+  const std::vector<core::ExperimentResult> panel(results.begin(),
+                                                  results.begin() + 4);
+  std::fputs(core::costComparisonTable(
+                 panel, "Extension: Twitter-style trace (230B median, "
+                        "r=0.8, 120K QPS)")
+                 .c_str(),
+             stdout);
+}
+
+void latencyPanel(const std::vector<core::ExperimentResult>& results) {
   util::TablePrinter table(
       {"architecture", "mean_us", "p99_us", "vs_Base_mean"});
-  double baseMean = 0.0;
-  for (const core::Architecture arch : core::kAllArchitectures) {
-    const auto result =
-        bench::runCell(arch, workload::SyntheticWorkload(workload),
-                       core::DeploymentConfig{}, experiment);
-    if (arch == core::Architecture::kBase) baseMean = result.meanLatencyMicros;
+  const std::vector<core::ExperimentResult> panel(results.begin() + 4,
+                                                  results.begin() + 8);
+  const double baseMean = panel.front().meanLatencyMicros;
+  for (const auto& result : panel) {
     char speedup[16];
     std::snprintf(speedup, sizeof speedup, "%.2fx",
                   baseMean / result.meanLatencyMicros);
@@ -69,39 +82,55 @@ void latencyPanel() {
   }
   table.print("\nExtension: the latency benefit the paper sets aside "
               "(16KB, r=0.93)");
+
+  // Cross-cell aggregation via Histogram::merge: the latency distribution
+  // of the whole panel as one population.
+  const util::Histogram merged = core::mergedLatencies(panel);
+  std::printf("\nAll-architecture merged latency distribution:\n%s",
+              merged.summary("us").c_str());
 }
 
-void advisorPanel() {
+void advisorPanel(std::size_t jobs) {
   std::puts("\nExtension: trace-driven cache sizing (Mattson MRC + GCP "
             "prices)\n");
   core::AdvisorConfig config;
   config.sampleOps = 150000;
   config.qps = bench::kSyntheticQps;
 
-  {
-    workload::SyntheticWorkload workload(workload::SyntheticConfig{});
-    std::printf("synthetic Zipf(1.2):\n%s\n",
-                core::CacheAdvisor(config).advise(workload).summary().c_str());
-  }
-  {
-    workload::MetaTraceWorkload workload(workload::MetaTraceConfig{});
-    std::printf("meta trace:\n%s\n",
-                core::CacheAdvisor(config).advise(workload).summary().c_str());
-  }
-  {
-    core::AdvisorConfig ucConfig = config;
-    ucConfig.qps = bench::kUcQps;
-    workload::UcTraceWorkload workload(workload::UcTraceConfig{});
-    std::printf("unity catalog:\n%s\n",
-                core::CacheAdvisor(ucConfig).advise(workload).summary().c_str());
-  }
+  util::ThreadPool pool(jobs);
+  const auto summaries = util::mapOrdered(pool, 3, [&](std::size_t i) {
+    switch (i) {
+      case 0: {
+        workload::SyntheticWorkload workload(workload::SyntheticConfig{});
+        return core::CacheAdvisor(config).advise(workload).summary();
+      }
+      case 1: {
+        workload::MetaTraceWorkload workload(workload::MetaTraceConfig{});
+        return core::CacheAdvisor(config).advise(workload).summary();
+      }
+      default: {
+        core::AdvisorConfig ucConfig = config;
+        ucConfig.qps = bench::kUcQps;
+        workload::UcTraceWorkload workload(workload::UcTraceConfig{});
+        return core::CacheAdvisor(ucConfig).advise(workload).summary();
+      }
+    }
+  });
+  std::printf("synthetic Zipf(1.2):\n%s\n", summaries[0].c_str());
+  std::printf("meta trace:\n%s\n", summaries[1].c_str());
+  std::printf("unity catalog:\n%s\n", summaries[2].c_str());
 }
 
 }  // namespace
 
-int main() {
-  twitterPanel();
-  latencyPanel();
-  advisorPanel();
+int main(int argc, char** argv) {
+  const core::MatrixOptions options = core::parseMatrixOptions(argc, argv);
+  core::ExperimentMatrix matrix(options);
+  addTwitterCells(matrix);
+  addLatencyCells(matrix);
+  const std::vector<core::ExperimentResult> results = matrix.run();
+  twitterPanel(results);
+  latencyPanel(results);
+  advisorPanel(options.jobs);
   return 0;
 }

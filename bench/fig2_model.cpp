@@ -6,87 +6,107 @@
 // Plus the §4 takeaways: |dT/ds_A| > |dT/ds_D| across skews, and the
 // optimal linked-cache allocation where the marginal benefit meets the
 // memory price.
+// Each sweep row is an independent model evaluation, fanned out over the
+// worker pool (--jobs N / DCACHE_JOBS); rows print in submission order.
 #include <cstdio>
+#include <vector>
 
+#include "core/matrix.hpp"
 #include "core/model.hpp"
 #include "util/table_printer.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace dcache;
 
 namespace {
+
+constexpr double kAlphas2a[] = {0.6, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3, 1.4};
+constexpr double kReplicas2b[] = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+constexpr double kMultipliers2b[] = {1.0, 10.0, 40.0};
+constexpr double kAlphasTakeaway[] = {0.8, 1.0, 1.2, 1.4};
 
 core::ModelParams baseParams() {
   core::ModelParams params;  // measured c_A/c_D, 100K keys, 23KB objects
   return params;
 }
 
-void figure2a() {
+void figure2a(util::ThreadPool& pool) {
+  const auto rows =
+      util::mapOrdered(pool, std::size(kAlphas2a), [](std::size_t i) {
+        core::ModelParams params = baseParams();
+        params.alpha = kAlphas2a[i];
+        const core::TheoreticalModel model(params);
+        const auto sA = util::Bytes::gb(8);
+        const auto sD = util::Bytes::gb(1);
+        const auto base = model.totalCost(util::Bytes::of(0), sD);
+        const auto linked = model.totalCost(sA, sD);
+        char saving[16];
+        std::snprintf(saving, sizeof saving, "%.2fx", base / linked);
+        return std::vector<std::string>{
+            util::TablePrinter::toCell(params.alpha),
+            util::TablePrinter::toCell(model.missRatio(sA)),
+            util::TablePrinter::toCell(model.missRatio(sD)),
+            base.str(), linked.str(), saving};
+      });
   util::TablePrinter table(
       {"alpha", "MR(8GB)", "MR(1GB)", "T_base", "T_linked", "saving"});
-  for (const double alpha : {0.6, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3, 1.4}) {
-    core::ModelParams params = baseParams();
-    params.alpha = alpha;
-    const core::TheoreticalModel model(params);
-    const auto sA = util::Bytes::gb(8);
-    const auto sD = util::Bytes::gb(1);
-    const auto base = model.totalCost(util::Bytes::of(0), sD);
-    const auto linked = model.totalCost(sA, sD);
-    char saving[16];
-    std::snprintf(saving, sizeof saving, "%.2fx", base / linked);
-    table.addRow({util::TablePrinter::toCell(alpha),
-                  util::TablePrinter::toCell(model.missRatio(sA)),
-                  util::TablePrinter::toCell(model.missRatio(sD)),
-                  base.str(), linked.str(), saving});
-  }
+  for (auto row : rows) table.addRow(std::move(row));
   table.print(
       "Figure 2a: cost saving vs Zipf alpha — Linked(sA=8GB,sD=1GB) vs "
       "Base(1GB in-storage)");
 }
 
-void figure2b() {
+void figure2b(util::ThreadPool& pool) {
+  const auto rows =
+      util::mapOrdered(pool, std::size(kReplicas2b), [](std::size_t i) {
+        const double replicas = kReplicas2b[i];
+        std::vector<std::string> row{util::TablePrinter::toCell(replicas)};
+        for (const double multiplier : kMultipliers2b) {
+          core::ModelParams params = baseParams();
+          params.replicas = replicas;
+          params.pricing =
+              core::Pricing::gcp().withMemoryMultiplier(multiplier);
+          const core::TheoreticalModel model(params);
+          // At steep memory prices the operator would shrink the cache; use
+          // the optimal allocation per configuration, as the paper's
+          // takeaway ("adding caches still saves cost") is about the best
+          // achievable.
+          const auto best =
+              model.optimalAppCache(util::Bytes::gb(1), util::Bytes::gb(16));
+          const double saving = model.savingVsBase(best, util::Bytes::gb(1),
+                                                   util::Bytes::gb(1));
+          char buf[24];
+          std::snprintf(buf, sizeof buf, "%.2fx (sA=%s)", saving,
+                        best.str().c_str());
+          row.emplace_back(buf);
+        }
+        return row;
+      });
   util::TablePrinter table({"N_r", "saving@1x", "saving@10x", "saving@40x"});
-  for (const double replicas : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0}) {
-    std::vector<std::string> row{util::TablePrinter::toCell(replicas)};
-    for (const double multiplier : {1.0, 10.0, 40.0}) {
-      core::ModelParams params = baseParams();
-      params.replicas = replicas;
-      params.pricing = core::Pricing::gcp().withMemoryMultiplier(multiplier);
-      const core::TheoreticalModel model(params);
-      // At steep memory prices the operator would shrink the cache; use
-      // the optimal allocation per configuration, as the paper's takeaway
-      // ("adding caches still saves cost") is about the best achievable.
-      const auto best =
-          model.optimalAppCache(util::Bytes::gb(1), util::Bytes::gb(16));
-      const double saving = model.savingVsBase(best, util::Bytes::gb(1),
-                                               util::Bytes::gb(1));
-      char buf[24];
-      std::snprintf(buf, sizeof buf, "%.2fx (sA=%s)", saving,
-                    best.str().c_str());
-      row.emplace_back(buf);
-    }
-    table.addRow(std::move(row));
-  }
+  for (auto row : rows) table.addRow(std::move(row));
   table.print(
       "\nFigure 2b: cost saving vs replicas N_r at DRAM price 1x/10x/40x "
       "(optimal sA per cell)");
 }
 
-void takeaways() {
+void takeaways(util::ThreadPool& pool) {
+  const auto rows =
+      util::mapOrdered(pool, std::size(kAlphasTakeaway), [](std::size_t i) {
+        core::ModelParams params = baseParams();
+        params.alpha = kAlphasTakeaway[i];
+        const core::TheoreticalModel model(params);
+        const auto sA = util::Bytes::mb(256);
+        const auto sD = util::Bytes::mb(256);
+        const double dA = model.dTdAppCache(sA, sD);
+        const double dD = model.dTdStorageCache(sA, sD);
+        return std::vector<std::string>{
+            util::TablePrinter::toCell(params.alpha),
+            util::TablePrinter::toCell(dA), util::TablePrinter::toCell(dD),
+            std::abs(dA) > std::abs(dD) ? "yes" : "NO"};
+      });
   util::TablePrinter table(
       {"alpha", "dT/dsA ($/GB)", "dT/dsD ($/GB)", "|dT/dsA|>|dT/dsD|"});
-  for (const double alpha : {0.8, 1.0, 1.2, 1.4}) {
-    core::ModelParams params = baseParams();
-    params.alpha = alpha;
-    const core::TheoreticalModel model(params);
-    const auto sA = util::Bytes::mb(256);
-    const auto sD = util::Bytes::mb(256);
-    const double dA = model.dTdAppCache(sA, sD);
-    const double dD = model.dTdStorageCache(sA, sD);
-    table.addRow({util::TablePrinter::toCell(alpha),
-                  util::TablePrinter::toCell(dA),
-                  util::TablePrinter::toCell(dD),
-                  std::abs(dA) > std::abs(dD) ? "yes" : "NO"});
-  }
+  for (auto row : rows) table.addRow(std::move(row));
   table.print("\nSection 4 takeaway: marginal value of app cache vs storage "
               "cache (at sA=sD=256MB)");
 
@@ -103,9 +123,11 @@ void takeaways() {
 
 }  // namespace
 
-int main() {
-  figure2a();
-  figure2b();
-  takeaways();
+int main(int argc, char** argv) {
+  const core::MatrixOptions options = core::parseMatrixOptions(argc, argv);
+  util::ThreadPool pool(options.jobs);
+  figure2a(pool);
+  figure2b(pool);
+  takeaways(pool);
   return 0;
 }

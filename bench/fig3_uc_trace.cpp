@@ -4,48 +4,88 @@
 //   (b) Access-frequency distribution: Zipf-like rank-frequency skew.
 // Also reports the read ratio (≈93%) and the getTable query-amplification
 // histogram (up to 8 SQL statements per read).
+// The two panels replay the same deterministic trace stream independently,
+// so they run as parallel cells on the worker pool.
 #include <algorithm>
 #include <cstdio>
 #include <map>
 #include <vector>
 
+#include "core/matrix.hpp"
 #include "util/bytes.hpp"
 #include "util/stats.hpp"
 #include "util/table_printer.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/uc_trace.hpp"
 
 using namespace dcache;
 
-int main() {
-  workload::UcTraceConfig config;  // paper parameters
-  workload::UcTraceWorkload trace(config);
+namespace {
 
-  constexpr int kOps = 400000;
+constexpr int kOps = 400000;
+
+/// Read-side statistics: sizes, amplification, read ratio (panel a).
+struct ReadStats {
   std::vector<double> sizes;
-  std::map<std::uint64_t, std::uint64_t> frequency;
   std::map<std::size_t, std::uint64_t> statements;
   std::uint64_t reads = 0;
+  std::uint64_t keyCount = 0;
+};
+
+/// Per-key access counts (panel b).
+struct FrequencyStats {
+  std::map<std::uint64_t, std::uint64_t> frequency;
+};
+
+ReadStats collectReadStats(const workload::UcTraceConfig& config) {
+  workload::UcTraceWorkload trace(config);
+  ReadStats stats;
+  stats.keyCount = trace.keyCount();
   for (int i = 0; i < kOps; ++i) {
     const workload::Op op = trace.next();
     if (op.isRead()) {
-      ++reads;
-      sizes.push_back(static_cast<double>(op.valueSize));
-      ++statements[trace.statementsFor(op.keyIndex)];
+      ++stats.reads;
+      stats.sizes.push_back(static_cast<double>(op.valueSize));
+      ++stats.statements[trace.statementsFor(op.keyIndex)];
     }
-    ++frequency[op.keyIndex];
   }
+  return stats;
+}
+
+FrequencyStats collectFrequencyStats(const workload::UcTraceConfig& config) {
+  workload::UcTraceWorkload trace(config);
+  FrequencyStats stats;
+  for (int i = 0; i < kOps; ++i) {
+    ++stats.frequency[trace.next().keyIndex];
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  workload::UcTraceConfig config;  // paper parameters
+  const core::MatrixOptions options = core::parseMatrixOptions(argc, argv);
+  util::ThreadPool pool(options.jobs);
+
+  // Both passes replay the identical seeded stream; fan them out.
+  ReadStats readStats;
+  FrequencyStats frequencyStats;
+  pool.submit([&] { readStats = collectReadStats(config); });
+  pool.submit([&] { frequencyStats = collectFrequencyStats(config); });
+  pool.wait();
 
   std::printf("Unity Catalog synthetic trace: %d ops over %llu tables, "
               "read ratio %.1f%% (paper: ~93%%)\n\n",
-              kOps, static_cast<unsigned long long>(trace.keyCount()),
-              100.0 * static_cast<double>(reads) / kOps);
+              kOps, static_cast<unsigned long long>(readStats.keyCount),
+              100.0 * static_cast<double>(readStats.reads) / kOps);
 
   util::TablePrinter sizeTable({"percentile", "object size"});
   for (const double q : {0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 0.999}) {
     sizeTable.addRow(
         {util::TablePrinter::toCell(q),
          util::Bytes::of(static_cast<std::uint64_t>(
-                             util::exactQuantile(sizes, q)))
+                             util::exactQuantile(readStats.sizes, q)))
              .str()});
   }
   sizeTable.print("Figure 3a: value-size distribution (median should be "
@@ -53,8 +93,8 @@ int main() {
 
   // Rank-frequency: sort key counts descending, fit the log-log slope.
   std::vector<double> counts;
-  counts.reserve(frequency.size());
-  for (const auto& [key, count] : frequency) {
+  counts.reserve(frequencyStats.frequency.size());
+  for (const auto& [key, count] : frequencyStats.frequency) {
     counts.push_back(static_cast<double>(count));
   }
   std::sort(counts.rbegin(), counts.rend());
@@ -78,7 +118,7 @@ int main() {
               util::logLogSlope(ranks, counts), config.alpha);
 
   util::TablePrinter ampTable({"SQL statements per getTable", "reads"});
-  for (const auto& [n, count] : statements) {
+  for (const auto& [n, count] : readStats.statements) {
     ampTable.addRow({util::TablePrinter::toCell(
                          static_cast<unsigned long long>(n)),
                      util::TablePrinter::toCell(count)});

@@ -4,7 +4,9 @@
 //   (b) varying value size 1KB .. 1MB at r = 0.93
 // Expected shape (paper): Linked < Remote < Base everywhere; the Linked
 // advantage grows with value size (3.9x at 1KB to 7.3x at 1MB, driven by
-// (de)serialization) and with read ratio.
+// (de)serialization) and with value size and read ratio.
+// Every (architecture, sweep-point) cell is queued on the experiment
+// matrix and runs on its own worker (--jobs N / DCACHE_JOBS).
 #include <cstdio>
 #include <vector>
 
@@ -16,6 +18,13 @@ using namespace dcache;
 
 namespace {
 
+constexpr core::Architecture kArchs[] = {core::Architecture::kBase,
+                                         core::Architecture::kRemote,
+                                         core::Architecture::kLinked};
+constexpr double kReadRatios[] = {0.50, 0.75, 0.90, 0.93, 0.99};
+constexpr std::uint64_t kValueSizes[] = {1024,  4096,   16384,
+                                         65536, 262144, 1048576};
+
 core::ExperimentConfig experimentConfig() {
   core::ExperimentConfig experiment;
   experiment.operations = 200000;
@@ -24,25 +33,39 @@ core::ExperimentConfig experimentConfig() {
   return experiment;
 }
 
-void figure4a() {
-  util::TablePrinter table(
-      {"read_ratio", "Base", "Remote", "Linked", "Remote_saving",
-       "Linked_saving"});
-  for (const double readRatio : {0.50, 0.75, 0.90, 0.93, 0.99}) {
+void addPanelCells(core::ExperimentMatrix& matrix) {
+  for (const double readRatio : kReadRatios) {
     workload::SyntheticConfig workload;
     workload.readRatio = readRatio;
     workload.valueSize = 4096;
     const workload::SyntheticWorkload reference(workload);
+    for (const core::Architecture arch : kArchs) {
+      bench::addCell(matrix, arch, reference, core::DeploymentConfig{},
+                     experimentConfig());
+    }
+  }
+  for (const std::uint64_t valueSize : kValueSizes) {
+    workload::SyntheticConfig workload;
+    workload.readRatio = 0.99;
+    workload.valueSize = valueSize;
+    const workload::SyntheticWorkload reference(workload);
+    for (const core::Architecture arch : kArchs) {
+      bench::addCell(matrix, arch, reference, core::DeploymentConfig{},
+                     experimentConfig());
+    }
+  }
+}
 
-    const auto base = bench::runCell(core::Architecture::kBase, reference,
-                                     core::DeploymentConfig{},
-                                     experimentConfig());
-    const auto remote = bench::runCell(core::Architecture::kRemote, reference,
-                                       core::DeploymentConfig{},
-                                       experimentConfig());
-    const auto linked = bench::runCell(core::Architecture::kLinked, reference,
-                                       core::DeploymentConfig{},
-                                       experimentConfig());
+void figure4a(const std::vector<core::ExperimentResult>& results,
+              std::size_t offset) {
+  util::TablePrinter table(
+      {"read_ratio", "Base", "Remote", "Linked", "Remote_saving",
+       "Linked_saving"});
+  std::size_t cell = offset;
+  for (const double readRatio : kReadRatios) {
+    const auto& base = results[cell++];
+    const auto& remote = results[cell++];
+    const auto& linked = results[cell++];
     table.addRow({util::TablePrinter::toCell(readRatio),
                   base.cost.totalCost.str(), remote.cost.totalCost.str(),
                   linked.cost.totalCost.str(),
@@ -53,26 +76,16 @@ void figure4a() {
               "Zipf 1.2, 120K QPS)");
 }
 
-void figure4b() {
+void figure4b(const std::vector<core::ExperimentResult>& results,
+              std::size_t offset) {
   util::TablePrinter table(
       {"value_size", "Base", "Remote", "Linked", "Remote_saving",
        "Linked_saving"});
-  for (const std::uint64_t valueSize :
-       {1024ull, 4096ull, 16384ull, 65536ull, 262144ull, 1048576ull}) {
-    workload::SyntheticConfig workload;
-    workload.readRatio = 0.99;
-    workload.valueSize = valueSize;
-    const workload::SyntheticWorkload reference(workload);
-
-    const auto base = bench::runCell(core::Architecture::kBase, reference,
-                                     core::DeploymentConfig{},
-                                     experimentConfig());
-    const auto remote = bench::runCell(core::Architecture::kRemote, reference,
-                                       core::DeploymentConfig{},
-                                       experimentConfig());
-    const auto linked = bench::runCell(core::Architecture::kLinked, reference,
-                                       core::DeploymentConfig{},
-                                       experimentConfig());
+  std::size_t cell = offset;
+  for (const std::uint64_t valueSize : kValueSizes) {
+    const auto& base = results[cell++];
+    const auto& remote = results[cell++];
+    const auto& linked = results[cell++];
     table.addRow({util::Bytes::of(valueSize).str(),
                   base.cost.totalCost.str(), remote.cost.totalCost.str(),
                   linked.cost.totalCost.str(),
@@ -86,8 +99,11 @@ void figure4b() {
 
 }  // namespace
 
-int main() {
-  figure4a();
-  figure4b();
+int main(int argc, char** argv) {
+  core::ExperimentMatrix matrix(core::parseMatrixOptions(argc, argv));
+  addPanelCells(matrix);
+  const std::vector<core::ExperimentResult> results = matrix.run();
+  figure4a(results, 0);
+  figure4b(results, std::size(kReadRatios) * std::size(kArchs));
   return 0;
 }

@@ -6,6 +6,7 @@
 // both; Remote saves less than Linked (gRPC hop + (de)serialization);
 // savings on (a) exceed (b) because larger objects amplify the
 // serialization and byte-handling costs caches avoid.
+// Both panels' cells run concurrently on the experiment matrix.
 #include <vector>
 
 #include "bench_common.hpp"
@@ -16,40 +17,52 @@ using namespace dcache;
 
 namespace {
 
+constexpr core::Architecture kArchs[] = {core::Architecture::kBase,
+                                         core::Architecture::kRemote,
+                                         core::Architecture::kLinked};
+
 template <typename WorkloadT>
-void runPanel(const WorkloadT& reference, const char* title, double qps,
-              std::uint64_t operations) {
+void addPanel(core::ExperimentMatrix& matrix, const WorkloadT& reference,
+              double qps, std::uint64_t operations) {
   core::ExperimentConfig experiment;
   experiment.operations = operations;
   // Long warmup: production caches are warmed over hours; compulsory
   // misses must not dominate the measured window.
   experiment.warmupOperations = operations * 3;
   experiment.qps = qps;
-
-  std::vector<core::ExperimentResult> results;
-  for (const core::Architecture arch :
-       {core::Architecture::kBase, core::Architecture::kRemote,
-        core::Architecture::kLinked}) {
-    results.push_back(bench::runCell(arch, reference,
-                                     core::DeploymentConfig{}, experiment));
+  for (const core::Architecture arch : kArchs) {
+    bench::addCell(matrix, arch, reference, core::DeploymentConfig{},
+                   experiment);
   }
-  std::fputs(core::costComparisonTable(results, title).c_str(), stdout);
+}
+
+void printPanel(const std::vector<core::ExperimentResult>& results,
+                std::size_t offset, const char* title) {
+  const std::vector<core::ExperimentResult> panel(
+      results.begin() + static_cast<std::ptrdiff_t>(offset),
+      results.begin() + static_cast<std::ptrdiff_t>(offset + 3));
+  std::fputs(core::costComparisonTable(panel, title).c_str(), stdout);
   std::fputs("\n", stdout);
 }
 
 }  // namespace
 
-int main() {
-  workload::UcTraceConfig ucConfig;  // paper shape: 23KB median, 93% reads
-  runPanel(workload::UcTraceWorkload(ucConfig),
-           "Figure 5a: Unity Catalog-KV (denormalized single-row reads, "
-           "40K QPS)",
-           bench::kUcQps, 200000);
+int main(int argc, char** argv) {
+  core::ExperimentMatrix matrix(core::parseMatrixOptions(argc, argv));
 
+  workload::UcTraceConfig ucConfig;  // paper shape: 23KB median, 93% reads
+  addPanel(matrix, workload::UcTraceWorkload(ucConfig), bench::kUcQps,
+           200000);
   workload::MetaTraceConfig metaConfig;  // ~10B median, 30% writes
-  runPanel(workload::MetaTraceWorkload(metaConfig),
-           "Figure 5b: Meta key-value trace (10B median values, 30% "
-           "writes, 120K QPS)",
+  addPanel(matrix, workload::MetaTraceWorkload(metaConfig),
            bench::kSyntheticQps, 300000);
+
+  const std::vector<core::ExperimentResult> results = matrix.run();
+  printPanel(results, 0,
+             "Figure 5a: Unity Catalog-KV (denormalized single-row reads, "
+             "40K QPS)");
+  printPanel(results, 3,
+             "Figure 5b: Meta key-value trace (10B median values, 30% "
+             "writes, 120K QPS)");
   return 0;
 }

@@ -6,6 +6,9 @@
 // processing/planning), the Linked app-server decomposition (~60% request
 // prep, ~31% client communication) and the memory share of total cost
 // (6-22% for Linked, 1-5% for Base).
+// All (architecture, value-size) points are experiment-matrix cells; the
+// Linked@16KB point is computed once and shared by the panel, the app
+// decomposition and the full breakdown table.
 #include <cstdio>
 #include <vector>
 
@@ -17,9 +20,10 @@ using namespace dcache;
 
 namespace {
 
-core::ExperimentResult runPoint(core::Architecture arch,
-                                std::uint64_t valueSize,
-                                double readRatio = 0.93) {
+constexpr std::uint64_t kValueSizes[] = {1024, 16384, 262144, 1048576};
+
+std::size_t addPoint(core::ExperimentMatrix& matrix, core::Architecture arch,
+                     std::uint64_t valueSize, double readRatio = 0.93) {
   workload::SyntheticConfig workload;
   workload.readRatio = readRatio;
   workload.valueSize = valueSize;
@@ -27,16 +31,18 @@ core::ExperimentResult runPoint(core::Architecture arch,
   experiment.operations = 150000;
   experiment.warmupOperations = 150000;
   experiment.qps = bench::kSyntheticQps;
-  return bench::runCell(arch, workload::SyntheticWorkload(workload),
+  return bench::addCell(matrix, arch, workload::SyntheticWorkload(workload),
                         core::DeploymentConfig{}, experiment);
 }
 
-void tierShares(core::Architecture arch) {
+void tierShares(core::Architecture arch,
+                const std::vector<core::ExperimentResult>& results,
+                std::size_t offset) {
   util::TablePrinter table({"value_size", "app%", "remote_cache%", "sql%",
                             "kv%", "db_query_proc%", "mem_share%"});
-  for (const std::uint64_t valueSize :
-       {1024ull, 16384ull, 262144ull, 1048576ull}) {
-    const auto result = runPoint(arch, valueSize);
+  std::size_t cell = offset;
+  for (const std::uint64_t valueSize : kValueSizes) {
+    const auto& result = results[cell++];
     double total = 0.0;
     double app = 0.0;
     double remote = 0.0;
@@ -71,13 +77,12 @@ void tierShares(core::Architecture arch) {
               ": CPU share per tier vs value size");
 }
 
-void linkedAppDecomposition(std::uint64_t valueSize, double readRatio) {
+void linkedAppDecomposition(const core::ExperimentResult& result,
+                            std::uint64_t valueSize, double readRatio) {
   // §5.3: for Linked, preparing/issuing storage requests ≈60% of app
   // cycles, client communication ≈31%, the rest servicing requests. The
   // prep share is dominated by the ops that reach storage, so it peaks in
   // the write-heavy runs and shrinks as the hit ratio rises.
-  const auto result =
-      runPoint(core::Architecture::kLinked, valueSize, readRatio);
   const core::TierUsage* app = result.cost.tier(sim::TierKind::kAppServer);
   if (!app) return;
   auto share = [&](sim::CpuComponent c) {
@@ -105,24 +110,48 @@ void linkedAppDecomposition(std::uint64_t valueSize, double readRatio) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  core::ExperimentMatrix matrix(core::parseMatrixOptions(argc, argv));
+
+  // One cell per (architecture, value size); panel rows index into this
+  // block, and the Linked/Linked+Version @16KB cells double as the
+  // decomposition and full-breakdown inputs.
+  std::vector<std::size_t> panelOffsets;
+  std::size_t linked16k = 0;
+  std::size_t linkedVersion16k = 0;
   for (const core::Architecture arch : core::kAllArchitectures) {
-    tierShares(arch);
+    panelOffsets.push_back(matrix.cellCount());
+    for (const std::uint64_t valueSize : kValueSizes) {
+      const std::size_t cell = addPoint(matrix, arch, valueSize);
+      if (valueSize == 16384) {
+        if (arch == core::Architecture::kLinked) linked16k = cell;
+        if (arch == core::Architecture::kLinkedVersion) {
+          linkedVersion16k = cell;
+        }
+      }
+    }
   }
-  linkedAppDecomposition(16384, 0.93);
-  linkedAppDecomposition(16384, 0.50);
+  const std::size_t linkedWriteHeavy =
+      addPoint(matrix, core::Architecture::kLinked, 16384, 0.50);
+
+  const std::vector<core::ExperimentResult> results = matrix.run();
+
+  for (std::size_t i = 0; i < std::size(core::kAllArchitectures); ++i) {
+    tierShares(core::kAllArchitectures[i], results, panelOffsets[i]);
+  }
+  linkedAppDecomposition(results[linked16k], 16384, 0.93);
+  linkedAppDecomposition(results[linkedWriteHeavy], 16384, 0.50);
 
   // Full component table for one representative panel each of Linked and
   // Linked+Version, making the §5.5 storage-load increase visible.
-  const auto linked = runPoint(core::Architecture::kLinked, 16384);
-  const auto linkedV = runPoint(core::Architecture::kLinkedVersion, 16384);
-  std::fputs(
-      core::cpuBreakdownTable(linked, "\nLinked @16KB — full CPU breakdown")
-          .c_str(),
-      stdout);
+  std::fputs(core::cpuBreakdownTable(results[linked16k],
+                                     "\nLinked @16KB — full CPU breakdown")
+                 .c_str(),
+             stdout);
   std::fputs(core::cpuBreakdownTable(
-                 linkedV, "\nLinked+Version @16KB — full CPU breakdown "
-                          "(note the storage tier growth, §5.5)")
+                 results[linkedVersion16k],
+                 "\nLinked+Version @16KB — full CPU breakdown "
+                 "(note the storage tier growth, §5.5)")
                  .c_str(),
              stdout);
   return 0;

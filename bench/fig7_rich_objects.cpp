@@ -8,6 +8,7 @@
 //     variant's savings by up to ~2x — rich objects benefit
 //     disproportionately because a hit also eliminates query amplification
 //     and object assembly.
+// The four object cells and two KV cells run concurrently on the matrix.
 #include <cstdio>
 #include <vector>
 
@@ -28,43 +29,56 @@ workload::UcTraceConfig traceConfig() {
   return config;
 }
 
-core::ExperimentResult runObjectCell(core::Architecture arch) {
-  const workload::UcTraceConfig config = traceConfig();
-  workload::UcTraceWorkload workload(config);
+std::size_t addObjectCell(core::ExperimentMatrix& matrix,
+                          core::Architecture arch) {
+  return matrix.add([arch](util::Pcg32&) {
+    const workload::UcTraceConfig config = traceConfig();
+    workload::UcTraceWorkload workload(config);
 
-  core::DeploymentConfig deployment;
-  deployment.architecture = arch;
-  core::Deployment instance(deployment);
-  instance.populateCatalog(workload);
+    core::DeploymentConfig deployment;
+    deployment.architecture = arch;
+    core::Deployment instance(deployment);
+    instance.populateCatalog(workload);
 
-  core::ExperimentConfig experiment;
-  experiment.operations = 60000;
-  // Long warmup: the catalog working set must be resident, as in the
-  // production service; compulsory misses are not the phenomenon here.
-  experiment.warmupOperations = 240000;
-  experiment.qps = bench::kUcQps;
-  experiment.richObjects = true;
-  core::ExperimentRunner runner(experiment);
-  return runner.run(instance, workload);
+    core::ExperimentConfig experiment;
+    experiment.operations = 60000;
+    // Long warmup: the catalog working set must be resident, as in the
+    // production service; compulsory misses are not the phenomenon here.
+    experiment.warmupOperations = 240000;
+    experiment.qps = bench::kUcQps;
+    experiment.richObjects = true;
+    core::ExperimentRunner runner(experiment);
+    return runner.run(instance, workload);
+  });
 }
 
-core::ExperimentResult runKvCell(core::Architecture arch) {
+std::size_t addKvCell(core::ExperimentMatrix& matrix,
+                      core::Architecture arch) {
   const workload::UcTraceConfig config = traceConfig();
   core::ExperimentConfig experiment;
   experiment.operations = 60000;
   experiment.warmupOperations = 240000;
   experiment.qps = bench::kUcQps;
-  return bench::runCell(arch, workload::UcTraceWorkload(config),
+  return bench::addCell(matrix, arch, workload::UcTraceWorkload(config),
                         core::DeploymentConfig{}, experiment);
 }
 
 }  // namespace
 
-int main() {
-  std::vector<core::ExperimentResult> object;
+int main(int argc, char** argv) {
+  core::ExperimentMatrix matrix(core::parseMatrixOptions(argc, argv));
   for (const core::Architecture arch : core::kAllArchitectures) {
-    object.push_back(runObjectCell(arch));
+    addObjectCell(matrix, arch);
   }
+  // UC-KV variant for the 2x comparison.
+  for (const core::Architecture arch :
+       {core::Architecture::kBase, core::Architecture::kLinked}) {
+    addKvCell(matrix, arch);
+  }
+  const std::vector<core::ExperimentResult> results = matrix.run();
+
+  const std::vector<core::ExperimentResult> object(results.begin(),
+                                                   results.begin() + 4);
   std::fputs(core::costComparisonTable(
                  object, "Figure 7: Unity Catalog-Object — reads issue up "
                          "to 8 SQL statements (40K QPS)")
@@ -76,14 +90,8 @@ int main() {
                   object.front().counters.statementsIssued),
               static_cast<unsigned long long>(object.front().counters.reads));
 
-  // UC-KV variant for the 2x comparison.
-  std::vector<core::ExperimentResult> kv;
-  for (const core::Architecture arch :
-       {core::Architecture::kBase, core::Architecture::kLinked}) {
-    kv.push_back(runKvCell(arch));
-  }
   const double objectSaving = core::savingsVs(object[0], object[2]);
-  const double kvSaving = core::savingsVs(kv[0], kv[1]);
+  const double kvSaving = core::savingsVs(results[4], results[5]);
   std::printf(
       "Linked-vs-Base saving, Unity Catalog-Object: %.2fx (paper: up to "
       "~8x)\n"

@@ -1,17 +1,23 @@
 #include "cache/ttl.hpp"
 
-#include <vector>
-
 namespace dcache::cache {
 
 const CacheEntry* TtlCache::get(std::string_view key, std::uint64_t nowMicros) {
   const auto it = deadline_.find(std::string(key));
-  if (it != deadline_.end() && it->second <= nowMicros) {
-    inner_->erase(key);
-    deadline_.erase(it);
-    ++expirations_;
-    ++stats_.misses;
-    return nullptr;
+  if (it != deadline_.end()) {
+    if (inner_->peek(key) == nullptr) {
+      // The inner policy evicted this key on its own; the leftover deadline
+      // is stale. Drop it so a future re-insert starts a fresh TTL instead
+      // of inheriting this one, and so the miss below is not misreported as
+      // an expiration.
+      deadline_.erase(it);
+    } else if (it->second <= nowMicros) {
+      inner_->erase(key);
+      deadline_.erase(it);
+      ++expirations_;
+      ++stats_.misses;
+      return nullptr;
+    }
   }
   const CacheEntry* hit = inner_->get(key);
   if (hit) {
@@ -26,9 +32,19 @@ void TtlCache::put(std::string_view key, CacheEntry entry,
                    std::uint64_t nowMicros) {
   ++stats_.insertions;
   inner_->put(key, std::move(entry));
-  // Only track a deadline if the inner policy admitted the entry.
   if (inner_->peek(key) != nullptr) {
+    // Admitted (insert or overwrite): the deadline always restarts now.
     deadline_[std::string(key)] = nowMicros + ttlMicros_;
+  } else {
+    // Not admitted — make sure no deadline from an earlier residency
+    // survives to expire a later re-insert prematurely.
+    deadline_.erase(std::string(key));
+  }
+  // Inner evictions orphan deadlines silently; reconcile once the tracking
+  // map outgrows the resident set so it stays O(resident keys). Doubling
+  // plus slack keeps the scan amortized O(1) per put.
+  if (deadline_.size() > 2 * inner_->itemCount() + 64) {
+    dropStaleDeadlines();
   }
 }
 
@@ -43,16 +59,31 @@ void TtlCache::clear() {
 }
 
 std::size_t TtlCache::sweep(std::uint64_t nowMicros) {
-  std::vector<std::string> dead;
-  for (const auto& [key, deadline] : deadline_) {
-    if (deadline <= nowMicros) dead.push_back(key);
+  std::size_t reclaimed = 0;
+  for (auto it = deadline_.begin(); it != deadline_.end();) {
+    if (inner_->peek(it->first) == nullptr) {
+      // Evicted by the inner policy: prune, but this is not an expiration.
+      it = deadline_.erase(it);
+    } else if (it->second <= nowMicros) {
+      inner_->erase(it->first);
+      ++expirations_;
+      ++reclaimed;
+      it = deadline_.erase(it);
+    } else {
+      ++it;
+    }
   }
-  for (const auto& key : dead) {
-    inner_->erase(key);
-    deadline_.erase(key);
-    ++expirations_;
+  return reclaimed;
+}
+
+void TtlCache::dropStaleDeadlines() {
+  for (auto it = deadline_.begin(); it != deadline_.end();) {
+    if (inner_->peek(it->first) == nullptr) {
+      it = deadline_.erase(it);
+    } else {
+      ++it;
+    }
   }
-  return dead.size();
 }
 
 }  // namespace dcache::cache

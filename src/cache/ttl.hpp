@@ -29,8 +29,10 @@ class TtlCache {
   bool erase(std::string_view key);
   void clear();
 
-  /// Eagerly drop every entry whose deadline has passed. Returns the number
-  /// of entries reclaimed. Production caches run this on a timer.
+  /// Eagerly drop every resident entry whose deadline has passed. Returns
+  /// the number of entries reclaimed; deadlines orphaned by inner-policy
+  /// evictions are pruned without counting as expirations. Production
+  /// caches run this on a timer.
   std::size_t sweep(std::uint64_t nowMicros);
 
   [[nodiscard]] std::uint64_t ttlMicros() const noexcept { return ttlMicros_; }
@@ -39,8 +41,16 @@ class TtlCache {
   [[nodiscard]] std::uint64_t expirations() const noexcept {
     return expirations_;
   }
+  /// Deadlines currently tracked — bounded by the resident set (plus a
+  /// small reconciliation slack), never by the total keys ever inserted.
+  [[nodiscard]] std::size_t trackedDeadlines() const noexcept {
+    return deadline_.size();
+  }
 
  private:
+  /// Drop deadlines whose key the inner policy no longer holds.
+  void dropStaleDeadlines();
+
   std::unique_ptr<KvCache> inner_;
   std::uint64_t ttlMicros_;
   std::unordered_map<std::string, std::uint64_t> deadline_;

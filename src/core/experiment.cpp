@@ -41,6 +41,7 @@ ExperimentResult ExperimentRunner::run(Deployment& deployment,
       deployment.db().totalStoredBytes(),
       deployment.config().replicationFactor);
   result.counters = deployment.counters();
+  result.latencies = deployment.latencies();
   result.meanLatencyMicros = deployment.latencies().mean();
   result.p99LatencyMicros = deployment.latencies().p99();
   return result;

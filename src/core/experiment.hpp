@@ -8,6 +8,7 @@
 
 #include "core/cost_model.hpp"
 #include "core/deployment.hpp"
+#include "util/histogram.hpp"
 #include "workload/workload.hpp"
 
 namespace dcache::core {
@@ -26,6 +27,9 @@ struct ExperimentResult {
   std::string workload;
   CostBreakdown cost;
   ServeCounters counters;
+  /// Full measured-window latency distribution; cross-cell aggregation
+  /// merges these (see core::mergedLatencies).
+  util::Histogram latencies;
   double meanLatencyMicros = 0.0;
   double p99LatencyMicros = 0.0;
   double simulatedSeconds = 0.0;

@@ -1,0 +1,84 @@
+#include "core/matrix.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+#include "util/thread_pool.hpp"
+
+namespace dcache::core {
+namespace {
+
+[[nodiscard]] std::uint64_t parseUint(std::string_view text,
+                                      std::uint64_t fallback) noexcept {
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(text.data(), &end, 10);
+  return end != text.data() ? parsed : fallback;
+}
+
+}  // namespace
+
+MatrixOptions parseMatrixOptions(int argc, char** argv) {
+  MatrixOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--jobs" && i + 1 < argc) {
+      options.jobs = static_cast<std::size_t>(parseUint(argv[++i], 0));
+    } else if (arg.starts_with("--jobs=")) {
+      options.jobs = static_cast<std::size_t>(
+          parseUint(arg.substr(sizeof("--jobs=") - 1), 0));
+    } else if (arg == "--seed" && i + 1 < argc) {
+      options.rootSeed = parseUint(argv[++i], options.rootSeed);
+    } else if (arg.starts_with("--seed=")) {
+      options.rootSeed =
+          parseUint(arg.substr(sizeof("--seed=") - 1), options.rootSeed);
+    }
+  }
+  return options;
+}
+
+std::uint64_t cellSeed(std::uint64_t rootSeed, std::size_t index) noexcept {
+  // Offset by the golden-ratio increment so adjacent indices land far apart
+  // in SplitMix64's state space; the expansion depends only on the inputs.
+  util::SplitMix64 expander(rootSeed +
+                            0x9e3779b97f4a7c15ULL *
+                                (static_cast<std::uint64_t>(index) + 1));
+  return expander.next();
+}
+
+util::Pcg32 cellRng(std::uint64_t rootSeed, std::size_t index) noexcept {
+  return util::Pcg32(cellSeed(rootSeed, index),
+                     static_cast<std::uint64_t>(index) + 1);
+}
+
+std::size_t ExperimentMatrix::add(Cell cell) {
+  cells_.push_back(std::move(cell));
+  return cells_.size() - 1;
+}
+
+std::size_t ExperimentMatrix::add(Architecture arch, WorkloadFactory factory,
+                                  DeploymentConfig deployment,
+                                  ExperimentConfig experiment) {
+  return add([arch, factory = std::move(factory), deployment,
+              experiment](util::Pcg32& rng) {
+    const std::unique_ptr<workload::Workload> workload = factory(rng);
+    return runArchitecture(arch, *workload, deployment, experiment);
+  });
+}
+
+std::vector<ExperimentResult> ExperimentMatrix::run() const {
+  util::ThreadPool pool(options_.jobs);
+  return util::mapOrdered(pool, cells_.size(), [this](std::size_t index) {
+    util::Pcg32 rng = cellRng(options_.rootSeed, index);
+    return cells_[index](rng);
+  });
+}
+
+util::Histogram mergedLatencies(std::span<const ExperimentResult> results) {
+  util::Histogram merged;
+  for (const ExperimentResult& result : results) {
+    merged.merge(result.latencies);
+  }
+  return merged;
+}
+
+}  // namespace dcache::core

@@ -1,0 +1,83 @@
+// Parallel experiment matrix: the figure benches queue their
+// (architecture, workload, sweep-point) cells here and the matrix runs
+// each cell on a worker thread. Every cell is an independent deterministic
+// simulation, so the only requirements for reproducibility are (a) results
+// come back in submission order and (b) any randomness a cell consumes is
+// seeded from (rootSeed, cell index) alone — both guaranteed here, which
+// makes output byte-identical for any --jobs value.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+
+namespace dcache::core {
+
+struct MatrixOptions {
+  /// Worker threads; 0 = --jobs / DCACHE_JOBS / hardware concurrency.
+  std::size_t jobs = 0;
+  /// Root of every per-cell RNG stream (cell i gets cellRng(rootSeed, i)).
+  std::uint64_t rootSeed = 2026;
+};
+
+/// Parse `--jobs N` (or `--jobs=N`) and `--seed S` (or `--seed=S`) out of a
+/// bench's argv; unrecognized arguments are ignored.
+[[nodiscard]] MatrixOptions parseMatrixOptions(int argc, char** argv);
+
+/// Seed for cell `index`: a SplitMix64 expansion of the root seed that
+/// depends only on (rootSeed, index), never on scheduling order.
+[[nodiscard]] std::uint64_t cellSeed(std::uint64_t rootSeed,
+                                     std::size_t index) noexcept;
+
+/// Per-cell generator: seeded with cellSeed and streamed by cell index so
+/// no two cells ever share an RNG sequence.
+[[nodiscard]] util::Pcg32 cellRng(std::uint64_t rootSeed,
+                                  std::size_t index) noexcept;
+
+class ExperimentMatrix {
+ public:
+  /// A cell receives its private, index-derived generator. Cells must not
+  /// touch shared mutable state: each builds its own deployment/workload.
+  using Cell = std::function<ExperimentResult(util::Pcg32&)>;
+  using WorkloadFactory =
+      std::function<std::unique_ptr<workload::Workload>(util::Pcg32&)>;
+
+  explicit ExperimentMatrix(MatrixOptions options = {})
+      : options_(options) {}
+
+  /// Queue a fully custom cell. Returns the cell's index (= result slot).
+  std::size_t add(Cell cell);
+
+  /// Queue a standard cell: build a deployment for `arch`, populate it for
+  /// the factory's workload, run, price.
+  std::size_t add(Architecture arch, WorkloadFactory factory,
+                  DeploymentConfig deployment, ExperimentConfig experiment);
+
+  /// Run every queued cell across `options().jobs` workers and return the
+  /// results in submission order.
+  [[nodiscard]] std::vector<ExperimentResult> run() const;
+
+  [[nodiscard]] std::size_t cellCount() const noexcept {
+    return cells_.size();
+  }
+  [[nodiscard]] const MatrixOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  MatrixOptions options_;
+  std::vector<Cell> cells_;
+};
+
+/// Cross-cell latency aggregation: merge every cell's histogram
+/// (Histogram::merge) into one matrix-wide distribution.
+[[nodiscard]] util::Histogram mergedLatencies(
+    std::span<const ExperimentResult> results);
+
+}  // namespace dcache::core

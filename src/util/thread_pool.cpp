@@ -1,0 +1,69 @@
+#include "util/thread_pool.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace dcache::util {
+
+std::size_t resolveJobCount(std::size_t requested) noexcept {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("DCACHE_JOBS")) {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? hardware : 1;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t count = resolveJobCount(threads);
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  workAvailable_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++inFlight_;
+  }
+  workAvailable_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  allDone_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      workAvailable_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --inFlight_;
+    }
+    allDone_.notify_all();
+  }
+}
+
+}  // namespace dcache::util

@@ -1,0 +1,79 @@
+// Fixed-size worker pool for the experiment matrix: figure benches fan
+// independent simulation cells out across cores. Deliberately minimal —
+// submit + wait, no futures — because the matrix layer owns result slots
+// and ordering, so the pool never needs to move values across threads.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace dcache::util {
+
+/// Resolve a worker count: an explicit request wins, else the DCACHE_JOBS
+/// environment variable, else the hardware concurrency (min 1).
+[[nodiscard]] std::size_t resolveJobCount(std::size_t requested) noexcept;
+
+class ThreadPool {
+ public:
+  /// `threads == 0` resolves via resolveJobCount (DCACHE_JOBS / hardware).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait();
+
+  [[nodiscard]] std::size_t threadCount() const noexcept {
+    return workers_.size();
+  }
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable workAvailable_;
+  std::condition_variable allDone_;
+  std::size_t inFlight_ = 0;  // queued + currently executing
+  bool stop_ = false;
+};
+
+/// Run `count` independent tasks and return their results in index order —
+/// task i writes only slot i, so the output is identical for any worker
+/// count. The first task exception (if any) is rethrown after all tasks
+/// drain. The result type must be default-constructible.
+template <typename Fn>
+auto mapOrdered(ThreadPool& pool, std::size_t count, Fn fn)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  using Result = std::invoke_result_t<Fn&, std::size_t>;
+  std::vector<Result> results(count);
+  std::exception_ptr firstError;
+  std::mutex errorMutex;
+  for (std::size_t i = 0; i < count; ++i) {
+    pool.submit([&results, &fn, &firstError, &errorMutex, i] {
+      try {
+        results[i] = fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(errorMutex);
+        if (!firstError) firstError = std::current_exception();
+      }
+    });
+  }
+  pool.wait();
+  if (firstError) std::rethrow_exception(firstError);
+  return results;
+}
+
+}  // namespace dcache::util

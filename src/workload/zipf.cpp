@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 namespace dcache::workload {
 namespace {
@@ -16,14 +17,31 @@ namespace {
   return std::abs(t) > 1e-8 ? std::expm1(t) / t : 1.0 + t * 0.5 + t * t / 6.0;
 }
 
-// Bijection multiplier: prime larger than any practical key count keeps
-// gcd(prime, n) = 1, so (rank * prime) mod n is a permutation.
-constexpr std::uint64_t kScramblePrime = 2654435761ULL;
+// Candidate scramble multipliers, largest-entropy first. (rank * m) mod n
+// is a permutation iff gcd(m mod n, n) = 1; a single prime fails when n is
+// a multiple of it (for n = p the map even collapses to 0), so a second,
+// coprime prime covers every representable n — two distinct primes cannot
+// both divide a uint64.
+constexpr std::uint64_t kScramblePrimes[] = {2654435761ULL,
+                                             18446744073709551557ULL};
+
+/// Reduced multiplier for modulus `n`, falling back across candidates and
+/// ultimately to the identity (unreachable for n <= 2^64 - 1, kept so the
+/// permutation contract can never silently break).
+[[nodiscard]] std::uint64_t pickScramble(std::uint64_t n) noexcept {
+  for (const std::uint64_t prime : kScramblePrimes) {
+    const std::uint64_t m = prime % n;
+    if (m != 0 && std::gcd(m, n) == 1) return m;
+  }
+  return 1;
+}
 
 }  // namespace
 
 ZipfianGenerator::ZipfianGenerator(std::uint64_t numKeys, double alpha)
-    : n_(numKeys == 0 ? 1 : numKeys), alpha_(alpha < 0.0 ? 0.0 : alpha) {
+    : n_(numKeys == 0 ? 1 : numKeys),
+      alpha_(alpha < 0.0 ? 0.0 : alpha),
+      scramble_(pickScramble(n_)) {
   hIntegralX1_ = hIntegral(1.5) - 1.0;
   hIntegralN_ = hIntegral(static_cast<double>(n_) + 0.5);
   s_ = 2.0 - hIntegralInverse(hIntegral(2.5) - h(2.0));
@@ -61,8 +79,12 @@ std::uint64_t ZipfianGenerator::nextRank(util::Pcg32& rng) const {
 }
 
 std::uint64_t ZipfianGenerator::permuteRank(std::uint64_t rank) const noexcept {
-  // rank is 1-based; output is a 0-based key index.
-  return ((rank - 1) % n_ * (kScramblePrime % n_)) % n_;
+  // rank is 1-based; output is a 0-based key index. The product of two
+  // values below n_ can exceed 64 bits (n_ > 2^32), so reduce through a
+  // 128-bit intermediate.
+  const auto product =
+      static_cast<unsigned __int128>((rank - 1) % n_) * scramble_;
+  return static_cast<std::uint64_t>(product % n_);
 }
 
 }  // namespace dcache::workload

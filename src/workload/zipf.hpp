@@ -29,6 +29,11 @@ class ZipfianGenerator {
 
   [[nodiscard]] std::uint64_t numKeys() const noexcept { return n_; }
   [[nodiscard]] double alpha() const noexcept { return alpha_; }
+  /// Scramble multiplier in effect (already reduced mod numKeys); always
+  /// coprime to numKeys so permuteRank is a bijection.
+  [[nodiscard]] std::uint64_t scrambleMultiplier() const noexcept {
+    return scramble_;
+  }
 
  private:
   [[nodiscard]] double h(double x) const;
@@ -37,6 +42,7 @@ class ZipfianGenerator {
 
   std::uint64_t n_;
   double alpha_;
+  std::uint64_t scramble_;
   double hIntegralX1_;
   double hIntegralN_;
   double s_;

@@ -209,6 +209,59 @@ TEST(Ttl, SweepReclaimsEagerly) {
   EXPECT_EQ(cache.inner().itemCount(), 1u);
 }
 
+// ---- Regressions: deadlines of inner-policy eviction victims. The TTL
+// wrapper never sees the inner policy evict, so it must reconcile its
+// deadline map lazily instead of trusting it. ----
+
+TEST(Ttl, InnerEvictionIsNotAnExpiration) {
+  // LRU evicts "a" silently; its stale deadline must not surface later as
+  // a phantom TTL expiration.
+  TtlCache cache(std::make_unique<LruCache>(capacityFor(2)), 1000);
+  cache.put(key(1), CacheEntry::sized(1), 0);
+  cache.put(key(2), CacheEntry::sized(1), 0);
+  cache.put(key(3), CacheEntry::sized(1), 0);  // evicts key(1) inside LRU
+  ASSERT_EQ(cache.inner().peek(key(1)), nullptr);
+  EXPECT_EQ(cache.get(key(1), 1500), nullptr);  // past the old deadline
+  EXPECT_EQ(cache.expirations(), 0u);           // eviction, not expiration
+  EXPECT_EQ(cache.trackedDeadlines(), 2u);      // stale entry pruned
+}
+
+TEST(Ttl, SweepIgnoresDeadlinesOfEvictedKeys) {
+  TtlCache cache(std::make_unique<LruCache>(capacityFor(2)), 100);
+  cache.put(key(1), CacheEntry::sized(1), 0);
+  cache.put(key(2), CacheEntry::sized(1), 0);
+  cache.put(key(3), CacheEntry::sized(1), 0);  // evicts key(1) inside LRU
+  // Only the two resident keys count as reclaimed; key(1)'s orphaned
+  // deadline is dropped without inflating the expiration stats.
+  EXPECT_EQ(cache.sweep(200), 2u);
+  EXPECT_EQ(cache.expirations(), 2u);
+  EXPECT_EQ(cache.trackedDeadlines(), 0u);
+  EXPECT_EQ(cache.inner().itemCount(), 0u);
+}
+
+TEST(Ttl, EvictedVictimReinsertGetsFreshDeadline) {
+  TtlCache cache(std::make_unique<LruCache>(capacityFor(2)), 1000);
+  cache.put(key(1), CacheEntry::sized(1), 0);  // deadline 1000
+  cache.put(key(2), CacheEntry::sized(1), 0);
+  cache.put(key(3), CacheEntry::sized(1), 0);  // evicts key(1)
+  cache.put(key(1), CacheEntry::sized(1), 1500);  // re-insert after eviction
+  // The re-inserted entry must live a full TTL (until 2500), not inherit
+  // the long-dead deadline from its first life.
+  EXPECT_NE(cache.get(key(1), 2400), nullptr);
+  EXPECT_EQ(cache.get(key(1), 2500), nullptr);
+  EXPECT_EQ(cache.expirations(), 1u);
+}
+
+TEST(Ttl, DeadlineMapStaysBounded) {
+  // A small inner cache under a large churning keyspace: the deadline map
+  // must track the resident set, not every key ever inserted.
+  TtlCache cache(std::make_unique<LruCache>(capacityFor(4)), 1'000'000'000);
+  for (int i = 0; i < 10000; ++i) {
+    cache.put(key(i), CacheEntry::sized(1), static_cast<std::uint64_t>(i));
+  }
+  EXPECT_LE(cache.trackedDeadlines(), 2 * cache.inner().itemCount() + 64);
+}
+
 // ---- Contract suite: every policy must satisfy these. ----
 
 class PolicyContract : public ::testing::TestWithParam<EvictionPolicy> {

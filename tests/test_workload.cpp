@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <map>
+#include <numeric>
 #include <set>
 #include <vector>
 
@@ -65,6 +66,58 @@ TEST(Zipf, PermutationIsBijective) {
     const std::uint64_t key = zipf.permuteRank(rank);
     EXPECT_LT(key, 10007u);
     EXPECT_TRUE(seen.insert(key).second) << "collision at rank " << rank;
+  }
+}
+
+TEST(Zipf, PermutationBijectiveForAdversarialSizes) {
+  // Composite, power-of-two and highly-divisible key counts: the scramble
+  // multiplier must be reduced mod n and coprime to n for a bijection.
+  for (const std::uint64_t n : {6ull, 30030ull, 65536ull, 100000ull}) {
+    ZipfianGenerator zipf(n, 1.0);
+    ASSERT_EQ(std::gcd(zipf.scrambleMultiplier(), n), 1u) << "n " << n;
+    std::vector<bool> seen(n, false);
+    for (std::uint64_t rank = 1; rank <= n; ++rank) {
+      const std::uint64_t key = zipf.permuteRank(rank);
+      ASSERT_LT(key, n);
+      ASSERT_FALSE(seen[key]) << "collision at rank " << rank << " n " << n;
+      seen[key] = true;
+    }
+  }
+}
+
+TEST(Zipf, ScrambleFallsBackWhenKeyCountSharesPrimeFactor) {
+  // Key counts that are multiples of the primary scramble prime: the
+  // primary multiplier reduces to a non-coprime residue (0 for n == p,
+  // collapsing every rank onto key 0), so a fallback must kick in.
+  constexpr std::uint64_t kPrime = 2654435761ull;
+  for (const std::uint64_t n : {kPrime, 2 * kPrime, 3 * kPrime}) {
+    ZipfianGenerator zipf(n, 1.2);
+    const std::uint64_t m = zipf.scrambleMultiplier();
+    ASSERT_NE(m % n, 0u) << "n " << n;
+    ASSERT_EQ(std::gcd(m, n), 1u) << "n " << n;
+    std::set<std::uint64_t> keys;
+    for (std::uint64_t rank = 1; rank <= 1000; ++rank) {
+      keys.insert(zipf.permuteRank(rank));
+    }
+    EXPECT_EQ(keys.size(), 1000u) << "n " << n;  // no collapse
+  }
+}
+
+TEST(Zipf, PermutationSurvivesUint64Overflow) {
+  // For key counts past ~2^64 / multiplier the product (rank-1) * m no
+  // longer fits in 64 bits. A wrapped product breaks the modular step
+  // property f(r+1) = f(r) + m (mod n); check it at ranks on both sides
+  // of the overflow threshold. n is odd, so a 2^64 wrap never aliases.
+  constexpr std::uint64_t kN = 8000000011ull;
+  ZipfianGenerator zipf(kN, 1.0);
+  const std::uint64_t m = zipf.scrambleMultiplier();
+  ASSERT_EQ(std::gcd(m, kN), 1u);
+  for (const std::uint64_t rank : {std::uint64_t{1}, std::uint64_t{2654435761},
+                                   std::uint64_t{6950000000}, kN - 1}) {
+    const std::uint64_t a = zipf.permuteRank(rank);
+    const std::uint64_t b = zipf.permuteRank(rank + 1);
+    ASSERT_LT(a, kN);
+    EXPECT_EQ((a + m) % kN, b) << "rank " << rank;
   }
 }
 

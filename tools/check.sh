@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Sanitizer gate: build everything with ASan + UBSan and run the test
+# suite. The figure benches now run their cells on a thread pool, so this
+# is also the data-race/lifetime smoke test for the matrix runner.
+#
+# Usage: tools/check.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+(cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
+
+# One parallel bench end-to-end under the sanitizers: worker threads,
+# per-cell deployments, ordered result collection.
+"$BUILD_DIR/bench/fig4_synthetic" --jobs 8 > /dev/null
+
+echo "check.sh: all tests and the parallel bench passed under ASan/UBSan"
