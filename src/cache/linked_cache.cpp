@@ -93,6 +93,13 @@ void LinkedCache::removeServer(std::size_t serverIndex) {
   shards_[serverIndex]->clear();
 }
 
+void LinkedCache::addServer(std::size_t serverIndex) {
+  if (serverIndex >= shards_.size()) return;
+  if (ring_.contains(serverIndex)) return;
+  shards_[serverIndex]->clear();  // cold restart: nothing survives
+  ring_.addMember(serverIndex);
+}
+
 CacheStats LinkedCache::aggregateStats() const noexcept {
   CacheStats total;
   for (const auto& shard : shards_) {
@@ -107,6 +114,12 @@ CacheStats LinkedCache::aggregateStats() const noexcept {
 util::Bytes LinkedCache::bytesUsed() const noexcept {
   util::Bytes total;
   for (const auto& shard : shards_) total += shard->bytesUsed();
+  return total;
+}
+
+std::size_t LinkedCache::itemCount() const noexcept {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->itemCount();
   return total;
 }
 

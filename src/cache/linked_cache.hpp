@@ -54,8 +54,21 @@ class LinkedCache {
   /// dropped, mirroring a process restart.
   void removeServer(std::size_t serverIndex);
 
+  /// Re-add a previously removed server (restart after a crash). The shard
+  /// comes back *cold* — in-process cache contents do not survive the
+  /// process — and, because the ring's vnode points depend only on the
+  /// member index, ownership returns to exactly the pre-crash partition.
+  void addServer(std::size_t serverIndex);
+
+  /// True when the server is a ring member (i.e. currently owns a shard).
+  [[nodiscard]] bool hasServer(std::size_t serverIndex) const noexcept {
+    return ring_.contains(serverIndex);
+  }
+
   [[nodiscard]] CacheStats aggregateStats() const noexcept;
   [[nodiscard]] util::Bytes bytesUsed() const noexcept;
+  /// Total entries across shards (TTL bookkeeping boundedness checks).
+  [[nodiscard]] std::size_t itemCount() const noexcept;
   [[nodiscard]] util::Bytes provisionedPerNode() const noexcept {
     return perNodeCapacity_;
   }

@@ -25,6 +25,18 @@ RemoteCache::GetResult RemoteCache::get(sim::Node& client,
   sim::Node& server = tier_->node(idx);
   KvCache& shard = *shards_[idx];
 
+  if (!server.isUp()) {
+    // The pod is gone: no probe runs, but the client still pays the full
+    // timed-out retry budget against it (the channel's policy path).
+    const rpc::GetRequest req{std::string(key)};
+    const auto call = channel_->call(client, server, req.encodedSize(),
+                                     rpc::GetResponse{}.encodedSize());
+    GetResult out;
+    out.failed = true;
+    out.latencyMicros = call.latencyMicros;
+    return out;
+  }
+
   server.charge(sim::CpuComponent::kCacheOp, costs_.probeMicros);
   const CacheEntry* entry = shard.get(key);
 
@@ -43,9 +55,12 @@ RemoteCache::GetResult RemoteCache::get(sim::Node& client,
       channel_->call(client, server, req.encodedSize(), respBytes);
 
   GetResult out;
-  out.hit = entry != nullptr;
-  out.size = entry ? entry->size : 0;
-  out.version = entry ? entry->version : 0;
+  // A call lost to a degraded network (every retry dropped) is a failure
+  // even though the pod is healthy: the client never saw the value.
+  out.failed = !call.ok;
+  out.hit = entry != nullptr && call.ok;
+  out.size = out.hit ? entry->size : 0;
+  out.version = out.hit ? entry->version : 0;
   out.latencyMicros = call.latencyMicros;
   tier_->node(idx).mem().use(shard.bytesUsed());
   return out;
@@ -56,14 +71,15 @@ double RemoteCache::put(sim::Node& client, std::string_view key,
   const std::size_t idx = nodeForKey(key);
   sim::Node& server = tier_->node(idx);
 
-  server.charge(sim::CpuComponent::kCacheOp, costs_.insertMicros);
-  shards_[idx]->put(key, CacheEntry::sized(size, version));
-
   const rpc::PutRequest req{std::string(key), {}, version};
   const rpc::PutResponse resp{true, version};
   const auto call = channel_->call(client, server, req.encodedSize() + size,
                                    resp.encodedSize());
-  tier_->node(idx).mem().use(shards_[idx]->bytesUsed());
+  if (server.isUp() && call.ok) {
+    server.charge(sim::CpuComponent::kCacheOp, costs_.insertMicros);
+    shards_[idx]->put(key, CacheEntry::sized(size, version));
+    tier_->node(idx).mem().use(shards_[idx]->bytesUsed());
+  }
   return call.latencyMicros;
 }
 
@@ -71,14 +87,20 @@ double RemoteCache::invalidate(sim::Node& client, std::string_view key) {
   const std::size_t idx = nodeForKey(key);
   sim::Node& server = tier_->node(idx);
 
-  server.charge(sim::CpuComponent::kCacheOp, costs_.probeMicros);
-  shards_[idx]->erase(key);
-
   const rpc::GetRequest req{std::string(key)};  // key-only message
   const rpc::PutResponse resp{true, 0};
   const auto call =
       channel_->call(client, server, req.encodedSize(), resp.encodedSize());
+  if (server.isUp() && call.ok) {
+    server.charge(sim::CpuComponent::kCacheOp, costs_.probeMicros);
+    shards_[idx]->erase(key);
+  }
   return call.latencyMicros;
+}
+
+void RemoteCache::dropShard(std::size_t nodeIndex) {
+  if (nodeIndex >= shards_.size()) return;
+  shards_[nodeIndex]->clear();
 }
 
 CacheStats RemoteCache::aggregateStats() const noexcept {

@@ -29,6 +29,9 @@ class RemoteCache {
  public:
   struct GetResult {
     bool hit = false;
+    /// The owning cache node was unreachable (down or every retry lost):
+    /// the caller should degrade to the storage path.
+    bool failed = false;
     std::uint64_t size = 0;
     std::uint64_t version = 0;
     double latencyMicros = 0.0;
@@ -47,6 +50,15 @@ class RemoteCache {
 
   /// Delete-on-write invalidation.
   double invalidate(sim::Node& client, std::string_view key);
+
+  /// Crash handling: a cache pod's contents die with the process.
+  void dropShard(std::size_t nodeIndex);
+  /// Is the node owning `key` currently reachable? Lets clients fail fast
+  /// (skip fills) instead of paying another timeout against a known-dead
+  /// pod.
+  [[nodiscard]] bool nodeUpFor(std::string_view key) const noexcept {
+    return tier_->node(nodeForKey(key)).isUp();
+  }
 
   [[nodiscard]] CacheStats aggregateStats() const noexcept;
   [[nodiscard]] util::Bytes bytesUsed() const noexcept;

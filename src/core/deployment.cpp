@@ -78,11 +78,25 @@ void Deployment::populateCatalog(const workload::UcTraceWorkload& trace,
 
 std::size_t Deployment::appIndexFor(const std::string& key) {
   if (linked_ && config_.affinityRouting) {
-    return linked_->ownerOf(key);  // Slicer-style affinity
+    const std::size_t owner = linked_->ownerOf(key);
+    if (!faultsInstalled_ || app_->node(owner).isUp()) {
+      return owner;  // Slicer-style affinity
+    }
+    // The ring still names a down node (a tier outage doesn't reshard —
+    // the shards' contents survive); spray over the live servers below.
   }
-  const std::size_t idx = rrApp_ % app_->size();
-  ++rrApp_;
-  return idx;
+  if (!faultsInstalled_) {
+    const std::size_t idx = rrApp_ % app_->size();
+    ++rrApp_;
+    return idx;
+  }
+  // Load-balancer health checks: round-robin over live servers only.
+  for (std::size_t probe = 0; probe < app_->size(); ++probe) {
+    const std::size_t idx = rrApp_ % app_->size();
+    ++rrApp_;
+    if (app_->node(idx).isUp()) return idx;
+  }
+  return rrApp_ % app_->size();  // whole tier down: calls will time out
 }
 
 double Deployment::clientLeg(sim::Node& app, std::uint64_t requestBytes,
@@ -98,9 +112,31 @@ double Deployment::readFromStorageAndFill(sim::Node& app,
                                           const std::string& key) {
   app.charge(sim::CpuComponent::kRequestPrep,
              config_.calibration.app.requestPrepMicros);
+  if (faultsInstalled_) {
+    // Single-flight: a miss whose storage read is already in flight joins
+    // it instead of issuing a duplicate — a cold restart must not turn the
+    // miss storm into a storage-QPS storm. The follower only pays the
+    // remaining wait.
+    const auto it = inflight_.find(key);
+    if (it != inflight_.end() && it->second > simNowMicros_) {
+      ++counters_.coalescedMisses;
+      return static_cast<double>(it->second - simNowMicros_);
+    }
+  }
   const auto read = db_->readValue(app, key);
+  ++counters_.storageReads;
+  if (faultsInstalled_) {
+    inflight_[key] =
+        simNowMicros_ + static_cast<std::uint64_t>(read.latencyMicros);
+    pruneInflight();
+  }
   if (!read.found) return read.latencyMicros;
   if (remote_) {
+    if (faultsInstalled_ && !remote_->nodeUpFor(key)) {
+      // Circuit breaker: don't burn a timed-out retry budget filling a
+      // pod known to be dead; the value simply isn't cached this round.
+      return read.latencyMicros;
+    }
     return read.latencyMicros +
            remote_->put(app, key, read.size, read.version);
   }
@@ -127,6 +163,38 @@ bool Deployment::ttlExpired(const std::string& key) const {
 void Deployment::noteFill(const std::string& key) {
   if (config_.ttlFreshnessMicros == 0) return;
   fillTimes_[key] = simNowMicros_;
+  maybeSweepFillTimes();
+}
+
+void Deployment::maybeSweepFillTimes() {
+  // Evictions don't report back here, so the map accretes entries for keys
+  // the cache no longer holds; unchecked it grows with the keyspace, not
+  // with cache occupancy. Dropping an entry for an un-cached key can't
+  // change any decision (ttlExpired is only consulted after a cache *hit*),
+  // so sweep dead entries whenever the map outgrows occupancy 2x. The
+  // floor keeps the sweep amortized O(1) per fill for small runs.
+  if (!linked_) return;
+  if (fillTimes_.size() < 1024) return;
+  if (fillTimes_.size() <= 2 * linked_->itemCount()) return;
+  bool anyServer = false;
+  for (std::size_t i = 0; i < app_->size(); ++i) {
+    if (linked_->hasServer(i)) {
+      anyServer = true;
+      break;
+    }
+  }
+  if (!anyServer) {  // ring empty mid-outage: everything is un-cached
+    fillTimes_.clear();
+    return;
+  }
+  for (auto it = fillTimes_.begin(); it != fillTimes_.end();) {
+    const std::size_t owner = linked_->ownerOf(it->first);
+    if (linked_->shard(owner).peek(it->first) == nullptr) {
+      it = fillTimes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 Deployment::OpResult Deployment::serve(const workload::Op& op) {
@@ -134,6 +202,7 @@ Deployment::OpResult Deployment::serve(const workload::Op& op) {
   OpResult result =
       op.isRead() ? serveRead(key, op) : serveWrite(key, op);
   latency_.record(result.latencyMicros);
+  if (faultsInstalled_) syncFaultCounters();
   return result;
 }
 
@@ -150,6 +219,7 @@ Deployment::OpResult Deployment::serveRead(const std::string& key,
       app.charge(sim::CpuComponent::kRequestPrep,
                  config_.calibration.app.requestPrepMicros);
       const auto read = db_->readValue(app, key);
+      ++counters_.storageReads;
       servedBytes = read.size;
       result.latencyMicros += read.latencyMicros;
       break;
@@ -162,6 +232,9 @@ Deployment::OpResult Deployment::serveRead(const std::string& key,
         result.cacheHit = true;
         servedBytes = hit.size;
       } else {
+        // A failed call (pod down / every retry dropped) degrades to the
+        // storage path — availability is preserved, the cost moves.
+        if (hit.failed) ++counters_.degradedReads;
         ++counters_.cacheMisses;
         result.latencyMicros += readFromStorageAndFill(app, appIndex, key);
       }
@@ -255,6 +328,7 @@ Deployment::OpResult Deployment::serveWrite(const std::string& key,
 Deployment::OpResult Deployment::serveObject(const workload::Op& op) {
   OpResult result = op.isRead() ? serveObjectRead(op) : serveObjectWrite(op);
   latency_.record(result.latencyMicros);
+  if (faultsInstalled_) syncFaultCounters();
   return result;
 }
 
@@ -302,6 +376,7 @@ Deployment::OpResult Deployment::serveObjectRead(const workload::Op& op) {
                    config_.calibration.app.composePerByteMicros *
                        static_cast<double>(hit.size));
       } else {
+        if (hit.failed) ++counters_.degradedReads;
         ++counters_.cacheMisses;
         assembleAndFill();
       }
@@ -378,6 +453,138 @@ Deployment::OpResult Deployment::serveObjectWrite(const workload::Op& op) {
   return result;
 }
 
+void Deployment::installFaultSchedule(sim::FaultSchedule schedule) {
+  faultSchedule_ = std::move(schedule);
+  faultCursor_ = 0;
+  faultsInstalled_ = true;
+  channel_->enableFaults(config_.faultSeed, config_.rpcPolicy);
+  if (linked_ && !leases_) {
+    // The Fig. 8 fencing authority: a storage node grants ownership leases
+    // over the ring partitions; revocation on reshard bumps the epoch.
+    leases_ = std::make_unique<consistency::LeaseManager>(*app_, kv_->node(0),
+                                                          *channel_);
+  }
+  applyPendingFaults();  // events at/before the current clock fire now
+}
+
+void Deployment::applyPendingFaults() {
+  const auto& events = faultSchedule_.events();
+  while (faultCursor_ < events.size() &&
+         events[faultCursor_].atMicros <= simNowMicros_) {
+    applyFault(events[faultCursor_]);
+    ++faultCursor_;
+  }
+}
+
+sim::Tier* Deployment::tierFor(sim::TierKind kind) noexcept {
+  switch (kind) {
+    case sim::TierKind::kClient:
+      return client_.get();
+    case sim::TierKind::kAppServer:
+      return app_.get();
+    case sim::TierKind::kRemoteCache:
+      return remoteTier_.get();
+    case sim::TierKind::kSqlFrontend:
+      return sql_.get();
+    case sim::TierKind::kKvStorage:
+      return kv_.get();
+    case sim::TierKind::kCount:
+      break;
+  }
+  return nullptr;
+}
+
+void Deployment::setNodeUp(sim::TierKind kind, std::size_t index, bool up) {
+  sim::Tier* tier = tierFor(kind);
+  if (!tier || index >= tier->size()) return;
+  tier->node(index).setUp(up);
+}
+
+void Deployment::applyFault(const sim::FaultEvent& event) {
+  switch (event.kind) {
+    case sim::FaultKind::kNodeCrash: {
+      if (event.tier == sim::TierKind::kKvStorage) {
+        // Raft-replicated storage: leadership fails over in lease-time, so
+        // the tier keeps serving; the crash's lasting cost is the restarted
+        // node's cold block cache.
+        db_->dropBlockCache(event.nodeIndex);
+        break;
+      }
+      setNodeUp(event.tier, event.nodeIndex, false);
+      if (event.tier == sim::TierKind::kAppServer && linked_ &&
+          linked_->hasServer(event.nodeIndex)) {
+        // Reshard: the dead server's range moves to the survivors and any
+        // lease it held is revoked, fencing its in-flight stale writes.
+        linked_->removeServer(event.nodeIndex);
+        ++ownershipEpoch_;
+        if (leases_) leases_->revoke(event.nodeIndex);
+      }
+      if (event.tier == sim::TierKind::kRemoteCache && remote_) {
+        remote_->dropShard(event.nodeIndex);  // pod memory is gone
+      }
+      break;
+    }
+    case sim::FaultKind::kNodeRestart: {
+      if (event.tier == sim::TierKind::kKvStorage) break;  // never left
+      setNodeUp(event.tier, event.nodeIndex, true);
+      if (event.tier == sim::TierKind::kAppServer && linked_ &&
+          !linked_->hasServer(event.nodeIndex)) {
+        // Rejoin cold; ownership returns to the exact pre-crash partition
+        // (vnode points depend only on the member index), and the epoch
+        // bumps again — entries the survivors filled for this range are
+        // now unreachable, which is the restart's hit-ratio cost.
+        linked_->addServer(event.nodeIndex);
+        ++ownershipEpoch_;
+        if (leases_) leases_->revoke(event.nodeIndex);
+      }
+      break;
+    }
+    case sim::FaultKind::kTierOutage: {
+      // Unreachable, not dead: state survives, so no reshard and no shard
+      // drops — when the partition heals the caches are still warm.
+      sim::Tier* tier = tierFor(event.tier);
+      if (!tier) break;
+      for (std::size_t i = 0; i < tier->size(); ++i) {
+        tier->node(i).setUp(false);
+      }
+      break;
+    }
+    case sim::FaultKind::kTierRecover: {
+      sim::Tier* tier = tierFor(event.tier);
+      if (!tier) break;
+      for (std::size_t i = 0; i < tier->size(); ++i) {
+        tier->node(i).setUp(true);
+      }
+      break;
+    }
+    case sim::FaultKind::kDegradeBegin:
+      network_.setDegradation(event.latencyFactor, event.dropProbability);
+      break;
+    case sim::FaultKind::kDegradeEnd:
+      network_.clearDegradation();
+      break;
+  }
+}
+
+void Deployment::syncFaultCounters() noexcept {
+  const auto& fc = channel_->faultCounters();
+  counters_.retries = fc.retries;
+  counters_.timeouts = fc.timeouts;
+  counters_.failedCalls = fc.failedCalls;
+  counters_.wastedCpuMicros = fc.wastedCpuMicros;
+}
+
+void Deployment::pruneInflight() {
+  if (inflight_.size() < 4096) return;
+  for (auto it = inflight_.begin(); it != inflight_.end();) {
+    if (it->second <= simNowMicros_) {
+      it = inflight_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void Deployment::clearMeters() {
   client_->clearMeters();
   app_->clearMeters();
@@ -387,6 +594,7 @@ void Deployment::clearMeters() {
   counters_.clear();
   latency_.clear();
   network_.clearCounters();
+  channel_->clearFaultCounters();
 }
 
 std::vector<const sim::Tier*> Deployment::tiers() const {

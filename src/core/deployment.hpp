@@ -14,12 +14,14 @@
 
 #include "cache/linked_cache.hpp"
 #include "cache/remote_cache.hpp"
+#include "consistency/lease.hpp"
 #include "consistency/version_check.hpp"
 #include "core/architecture.hpp"
 #include "core/calibration.hpp"
 #include "richobject/assembler.hpp"
 #include "richobject/catalog_store.hpp"
 #include "rpc/channel.hpp"
+#include "sim/fault.hpp"
 #include "sim/network.hpp"
 #include "sim/tier.hpp"
 #include "storage/database.hpp"
@@ -63,6 +65,14 @@ struct DeploymentConfig {
   /// call setSimTimeMicros() directly.
   std::uint64_t ttlFreshnessMicros = 0;
 
+  /// Retry/timeout/backoff policy for every RPC while a fault schedule is
+  /// installed (installFaultSchedule arms the channel with it). Unused —
+  /// and cost-free — otherwise.
+  rpc::CallPolicy rpcPolicy{};
+  /// Seed for fault-path randomness (message drops, backoff jitter). Part
+  /// of the deployment config so matrix cells stay deterministic per cell.
+  std::uint64_t faultSeed = 2026;
+
   Calibration calibration{};
 };
 
@@ -75,6 +85,17 @@ struct ServeCounters {
   std::uint64_t versionMismatches = 0;
   std::uint64_t statementsIssued = 0;
   std::uint64_t ttlExpirations = 0;
+  /// Read-path storage round trips (cache misses + Base-path reads) — the
+  /// numerator of the failure bench's storage-QPS-amplification column.
+  std::uint64_t storageReads = 0;
+
+  // Fault-path accounting (all zero unless a FaultSchedule is installed).
+  std::uint64_t retries = 0;      // extra RPC attempts beyond the first
+  std::uint64_t timeouts = 0;     // RPC legs that waited out their timeout
+  std::uint64_t failedCalls = 0;  // RPCs that exhausted their retry budget
+  std::uint64_t degradedReads = 0;    // cache unreachable -> storage path
+  std::uint64_t coalescedMisses = 0;  // misses that joined an in-flight read
+  double wastedCpuMicros = 0.0;  // CPU charged to legs that never paid off
 
   [[nodiscard]] double hitRatio() const noexcept {
     const std::uint64_t n = cacheHits + cacheMisses;
@@ -104,12 +125,41 @@ class Deployment {
   /// Rich-object operation (UC-Object): kObjectRead assembles via SQL.
   OpResult serveObject(const workload::Op& op);
 
-  /// Advance the simulated wall clock (drives TTL freshness).
+  /// Advance the simulated wall clock (drives TTL freshness and fault
+  /// injection: any scheduled fault events up to `nowMicros` fire here).
   void setSimTimeMicros(std::uint64_t nowMicros) noexcept {
     simNowMicros_ = nowMicros;
+    if (faultsInstalled_) applyPendingFaults();
   }
   [[nodiscard]] std::uint64_t simTimeMicros() const noexcept {
     return simNowMicros_;
+  }
+
+  // ---- fault injection ----
+  /// Install a fault schedule and arm the RPC channel with the config's
+  /// retry policy + seeded drop/jitter RNG. Events fire as the sim clock
+  /// passes them. Without this call every fault hook is dormant and the
+  /// deployment's behaviour is bit-for-bit what it was before faults
+  /// existed.
+  void installFaultSchedule(sim::FaultSchedule schedule);
+  [[nodiscard]] bool faultsInstalled() const noexcept {
+    return faultsInstalled_;
+  }
+  /// Ring-ownership epoch: bumped every time cache ownership moves (an app
+  /// node crash or restart resharding the linked ring). Stale in-flight
+  /// writes carrying an older epoch are the Fig. 8 anomaly; the lease
+  /// manager's per-node epochs (leases()) provide the fencing.
+  [[nodiscard]] std::uint64_t ownershipEpoch() const noexcept {
+    return ownershipEpoch_;
+  }
+  /// Lease manager (linked architectures with faults installed; else null).
+  [[nodiscard]] consistency::LeaseManager* leases() noexcept {
+    return leases_.get();
+  }
+  /// Size of the TTL fill-time bookkeeping map (boundedness regression
+  /// tests: it must track cache occupancy, not keyspace size).
+  [[nodiscard]] std::size_t ttlBookkeepingSize() const noexcept {
+    return fillTimes_.size();
   }
 
   // ---- metering ----
@@ -153,9 +203,22 @@ class Deployment {
   double clientLeg(sim::Node& app, std::uint64_t requestBytes,
                    std::uint64_t responseBytes);
 
-  /// Read through storage and fill the architecture's cache.
+  /// Read through storage and fill the architecture's cache. With faults
+  /// installed, concurrent misses for one key are single-flight coalesced:
+  /// followers join the in-flight storage read instead of issuing their
+  /// own (a cold restart must not become a thundering herd).
   double readFromStorageAndFill(sim::Node& app, std::size_t appIndex,
                                 const std::string& key);
+
+  // ---- fault machinery ----
+  void applyPendingFaults();
+  void applyFault(const sim::FaultEvent& event);
+  [[nodiscard]] sim::Tier* tierFor(sim::TierKind kind) noexcept;
+  void setNodeUp(sim::TierKind kind, std::size_t index, bool up);
+  /// Mirror the channel's cumulative fault counters into counters_.
+  void syncFaultCounters() noexcept;
+  /// Drop expired single-flight entries once the map grows past its cap.
+  void pruneInflight();
 
   DeploymentConfig config_;
   sim::NetworkModel network_;
@@ -176,15 +239,26 @@ class Deployment {
   std::unique_ptr<richobject::Assembler> assembler_;
 
   /// TTL bookkeeping: last fill time per cached key (only when the TTL
-  /// freshness bound is enabled).
+  /// freshness bound is enabled). The map is swept lazily against cache
+  /// occupancy so evictions don't leak entries (see maybeSweepFillTimes).
   [[nodiscard]] bool ttlExpired(const std::string& key) const;
   void noteFill(const std::string& key);
+  void maybeSweepFillTimes();
 
   ServeCounters counters_;
   util::Histogram latency_;
   std::size_t rrApp_ = 0;
   std::uint64_t simNowMicros_ = 0;
   std::unordered_map<std::string, std::uint64_t> fillTimes_;
+
+  std::unique_ptr<consistency::LeaseManager> leases_;
+  sim::FaultSchedule faultSchedule_;
+  std::size_t faultCursor_ = 0;
+  bool faultsInstalled_ = false;
+  std::uint64_t ownershipEpoch_ = 1;
+  /// Single-flight table: key -> completion time of the in-flight storage
+  /// read (fault mode only).
+  std::unordered_map<std::string, std::uint64_t> inflight_;
 };
 
 }  // namespace dcache::core

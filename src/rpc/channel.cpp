@@ -1,11 +1,13 @@
 #include "rpc/channel.hpp"
 
+#include <algorithm>
+
 namespace dcache::rpc {
 
-CallResult Channel::call(sim::Node& client, sim::Node& server,
-                         std::uint64_t requestBytes,
-                         std::uint64_t responseBytes, bool marshal,
-                         sim::CpuComponent framingComponent) noexcept {
+CallResult Channel::callDirect(sim::Node& client, sim::Node& server,
+                               std::uint64_t requestBytes,
+                               std::uint64_t responseBytes, bool marshal,
+                               sim::CpuComponent framingComponent) noexcept {
   ++calls_;
   CallResult result;
   result.requestBytes = requestBytes;
@@ -30,11 +32,142 @@ CallResult Channel::call(sim::Node& client, sim::Node& server,
   return result;
 }
 
+CallResult Channel::call(sim::Node& client, sim::Node& server,
+                         std::uint64_t requestBytes,
+                         std::uint64_t responseBytes, bool marshal,
+                         sim::CpuComponent framingComponent) noexcept {
+  if (!faultsEnabled_) {
+    return callDirect(client, server, requestBytes, responseBytes, marshal,
+                      framingComponent);
+  }
+  const PolicyCallResult policyResult =
+      callWithPolicy(client, server, requestBytes, responseBytes,
+                     defaultPolicy_, marshal, framingComponent);
+  CallResult result;
+  result.latencyMicros = policyResult.latencyMicros;
+  result.requestBytes = requestBytes;
+  result.responseBytes = responseBytes;
+  result.ok = policyResult.ok;
+  return result;
+}
+
+bool Channel::legDropped() noexcept {
+  const double p = network_->dropProbability();
+  if (p <= 0.0) return false;  // no RNG draw: determinism outside windows
+  return util::uniform01(faultRng_) < p;
+}
+
+PolicyCallResult Channel::callWithPolicy(
+    sim::Node& client, sim::Node& server, std::uint64_t requestBytes,
+    std::uint64_t responseBytes, const CallPolicy& policy, bool marshal,
+    sim::CpuComponent framingComponent) noexcept {
+  PolicyCallResult out;
+  if (&client == &server) {  // in-process: nothing can fail or cost
+    ++calls_;
+    out.ok = true;
+    out.attempts = 1;
+    return out;
+  }
+
+  const std::size_t budget = std::max<std::size_t>(policy.maxAttempts, 1);
+  for (std::size_t attempt = 0; attempt < budget; ++attempt) {
+    if (attempt > 0) {
+      // Exponential backoff with seeded jitter; pure waiting, no CPU.
+      double backoff = policy.backoffBaseMicros *
+                       static_cast<double>(1ULL << (attempt - 1));
+      backoff = std::min(backoff, policy.backoffMaxMicros);
+      if (policy.jitterFraction > 0.0) {
+        backoff *= 1.0 + policy.jitterFraction *
+                             (2.0 * util::uniform01(faultRng_) - 1.0);
+      }
+      out.latencyMicros += backoff;
+      ++faultCounters_.retries;
+    }
+    ++out.attempts;
+    ++calls_;
+
+    // Request leg. A down server or a dropped packet loses the leg: the
+    // client already paid to marshal and send, then waits out the timeout.
+    if (!server.isUp() || legDropped()) {
+      double wasted = 0.0;
+      if (marshal) {
+        serializer_.chargeSerialize(client, requestBytes);
+        wasted += serializer_.serializeMicros(requestBytes);
+      }
+      network_->chargeLostLeg(client, requestBytes, framingComponent);
+      wasted += network_->params().perMessageCpuMicros +
+                network_->params().perByteCpuMicros *
+                    static_cast<double>(requestBytes);
+      out.latencyMicros += policy.timeoutMicros;
+      out.wastedCpuMicros += wasted;
+      ++out.timedOutLegs;
+      ++faultCounters_.timeouts;
+      faultCounters_.wastedCpuMicros += wasted;
+      continue;
+    }
+
+    if (marshal) serializer_.chargeSerialize(client, requestBytes);
+    out.latencyMicros +=
+        network_->transfer(client, server, requestBytes, framingComponent);
+    if (marshal) {
+      serializer_.chargeDeserialize(server, requestBytes);
+      serializer_.chargeSerialize(server, responseBytes);
+    }
+
+    // Response leg. A drop here wastes the whole round so far: the server
+    // did its work, but the client never sees the answer.
+    if (legDropped()) {
+      network_->chargeLostLeg(server, responseBytes, framingComponent);
+      double wasted = network_->params().perMessageCpuMicros +
+                      network_->params().perByteCpuMicros *
+                          static_cast<double>(responseBytes);
+      // The request leg's endpoint CPU was spent for nothing too.
+      wasted += 2.0 * (network_->params().perMessageCpuMicros +
+                       network_->params().perByteCpuMicros *
+                           static_cast<double>(requestBytes));
+      if (marshal) {
+        wasted += serializer_.serializeMicros(requestBytes) +
+                  serializer_.deserializeMicros(requestBytes) +
+                  serializer_.serializeMicros(responseBytes);
+      }
+      out.latencyMicros += policy.timeoutMicros;
+      out.wastedCpuMicros += wasted;
+      ++out.timedOutLegs;
+      ++faultCounters_.timeouts;
+      faultCounters_.wastedCpuMicros += wasted;
+      continue;
+    }
+
+    out.latencyMicros +=
+        network_->transfer(server, client, responseBytes, framingComponent);
+    if (marshal) serializer_.chargeDeserialize(client, responseBytes);
+    out.ok = true;
+    return out;
+  }
+
+  ++faultCounters_.failedCalls;
+  return out;
+}
+
 double Channel::oneWay(sim::Node& from, sim::Node& to, std::uint64_t bytes,
                        bool marshal,
                        sim::CpuComponent framingComponent) noexcept {
   ++calls_;
   if (&from == &to) return 0.0;
+  if (faultsEnabled_ && (!to.isUp() || legDropped())) {
+    // Fire-and-forget into the void: the sender pays, the message is lost.
+    double wasted = 0.0;
+    if (marshal) {
+      serializer_.chargeSerialize(from, bytes);
+      wasted += serializer_.serializeMicros(bytes);
+    }
+    const double latency =
+        network_->chargeLostLeg(from, bytes, framingComponent);
+    wasted += network_->params().perMessageCpuMicros +
+              network_->params().perByteCpuMicros * static_cast<double>(bytes);
+    faultCounters_.wastedCpuMicros += wasted;
+    return latency;
+  }
   if (marshal) serializer_.chargeSerialize(from, bytes);
   const double latency = network_->transfer(from, to, bytes, framingComponent);
   if (marshal) serializer_.chargeDeserialize(to, bytes);

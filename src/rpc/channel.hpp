@@ -4,6 +4,14 @@
 // is precisely the accounting the paper's architecture comparison rests on:
 // Remote pays this full path per cache access, Linked pays none of it on a
 // local hit.
+//
+// Under fault injection (sim/fault.hpp) the channel also owns the failure
+// semantics: a call to a down node or through a lossy degradation window
+// times out and is retried under a CallPolicy (per-call timeout,
+// exponential backoff with seeded jitter, bounded attempt budget). Failed
+// and retried legs still charge CPU at whichever endpoints did work —
+// retries are a *cost*, and the wasted share is tracked separately so the
+// benches can price it.
 #pragma once
 
 #include <cstdint>
@@ -11,15 +19,40 @@
 #include "rpc/serialization_model.hpp"
 #include "sim/network.hpp"
 #include "sim/node.hpp"
+#include "util/rng.hpp"
 
 namespace dcache::rpc {
 
 /// Outcome of a unary call as seen by the transport: how long it took and
-/// how many payload bytes crossed the wire.
+/// how many payload bytes crossed the wire. `ok` is false when every
+/// attempt of a policy-governed call failed (callers fall back — e.g. a
+/// cache client degrades to the storage path).
 struct CallResult {
   double latencyMicros = 0.0;
   std::uint64_t requestBytes = 0;
   std::uint64_t responseBytes = 0;
+  bool ok = true;
+};
+
+/// Retry/timeout/backoff policy for calls made while fault injection is
+/// active. Defaults model a tuned intra-datacenter RPC stack: tight
+/// timeout, 3 attempts, exponential backoff with +/-20% jitter.
+struct CallPolicy {
+  double timeoutMicros = 2000.0;
+  std::size_t maxAttempts = 3;  // 1 initial try + 2 retries
+  double backoffBaseMicros = 500.0;
+  double backoffMaxMicros = 8000.0;
+  double jitterFraction = 0.2;
+};
+
+/// Per-call outcome of the policy path, for callers that need the anatomy
+/// (the failure-timeline bench and tests).
+struct PolicyCallResult {
+  bool ok = false;
+  std::size_t attempts = 0;
+  std::size_t timedOutLegs = 0;
+  double latencyMicros = 0.0;
+  double wastedCpuMicros = 0.0;  // CPU charged to legs that never paid off
 };
 
 class Channel {
@@ -31,7 +64,8 @@ class Channel {
   /// (de)serialization accounting — a linked in-process access sets it
   /// false, every cross-process RPC sets it true. `framingComponent` lets
   /// callers attribute the hop (client traffic vs inter-tier traffic) so
-  /// the Fig. 6 CPU breakdown can separate them.
+  /// the Fig. 6 CPU breakdown can separate them. With faults enabled the
+  /// call is transparently routed through callWithPolicy.
   CallResult call(sim::Node& client, sim::Node& server,
                   std::uint64_t requestBytes, std::uint64_t responseBytes,
                   bool marshal = true,
@@ -39,10 +73,25 @@ class Channel {
                       sim::CpuComponent::kRpcFraming) noexcept;
 
   /// One-way message (e.g. an invalidation fan-out) — no response leg.
+  /// Fire-and-forget: under faults a dropped/unreachable leg charges the
+  /// sender and is simply lost (no retry).
   double oneWay(sim::Node& from, sim::Node& to, std::uint64_t bytes,
                 bool marshal = true,
                 sim::CpuComponent framingComponent =
                     sim::CpuComponent::kRpcFraming) noexcept;
+
+  /// Unary call under an explicit retry policy. Each attempt can lose its
+  /// request leg (server down, or a drop rolled from the seeded RNG inside
+  /// a degradation window) or its response leg; a lost leg costs the
+  /// sender's CPU plus a full timeout wait, then the policy backs off
+  /// (exponential, jittered) and retries until the attempt budget runs
+  /// out.
+  PolicyCallResult callWithPolicy(
+      sim::Node& client, sim::Node& server, std::uint64_t requestBytes,
+      std::uint64_t responseBytes, const CallPolicy& policy,
+      bool marshal = true,
+      sim::CpuComponent framingComponent =
+          sim::CpuComponent::kRpcFraming) noexcept;
 
   /// Convenience for typed messages exposing encodedSize().
   template <typename Request, typename Response>
@@ -51,6 +100,32 @@ class Channel {
     return call(client, server, request.encodedSize(), response.encodedSize());
   }
 
+  /// Arm the fault path: seeds the drop/jitter RNG and makes call()
+  /// delegate to callWithPolicy(`policy`). Never armed by default, so the
+  /// fast path (and its accounting) is byte-identical to a channel built
+  /// before fault injection existed.
+  void enableFaults(std::uint64_t seed, CallPolicy policy = {}) noexcept {
+    faultsEnabled_ = true;
+    faultRng_ = util::Pcg32(seed, 0x9e3779b9U);
+    defaultPolicy_ = policy;
+  }
+  [[nodiscard]] bool faultsEnabled() const noexcept { return faultsEnabled_; }
+  [[nodiscard]] const CallPolicy& defaultPolicy() const noexcept {
+    return defaultPolicy_;
+  }
+
+  /// Cumulative fault-path accounting (cleared by clearFaultCounters).
+  struct FaultCounters {
+    std::uint64_t retries = 0;      // extra attempts beyond the first
+    std::uint64_t timeouts = 0;     // legs that waited out the timeout
+    std::uint64_t failedCalls = 0;  // calls that exhausted their budget
+    double wastedCpuMicros = 0.0;   // CPU spent on legs that never paid off
+  };
+  [[nodiscard]] const FaultCounters& faultCounters() const noexcept {
+    return faultCounters_;
+  }
+  void clearFaultCounters() noexcept { faultCounters_ = FaultCounters{}; }
+
   [[nodiscard]] std::uint64_t callCount() const noexcept { return calls_; }
   [[nodiscard]] const SerializationModel& serializer() const noexcept {
     return serializer_;
@@ -58,9 +133,22 @@ class Channel {
   [[nodiscard]] sim::NetworkModel& network() noexcept { return *network_; }
 
  private:
+  /// Plain two-leg unary call (the pre-fault fast path).
+  CallResult callDirect(sim::Node& client, sim::Node& server,
+                        std::uint64_t requestBytes,
+                        std::uint64_t responseBytes, bool marshal,
+                        sim::CpuComponent framingComponent) noexcept;
+  /// Roll a leg drop from the seeded RNG (only consumed when the window's
+  /// drop probability is non-zero, preserving determinism elsewhere).
+  [[nodiscard]] bool legDropped() noexcept;
+
   sim::NetworkModel* network_;
   SerializationModel serializer_;
   std::uint64_t calls_ = 0;
+  bool faultsEnabled_ = false;
+  util::Pcg32 faultRng_{};
+  CallPolicy defaultPolicy_{};
+  FaultCounters faultCounters_{};
 };
 
 }  // namespace dcache::rpc

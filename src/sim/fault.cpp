@@ -1,0 +1,70 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+#include <string_view>
+
+namespace dcache::sim {
+
+std::string_view faultKindName(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kNodeCrash: return "node-crash";
+    case FaultKind::kNodeRestart: return "node-restart";
+    case FaultKind::kTierOutage: return "tier-outage";
+    case FaultKind::kTierRecover: return "tier-recover";
+    case FaultKind::kDegradeBegin: return "degrade-begin";
+    case FaultKind::kDegradeEnd: return "degrade-end";
+  }
+  return "unknown";
+}
+
+void FaultSchedule::add(FaultEvent event) {
+  events_.push_back(event);
+  sorted_ = events_.size() <= 1 ||
+            (sorted_ && events_[events_.size() - 2].atMicros <= event.atMicros);
+}
+
+void FaultSchedule::crashNode(std::uint64_t atMicros, TierKind tier,
+                              std::size_t node) {
+  add({atMicros, FaultKind::kNodeCrash, tier, node, 1.0, 0.0});
+}
+
+void FaultSchedule::restartNode(std::uint64_t atMicros, TierKind tier,
+                                std::size_t node) {
+  add({atMicros, FaultKind::kNodeRestart, tier, node, 1.0, 0.0});
+}
+
+void FaultSchedule::crashWindow(std::uint64_t fromMicros,
+                                std::uint64_t untilMicros, TierKind tier,
+                                std::size_t node) {
+  crashNode(fromMicros, tier, node);
+  restartNode(untilMicros, tier, node);
+}
+
+void FaultSchedule::tierOutage(std::uint64_t fromMicros,
+                               std::uint64_t untilMicros, TierKind tier) {
+  add({fromMicros, FaultKind::kTierOutage, tier, 0, 1.0, 0.0});
+  add({untilMicros, FaultKind::kTierRecover, tier, 0, 1.0, 0.0});
+}
+
+void FaultSchedule::degradeNetwork(std::uint64_t fromMicros,
+                                   std::uint64_t untilMicros,
+                                   double latencyFactor,
+                                   double dropProbability) {
+  add({fromMicros, FaultKind::kDegradeBegin, TierKind::kAppServer, 0,
+       latencyFactor, dropProbability});
+  add({untilMicros, FaultKind::kDegradeEnd, TierKind::kAppServer, 0, 1.0,
+       0.0});
+}
+
+const std::vector<FaultEvent>& FaultSchedule::events() const {
+  if (!sorted_) {
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) {
+                       return a.atMicros < b.atMicros;
+                     });
+    sorted_ = true;
+  }
+  return events_;
+}
+
+}  // namespace dcache::sim

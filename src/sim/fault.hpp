@@ -1,0 +1,69 @@
+// Deterministic fault injection. A FaultSchedule is a list of timed events
+// — node crashes/restarts, whole-tier outages, network-degradation windows
+// — applied against the simulated clock by whoever owns the deployment
+// state (core::Deployment drives it from setSimTimeMicros). The schedule
+// itself is pure data: fully ordered, no hidden randomness, so a matrix
+// cell that installs the same schedule with the same seed replays the same
+// failure timeline byte-for-byte regardless of worker count. The only
+// randomness faults introduce (per-leg message drops, retry-backoff
+// jitter) is drawn from the RPC channel's own seeded generator.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "sim/node.hpp"
+
+namespace dcache::sim {
+
+enum class FaultKind : std::uint8_t {
+  kNodeCrash,     // node goes down; volatile state (its caches) is lost
+  kNodeRestart,   // node rejoins with cold caches
+  kTierOutage,    // every node of a tier becomes unreachable (network
+                  // partition / rollout gone wrong); state survives
+  kTierRecover,   // the tier becomes reachable again
+  kDegradeBegin,  // network degradation window opens (latency x, drops)
+  kDegradeEnd,    // degradation window closes
+};
+
+[[nodiscard]] std::string_view faultKindName(FaultKind kind) noexcept;
+
+struct FaultEvent {
+  std::uint64_t atMicros = 0;
+  FaultKind kind = FaultKind::kNodeCrash;
+  TierKind tier = TierKind::kAppServer;  // node/tier events
+  std::size_t nodeIndex = 0;             // node events
+  double latencyFactor = 1.0;            // kDegradeBegin
+  double dropProbability = 0.0;          // kDegradeBegin: per message leg
+};
+
+class FaultSchedule {
+ public:
+  void add(FaultEvent event);
+
+  // ---- convenience builders ----
+  void crashNode(std::uint64_t atMicros, TierKind tier, std::size_t node);
+  void restartNode(std::uint64_t atMicros, TierKind tier, std::size_t node);
+  /// Crash + restart in one call: down at `fromMicros`, cold restart at
+  /// `untilMicros`.
+  void crashWindow(std::uint64_t fromMicros, std::uint64_t untilMicros,
+                   TierKind tier, std::size_t node);
+  void tierOutage(std::uint64_t fromMicros, std::uint64_t untilMicros,
+                  TierKind tier);
+  void degradeNetwork(std::uint64_t fromMicros, std::uint64_t untilMicros,
+                      double latencyFactor, double dropProbability);
+
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+  /// Events in application order: ascending time, insertion order breaking
+  /// ties. Sorted lazily on first access after a mutation.
+  [[nodiscard]] const std::vector<FaultEvent>& events() const;
+
+ private:
+  mutable std::vector<FaultEvent> events_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace dcache::sim

@@ -15,8 +15,24 @@ double NetworkModel::transfer(Node& src, Node& dst, std::uint64_t payloadBytes,
   ++messages_;
   bytes_ += payloadBytes;
 
-  return params_.oneWayLatencyMicros +
-         params_.perByteLatencyMicros * static_cast<double>(payloadBytes);
+  const double latency =
+      params_.oneWayLatencyMicros +
+      params_.perByteLatencyMicros * static_cast<double>(payloadBytes);
+  return degraded_ ? latency * latencyFactor_ : latency;
+}
+
+double NetworkModel::chargeLostLeg(Node& src, std::uint64_t payloadBytes,
+                                   CpuComponent component) noexcept {
+  const double perEnd = params_.perMessageCpuMicros +
+                        params_.perByteCpuMicros *
+                            static_cast<double>(payloadBytes);
+  src.charge(component, perEnd);
+  ++messages_;
+  bytes_ += payloadBytes;
+  const double latency =
+      params_.oneWayLatencyMicros +
+      params_.perByteLatencyMicros * static_cast<double>(payloadBytes);
+  return degraded_ ? latency * latencyFactor_ : latency;
 }
 
 }  // namespace dcache::sim

@@ -35,6 +35,35 @@ class NetworkModel {
 
   [[nodiscard]] const NetworkParams& params() const noexcept { return params_; }
 
+  /// Open a degradation window (fault injection): latency is scaled by
+  /// `latencyFactor` and each message leg is dropped with
+  /// `dropProbability` (the drop decision itself is made by the RPC layer,
+  /// which owns the seeded RNG and the retry policy).
+  void setDegradation(double latencyFactor, double dropProbability) noexcept {
+    latencyFactor_ = latencyFactor >= 0.0 ? latencyFactor : 1.0;
+    dropProbability_ =
+        dropProbability < 0.0 ? 0.0
+                              : (dropProbability > 1.0 ? 1.0 : dropProbability);
+    degraded_ = latencyFactor_ != 1.0 || dropProbability_ > 0.0;
+  }
+  void clearDegradation() noexcept {
+    latencyFactor_ = 1.0;
+    dropProbability_ = 0.0;
+    degraded_ = false;
+  }
+  [[nodiscard]] bool degraded() const noexcept { return degraded_; }
+  [[nodiscard]] double dropProbability() const noexcept {
+    return dropProbability_;
+  }
+  [[nodiscard]] double latencyFactor() const noexcept { return latencyFactor_; }
+
+  /// Charge only the sending side of a transfer — the leg was lost (link
+  /// drop) or the receiver is down; the sender still did the syscall and
+  /// copy work. Returns the latency the sender spent putting the bytes on
+  /// the wire (the wait for the timeout is the RPC layer's to add).
+  double chargeLostLeg(Node& src, std::uint64_t payloadBytes,
+                       CpuComponent component) noexcept;
+
   [[nodiscard]] std::uint64_t messagesSent() const noexcept { return messages_; }
   [[nodiscard]] std::uint64_t bytesSent() const noexcept { return bytes_; }
   void clearCounters() noexcept {
@@ -46,6 +75,9 @@ class NetworkModel {
   NetworkParams params_{};
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;
+  bool degraded_ = false;
+  double latencyFactor_ = 1.0;
+  double dropProbability_ = 0.0;
 };
 
 }  // namespace dcache::sim

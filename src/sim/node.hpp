@@ -40,11 +40,20 @@ class Node {
     cpu_.charge(component, micros);
   }
 
+  /// Liveness, driven by the fault-injection subsystem (sim/fault.hpp). A
+  /// down node cannot be reached over the network: RPCs to it time out at
+  /// the caller. Meters are preserved across a crash — the bill covers the
+  /// whole timeline — but volatile state (caches) is the owner's job to
+  /// drop on crash/restart.
+  [[nodiscard]] bool isUp() const noexcept { return up_; }
+  void setUp(bool up) noexcept { up_ = up; }
+
  private:
   std::string name_;
   TierKind tier_;
   CpuMeter cpu_;
   MemMeter mem_;
+  bool up_ = true;
 };
 
 }  // namespace dcache::sim

@@ -12,6 +12,12 @@ Tier::Tier(std::string name, TierKind kind, std::size_t nodeCount)
   }
 }
 
+std::size_t Tier::upCount() const noexcept {
+  std::size_t up = 0;
+  for (const auto& n : nodes_) up += n->isUp() ? 1 : 0;
+  return up;
+}
+
 void Tier::provisionMemoryPerNode(util::Bytes perNode) noexcept {
   for (auto& n : nodes_) n->mem().provision(perNode);
 }

@@ -40,6 +40,11 @@ class Tier {
     return n;
   }
 
+  /// Nodes currently alive (fault injection can take nodes down).
+  [[nodiscard]] std::size_t upCount() const noexcept;
+  /// True when every node of the tier is down (whole-tier outage).
+  [[nodiscard]] bool allDown() const noexcept { return upCount() == 0; }
+
   /// Provision every node in the tier with the same memory capacity.
   void provisionMemoryPerNode(util::Bytes perNode) noexcept;
 

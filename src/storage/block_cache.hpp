@@ -31,6 +31,9 @@ class BlockCache {
   /// Drop the block containing `key` (compaction, explicit invalidation).
   void invalidate(std::string_view key);
 
+  /// Drop everything — a storage-node crash/restart comes back cold.
+  void clear() { cache_.clear(); }
+
   [[nodiscard]] const cache::CacheStats& stats() const noexcept {
     return cache_.stats();
   }

@@ -401,6 +401,11 @@ std::optional<std::uint64_t> Database::peekValueVersion(
   return stored->version;
 }
 
+void Database::dropBlockCache(std::size_t nodeIndex) {
+  if (nodeIndex >= blockCaches_.size()) return;
+  blockCaches_[nodeIndex]->clear();
+}
+
 // ---- introspection ----
 
 util::Bytes Database::totalStoredBytes() const {

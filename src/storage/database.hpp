@@ -136,6 +136,11 @@ class Database {
       std::string_view prefix, ExecTrace& trace,
       const std::function<bool(std::string_view, const StoredValue&)>& fn);
 
+  /// Fault injection: a KV node crashed and restarted — its block cache is
+  /// cold. Data survives (Raft replication), so reads keep working; they
+  /// just pay the disk path until the cache re-warms.
+  void dropBlockCache(std::size_t nodeIndex);
+
   // ---- introspection ----
   [[nodiscard]] util::Bytes totalStoredBytes() const;  // pre-replication
   [[nodiscard]] util::Bytes blockCacheProvisioned() const;

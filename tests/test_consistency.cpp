@@ -179,6 +179,43 @@ TEST(DelayedWrite, SweepRatesMatchTheFix) {
   EXPECT_DOUBLE_EQ(fenced, 0.0);
 }
 
+// ---- Fault-injected reshard (crash-driven Fig. 8) ----
+
+TEST(FaultInjectedReshard, LeaseRevocationFencesStaleWrite) {
+  FaultInjectedReshardConfig config;  // crash at 2ms, write lands at 5ms
+  ASSERT_TRUE(config.epochFencing);
+  const auto outcome = runFaultInjectedReshardScenario(config);
+  // The injected crash revoked the owner's lease before the delayed write
+  // landed: storage fenced it on the bumped epoch.
+  EXPECT_TRUE(outcome.writeRejected);
+  EXPECT_FALSE(outcome.anomaly);
+  EXPECT_EQ(outcome.cacheVersion, outcome.storageVersion);
+  EXPECT_NE(outcome.history.find("REJECTED"), std::string::npos);
+  EXPECT_NE(outcome.history.find("fault: node 0 crashed"),
+            std::string::npos);
+}
+
+TEST(FaultInjectedReshard, WithoutFencingTheCrashReproducesTheAnomaly) {
+  FaultInjectedReshardConfig config;
+  config.epochFencing = false;
+  const auto outcome = runFaultInjectedReshardScenario(config);
+  EXPECT_TRUE(outcome.anomaly);
+  EXPECT_FALSE(outcome.writeRejected);
+  EXPECT_EQ(outcome.cacheVersion, 1u);    // successor warmed the old value
+  EXPECT_EQ(outcome.storageVersion, 2u);  // stale write landed anyway
+}
+
+TEST(FaultInjectedReshard, WriteBeforeCrashIsNotFenced) {
+  FaultInjectedReshardConfig config;
+  config.writeDelayMicros = 100;  // commits before the crash revokes
+  config.crashAtMicros = 2000;
+  config.warmReadAtMicros = 3000;
+  const auto outcome = runFaultInjectedReshardScenario(config);
+  EXPECT_FALSE(outcome.writeRejected);
+  EXPECT_FALSE(outcome.anomaly);
+  EXPECT_EQ(outcome.cacheVersion, 2u);  // successor warmed the new value
+}
+
 // ---- Linearizability checker ----
 
 TEST(Linearizability, AcceptsSequentialHistory) {

@@ -3,6 +3,7 @@
 // version-check behaviour and the rich-object serving mode.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 
 #include "core/deployment.hpp"
@@ -193,6 +194,34 @@ TEST(Deployment, ObjectModeBaseAmplifiesQueries) {
       static_cast<double>(deployment.counters().reads);
   EXPECT_GT(perRead, 2.0);
   EXPECT_LE(perRead, 8.0);
+}
+
+TEST(Deployment, TtlBookkeepingTracksCacheOccupancyNotKeyspace) {
+  DeploymentConfig config = smallDeployment(Architecture::kLinked);
+  config.appCachePerNode = util::Bytes::mb(1);  // ~1K entries per shard
+  config.ttlFreshnessMicros = 50'000;
+  Deployment deployment(config);
+
+  workload::SyntheticConfig workloadConfig;
+  workloadConfig.numKeys = 50000;
+  workloadConfig.valueSize = 1024;
+  workloadConfig.readRatio = 0.9;
+  workloadConfig.alpha = 0.8;  // flat popularity: heavy eviction churn
+  workload::SyntheticWorkload workload(workloadConfig);
+  deployment.populateKv(workload);
+
+  for (int i = 0; i < 60000; ++i) {
+    deployment.setSimTimeMicros(static_cast<std::uint64_t>(i) * 10);
+    deployment.serve(workload.next());
+  }
+
+  // The fill-time map must track what the cache holds, not every key the
+  // workload ever touched (~tens of thousands here): evicted keys' entries
+  // are swept once the map outgrows occupancy 2x.
+  const std::size_t items = deployment.linkedCache()->itemCount();
+  EXPECT_GT(deployment.counters().cacheMisses, 10000u);  // real churn
+  EXPECT_LE(deployment.ttlBookkeepingSize(),
+            std::max<std::size_t>(1024, 2 * items) + 1);
 }
 
 TEST(Deployment, TotalCacheMemoryProvisioned) {

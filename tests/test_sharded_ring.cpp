@@ -195,6 +195,75 @@ TEST_F(CacheFrontends, LinkedRemoveServerDropsShard) {
   EXPECT_FALSE(linked.get(newOwner, "k").hit);  // shard content was dropped
 }
 
+TEST_F(CacheFrontends, LinkedCrashRestartChurnRestoresExactOwnership) {
+  LinkedCache linked(appTier_, util::Bytes::mb(64), channel_);
+  constexpr int kKeys = 2000;
+  std::vector<std::size_t> before(kKeys);
+  for (int k = 0; k < kKeys; ++k) {
+    before[k] = linked.ownerOf("key" + std::to_string(k));
+  }
+
+  const std::size_t victim = 1;
+  linked.removeServer(victim);
+  EXPECT_FALSE(linked.hasServer(victim));
+  for (int k = 0; k < kKeys; ++k) {
+    const std::size_t after = linked.ownerOf("key" + std::to_string(k));
+    // Routing never targets the removed member, and consistent hashing
+    // moves only the victim's keys.
+    EXPECT_NE(after, victim);
+    if (before[k] != victim) EXPECT_EQ(after, before[k]);
+  }
+
+  // Restart: vnode points depend only on the member index, so ownership
+  // returns to exactly the pre-crash partition.
+  linked.addServer(victim);
+  EXPECT_TRUE(linked.hasServer(victim));
+  for (int k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(linked.ownerOf("key" + std::to_string(k)), before[k]);
+  }
+}
+
+TEST_F(CacheFrontends, LinkedRemoveServerSparesSurvivorShards) {
+  LinkedCache linked(appTier_, util::Bytes::mb(64), channel_);
+  // Fill until every server owns at least one key we can name.
+  std::vector<std::string> keyOwnedBy(appTier_.size());
+  for (int k = 0; keyOwnedBy[0].empty() || keyOwnedBy[1].empty() ||
+                  keyOwnedBy[2].empty();
+       ++k) {
+    const std::string key = "key" + std::to_string(k);
+    keyOwnedBy[linked.ownerOf(key)] = key;
+    linked.fill(key, 128, 1);
+  }
+
+  const std::size_t victim = linked.ownerOf(keyOwnedBy[0]);
+  linked.removeServer(victim);
+  // Only the victim's shard was dropped: survivors still serve their keys.
+  for (std::size_t s = 0; s < appTier_.size(); ++s) {
+    if (s == victim) continue;
+    const auto hit = linked.get(s, keyOwnedBy[s]);
+    EXPECT_TRUE(hit.hit) << "survivor " << s << " lost its shard";
+  }
+  EXPECT_FALSE(linked.get((victim + 1) % appTier_.size(),
+                          keyOwnedBy[victim])
+                   .hit);
+}
+
+TEST_F(CacheFrontends, LinkedAddServerComesBackColdAndIdempotent) {
+  LinkedCache linked(appTier_, util::Bytes::mb(64), channel_);
+  linked.fill("k", 256, 7);
+  const std::size_t owner = linked.ownerOf("k");
+
+  // addServer on a current member is a no-op: the warm shard survives.
+  linked.addServer(owner);
+  EXPECT_TRUE(linked.get(owner, "k").hit);
+
+  linked.removeServer(owner);
+  linked.addServer(owner);
+  // A genuine restart rejoins cold.
+  EXPECT_EQ(linked.shard(owner).itemCount(), 0u);
+  EXPECT_FALSE(linked.get(owner, "k").hit);
+}
+
 TEST_F(CacheFrontends, LinkedUpdateAndInvalidate) {
   LinkedCache linked(appTier_, util::Bytes::mb(64), channel_);
   const std::size_t owner = linked.ownerOf("k");

@@ -20,4 +20,15 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 # per-cell deployments, ordered result collection.
 "$BUILD_DIR/bench/fig4_synthetic" --jobs 8 > /dev/null
 
-echo "check.sh: all tests and the parallel bench passed under ASan/UBSan"
+# The failure-timeline bench exercises the fault-injection paths (crashes,
+# resharding, RPC retries, single-flight coalescing) under the sanitizers,
+# and its output must be byte-identical regardless of worker count.
+"$BUILD_DIR/bench/fig9_failure_timeline" --jobs 1 > "$BUILD_DIR/fig9_j1.txt"
+"$BUILD_DIR/bench/fig9_failure_timeline" --jobs 8 > "$BUILD_DIR/fig9_j8.txt"
+if ! diff -q "$BUILD_DIR/fig9_j1.txt" "$BUILD_DIR/fig9_j8.txt" > /dev/null; then
+  echo "check.sh: fig9_failure_timeline output differs between --jobs 1 and --jobs 8" >&2
+  diff "$BUILD_DIR/fig9_j1.txt" "$BUILD_DIR/fig9_j8.txt" >&2 || true
+  exit 1
+fi
+
+echo "check.sh: all tests, the parallel benches, and the fig9 determinism gate passed under ASan/UBSan"
