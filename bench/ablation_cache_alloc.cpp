@@ -130,12 +130,13 @@ void evictionPolicyTable(const std::vector<core::ExperimentResult>& results,
 }  // namespace
 
 int main(int argc, char** argv) {
-  core::ExperimentMatrix matrix(core::parseMatrixOptions(argc, argv));
+  core::ExperimentMatrix matrix(bench::parseBenchOptions(argc, argv).matrix);
   std::vector<BlockCacheStats> blockStats(std::size(kAppGbPerNode));
   addSplitCells(matrix, blockStats);
   addPolicyCells(matrix);
   const std::vector<core::ExperimentResult> results = matrix.run();
   memorySplitTable(results, blockStats);
   evictionPolicyTable(results, std::size(kAppGbPerNode));
+  bench::finishBench(results);
   return 0;
 }

@@ -46,6 +46,7 @@ core::ExperimentResult runLinkedLease(std::uint64_t& renewalsOut) {
   workload::SyntheticWorkload workload(workloadConfig());
   core::DeploymentConfig deploymentConfig;
   deploymentConfig.architecture = core::Architecture::kLinked;
+  deploymentConfig = bench::withBenchTrace(deploymentConfig);
   core::Deployment deployment(deploymentConfig);
   deployment.populateKv(workload);
 
@@ -92,6 +93,9 @@ core::ExperimentResult runLinkedLease(std::uint64_t& renewalsOut) {
                                 deploymentConfig.replicationFactor);
   result.counters = deployment.counters();
   result.latencies = deployment.latencies();
+  if (const obs::Tracer* tracer = deployment.tracer()) {
+    result.trace = tracer->summary();
+  }
   result.meanLatencyMicros = deployment.latencies().mean();
   result.p99LatencyMicros = deployment.latencies().p99();
   renewalsOut = leases.renewals();
@@ -115,7 +119,7 @@ core::ExperimentResult runLinkedTtl(std::uint64_t ttlMicros) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  core::ExperimentMatrix matrix(core::parseMatrixOptions(argc, argv));
+  core::ExperimentMatrix matrix(bench::parseBenchOptions(argc, argv).matrix);
   for (const core::Architecture arch :
        {core::Architecture::kBase, core::Architecture::kLinked,
         core::Architecture::kLinkedVersion}) {
@@ -154,5 +158,6 @@ int main(int argc, char** argv) {
       100.0 * (results[0].cost.totalCost - results[3].cost.totalCost)
           .dollars() /
           (results[0].cost.totalCost - results[1].cost.totalCost).dollars());
+  bench::finishBench(results);
   return 0;
 }

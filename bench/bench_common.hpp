@@ -2,14 +2,119 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/experiment.hpp"
 #include "core/matrix.hpp"
 #include "core/report.hpp"
+#include "obs/metrics.hpp"
 
 namespace dcache::bench {
+
+/// Common bench flags: the matrix options (--jobs/--seed) plus the
+/// observability flags every figure bench shares. All default to off, so a
+/// bench invoked with no flags produces byte-identical output to a build
+/// without the obs subsystem.
+struct BenchOptions {
+  core::MatrixOptions matrix;
+  /// --trace-sample N (0 = off, 1 = every request, N = seeded 1-in-N) and
+  /// --trace-keep K (span trees retained per cell).
+  obs::TraceConfig trace;
+  /// --metrics-out FILE: write the unified metrics registry as JSON.
+  std::string metricsOut;
+};
+
+/// Per-binary options singleton, set by parseBenchOptions.
+[[nodiscard]] inline BenchOptions& benchOptions() {
+  static BenchOptions options;
+  return options;
+}
+
+/// Parse shared bench flags out of argv (both "--flag value" and
+/// "--flag=value" forms); unrecognized arguments are ignored, matching
+/// parseMatrixOptions. Also stores the result in benchOptions().
+[[nodiscard]] inline BenchOptions parseBenchOptions(int argc, char** argv) {
+  BenchOptions options;
+  options.matrix = core::parseMatrixOptions(argc, argv);
+  options.trace.seed = options.matrix.rootSeed;
+  const auto value = [&](int& i, std::string_view arg,
+                         std::string_view flag) -> const char* {
+    if (arg == flag) {
+      if (i + 1 < argc) return argv[++i];
+      return nullptr;
+    }
+    if (arg.size() > flag.size() + 1 && arg.substr(0, flag.size()) == flag &&
+        arg[flag.size()] == '=') {
+      return argv[i] + flag.size() + 1;
+    }
+    return nullptr;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (const char* v = value(i, arg, "--trace-sample")) {
+      options.trace.sampleEvery =
+          static_cast<std::uint64_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value(i, arg, "--trace-keep")) {
+      options.trace.keepTraces =
+          static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value(i, arg, "--metrics-out")) {
+      options.metricsOut = v;
+    }
+  }
+  benchOptions() = options;
+  return options;
+}
+
+/// Apply the bench-wide trace config to a cell's deployment (a deployment
+/// that already configured its own tracing wins).
+[[nodiscard]] inline core::DeploymentConfig withBenchTrace(
+    core::DeploymentConfig deployment) {
+  if (benchOptions().trace.enabled() && !deployment.trace.enabled()) {
+    deployment.trace = benchOptions().trace;
+  }
+  return deployment;
+}
+
+/// Stable per-cell metric/report prefix: cell index + architecture +
+/// workload (the index disambiguates sweeps that reuse both).
+[[nodiscard]] inline std::string cellLabel(
+    std::size_t index, const core::ExperimentResult& result) {
+  return "cell" + std::to_string(index) + "." + result.architecture + "." +
+         result.workload;
+}
+
+/// Shared bench epilogue: when --trace-sample is on, print each traced
+/// cell's trace-tree report; when --metrics-out is given, publish every
+/// cell into one registry and write it as JSON. A bench run with neither
+/// flag emits nothing here, keeping default stdout byte-identical.
+inline void finishBench(std::span<const core::ExperimentResult> results) {
+  const BenchOptions& options = benchOptions();
+  if (options.trace.enabled()) {
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].trace.enabled()) continue;
+      std::printf("\n%s",
+                  core::traceTreeReport(results[i],
+                                        "trace " + cellLabel(i, results[i]),
+                                        /*maxTraces=*/1)
+                      .c_str());
+    }
+  }
+  if (!options.metricsOut.empty()) {
+    obs::MetricsRegistry registry;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      core::exportExperimentMetrics(registry, cellLabel(i, results[i]) + ".",
+                                    results[i]);
+    }
+    if (!registry.writeJsonFile(options.metricsOut)) {
+      std::fprintf(stderr, "warning: could not write metrics to %s\n",
+                   options.metricsOut.c_str());
+    }
+  }
+}
 
 /// Offered load for the compute-bound synthetic sweeps. The paper's testbed
 /// runs its deployments compute-bound (provisioning follows peak CPU); at
@@ -34,6 +139,7 @@ std::size_t addCell(core::ExperimentMatrix& matrix, core::Architecture arch,
                     const WorkloadT& workloadTemplate,
                     core::DeploymentConfig deployment,
                     core::ExperimentConfig experiment) {
+  deployment = withBenchTrace(deployment);
   return matrix.add(
       [arch, workloadTemplate, deployment, experiment](util::Pcg32&) {
         WorkloadT workload = workloadTemplate;  // fresh RNG state per cell
@@ -48,7 +154,8 @@ core::ExperimentResult runCell(core::Architecture arch,
                                core::DeploymentConfig deployment,
                                core::ExperimentConfig experiment) {
   WorkloadT workload = workloadTemplate;  // fresh RNG state per cell
-  return core::runArchitecture(arch, workload, deployment, experiment);
+  return core::runArchitecture(arch, workload, withBenchTrace(deployment),
+                               experiment);
 }
 
 }  // namespace dcache::bench

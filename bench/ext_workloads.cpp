@@ -124,7 +124,8 @@ void advisorPanel(std::size_t jobs) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const core::MatrixOptions options = core::parseMatrixOptions(argc, argv);
+  const core::MatrixOptions options =
+      bench::parseBenchOptions(argc, argv).matrix;
   core::ExperimentMatrix matrix(options);
   addTwitterCells(matrix);
   addLatencyCells(matrix);
@@ -132,5 +133,6 @@ int main(int argc, char** argv) {
   twitterPanel(results);
   latencyPanel(results);
   advisorPanel(options.jobs);
+  bench::finishBench(results);
   return 0;
 }

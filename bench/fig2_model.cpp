@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/matrix.hpp"
 #include "core/model.hpp"
 #include "util/table_printer.hpp"
@@ -124,10 +125,32 @@ void takeaways(util::ThreadPool& pool) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const core::MatrixOptions options = core::parseMatrixOptions(argc, argv);
-  util::ThreadPool pool(options.jobs);
+  const bench::BenchOptions benchOptions =
+      bench::parseBenchOptions(argc, argv);
+  util::ThreadPool pool(benchOptions.matrix.jobs);
   figure2a(pool);
   figure2b(pool);
   takeaways(pool);
+  if (!benchOptions.metricsOut.empty()) {
+    // Analytic bench: no deployments, so export the model's headline
+    // numbers (per-alpha savings) directly.
+    obs::MetricsRegistry registry;
+    for (const double alpha : kAlphas2a) {
+      core::ModelParams params = baseParams();
+      params.alpha = alpha;
+      const core::TheoreticalModel model(params);
+      const auto base =
+          model.totalCost(util::Bytes::of(0), util::Bytes::gb(1));
+      const auto linked =
+          model.totalCost(util::Bytes::gb(8), util::Bytes::gb(1));
+      char name[48];
+      std::snprintf(name, sizeof name, "fig2a.alpha_%.1f.saving", alpha);
+      registry.setGauge(name, base / linked);
+    }
+    if (!registry.writeJsonFile(benchOptions.metricsOut)) {
+      std::fprintf(stderr, "warning: could not write metrics to %s\n",
+                   benchOptions.metricsOut.c_str());
+    }
+  }
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <map>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/matrix.hpp"
 #include "util/bytes.hpp"
 #include "util/stats.hpp"
@@ -65,8 +66,9 @@ FrequencyStats collectFrequencyStats(const workload::UcTraceConfig& config) {
 
 int main(int argc, char** argv) {
   workload::UcTraceConfig config;  // paper parameters
-  const core::MatrixOptions options = core::parseMatrixOptions(argc, argv);
-  util::ThreadPool pool(options.jobs);
+  const bench::BenchOptions benchOptions =
+      bench::parseBenchOptions(argc, argv);
+  util::ThreadPool pool(benchOptions.matrix.jobs);
 
   // Both passes replay the identical seeded stream; fan them out.
   ReadStats readStats;
@@ -125,5 +127,24 @@ int main(int argc, char** argv) {
   }
   ampTable.print("\nQuery amplification (getTable translates to up to 8 "
                  "SQL statements, §5.2)");
+  if (!benchOptions.metricsOut.empty()) {
+    // Trace-analysis bench: no deployments, so export the distribution's
+    // headline statistics directly.
+    obs::MetricsRegistry registry;
+    registry.setCounter("fig3.ops", static_cast<std::uint64_t>(kOps));
+    registry.setCounter("fig3.tables", readStats.keyCount);
+    registry.setGauge("fig3.read_ratio",
+                      static_cast<double>(readStats.reads) / kOps);
+    registry.setGauge("fig3.size_p50_bytes",
+                      util::exactQuantile(readStats.sizes, 0.50));
+    registry.setGauge("fig3.size_p99_bytes",
+                      util::exactQuantile(readStats.sizes, 0.99));
+    registry.setGauge("fig3.rank_frequency_slope",
+                      util::logLogSlope(ranks, counts));
+    if (!registry.writeJsonFile(benchOptions.metricsOut)) {
+      std::fprintf(stderr, "warning: could not write metrics to %s\n",
+                   benchOptions.metricsOut.c_str());
+    }
+  }
   return 0;
 }

@@ -100,10 +100,11 @@ void figure4b(const std::vector<core::ExperimentResult>& results,
 }  // namespace
 
 int main(int argc, char** argv) {
-  core::ExperimentMatrix matrix(core::parseMatrixOptions(argc, argv));
+  core::ExperimentMatrix matrix(bench::parseBenchOptions(argc, argv).matrix);
   addPanelCells(matrix);
   const std::vector<core::ExperimentResult> results = matrix.run();
   figure4a(results, 0);
   figure4b(results, std::size(kReadRatios) * std::size(kArchs));
+  bench::finishBench(results);
   return 0;
 }

@@ -48,7 +48,7 @@ void printPanel(const std::vector<core::ExperimentResult>& results,
 }  // namespace
 
 int main(int argc, char** argv) {
-  core::ExperimentMatrix matrix(core::parseMatrixOptions(argc, argv));
+  core::ExperimentMatrix matrix(bench::parseBenchOptions(argc, argv).matrix);
 
   workload::UcTraceConfig ucConfig;  // paper shape: 23KB median, 93% reads
   addPanel(matrix, workload::UcTraceWorkload(ucConfig), bench::kUcQps,
@@ -64,5 +64,6 @@ int main(int argc, char** argv) {
   printPanel(results, 3,
              "Figure 5b: Meta key-value trace (10B median values, 30% "
              "writes, 120K QPS)");
+  bench::finishBench(results);
   return 0;
 }

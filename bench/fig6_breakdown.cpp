@@ -111,7 +111,7 @@ void linkedAppDecomposition(const core::ExperimentResult& result,
 }  // namespace
 
 int main(int argc, char** argv) {
-  core::ExperimentMatrix matrix(core::parseMatrixOptions(argc, argv));
+  core::ExperimentMatrix matrix(bench::parseBenchOptions(argc, argv).matrix);
 
   // One cell per (architecture, value size); panel rows index into this
   // block, and the Linked/Linked+Version @16KB cells double as the
@@ -154,5 +154,6 @@ int main(int argc, char** argv) {
                  "(note the storage tier growth, §5.5)")
                  .c_str(),
              stdout);
+  bench::finishBench(results);
   return 0;
 }

@@ -37,6 +37,7 @@ std::size_t addObjectCell(core::ExperimentMatrix& matrix,
 
     core::DeploymentConfig deployment;
     deployment.architecture = arch;
+    deployment = bench::withBenchTrace(deployment);
     core::Deployment instance(deployment);
     instance.populateCatalog(workload);
 
@@ -66,7 +67,7 @@ std::size_t addKvCell(core::ExperimentMatrix& matrix,
 }  // namespace
 
 int main(int argc, char** argv) {
-  core::ExperimentMatrix matrix(core::parseMatrixOptions(argc, argv));
+  core::ExperimentMatrix matrix(bench::parseBenchOptions(argc, argv).matrix);
   for (const core::Architecture arch : core::kAllArchitectures) {
     addObjectCell(matrix, arch);
   }
@@ -99,5 +100,6 @@ int main(int argc, char** argv) {
       "Object advantage over KV variant:            %.2fx (paper: up to "
       "~2x)\n",
       objectSaving, kvSaving, objectSaving / kvSaving);
+  bench::finishBench(results);
   return 0;
 }

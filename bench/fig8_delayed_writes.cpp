@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "consistency/delayed_write.hpp"
 #include "core/matrix.hpp"
 #include "util/table_printer.hpp"
@@ -30,7 +31,9 @@ struct SweepRow {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const core::MatrixOptions options = core::parseMatrixOptions(argc, argv);
+  const bench::BenchOptions benchOptions =
+      bench::parseBenchOptions(argc, argv);
+  const core::MatrixOptions& options = benchOptions.matrix;
   util::ThreadPool pool(options.jobs);
 
   // Scripted interleavings (2 cells) and the randomized sweep rows run
@@ -78,5 +81,20 @@ int main(int argc, char** argv) {
   }
   table.print("\nRandomized-timing sweep (write delay, reshard and warm "
               "read drawn uniformly)");
+  if (!benchOptions.metricsOut.empty()) {
+    // Scenario bench: no deployments, so export the sweep's anomaly rates
+    // directly.
+    obs::MetricsRegistry registry;
+    for (const SweepRow& row : rows) {
+      const std::string base =
+          "fig8.trials_" + std::to_string(row.trials) + ".";
+      registry.setGauge(base + "anomaly_rate_unfenced", row.unfencedRate);
+      registry.setGauge(base + "anomaly_rate_fenced", row.fencedRate);
+    }
+    if (!registry.writeJsonFile(benchOptions.metricsOut)) {
+      std::fprintf(stderr, "warning: could not write metrics to %s\n",
+                   benchOptions.metricsOut.c_str());
+    }
+  }
   return 0;
 }

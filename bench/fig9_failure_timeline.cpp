@@ -85,6 +85,7 @@ struct WindowRow {
 struct CellResult {
   std::string architecture;
   std::vector<WindowRow> windows;
+  obs::TraceSummary trace;  // final window only (clearMeters resets it)
 };
 
 CellResult runTimelineCell(std::size_t index, std::uint64_t rootSeed) {
@@ -92,6 +93,7 @@ CellResult runTimelineCell(std::size_t index, std::uint64_t rootSeed) {
   core::DeploymentConfig deploymentConfig;
   deploymentConfig.architecture = arch;
   deploymentConfig.faultSeed = core::cellSeed(rootSeed, index);
+  deploymentConfig = bench::withBenchTrace(deploymentConfig);
   core::Deployment deployment(deploymentConfig);
 
   workload::SyntheticWorkload workload{workload::SyntheticConfig{}};
@@ -151,6 +153,9 @@ CellResult runTimelineCell(std::size_t index, std::uint64_t rootSeed) {
                    .totalCost;
     cell.windows.push_back(row);
   }
+  if (const obs::Tracer* tracer = deployment.tracer()) {
+    cell.trace = tracer->summary();
+  }
   const double steadyReads =
       static_cast<double>(cell.windows.front().storageReads);
   for (WindowRow& row : cell.windows) {
@@ -186,7 +191,9 @@ void printTimeline(const CellResult& cell) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const core::MatrixOptions options = core::parseMatrixOptions(argc, argv);
+  const bench::BenchOptions benchOptions =
+      bench::parseBenchOptions(argc, argv);
+  const core::MatrixOptions& options = benchOptions.matrix;
   util::ThreadPool pool(options.jobs);
   const std::vector<CellResult> cells = util::mapOrdered(
       pool, std::size(kArchs),
@@ -223,5 +230,45 @@ int main(int argc, char** argv) {
   }
   summary.print("\nFigure 9 summary: provisioning for the worst window "
                 "(peak vs steady headroom)");
+  if (benchOptions.trace.enabled()) {
+    // clearMeters resets the tracer per window, so the summary covers the
+    // final (rewarm) window — the interesting recovery-path spans.
+    for (const CellResult& cell : cells) {
+      core::ExperimentResult result;
+      result.architecture = cell.architecture;
+      result.trace = cell.trace;
+      std::printf("\n%s",
+                  core::traceTreeReport(result,
+                                        "trace fig9." + cell.architecture +
+                                            " (final window)",
+                                        /*maxTraces=*/1)
+                      .c_str());
+    }
+  }
+  if (!benchOptions.metricsOut.empty()) {
+    // Windowed bench: export the per-window timeline instead of the usual
+    // per-cell experiment snapshot.
+    obs::MetricsRegistry registry;
+    for (const CellResult& cell : cells) {
+      for (std::size_t w = 0; w < cell.windows.size(); ++w) {
+        const WindowRow& row = cell.windows[w];
+        const std::string base = "fig9." + cell.architecture + ".window_" +
+                                 std::to_string(w) + ".";
+        registry.setGauge(base + "hit_ratio", row.hitRatio);
+        registry.setCounter(base + "storage_reads", row.storageReads);
+        registry.setGauge(base + "amplification", row.amplification);
+        registry.setGauge(base + "p99_us", row.p99Micros);
+        registry.setCounter(base + "retries", row.retries);
+        registry.setCounter(base + "timeouts", row.timeouts);
+        registry.setCounter(base + "degraded_reads", row.degradedReads);
+        registry.setGauge(base + "wasted_cpu_micros", row.wastedCpuMicros);
+        registry.setGauge(base + "window_cost_usd", row.cost.dollars());
+      }
+    }
+    if (!registry.writeJsonFile(benchOptions.metricsOut)) {
+      std::fprintf(stderr, "warning: could not write metrics to %s\n",
+                   benchOptions.metricsOut.c_str());
+    }
+  }
   return 0;
 }

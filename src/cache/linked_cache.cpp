@@ -1,5 +1,6 @@
 #include "cache/linked_cache.hpp"
 
+#include "sim/trace_hook.hpp"
 #include "util/hash.hpp"
 
 namespace dcache::cache {
@@ -28,6 +29,7 @@ std::size_t LinkedCache::ownerOf(std::string_view key) const noexcept {
 
 LinkedCache::GetResult LinkedCache::get(std::size_t serverIndex,
                                         std::string_view key) {
+  sim::SpanGuard span("linked.get", sim::TierKind::kAppServer);
   const std::size_t owner = ownerOf(key);
   sim::Node& ownerNode = tier_->node(owner);
   KvCache* shard = shards_[owner].get();
@@ -52,11 +54,13 @@ LinkedCache::GetResult LinkedCache::get(std::size_t serverIndex,
     out.latencyMicros = call.latencyMicros;
   }
   ownerNode.mem().use(shard->bytesUsed());
+  span.setOutcome(out.hit ? sim::SpanOutcome::kHit : sim::SpanOutcome::kMiss);
   return out;
 }
 
 void LinkedCache::fill(std::string_view key, std::uint64_t size,
                        std::uint64_t version) {
+  sim::SpanGuard span("linked.fill", sim::TierKind::kAppServer);
   const std::size_t owner = ownerOf(key);
   tier_->node(owner).charge(sim::CpuComponent::kCacheOp, costs_.insertMicros);
   shards_[owner]->put(key, CacheEntry::sized(size, version));
@@ -64,6 +68,7 @@ void LinkedCache::fill(std::string_view key, std::uint64_t size,
 }
 
 double LinkedCache::invalidate(std::size_t writerIndex, std::string_view key) {
+  sim::SpanGuard span("linked.inval", sim::TierKind::kAppServer);
   const std::size_t owner = ownerOf(key);
   sim::Node& ownerNode = tier_->node(owner);
   ownerNode.charge(sim::CpuComponent::kCacheOp, costs_.probeMicros);
@@ -76,6 +81,7 @@ double LinkedCache::invalidate(std::size_t writerIndex, std::string_view key) {
 
 double LinkedCache::update(std::size_t writerIndex, std::string_view key,
                            std::uint64_t size, std::uint64_t version) {
+  sim::SpanGuard span("linked.update", sim::TierKind::kAppServer);
   const std::size_t owner = ownerOf(key);
   sim::Node& ownerNode = tier_->node(owner);
   ownerNode.charge(sim::CpuComponent::kCacheOp, costs_.insertMicros);

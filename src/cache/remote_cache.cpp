@@ -1,5 +1,6 @@
 #include "cache/remote_cache.hpp"
 
+#include "sim/trace_hook.hpp"
 #include "util/hash.hpp"
 
 namespace dcache::cache {
@@ -21,6 +22,7 @@ std::size_t RemoteCache::nodeForKey(std::string_view key) const noexcept {
 
 RemoteCache::GetResult RemoteCache::get(sim::Node& client,
                                         std::string_view key) {
+  sim::SpanGuard span("remote.get", sim::TierKind::kRemoteCache);
   const std::size_t idx = nodeForKey(key);
   sim::Node& server = tier_->node(idx);
   KvCache& shard = *shards_[idx];
@@ -34,6 +36,7 @@ RemoteCache::GetResult RemoteCache::get(sim::Node& client,
     GetResult out;
     out.failed = true;
     out.latencyMicros = call.latencyMicros;
+    span.setOutcome(sim::SpanOutcome::kFailed);
     return out;
   }
 
@@ -63,11 +66,15 @@ RemoteCache::GetResult RemoteCache::get(sim::Node& client,
   out.version = out.hit ? entry->version : 0;
   out.latencyMicros = call.latencyMicros;
   tier_->node(idx).mem().use(shard.bytesUsed());
+  span.setOutcome(out.failed ? sim::SpanOutcome::kFailed
+                  : out.hit  ? sim::SpanOutcome::kHit
+                             : sim::SpanOutcome::kMiss);
   return out;
 }
 
 double RemoteCache::put(sim::Node& client, std::string_view key,
                         std::uint64_t size, std::uint64_t version) {
+  sim::SpanGuard span("remote.put", sim::TierKind::kRemoteCache);
   const std::size_t idx = nodeForKey(key);
   sim::Node& server = tier_->node(idx);
 
@@ -84,6 +91,7 @@ double RemoteCache::put(sim::Node& client, std::string_view key,
 }
 
 double RemoteCache::invalidate(sim::Node& client, std::string_view key) {
+  sim::SpanGuard span("remote.inval", sim::TierKind::kRemoteCache);
   const std::size_t idx = nodeForKey(key);
   sim::Node& server = tier_->node(idx);
 

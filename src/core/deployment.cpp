@@ -58,6 +58,9 @@ Deployment::Deployment(DeploymentConfig config) : config_(config) {
       break;
   }
   versionChecker_ = std::make_unique<consistency::VersionChecker>(*db_);
+  if (config_.trace.enabled()) {
+    tracer_ = std::make_unique<obs::Tracer>(config_.trace);
+  }
 }
 
 void Deployment::populateKv(const workload::Workload& workload) {
@@ -101,6 +104,7 @@ std::size_t Deployment::appIndexFor(const std::string& key) {
 
 double Deployment::clientLeg(sim::Node& app, std::uint64_t requestBytes,
                              std::uint64_t responseBytes) {
+  sim::SpanGuard span("client.leg", sim::TierKind::kClient);
   return channel_
       ->call(client_->node(0), app, requestBytes, responseBytes,
              /*marshal=*/true, sim::CpuComponent::kClientComm)
@@ -110,6 +114,7 @@ double Deployment::clientLeg(sim::Node& app, std::uint64_t requestBytes,
 double Deployment::readFromStorageAndFill(sim::Node& app,
                                           std::size_t appIndex,
                                           const std::string& key) {
+  sim::SpanGuard span("storage.fill", sim::TierKind::kKvStorage);
   app.charge(sim::CpuComponent::kRequestPrep,
              config_.calibration.app.requestPrepMicros);
   if (faultsInstalled_) {
@@ -120,6 +125,7 @@ double Deployment::readFromStorageAndFill(sim::Node& app,
     const auto it = inflight_.find(key);
     if (it != inflight_.end() && it->second > simNowMicros_) {
       ++counters_.coalescedMisses;
+      span.setOutcome(sim::SpanOutcome::kCoalesced);
       return static_cast<double>(it->second - simNowMicros_);
     }
   }
@@ -199,8 +205,16 @@ void Deployment::maybeSweepFillTimes() {
 
 Deployment::OpResult Deployment::serve(const workload::Op& op) {
   const std::string key = workload::keyName(op.keyIndex);
+  obs::RequestScope scope(tracer_.get(), op.isRead() ? "read" : "write");
+  const std::uint64_t degradedBefore = counters_.degradedReads;
   OpResult result =
       op.isRead() ? serveRead(key, op) : serveWrite(key, op);
+  if (op.isRead()) {
+    scope.setOutcome(counters_.degradedReads > degradedBefore
+                         ? sim::SpanOutcome::kDegraded
+                     : result.cacheHit ? sim::SpanOutcome::kHit
+                                       : sim::SpanOutcome::kMiss);
+  }
   latency_.record(result.latencyMicros);
   if (faultsInstalled_) syncFaultCounters();
   return result;
@@ -326,7 +340,16 @@ Deployment::OpResult Deployment::serveWrite(const std::string& key,
 }
 
 Deployment::OpResult Deployment::serveObject(const workload::Op& op) {
+  obs::RequestScope scope(tracer_.get(),
+                          op.isRead() ? "object.read" : "object.write");
+  const std::uint64_t degradedBefore = counters_.degradedReads;
   OpResult result = op.isRead() ? serveObjectRead(op) : serveObjectWrite(op);
+  if (op.isRead()) {
+    scope.setOutcome(counters_.degradedReads > degradedBefore
+                         ? sim::SpanOutcome::kDegraded
+                     : result.cacheHit ? sim::SpanOutcome::kHit
+                                       : sim::SpanOutcome::kMiss);
+  }
   latency_.record(result.latencyMicros);
   if (faultsInstalled_) syncFaultCounters();
   return result;
@@ -595,6 +618,9 @@ void Deployment::clearMeters() {
   latency_.clear();
   network_.clearCounters();
   channel_->clearFaultCounters();
+  // Traced CPU and metered CPU must cover the same window, or the
+  // conservation invariant (traced <= metered, equal at sample 1) breaks.
+  if (tracer_) tracer_->clear();
 }
 
 std::vector<const sim::Tier*> Deployment::tiers() const {

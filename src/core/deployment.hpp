@@ -18,6 +18,7 @@
 #include "consistency/version_check.hpp"
 #include "core/architecture.hpp"
 #include "core/calibration.hpp"
+#include "obs/trace.hpp"
 #include "richobject/assembler.hpp"
 #include "richobject/catalog_store.hpp"
 #include "rpc/channel.hpp"
@@ -72,6 +73,10 @@ struct DeploymentConfig {
   /// Seed for fault-path randomness (message drops, backoff jitter). Part
   /// of the deployment config so matrix cells stay deterministic per cell.
   std::uint64_t faultSeed = 2026;
+
+  /// Request tracing (off by default — sampleEvery == 0 instantiates no
+  /// tracer and leaves serve() on its pre-tracing path).
+  obs::TraceConfig trace{};
 
   Calibration calibration{};
 };
@@ -171,6 +176,11 @@ class Deployment {
   [[nodiscard]] const util::Histogram& latencies() const noexcept {
     return latency_;
   }
+  /// Trace recorder (null unless config.trace.sampleEvery > 0).
+  [[nodiscard]] obs::Tracer* tracer() noexcept { return tracer_.get(); }
+  [[nodiscard]] const obs::Tracer* tracer() const noexcept {
+    return tracer_.get();
+  }
 
   // ---- component access ----
   [[nodiscard]] const DeploymentConfig& config() const noexcept {
@@ -247,6 +257,7 @@ class Deployment {
 
   ServeCounters counters_;
   util::Histogram latency_;
+  std::unique_ptr<obs::Tracer> tracer_;
   std::size_t rrApp_ = 0;
   std::uint64_t simNowMicros_ = 0;
   std::unordered_map<std::string, std::uint64_t> fillTimes_;

@@ -1,8 +1,31 @@
 #include "core/experiment.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "workload/uc_trace.hpp"
 
 namespace dcache::core {
+
+std::uint64_t goldenOpsCap() noexcept {
+  static const std::uint64_t cap = [] {
+    const char* env = std::getenv("DCACHE_GOLDEN_OPS");
+    if (!env || !*env) return std::uint64_t{0};
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(env, &end, 10);
+    if (!end || *end != '\0') return std::uint64_t{0};
+    return static_cast<std::uint64_t>(value);
+  }();
+  return cap;
+}
+
+ExperimentRunner::ExperimentRunner(ExperimentConfig config)
+    : config_(config) {
+  if (const std::uint64_t cap = goldenOpsCap(); cap > 0) {
+    config_.operations = std::min(config_.operations, cap);
+    config_.warmupOperations = std::min(config_.warmupOperations, cap);
+  }
+}
 
 ExperimentResult ExperimentRunner::run(Deployment& deployment,
                                        workload::Workload& workload) {
@@ -41,6 +64,9 @@ ExperimentResult ExperimentRunner::run(Deployment& deployment,
       deployment.db().totalStoredBytes(),
       deployment.config().replicationFactor);
   result.counters = deployment.counters();
+  if (const obs::Tracer* tracer = deployment.tracer()) {
+    result.trace = tracer->summary();
+  }
   result.latencies = deployment.latencies();
   result.meanLatencyMicros = deployment.latencies().mean();
   result.p99LatencyMicros = deployment.latencies().p99();

@@ -22,6 +22,13 @@ struct ExperimentConfig {
   bool richObjects = false;            // serveObject() instead of serve()
 };
 
+/// Golden-regression fast mode: when the DCACHE_GOLDEN_OPS environment
+/// variable is a positive integer, every ExperimentRunner caps operations
+/// and warmupOperations at that value. Goldens are recorded and checked
+/// under the same cap, so the comparison stays byte-exact while ctest runs
+/// in seconds instead of minutes. Returns 0 when unset/invalid.
+[[nodiscard]] std::uint64_t goldenOpsCap() noexcept;
+
 struct ExperimentResult {
   std::string architecture;
   std::string workload;
@@ -33,14 +40,17 @@ struct ExperimentResult {
   double meanLatencyMicros = 0.0;
   double p99LatencyMicros = 0.0;
   double simulatedSeconds = 0.0;
+  /// Trace aggregates + kept span trees (empty unless the deployment was
+  /// configured with trace.sampleEvery > 0).
+  obs::TraceSummary trace;
 
   [[nodiscard]] util::Money totalCost() const { return cost.totalCost; }
 };
 
 class ExperimentRunner {
  public:
-  explicit ExperimentRunner(ExperimentConfig config = {})
-      : config_(config) {}
+  /// Applies the DCACHE_GOLDEN_OPS cap (see goldenOpsCap) to `config`.
+  explicit ExperimentRunner(ExperimentConfig config = {});
 
   /// Run `workload` through `deployment`. The deployment must already be
   /// populated (populateKv / populateCatalog). Meters are cleared after

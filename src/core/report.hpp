@@ -7,6 +7,7 @@
 #include <string>
 
 #include "core/experiment.hpp"
+#include "obs/metrics.hpp"
 
 namespace dcache::core {
 
@@ -29,5 +30,23 @@ namespace dcache::core {
 /// Share of a tier's CPU attributable to "query processing" (connection
 /// management + parse + plan) — the §5.3 40-65% claim for storage.
 [[nodiscard]] double queryProcessingShare(const ExperimentResult& result);
+
+/// Per-request cost-breakdown report: sampling aggregates (traced CPU per
+/// tier, span outcome counts) followed by up to `maxTraces` sampled span
+/// trees rendered as flamegraph-style component ladders — each span line
+/// carries its subtree/self CPU and bytes, and each trace closes with its
+/// CPU split by component. Empty string when the result carries no trace
+/// (trace.sampleEvery == 0). Output is deterministic: it depends only on
+/// the trace summary, never on threads or timing.
+[[nodiscard]] std::string traceTreeReport(const ExperimentResult& result,
+                                          const std::string& title,
+                                          std::size_t maxTraces = 2);
+
+/// Adapter: publish one experiment cell's results — serve counters, cost,
+/// latency summary, per-tier CPU/memory usage, and trace aggregates when
+/// present — into the unified registry under `prefix` (e.g. "fig4.Linked.").
+void exportExperimentMetrics(obs::MetricsRegistry& registry,
+                             std::string_view prefix,
+                             const ExperimentResult& result);
 
 }  // namespace dcache::core

@@ -1,0 +1,157 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dcache::obs {
+namespace {
+
+/// JSON-safe number: %.17g round-trips doubles bit-exactly on one
+/// platform, which is what the golden/metrics diffing needs; non-finite
+/// values (which the simulator never produces, but a registry shouldn't
+/// trust that) degrade to 0.
+[[nodiscard]] std::string jsonNumber(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+[[nodiscard]] std::string jsonString(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+MetricsRegistry::Metric& MetricsRegistry::upsert(std::string_view name,
+                                                 Kind kind) {
+  const auto it = index_.find(std::string(name));
+  if (it != index_.end()) {
+    Metric& metric = metrics_[it->second];
+    metric.kind = kind;
+    return metric;
+  }
+  index_.emplace(std::string(name), metrics_.size());
+  Metric metric;
+  metric.name = std::string(name);
+  metric.kind = kind;
+  metrics_.push_back(std::move(metric));
+  return metrics_.back();
+}
+
+void MetricsRegistry::setCounter(std::string_view name, std::uint64_t value) {
+  upsert(name, Kind::kCounter).counter = value;
+}
+
+void MetricsRegistry::setGauge(std::string_view name, double value) {
+  upsert(name, Kind::kGauge).gauge = value;
+}
+
+void MetricsRegistry::setHistogram(std::string_view name,
+                                   const util::Histogram& histogram) {
+  Metric& metric = upsert(name, Kind::kHistogram);
+  metric.histogram = HistogramSummary{histogram.count(), histogram.mean(),
+                                      histogram.p50(),   histogram.p90(),
+                                      histogram.p99(),   histogram.max()};
+}
+
+void MetricsRegistry::addToCounter(std::string_view name,
+                                   std::uint64_t delta) {
+  const Metric* existing = find(name);
+  const std::uint64_t base =
+      existing && existing->kind == Kind::kCounter ? existing->counter : 0;
+  upsert(name, Kind::kCounter).counter = base + delta;
+}
+
+const MetricsRegistry::Metric* MetricsRegistry::find(
+    std::string_view name) const noexcept {
+  const auto it = index_.find(std::string(name));
+  return it == index_.end() ? nullptr : &metrics_[it->second];
+}
+
+std::string MetricsRegistry::toJson() const {
+  std::string out = "{\"schema\":\"dcache.metrics.v1\",\"metrics\":[";
+  bool first = true;
+  for (const Metric& metric : metrics_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":" + jsonString(metric.name);
+    switch (metric.kind) {
+      case Kind::kCounter:
+        out += ",\"type\":\"counter\",\"value\":" +
+               std::to_string(metric.counter);
+        break;
+      case Kind::kGauge:
+        out += ",\"type\":\"gauge\",\"value\":" + jsonNumber(metric.gauge);
+        break;
+      case Kind::kHistogram:
+        out += ",\"type\":\"histogram\",\"count\":" +
+               std::to_string(metric.histogram.count) +
+               ",\"mean\":" + jsonNumber(metric.histogram.mean) +
+               ",\"p50\":" + jsonNumber(metric.histogram.p50) +
+               ",\"p90\":" + jsonNumber(metric.histogram.p90) +
+               ",\"p99\":" + jsonNumber(metric.histogram.p99) +
+               ",\"max\":" + jsonNumber(metric.histogram.max);
+        break;
+    }
+    out.push_back('}');
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool MetricsRegistry::writeJsonFile(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (!file) return false;
+  const std::string json = toJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), file) ==
+                  json.size();
+  return std::fclose(file) == 0 && ok;
+}
+
+void MetricsRegistry::clear() {
+  metrics_.clear();
+  index_.clear();
+}
+
+void exportTierMetrics(MetricsRegistry& registry, std::string_view prefix,
+                       const sim::Tier& tier) {
+  const std::string base = std::string(prefix) + tier.name();
+  const sim::CpuMeter cpu = tier.aggregateCpu();
+  registry.setCounter(base + ".nodes", tier.size());
+  registry.setGauge(base + ".cpu_micros_total", cpu.totalMicros());
+  for (std::size_t c = 0; c < sim::kNumCpuComponents; ++c) {
+    const double micros = cpu.micros(static_cast<sim::CpuComponent>(c));
+    if (micros <= 0.0) continue;  // keep the export sparse, like the tables
+    registry.setGauge(
+        base + ".cpu_micros." +
+            std::string(sim::cpuComponentName(static_cast<sim::CpuComponent>(c))),
+        micros);
+  }
+  registry.setCounter(base + ".memory_provisioned_bytes",
+                      tier.totalProvisionedMemory().count());
+  registry.setCounter(base + ".memory_peak_bytes",
+                      tier.totalPeakMemory().count());
+}
+
+}  // namespace dcache::obs

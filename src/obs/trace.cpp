@@ -1,0 +1,145 @@
+#include "obs/trace.hpp"
+
+#include "util/rng.hpp"
+
+namespace dcache::obs {
+
+double Trace::subtreeCpuMicros(std::size_t i) const noexcept {
+  double total = spans[i].cpuMicros;
+  // Children always follow their parent, so one forward pass suffices.
+  for (std::size_t j = i + 1; j < spans.size(); ++j) {
+    // Walk j's ancestry; cheap because trees are shallow (a handful of
+    // hops per request).
+    for (std::size_t a = spans[j].parent; a != SpanNode::kNoParent;
+         a = spans[a].parent) {
+      if (a == i) {
+        total += spans[j].cpuMicros;
+        break;
+      }
+    }
+  }
+  return total;
+}
+
+std::uint64_t Trace::subtreeBytes(std::size_t i) const noexcept {
+  std::uint64_t total = spans[i].bytesMoved;
+  for (std::size_t j = i + 1; j < spans.size(); ++j) {
+    for (std::size_t a = spans[j].parent; a != SpanNode::kNoParent;
+         a = spans[a].parent) {
+      if (a == i) {
+        total += spans[j].bytesMoved;
+        break;
+      }
+    }
+  }
+  return total;
+}
+
+double Trace::totalCpuMicros() const noexcept {
+  double total = 0.0;
+  for (const SpanNode& span : spans) total += span.cpuMicros;
+  return total;
+}
+
+double TraceSummary::tierCpuMicros(sim::TierKind tier) const noexcept {
+  double total = 0.0;
+  for (const double micros :
+       cpuByTierComponent[static_cast<std::size_t>(tier)]) {
+    total += micros;
+  }
+  return total;
+}
+
+Tracer::~Tracer() {
+  // A tracer must never die while installed (the deployment outlives every
+  // request scope), but stale thread-local pointers would be UB — clear
+  // defensively.
+  if (sim::activeTraceSink() == this) sim::setTraceSink(nullptr);
+}
+
+bool Tracer::sampled(std::uint64_t index) const noexcept {
+  if (config_.sampleEvery == 0) return false;
+  if (config_.sampleEvery == 1) return true;
+  // SplitMix64 over (seed, index): the decision depends on nothing else,
+  // so it is reproducible for any worker count.
+  util::SplitMix64 mix(config_.seed ^
+                       (0x9e3779b97f4a7c15ULL * (index + 1)));
+  return mix.next() % config_.sampleEvery == 0;
+}
+
+bool Tracer::startRequest(std::string_view name) {
+  const std::uint64_t index = totals_.requests++;
+  if (!sampled(index)) return false;
+
+  ++totals_.sampledRequests;
+  current_ = Trace{};
+  current_.requestIndex = index;
+  stack_.clear();
+  recording_ = true;
+  sim::setTraceSink(this);
+  beginSpan(name, sim::TierKind::kAppServer);
+  return true;
+}
+
+void Tracer::finishRequest(sim::SpanOutcome outcome) {
+  endSpan(outcome);  // the root span
+  sim::setTraceSink(nullptr);
+  recording_ = false;
+  if (totals_.kept.size() < config_.keepTraces) {
+    totals_.kept.push_back(std::move(current_));
+  }
+  current_ = Trace{};
+}
+
+void Tracer::clear() {
+  totals_ = TraceSummary{};
+  current_ = Trace{};
+  stack_.clear();
+  recording_ = false;
+}
+
+TraceSummary Tracer::summary() const {
+  TraceSummary out = totals_;
+  out.sampleEvery = config_.sampleEvery;
+  return out;
+}
+
+void Tracer::beginSpan(std::string_view name, sim::TierKind tier) {
+  if (!recording_) return;
+  SpanNode span;
+  span.name = std::string(name);
+  span.tier = tier;
+  span.parent = stack_.empty() ? SpanNode::kNoParent : stack_.back();
+  stack_.push_back(current_.spans.size());
+  current_.spans.push_back(std::move(span));
+  ++totals_.spanCount;
+}
+
+void Tracer::endSpan(sim::SpanOutcome outcome) {
+  if (!recording_ || stack_.empty()) return;
+  current_.spans[stack_.back()].outcome = outcome;
+  ++totals_.outcomeCounts[static_cast<std::size_t>(outcome)];
+  stack_.pop_back();
+}
+
+void Tracer::onCpuCharge(const sim::Node& node, sim::CpuComponent component,
+                         double micros) {
+  if (!recording_) return;
+  const auto c = static_cast<std::size_t>(component);
+  totals_.cpuMicrosTotal += micros;
+  totals_.cpuByTierComponent[static_cast<std::size_t>(node.tier())][c] +=
+      micros;
+  if (!stack_.empty()) {
+    SpanNode& span = current_.spans[stack_.back()];
+    span.cpuMicros += micros;
+    span.cpuByComponent[c] += micros;
+  }
+}
+
+void Tracer::onBytesMoved(std::uint64_t bytes) {
+  if (!recording_) return;
+  totals_.bytesMoved += bytes;
+  if (!stack_.empty()) current_.spans[stack_.back()].bytesMoved += bytes;
+}
+
+}  // namespace dcache::obs

@@ -1,0 +1,157 @@
+// Request-level tracing. A Tracer is the sim::TraceSink implementation one
+// deployment installs around each request it serves: the request becomes a
+// root span, every hop the request takes (cache probe, RPC attempt, storage
+// read, client leg) becomes a child span, and every CPU micro and payload
+// byte the simulator charges while the request is in flight lands on the
+// innermost open span.
+//
+// Two products come out:
+//  - running aggregates (per tier x component CPU, bytes, span outcome
+//    counts) over *all* sampled requests — bounded memory, and the basis of
+//    the conservation property: at --trace-sample 1 the traced CPU equals
+//    the tier meters exactly, because both are fed by the same charges;
+//  - the first `keepTraces` full span trees, for the flamegraph-style
+//    per-request cost report (core::traceTreeReport).
+//
+// Sampling is deterministic and seeded: whether request i is sampled
+// depends only on (seed, i), never on threads or timing, so trace output is
+// byte-identical across --jobs values.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/node.hpp"
+#include "sim/trace_hook.hpp"
+
+namespace dcache::obs {
+
+inline constexpr std::size_t kNumTierKinds =
+    static_cast<std::size_t>(sim::TierKind::kCount);
+inline constexpr std::size_t kNumSpanOutcomes =
+    static_cast<std::size_t>(sim::SpanOutcome::kCount);
+
+struct TraceConfig {
+  /// 0 = tracing off, 1 = trace every request, N = seeded 1-in-N sampling.
+  std::uint64_t sampleEvery = 0;
+  /// Seed for the sampling decision (mixed with the request index).
+  std::uint64_t seed = 2026;
+  /// Full span trees retained for rendering; aggregates cover everything.
+  std::size_t keepTraces = 8;
+
+  [[nodiscard]] bool enabled() const noexcept { return sampleEvery > 0; }
+};
+
+/// One node of a trace tree. Charges are *self* charges: work attributed to
+/// this span while no child span was open. A span's total is self plus its
+/// descendants' totals (Trace::totalCpuMicros / subtreeCpuMicros).
+struct SpanNode {
+  static constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
+
+  std::string name;
+  sim::TierKind tier = sim::TierKind::kAppServer;
+  sim::SpanOutcome outcome = sim::SpanOutcome::kOk;
+  std::size_t parent = kNoParent;  // index into Trace::spans
+  double cpuMicros = 0.0;          // self CPU
+  std::uint64_t bytesMoved = 0;    // self payload bytes
+  std::array<double, sim::kNumCpuComponents> cpuByComponent{};
+};
+
+/// One sampled request: a tree of spans stored in creation order, so a
+/// parent always precedes its children (spans[0] is the root).
+struct Trace {
+  std::uint64_t requestIndex = 0;
+  std::vector<SpanNode> spans;
+
+  /// Self CPU of span `i` plus all of its descendants.
+  [[nodiscard]] double subtreeCpuMicros(std::size_t i) const noexcept;
+  [[nodiscard]] std::uint64_t subtreeBytes(std::size_t i) const noexcept;
+  [[nodiscard]] double totalCpuMicros() const noexcept;
+};
+
+/// Copyable snapshot of everything a Tracer accumulated. Rides along in
+/// ExperimentResult so matrix cells can be inspected after the run.
+struct TraceSummary {
+  std::uint64_t sampleEvery = 0;  // 0 = tracing was off
+  std::uint64_t requests = 0;     // requests seen (sampled or not)
+  std::uint64_t sampledRequests = 0;
+  std::uint64_t spanCount = 0;    // spans across sampled requests
+  double cpuMicrosTotal = 0.0;    // CPU observed inside sampled requests
+  std::uint64_t bytesMoved = 0;
+  std::array<std::array<double, sim::kNumCpuComponents>, kNumTierKinds>
+      cpuByTierComponent{};
+  std::array<std::uint64_t, kNumSpanOutcomes> outcomeCounts{};
+  std::vector<Trace> kept;
+
+  [[nodiscard]] bool enabled() const noexcept { return sampleEvery > 0; }
+  [[nodiscard]] double tierCpuMicros(sim::TierKind tier) const noexcept;
+  [[nodiscard]] std::uint64_t outcomes(sim::SpanOutcome o) const noexcept {
+    return outcomeCounts[static_cast<std::size_t>(o)];
+  }
+};
+
+/// The deployment-owned trace recorder. Not thread-safe by design: one
+/// tracer belongs to one deployment, which one matrix worker drives at a
+/// time; the sink is installed in the worker's thread-local slot only while
+/// a sampled request is in flight.
+class Tracer final : public sim::TraceSink {
+ public:
+  explicit Tracer(TraceConfig config) : config_(config) {}
+  ~Tracer() override;
+
+  /// Begin a request: decides sampling, opens the root span and installs
+  /// the sink when sampled. Must be paired with finishRequest.
+  /// Returns true when the request is being traced.
+  bool startRequest(std::string_view name);
+  /// Close the root span with `outcome` and uninstall the sink.
+  void finishRequest(sim::SpanOutcome outcome);
+
+  /// Reset every aggregate and kept trace (including the sampling counter);
+  /// paired with Deployment::clearMeters so traced CPU and metered CPU
+  /// always cover the same window.
+  void clear();
+
+  [[nodiscard]] const TraceConfig& config() const noexcept { return config_; }
+  [[nodiscard]] TraceSummary summary() const;
+
+  /// Would request `index` be sampled? Pure function of (seed, index).
+  [[nodiscard]] bool sampled(std::uint64_t index) const noexcept;
+
+  // ---- sim::TraceSink ----
+  void beginSpan(std::string_view name, sim::TierKind tier) override;
+  void endSpan(sim::SpanOutcome outcome) override;
+  void onCpuCharge(const sim::Node& node, sim::CpuComponent component,
+                   double micros) override;
+  void onBytesMoved(std::uint64_t bytes) override;
+
+ private:
+  TraceConfig config_;
+  TraceSummary totals_;
+  Trace current_;
+  std::vector<std::size_t> stack_;  // open span indices, innermost last
+  bool recording_ = false;
+};
+
+/// RAII request scope for serve paths: inert when `tracer` is null (tracing
+/// off) or the request is not sampled.
+class RequestScope {
+ public:
+  RequestScope(Tracer* tracer, std::string_view name) {
+    if (tracer && tracer->startRequest(name)) tracer_ = tracer;
+  }
+  ~RequestScope() {
+    if (tracer_) tracer_->finishRequest(outcome_);
+  }
+  RequestScope(const RequestScope&) = delete;
+  RequestScope& operator=(const RequestScope&) = delete;
+
+  void setOutcome(sim::SpanOutcome outcome) noexcept { outcome_ = outcome; }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  sim::SpanOutcome outcome_ = sim::SpanOutcome::kOk;
+};
+
+}  // namespace dcache::obs

@@ -2,7 +2,20 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "sim/trace_hook.hpp"
+
 namespace dcache::rpc {
+
+void exportFaultMetrics(obs::MetricsRegistry& registry,
+                        std::string_view prefix,
+                        const Channel::FaultCounters& counters) {
+  const std::string base(prefix);
+  registry.setCounter(base + "retries", counters.retries);
+  registry.setCounter(base + "timeouts", counters.timeouts);
+  registry.setCounter(base + "failed_calls", counters.failedCalls);
+  registry.setGauge(base + "wasted_cpu_micros", counters.wastedCpuMicros);
+}
 
 CallResult Channel::callDirect(sim::Node& client, sim::Node& server,
                                std::uint64_t requestBytes,
@@ -71,6 +84,11 @@ PolicyCallResult Channel::callWithPolicy(
 
   const std::size_t budget = std::max<std::size_t>(policy.maxAttempts, 1);
   for (std::size_t attempt = 0; attempt < budget; ++attempt) {
+    // One span per attempt: a retried call shows up in a trace as a ladder
+    // of timed-out legs followed by the leg that paid off (or kFailed
+    // silence). All the wasted CPU lands on the timed-out spans, which is
+    // how the conservation test sees retry cost attributed exactly once.
+    sim::SpanGuard attemptSpan("rpc.attempt", server.tier());
     if (attempt > 0) {
       // Exponential backoff with seeded jitter; pure waiting, no CPU.
       double backoff = policy.backoffBaseMicros *
@@ -103,6 +121,7 @@ PolicyCallResult Channel::callWithPolicy(
       ++out.timedOutLegs;
       ++faultCounters_.timeouts;
       faultCounters_.wastedCpuMicros += wasted;
+      attemptSpan.setOutcome(sim::SpanOutcome::kTimeout);
       continue;
     }
 
@@ -135,6 +154,7 @@ PolicyCallResult Channel::callWithPolicy(
       ++out.timedOutLegs;
       ++faultCounters_.timeouts;
       faultCounters_.wastedCpuMicros += wasted;
+      attemptSpan.setOutcome(sim::SpanOutcome::kTimeout);
       continue;
     }
 
@@ -142,6 +162,7 @@ PolicyCallResult Channel::callWithPolicy(
         network_->transfer(server, client, responseBytes, framingComponent);
     if (marshal) serializer_.chargeDeserialize(client, responseBytes);
     out.ok = true;
+    if (attempt > 0) attemptSpan.setOutcome(sim::SpanOutcome::kRetry);
     return out;
   }
 

@@ -16,10 +16,16 @@
 
 #include <cstdint>
 
+#include <string_view>
+
 #include "rpc/serialization_model.hpp"
 #include "sim/network.hpp"
 #include "sim/node.hpp"
 #include "util/rng.hpp"
+
+namespace dcache::obs {
+class MetricsRegistry;
+}
 
 namespace dcache::rpc {
 
@@ -150,5 +156,12 @@ class Channel {
   CallPolicy defaultPolicy_{};
   FaultCounters faultCounters_{};
 };
+
+/// Thin metrics adapter: publish the channel's fault counters under
+/// `prefix` (e.g. "cell0.rpc.") in the unified registry, replacing ad-hoc
+/// printf plumbing in the benches.
+void exportFaultMetrics(obs::MetricsRegistry& registry,
+                        std::string_view prefix,
+                        const Channel::FaultCounters& counters);
 
 }  // namespace dcache::rpc

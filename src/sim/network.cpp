@@ -14,6 +14,7 @@ double NetworkModel::transfer(Node& src, Node& dst, std::uint64_t payloadBytes,
 
   ++messages_;
   bytes_ += payloadBytes;
+  if (TraceSink* sink = activeTraceSink()) sink->onBytesMoved(payloadBytes);
 
   const double latency =
       params_.oneWayLatencyMicros +
@@ -29,6 +30,7 @@ double NetworkModel::chargeLostLeg(Node& src, std::uint64_t payloadBytes,
   src.charge(component, perEnd);
   ++messages_;
   bytes_ += payloadBytes;
+  if (TraceSink* sink = activeTraceSink()) sink->onBytesMoved(payloadBytes);
   const double latency =
       params_.oneWayLatencyMicros +
       params_.perByteLatencyMicros * static_cast<double>(payloadBytes);

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "sim/resource.hpp"
+#include "sim/trace_hook.hpp"
 
 namespace dcache::sim {
 
@@ -35,9 +36,13 @@ class Node {
   [[nodiscard]] MemMeter& mem() noexcept { return mem_; }
   [[nodiscard]] const MemMeter& mem() const noexcept { return mem_; }
 
-  /// Convenience: charge CPU microseconds to this node.
+  /// Convenience: charge CPU microseconds to this node. Every unit of CPU
+  /// the simulator accounts anywhere passes through here, so the active
+  /// trace sink (if any) sees charges exactly once — the invariant the
+  /// CPU-conservation property tests pin down.
   void charge(CpuComponent component, double micros) noexcept {
     cpu_.charge(component, micros);
+    if (TraceSink* sink = tlsTraceSink) sink->onCpuCharge(*this, component, micros);
   }
 
   /// Liveness, driven by the fault-injection subsystem (sim/fault.hpp). A

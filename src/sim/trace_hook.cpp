@@ -1,0 +1,24 @@
+#include "sim/trace_hook.hpp"
+
+namespace dcache::sim {
+
+thread_local TraceSink* tlsTraceSink = nullptr;
+
+TraceSink::~TraceSink() = default;
+
+std::string_view spanOutcomeName(SpanOutcome outcome) noexcept {
+  switch (outcome) {
+    case SpanOutcome::kOk: return "ok";
+    case SpanOutcome::kHit: return "hit";
+    case SpanOutcome::kMiss: return "miss";
+    case SpanOutcome::kRetry: return "retry";
+    case SpanOutcome::kTimeout: return "timeout";
+    case SpanOutcome::kDegraded: return "degraded";
+    case SpanOutcome::kCoalesced: return "coalesced";
+    case SpanOutcome::kFailed: return "failed";
+    case SpanOutcome::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace dcache::sim

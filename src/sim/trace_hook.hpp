@@ -1,0 +1,93 @@
+// Request-tracing hook points. The simulator's cost accounting all funnels
+// through Node::charge and NetworkModel::transfer; a TraceSink installed in
+// the per-thread slot observes every one of those events, which is what
+// makes per-request cost attribution *exact*: a span's CPU micros are the
+// very same micros the tier meters (and therefore the bill) see. With no
+// sink installed every hook is a null-pointer check — the fast path and its
+// output are bit-for-bit what they were before tracing existed.
+//
+// The interface lives in sim (the lowest layer) so that rpc, cache, storage
+// and core can all open spans without depending on the obs library that
+// implements the sink.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/resource.hpp"
+
+namespace dcache::sim {
+
+class Node;
+enum class TierKind : std::uint8_t;
+
+/// What a span's unit of work amounted to. Mirrors the serve/fault
+/// counters so the trace view and the counter view can be cross-checked
+/// (a degradedReads increment must pair with a kDegraded span).
+enum class SpanOutcome : std::uint8_t {
+  kOk,         // completed, no cache semantics attached
+  kHit,        // cache probe served from cache
+  kMiss,       // cache probe fell through to storage
+  kRetry,      // RPC attempt that succeeded after at least one failure
+  kTimeout,    // RPC leg that waited out its timeout
+  kDegraded,   // cache unreachable; request degraded to the storage path
+  kCoalesced,  // miss joined an in-flight storage read (single-flight)
+  kFailed,     // call exhausted its retry budget
+  kCount,
+};
+
+[[nodiscard]] std::string_view spanOutcomeName(SpanOutcome outcome) noexcept;
+
+/// Observer for everything the simulator charges while a request is being
+/// served. Implemented by obs::Tracer; the simulation layers only see this
+/// interface.
+class TraceSink {
+ public:
+  virtual ~TraceSink();
+
+  /// Open a child span under the currently open one.
+  virtual void beginSpan(std::string_view name, TierKind tier) = 0;
+  /// Close the innermost open span.
+  virtual void endSpan(SpanOutcome outcome) = 0;
+  /// CPU charged to `node` under `component` (called from Node::charge).
+  virtual void onCpuCharge(const Node& node, CpuComponent component,
+                           double micros) = 0;
+  /// Payload bytes that crossed the simulated network (one leg).
+  virtual void onBytesMoved(std::uint64_t bytes) = 0;
+};
+
+/// Per-thread active sink. Each matrix worker thread runs one deployment at
+/// a time, so a thread-local slot gives per-deployment tracing that stays
+/// byte-identical for any --jobs value.
+extern thread_local TraceSink* tlsTraceSink;
+
+[[nodiscard]] inline TraceSink* activeTraceSink() noexcept {
+  return tlsTraceSink;
+}
+inline void setTraceSink(TraceSink* sink) noexcept { tlsTraceSink = sink; }
+
+/// RAII span. Captures the sink at construction, so a span opened while
+/// tracing is off stays off even if a sink appears mid-scope (it cannot:
+/// sinks are installed only at request boundaries — this is belt and
+/// braces for exception paths).
+class SpanGuard {
+ public:
+  SpanGuard(std::string_view name, TierKind tier) noexcept
+      : sink_(tlsTraceSink) {
+    if (sink_) sink_->beginSpan(name, tier);
+  }
+  ~SpanGuard() {
+    if (sink_) sink_->endSpan(outcome_);
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+  /// Set the outcome reported when the span closes (default kOk).
+  void setOutcome(SpanOutcome outcome) noexcept { outcome_ = outcome; }
+
+ private:
+  TraceSink* sink_;
+  SpanOutcome outcome_ = SpanOutcome::kOk;
+};
+
+}  // namespace dcache::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "rpc/messages.hpp"
+#include "sim/trace_hook.hpp"
 #include "storage/executor.hpp"
 #include "storage/sql_parser.hpp"
 #include "util/hash.hpp"
@@ -248,6 +249,7 @@ double Database::settleRpc(sim::Node& client, sim::Node& frontend,
 
 Database::QueryResult Database::exec(sim::Node& client, std::string_view sql,
                                      std::span<const Value> params) {
+  sim::SpanGuard span("sql.exec", sim::TierKind::kSqlFrontend);
   QueryResult result;
   sim::Node& frontend = frontendForStatement();
 
@@ -305,6 +307,7 @@ Database::QueryResult Database::exec(sim::Node& client, std::string_view sql,
 
 Database::ReadResult Database::readValue(sim::Node& client,
                                          std::string_view key) {
+  sim::SpanGuard span("db.read", sim::TierKind::kKvStorage);
   ReadResult result;
   sim::Node& frontend = frontendForStatement();  // SELECT v FROM kv WHERE k=?
 
@@ -321,12 +324,15 @@ Database::ReadResult Database::readValue(sim::Node& client,
       trace.latencyMicros +
       settleRpc(client, frontend, req.encodedSize(),
                 resp.encodedSize() + result.size, trace);
+  span.setOutcome(result.found ? sim::SpanOutcome::kOk
+                               : sim::SpanOutcome::kMiss);
   return result;
 }
 
 Database::WriteResult Database::writeValue(sim::Node& client,
                                            std::string_view key,
                                            std::uint64_t size) {
+  sim::SpanGuard span("db.write", sim::TierKind::kKvStorage);
   WriteResult result;
   sim::Node& frontend = frontendForStatement();  // UPDATE kv SET v=? WHERE k=?
 
@@ -345,6 +351,7 @@ Database::WriteResult Database::writeValue(sim::Node& client,
 
 Database::VersionResult Database::versionCheck(sim::Node& client,
                                                std::string_view key) {
+  sim::SpanGuard span("db.vcheck", sim::TierKind::kSqlFrontend);
   VersionResult result;
   // §5.5: the version check traverses the full read path — SQL front-end
   // parse/plan, lease validation, and a full row fetch at TiKV that ships
@@ -368,6 +375,7 @@ Database::VersionResult Database::versionCheck(sim::Node& client,
 Database::VersionResult Database::versionCheckRow(sim::Node& client,
                                                   std::string_view table,
                                                   std::string_view pk) {
+  sim::SpanGuard span("db.vcheck", sim::TierKind::kSqlFrontend);
   VersionResult result;
   sim::Node& frontend = frontendForStatement();
 

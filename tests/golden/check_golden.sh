@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Golden-output check: run one bench binary under the pinned fast config
+# and byte-diff its stdout against the recorded golden file.
+#
+# Usage: check_golden.sh <bench-binary> <golden-file> [extra bench args...]
+#
+# DCACHE_GOLDEN_OPS caps every ExperimentRunner's operation/warmup counts,
+# so the full matrix still runs — same cells, same seeds, same code paths —
+# just short enough for ctest. Goldens are recorded with the same cap by
+# tools/update_goldens.sh; a diff here means the simulation's observable
+# behaviour changed and the golden must be consciously re-recorded.
+set -euo pipefail
+
+bench="$1"
+golden="$2"
+shift 2
+
+if [[ ! -f "$golden" ]]; then
+  echo "check_golden.sh: missing golden file $golden" >&2
+  echo "record it with tools/update_goldens.sh" >&2
+  exit 1
+fi
+
+actual="$(mktemp)"
+trap 'rm -f "$actual"' EXIT
+
+DCACHE_GOLDEN_OPS="${DCACHE_GOLDEN_OPS:-2000}" "$bench" "$@" > "$actual"
+
+if ! diff -u "$golden" "$actual"; then
+  echo "check_golden.sh: $(basename "$bench") diverged from $(basename "$golden")" >&2
+  exit 1
+fi

@@ -1,0 +1,196 @@
+// Conservation property for request tracing: every CPU micro the simulator
+// charges flows through sim::Node::charge, which feeds both the tier meters
+// and (while a sampled request is open) the installed trace sink. So:
+//   * at --trace-sample 1 the traced CPU equals the tier meters exactly —
+//     per tier and per (tier, component) — including retry legs, timeout
+//     losses and degraded reads under fault injection;
+//   * at sparser sampling the traced CPU is a subset of the meters, never
+//     an overcount.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+
+#include "core/deployment.hpp"
+#include "obs/trace.hpp"
+#include "sim/fault.hpp"
+#include "workload/synthetic.hpp"
+
+namespace dcache {
+namespace {
+
+constexpr std::uint64_t kWarmupOps = 4000;
+constexpr std::uint64_t kMeasuredOps = 8000;
+constexpr double kMicrosPerOp = 1e6 / 120000.0;
+
+/// Everything a conservation check needs from one traced run.
+struct TracedRun {
+  obs::TraceSummary trace;
+  core::ServeCounters counters;
+  std::array<double, obs::kNumTierKinds> meteredByTier{};
+  std::array<std::array<double, sim::kNumCpuComponents>, obs::kNumTierKinds>
+      meteredByTierComponent{};
+  double meteredTotal = 0.0;
+};
+
+TracedRun runTraced(core::Architecture arch, std::uint64_t sampleEvery,
+                    bool withFaults) {
+  core::DeploymentConfig config;
+  config.architecture = arch;
+  config.trace.sampleEvery = sampleEvery;
+  config.trace.seed = 99;
+  core::Deployment deployment(config);
+
+  workload::SyntheticWorkload workload{workload::SyntheticConfig{}};
+  deployment.populateKv(workload);
+
+  std::uint64_t opIndex = 0;
+  auto serveOne = [&] {
+    deployment.setSimTimeMicros(static_cast<std::uint64_t>(
+        kMicrosPerOp * static_cast<double>(opIndex)));
+    ++opIndex;
+    deployment.serve(workload.next());
+  };
+  for (std::uint64_t i = 0; i < kWarmupOps; ++i) serveOne();
+
+  if (withFaults) {
+    // Crash the cache pod mid-run inside a degraded-network window, so the
+    // measured window contains retries, timeouts, wasted legs and degraded
+    // reads — the paths most likely to leak charges past the root span.
+    const auto at = [](std::uint64_t op) {
+      return static_cast<std::uint64_t>(kMicrosPerOp *
+                                        static_cast<double>(op));
+    };
+    sim::FaultSchedule faults;
+    faults.crashNode(at(kWarmupOps + kMeasuredOps / 4),
+                     sim::TierKind::kRemoteCache, 0);
+    faults.restartNode(at(kWarmupOps + 3 * kMeasuredOps / 4),
+                       sim::TierKind::kRemoteCache, 0);
+    faults.degradeNetwork(at(kWarmupOps + kMeasuredOps / 4),
+                          at(kWarmupOps + 3 * kMeasuredOps / 4), 2.0, 0.05);
+    deployment.installFaultSchedule(std::move(faults));
+  }
+
+  deployment.clearMeters();  // also resets the tracer: same window
+  for (std::uint64_t i = 0; i < kMeasuredOps; ++i) serveOne();
+
+  TracedRun run;
+  EXPECT_NE(deployment.tracer(), nullptr);
+  run.trace = deployment.tracer()->summary();
+  run.counters = deployment.counters();
+  for (const sim::Tier* tier : deployment.tiers()) {
+    const auto kind = static_cast<std::size_t>(tier->kind());
+    const sim::CpuMeter cpu = tier->aggregateCpu();
+    run.meteredByTier[kind] += cpu.totalMicros();
+    run.meteredTotal += cpu.totalMicros();
+    for (std::size_t c = 0; c < sim::kNumCpuComponents; ++c) {
+      run.meteredByTierComponent[kind][c] +=
+          cpu.micros(static_cast<sim::CpuComponent>(c));
+    }
+  }
+  return run;
+}
+
+[[nodiscard]] double tolerance(double reference) {
+  return 1e-6 * std::max(1.0, reference);
+}
+
+class ConservationAllArchitectures
+    : public ::testing::TestWithParam<core::Architecture> {};
+
+TEST_P(ConservationAllArchitectures, SampleOneEqualsTierMetersExactly) {
+  const TracedRun run = runTraced(GetParam(), /*sampleEvery=*/1,
+                                  /*withFaults=*/false);
+
+  ASSERT_EQ(run.trace.sampleEvery, 1u);
+  EXPECT_EQ(run.trace.requests, kMeasuredOps);
+  EXPECT_EQ(run.trace.sampledRequests, kMeasuredOps);
+  EXPECT_GE(run.trace.spanCount, run.trace.sampledRequests);
+
+  EXPECT_GT(run.meteredTotal, 0.0);
+  EXPECT_NEAR(run.trace.cpuMicrosTotal, run.meteredTotal,
+              tolerance(run.meteredTotal));
+  for (std::size_t t = 0; t < obs::kNumTierKinds; ++t) {
+    const auto tier = static_cast<sim::TierKind>(t);
+    EXPECT_NEAR(run.trace.tierCpuMicros(tier), run.meteredByTier[t],
+                tolerance(run.meteredByTier[t]))
+        << "tier " << sim::tierKindName(tier);
+    for (std::size_t c = 0; c < sim::kNumCpuComponents; ++c) {
+      EXPECT_NEAR(run.trace.cpuByTierComponent[t][c],
+                  run.meteredByTierComponent[t][c],
+                  tolerance(run.meteredByTierComponent[t][c]))
+          << "tier " << sim::tierKindName(tier) << " component "
+          << sim::cpuComponentName(static_cast<sim::CpuComponent>(c));
+    }
+  }
+}
+
+TEST_P(ConservationAllArchitectures, SparseSamplingNeverOvercounts) {
+  const TracedRun run = runTraced(GetParam(), /*sampleEvery=*/7,
+                                  /*withFaults=*/false);
+
+  EXPECT_EQ(run.trace.requests, kMeasuredOps);
+  EXPECT_GT(run.trace.sampledRequests, 0u);
+  EXPECT_LT(run.trace.sampledRequests, run.trace.requests);
+
+  EXPECT_LE(run.trace.cpuMicrosTotal,
+            run.meteredTotal + tolerance(run.meteredTotal));
+  for (std::size_t t = 0; t < obs::kNumTierKinds; ++t) {
+    EXPECT_LE(run.trace.tierCpuMicros(static_cast<sim::TierKind>(t)),
+              run.meteredByTier[t] + tolerance(run.meteredByTier[t]))
+        << "tier " << sim::tierKindName(static_cast<sim::TierKind>(t));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Architectures, ConservationAllArchitectures,
+    ::testing::Values(core::Architecture::kBase, core::Architecture::kRemote,
+                      core::Architecture::kLinked,
+                      core::Architecture::kLinkedVersion),
+    [](const ::testing::TestParamInfo<core::Architecture>& info) {
+      switch (info.param) {
+        case core::Architecture::kBase: return "Base";
+        case core::Architecture::kRemote: return "Remote";
+        case core::Architecture::kLinked: return "Linked";
+        case core::Architecture::kLinkedVersion: return "LinkedVersion";
+      }
+      return "Unknown";
+    });
+
+TEST(ObsConservation, SampleOneEqualityHoldsThroughFaultsAndRetries) {
+  // The wasted legs of retried and timed-out calls are charged to real
+  // nodes, so they must show up in the trace too — conservation is the
+  // whole point of routing the sink through Node::charge.
+  const TracedRun run = runTraced(core::Architecture::kRemote,
+                                  /*sampleEvery=*/1, /*withFaults=*/true);
+
+  ASSERT_GT(run.counters.degradedReads, 0u)
+      << "fault scenario did not exercise the degraded path";
+  EXPECT_GT(run.counters.retries + run.counters.timeouts, 0u);
+  EXPECT_GT(run.counters.wastedCpuMicros, 0.0);
+
+  EXPECT_NEAR(run.trace.cpuMicrosTotal, run.meteredTotal,
+              tolerance(run.meteredTotal));
+  for (std::size_t t = 0; t < obs::kNumTierKinds; ++t) {
+    EXPECT_NEAR(run.trace.tierCpuMicros(static_cast<sim::TierKind>(t)),
+                run.meteredByTier[t], tolerance(run.meteredByTier[t]))
+        << "tier " << sim::tierKindName(static_cast<sim::TierKind>(t));
+  }
+}
+
+TEST(ObsConservation, TracingOffLeavesNoTracerAndMetersUntouched) {
+  // DeploymentConfig defaults keep tracing off; the deployment must not
+  // even construct a tracer, so the no-flags benches pay nothing.
+  core::DeploymentConfig config;
+  config.architecture = core::Architecture::kLinked;
+  core::Deployment deployment(config);
+  EXPECT_EQ(deployment.tracer(), nullptr);
+
+  workload::SyntheticWorkload workload{workload::SyntheticConfig{}};
+  deployment.populateKv(workload);
+  for (int i = 0; i < 100; ++i) deployment.serve(workload.next());
+  EXPECT_GT(deployment.counters().reads + deployment.counters().writes, 0u);
+}
+
+}  // namespace
+}  // namespace dcache

@@ -1,0 +1,246 @@
+// Span-tree invariants and trace determinism: parent spans contain their
+// children's charges, outcome tags agree with the deployment counters they
+// shadow (degradedReads <=> kDegraded root spans), sampling is a pure
+// function of (seed, request index), and the rendered trace report is
+// byte-identical for any --jobs value.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/deployment.hpp"
+#include "core/experiment.hpp"
+#include "core/matrix.hpp"
+#include "core/report.hpp"
+#include "obs/trace.hpp"
+#include "sim/fault.hpp"
+#include "sim/trace_hook.hpp"
+#include "workload/synthetic.hpp"
+
+namespace dcache {
+namespace {
+
+// ----------------------------------------------------------------- sampling
+
+TEST(TraceSampling, IsAPureFunctionOfSeedAndIndex) {
+  obs::TraceConfig config;
+  config.sampleEvery = 10;
+  config.seed = 1234;
+  const obs::Tracer a(config);
+  const obs::Tracer b(config);
+  std::uint64_t sampled = 0;
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    EXPECT_EQ(a.sampled(i), b.sampled(i)) << "index " << i;
+    sampled += a.sampled(i) ? 1 : 0;
+  }
+  // Seeded 1-in-10: the rate should be near 10%, not exactly periodic.
+  EXPECT_GT(sampled, 5000u / 20);
+  EXPECT_LT(sampled, 5000u / 5);
+
+  config.seed = 4321;
+  const obs::Tracer c(config);
+  bool differs = false;
+  for (std::uint64_t i = 0; i < 5000 && !differs; ++i) {
+    differs = a.sampled(i) != c.sampled(i);
+  }
+  EXPECT_TRUE(differs) << "sampling ignored the seed";
+}
+
+TEST(TraceSampling, SampleOneTracesEveryRequest) {
+  obs::TraceConfig config;
+  config.sampleEvery = 1;
+  const obs::Tracer tracer(config);
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_TRUE(tracer.sampled(i));
+}
+
+TEST(TraceSampling, RequestScopeIsInertWithoutATracer) {
+  // Serve paths construct a scope unconditionally; with tracing off the
+  // tracer pointer is null and the scope must be a no-op.
+  obs::RequestScope scope(nullptr, "read");
+  scope.setOutcome(sim::SpanOutcome::kHit);
+}
+
+// ------------------------------------------------------------- span trees
+
+[[nodiscard]] obs::TraceSummary runLinkedTraced(std::uint64_t sampleEvery,
+                                                std::size_t keepTraces) {
+  core::DeploymentConfig config;
+  config.architecture = core::Architecture::kLinked;
+  config.trace.sampleEvery = sampleEvery;
+  config.trace.seed = 7;
+  config.trace.keepTraces = keepTraces;
+  core::Deployment deployment(config);
+  workload::SyntheticWorkload workload{workload::SyntheticConfig{}};
+  deployment.populateKv(workload);
+  for (int i = 0; i < 2000; ++i) deployment.serve(workload.next());
+  deployment.clearMeters();
+  for (int i = 0; i < 4000; ++i) deployment.serve(workload.next());
+  return deployment.tracer()->summary();
+}
+
+TEST(SpanTree, ParentsContainTheirChildrenCharges) {
+  const obs::TraceSummary summary = runLinkedTraced(/*sampleEvery=*/50,
+                                                    /*keepTraces=*/8);
+  ASSERT_FALSE(summary.kept.empty());
+  ASSERT_EQ(summary.kept.size(),
+            std::min<std::size_t>(8, summary.sampledRequests));
+
+  for (const obs::Trace& trace : summary.kept) {
+    ASSERT_FALSE(trace.spans.empty());
+    EXPECT_EQ(trace.spans.front().parent, obs::SpanNode::kNoParent);
+
+    for (std::size_t i = 0; i < trace.spans.size(); ++i) {
+      const obs::SpanNode& span = trace.spans[i];
+      if (i > 0) {
+        ASSERT_NE(span.parent, obs::SpanNode::kNoParent)
+            << "non-root span without a parent";
+        EXPECT_LT(span.parent, i) << "parent must precede child";
+      }
+      // Self charges split by component must sum back to the self total.
+      double componentSum = 0.0;
+      for (const double micros : span.cpuByComponent) componentSum += micros;
+      EXPECT_NEAR(componentSum, span.cpuMicros,
+                  1e-6 * std::max(1.0, span.cpuMicros));
+
+      // Subtree total = self + direct children's subtrees (recomputed
+      // independently of Trace::subtreeCpuMicros' own walk).
+      double childrenTotal = 0.0;
+      std::uint64_t childrenBytes = 0;
+      for (std::size_t j = i + 1; j < trace.spans.size(); ++j) {
+        if (trace.spans[j].parent == i) {
+          childrenTotal += trace.subtreeCpuMicros(j);
+          childrenBytes += trace.subtreeBytes(j);
+        }
+      }
+      const double subtree = trace.subtreeCpuMicros(i);
+      EXPECT_NEAR(subtree, span.cpuMicros + childrenTotal,
+                  1e-6 * std::max(1.0, subtree));
+      EXPECT_GE(subtree + 1e-9, childrenTotal)
+          << "child subtree exceeds parent";
+      EXPECT_EQ(trace.subtreeBytes(i), span.bytesMoved + childrenBytes);
+    }
+    EXPECT_NEAR(trace.totalCpuMicros(), trace.subtreeCpuMicros(0),
+                1e-6 * std::max(1.0, trace.totalCpuMicros()));
+  }
+}
+
+TEST(SpanTree, KeptTracesAreCappedButAggregatesCoverEverything) {
+  const obs::TraceSummary summary = runLinkedTraced(/*sampleEvery=*/10,
+                                                    /*keepTraces=*/3);
+  EXPECT_EQ(summary.kept.size(), 3u);
+  EXPECT_GT(summary.sampledRequests, 3u);
+  std::uint64_t keptSpans = 0;
+  for (const obs::Trace& trace : summary.kept) {
+    keptSpans += trace.spans.size();
+  }
+  EXPECT_GT(summary.spanCount, keptSpans);
+}
+
+// ------------------------------------------------- outcomes vs counters
+
+TEST(SpanOutcomes, DegradedRootSpansMatchTheDegradedReadsCounter) {
+  // Crash the remote pod with the network degraded: reads that exhaust the
+  // retry budget degrade to storage, and each one must tag its root span
+  // kDegraded — the only place that outcome is ever set.
+  constexpr double kMicrosPerOp = 1e6 / 120000.0;
+  core::DeploymentConfig config;
+  config.architecture = core::Architecture::kRemote;
+  config.trace.sampleEvery = 1;
+  core::Deployment deployment(config);
+  workload::SyntheticWorkload workload{workload::SyntheticConfig{}};
+  deployment.populateKv(workload);
+
+  std::uint64_t opIndex = 0;
+  auto serveOne = [&] {
+    deployment.setSimTimeMicros(static_cast<std::uint64_t>(
+        kMicrosPerOp * static_cast<double>(opIndex)));
+    ++opIndex;
+    deployment.serve(workload.next());
+  };
+  for (int i = 0; i < 2000; ++i) serveOne();
+
+  sim::FaultSchedule faults;
+  faults.crashNode(static_cast<std::uint64_t>(kMicrosPerOp * 3000),
+                   sim::TierKind::kRemoteCache, 0);
+  faults.degradeNetwork(static_cast<std::uint64_t>(kMicrosPerOp * 3000),
+                        static_cast<std::uint64_t>(kMicrosPerOp * 6000), 2.0,
+                        0.05);
+  deployment.installFaultSchedule(std::move(faults));
+
+  deployment.clearMeters();
+  for (int i = 0; i < 4000; ++i) serveOne();
+
+  const core::ServeCounters& counters = deployment.counters();
+  const obs::TraceSummary summary = deployment.tracer()->summary();
+  ASSERT_GT(counters.degradedReads, 0u)
+      << "fault scenario did not exercise the degraded path";
+  EXPECT_EQ(summary.outcomes(sim::SpanOutcome::kDegraded),
+            counters.degradedReads);
+  // Retries/timeouts happened and were tagged somewhere in the trees.
+  EXPECT_GT(summary.outcomes(sim::SpanOutcome::kTimeout) +
+                summary.outcomes(sim::SpanOutcome::kRetry) +
+                summary.outcomes(sim::SpanOutcome::kFailed),
+            0u);
+}
+
+TEST(SpanOutcomes, ClearResetsAggregatesAndTheSamplingCounter) {
+  core::DeploymentConfig config;
+  config.architecture = core::Architecture::kLinked;
+  config.trace.sampleEvery = 1;
+  core::Deployment deployment(config);
+  workload::SyntheticWorkload workload{workload::SyntheticConfig{}};
+  deployment.populateKv(workload);
+  for (int i = 0; i < 500; ++i) deployment.serve(workload.next());
+  ASSERT_GT(deployment.tracer()->summary().requests, 0u);
+
+  deployment.clearMeters();
+  const obs::TraceSummary cleared = deployment.tracer()->summary();
+  EXPECT_EQ(cleared.requests, 0u);
+  EXPECT_EQ(cleared.sampledRequests, 0u);
+  EXPECT_EQ(cleared.spanCount, 0u);
+  EXPECT_EQ(cleared.cpuMicrosTotal, 0.0);
+  EXPECT_TRUE(cleared.kept.empty());
+}
+
+// ----------------------------------------------------- jobs determinism
+
+[[nodiscard]] std::string tracedMatrixReport(std::size_t jobs) {
+  core::MatrixOptions options;
+  options.jobs = jobs;
+  options.rootSeed = 11;
+  core::ExperimentMatrix matrix(options);
+  for (const core::Architecture arch :
+       {core::Architecture::kBase, core::Architecture::kRemote,
+        core::Architecture::kLinked, core::Architecture::kLinkedVersion}) {
+    matrix.add([arch](util::Pcg32&) {
+      workload::SyntheticWorkload workload{workload::SyntheticConfig{}};
+      core::DeploymentConfig deployment;
+      deployment.architecture = arch;
+      deployment.trace.sampleEvery = 500;
+      deployment.trace.seed = 11;
+      core::ExperimentConfig experiment;
+      experiment.operations = 6000;
+      experiment.warmupOperations = 2000;
+      return core::runArchitecture(arch, workload, deployment, experiment);
+    });
+  }
+  const std::vector<core::ExperimentResult> results = matrix.run();
+  std::string report;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    report += core::traceTreeReport(
+        results[i], "cell" + std::to_string(i), /*maxTraces=*/2);
+  }
+  return report;
+}
+
+TEST(TraceDeterminism, ReportIsByteIdenticalAcrossJobCounts) {
+  const std::string serial = tracedMatrixReport(1);
+  const std::string parallel = tracedMatrixReport(8);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_NE(serial.find("sampling: 1 in 500"), std::string::npos);
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace dcache

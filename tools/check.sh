@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # Sanitizer gate: build everything with ASan + UBSan and run the test
-# suite. The figure benches now run their cells on a thread pool, so this
-# is also the data-race/lifetime smoke test for the matrix runner.
+# suite, then rebuild the thread-heavy tests under ThreadSanitizer and run
+# the ctest `tsan` label (the matrix runner, thread pool, fault paths and
+# the trace --jobs determinism tests). The figure benches run their cells
+# on a thread pool, so this is the data-race/lifetime gate for all of it.
 #
 # Usage: tools/check.sh [build-dir]   (default: build-asan)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-asan}"
+TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -32,3 +35,18 @@ if ! diff -q "$BUILD_DIR/fig9_j1.txt" "$BUILD_DIR/fig9_j8.txt" > /dev/null; then
 fi
 
 echo "check.sh: all tests, the parallel benches, and the fig9 determinism gate passed under ASan/UBSan"
+
+# ThreadSanitizer lane: TSan cannot be combined with ASan, so it gets its
+# own build tree and runs only the tests labeled `tsan` — the ones that
+# actually spin up worker threads.
+cmake -B "$TSAN_BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
+cmake --build "$TSAN_BUILD_DIR" -j "$(nproc)"
+(cd "$TSAN_BUILD_DIR" && ctest -L tsan --output-on-failure -j "$(nproc)")
+
+# Traced parallel bench under TSan: the trace sink is thread-local and each
+# deployment owns its tracer, so sampling with 8 workers must be race-free.
+"$TSAN_BUILD_DIR/bench/fig6_breakdown" --jobs 8 --trace-sample 500 > /dev/null
+
+echo "check.sh: tsan-labeled tests and the traced parallel bench passed under TSan"

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Re-record the golden-output regression files in tests/golden/.
+#
+# Run this only after verifying that an output change is intentional; the
+# golden ctest entries (ctest -L golden) byte-diff against these files.
+#
+# Usage: tools/update_goldens.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+GOLDEN_DIR="tests/golden"
+export DCACHE_GOLDEN_OPS="${DCACHE_GOLDEN_OPS:-2000}"
+
+record() {
+  local bench="$1" out="$2"
+  shift 2
+  echo "recording $out (${bench} $*)"
+  "$BUILD_DIR/bench/$bench" "$@" > "$GOLDEN_DIR/$out"
+}
+
+record fig2_model fig2_model.txt
+record fig4_synthetic fig4_synthetic.txt
+record fig6_breakdown fig6_breakdown.txt
+record fig8_delayed_writes fig8_delayed_writes.txt
+record fig6_breakdown fig6_breakdown_traced.txt --trace-sample 500 --trace-keep 1
+
+echo "goldens updated under $GOLDEN_DIR (DCACHE_GOLDEN_OPS=$DCACHE_GOLDEN_OPS)"
