@@ -1,0 +1,503 @@
+// Figure 10 — overload and metastability: what a traffic surge actually
+// costs each architecture, and what the standard defenses buy back. Every
+// tier gets a finite capacity (self-calibrated to 2x its steady-state CPU
+// demand — the usual ~50% utilization provisioning target), so latency is
+// service + queueing delay and a saturated tier rejects or times out. Each
+// architecture then runs the same timeline twice, defenses off and on:
+//
+//   window 0-1  steady state (~50% utilization)
+//   window 2-3  open-loop arrival surge: --surge x the offered QPS
+//   window 4-5  hot-key storm: half of all reads hammer one key
+//   window 6-7  recovery at steady load
+//
+// With defenses off, the retry path amplifies the collapse: every attempt
+// abandoned by a client timeout still occupies the queue it timed out in —
+// the classic metastable failure. Defenses on arms (1) CoDel-style
+// admission control at the app tier (writes are never shed), (2)
+// per-destination circuit breakers, (3) hedged requests against the p99
+// tracker, and (4) a per-call deadline budget. Per window the bench
+// reports p50/p99 (queueing included), goodput, shed/queue-timeout rates,
+// breaker and hedge activity, and the retry-storm amplification factor;
+// the summary prices the provisioning headroom (extra app nodes -> extra
+// $) needed to hold the surge instead. Every cell is seeded from (--seed,
+// cell index) alone, so output is byte-identical for any --jobs value.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/cost_model.hpp"
+#include "core/matrix.hpp"
+#include "util/table_printer.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/surge.hpp"
+
+using namespace dcache;
+
+namespace {
+
+constexpr core::Architecture kArchs[] = {
+    core::Architecture::kBase, core::Architecture::kRemote,
+    core::Architecture::kLinked, core::Architecture::kLinkedVersion};
+
+constexpr std::size_t kWindows = 8;
+constexpr const char* kPhases[kWindows] = {"steady", "steady", "surge",
+                                           "surge",  "hotkey", "hotkey",
+                                           "recover", "recover"};
+/// Provisioning headroom the capacities are calibrated to: every tier can
+/// absorb 2x its steady CPU demand before queueing starts.
+constexpr double kHeadroomFactor = 2.0;
+constexpr double kHotKeyFraction = 0.5;
+
+struct Fig10Options {
+  double surgeMultiplier = 10.0;
+  bool shed = true;
+  bool breakers = true;
+  bool hedge = true;
+};
+
+/// fig10-specific flags (--surge X, --shed 0|1, --breaker 0|1, --hedge
+/// 0|1); the shared flags were already consumed by parseBenchOptions.
+Fig10Options parseFig10Options(int argc, char** argv) {
+  Fig10Options options;
+  const auto value = [&](int& i, std::string_view arg,
+                         std::string_view flag) -> const char* {
+    if (arg == flag) {
+      if (i + 1 < argc) return argv[++i];
+      return nullptr;
+    }
+    if (arg.size() > flag.size() + 1 && arg.substr(0, flag.size()) == flag &&
+        arg[flag.size()] == '=') {
+      return argv[i] + flag.size() + 1;
+    }
+    return nullptr;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (const char* v = value(i, arg, "--surge")) {
+      options.surgeMultiplier = std::strtod(v, nullptr);
+    } else if (const char* v = value(i, arg, "--shed")) {
+      options.shed = std::strtoull(v, nullptr, 10) != 0;
+    } else if (const char* v = value(i, arg, "--breaker")) {
+      options.breakers = std::strtoull(v, nullptr, 10) != 0;
+    } else if (const char* v = value(i, arg, "--hedge")) {
+      options.hedge = std::strtoull(v, nullptr, 10) != 0;
+    }
+  }
+  return options;
+}
+
+/// Op counts, honoring the DCACHE_GOLDEN_OPS fast mode.
+struct OpBudget {
+  std::uint64_t warmupOps;
+  std::uint64_t windowOps;
+  std::uint64_t calibrateWarmOps;
+  std::uint64_t calibrateOps;
+};
+
+OpBudget opBudget() {
+  if (const std::uint64_t cap = core::goldenOpsCap(); cap > 0) {
+    return {cap * 4, cap, cap, cap};
+  }
+  return {120000, 30000, 60000, 30000};
+}
+
+/// Per-tier steady CPU demand, measured by running the steady workload
+/// against an *unconstrained* deployment — the denominator the capacities
+/// are provisioned from. Per-node µs of CPU per simulated second.
+struct TierDemand {
+  double appMicrosPerSec = 0.0;
+  double remoteMicrosPerSec = 0.0;
+  double sqlMicrosPerSec = 0.0;
+  double kvMicrosPerSec = 0.0;
+};
+
+TierDemand calibrateDemand(core::Architecture arch, const OpBudget& budget) {
+  core::DeploymentConfig config;
+  config.architecture = arch;
+  core::Deployment deployment(config);
+  workload::SyntheticWorkload workload{workload::SyntheticConfig{}};
+  deployment.populateKv(workload);
+
+  const double microsPerOp = 1e6 / bench::kSyntheticQps;
+  std::uint64_t opIndex = 0;
+  auto serveOne = [&] {
+    deployment.setSimTimeMicros(static_cast<std::uint64_t>(
+        microsPerOp * static_cast<double>(opIndex)));
+    ++opIndex;
+    deployment.serve(workload.next());
+  };
+  for (std::uint64_t i = 0; i < budget.calibrateWarmOps; ++i) serveOne();
+  deployment.clearMeters();
+  for (std::uint64_t i = 0; i < budget.calibrateOps; ++i) serveOne();
+
+  const double seconds =
+      static_cast<double>(budget.calibrateOps) / bench::kSyntheticQps;
+  TierDemand demand;
+  for (const sim::Tier* tier : deployment.tiers()) {
+    const double perNodePerSec = tier->aggregateCpu().totalMicros() /
+                                 seconds /
+                                 static_cast<double>(tier->size());
+    switch (tier->kind()) {
+      case sim::TierKind::kAppServer:
+        demand.appMicrosPerSec = perNodePerSec;
+        break;
+      case sim::TierKind::kRemoteCache:
+        demand.remoteMicrosPerSec = perNodePerSec;
+        break;
+      case sim::TierKind::kSqlFrontend:
+        demand.sqlMicrosPerSec = perNodePerSec;
+        break;
+      case sim::TierKind::kKvStorage:
+        demand.kvMicrosPerSec = perNodePerSec;
+        break;
+      default:
+        break;
+    }
+  }
+  return demand;
+}
+
+struct WindowRow {
+  double p50Micros = 0.0;
+  double p99Micros = 0.0;
+  double goodput = 1.0;  // fraction of ops answered (not shed, not failed)
+  double hitRatio = 0.0;
+  std::uint64_t shed = 0;
+  std::uint64_t queueTimeouts = 0;  // timeouts + full-queue rejections
+  std::uint64_t breakerOpens = 0;
+  std::uint64_t breakerShortCircuits = 0;
+  std::uint64_t hedgesSent = 0;
+  std::uint64_t hedgeWins = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t failedOps = 0;
+  double amplification = 1.0;  // RPC attempts per op vs the no-retry floor
+  double appCpuMicros = 0.0;
+  double windowSeconds = 0.0;
+  util::Money cost;
+};
+
+struct CellResult {
+  std::string architecture;
+  bool defenses = false;
+  double appCapacityPerNode = 0.0;
+  std::size_t appServers = 0;
+  util::Money steadyAppComputeCost;
+  std::vector<WindowRow> windows;
+  obs::TraceSummary trace;  // final window only (clearMeters resets it)
+};
+
+CellResult runOverloadCell(std::size_t index, std::uint64_t rootSeed,
+                           const Fig10Options& options,
+                           const OpBudget& budget) {
+  const core::Architecture arch = kArchs[index % std::size(kArchs)];
+  const bool defenses = index >= std::size(kArchs);
+  const TierDemand demand = calibrateDemand(arch, budget);
+
+  core::DeploymentConfig config;
+  config.architecture = arch;
+  config.faultSeed = core::cellSeed(rootSeed, index);
+  config.overload.appCapacityMicrosPerSec =
+      demand.appMicrosPerSec * kHeadroomFactor;
+  config.overload.remoteCacheCapacityMicrosPerSec =
+      demand.remoteMicrosPerSec * kHeadroomFactor;
+  config.overload.sqlCapacityMicrosPerSec =
+      demand.sqlMicrosPerSec * kHeadroomFactor;
+  config.overload.kvCapacityMicrosPerSec =
+      demand.kvMicrosPerSec * kHeadroomFactor;
+  if (defenses) {
+    if (options.shed) {
+      config.overload.shed.enabled = true;
+      // Stabilize the queue below the RPC timeout cliff: start shedding at
+      // half the timeout, ramp to the cap within another timeout's worth.
+      config.overload.shed.targetDelayMicros =
+          config.rpcPolicy.timeoutMicros * 0.5;
+      config.overload.shed.graceMicros = config.rpcPolicy.timeoutMicros;
+      config.overload.shed.rampMicros = config.rpcPolicy.timeoutMicros;
+    }
+    config.overload.breakersEnabled = options.breakers;
+    config.overload.breaker.openMicros = 20000.0;
+    config.overload.hedgingEnabled = options.hedge;
+    // Satellite defense: a per-call budget stops a doomed call after ~2
+    // timeouts' worth of waiting instead of burning the whole ladder.
+    config.rpcPolicy.deadlineMicros = config.rpcPolicy.timeoutMicros * 2.5;
+  }
+  config = bench::withBenchTrace(config);
+  core::Deployment deployment(config);
+
+  std::vector<workload::SurgePhase> phases;
+  phases.push_back({budget.warmupOps, 1.0, 0.0, 0, "warmup"});
+  for (std::size_t w = 0; w < kWindows; ++w) {
+    workload::SurgePhase phase;
+    phase.ops = budget.windowOps;
+    phase.name = kPhases[w];
+    if (w == 2 || w == 3) phase.qpsMultiplier = options.surgeMultiplier;
+    if (w == 4 || w == 5) {
+      phase.hotKeyFraction = kHotKeyFraction;
+      phase.hotKey = 0;
+    }
+    phases.push_back(phase);
+  }
+  workload::SurgeWorkload workload{workload::SyntheticConfig{},
+                                   std::move(phases),
+                                   core::cellSeed(rootSeed, index + 100)};
+  deployment.populateKv(workload);
+
+  double simMicros = 0.0;
+  auto serveOne = [&] {
+    // Open-loop arrivals: the surge multiplier compresses inter-arrival
+    // time, it does not wait for the system to keep up — that gap is the
+    // whole overload story.
+    deployment.setSimTimeMicros(static_cast<std::uint64_t>(simMicros));
+    simMicros +=
+        1e6 / (bench::kSyntheticQps * workload.currentPhase().qpsMultiplier);
+    deployment.serve(workload.next());
+  };
+  for (std::uint64_t i = 0; i < budget.warmupOps; ++i) serveOne();
+
+  const core::ExperimentConfig experiment;  // pricing + utilization defaults
+  const core::CostModel model(experiment.pricing,
+                              experiment.targetUtilization);
+
+  CellResult cell;
+  cell.architecture = std::string(core::architectureName(arch));
+  cell.defenses = defenses;
+  cell.appCapacityPerNode = config.overload.appCapacityMicrosPerSec;
+  cell.appServers = config.appServers;
+  for (std::size_t w = 0; w < kWindows; ++w) {
+    deployment.clearMeters();
+    const double windowStartMicros = simMicros;
+    for (std::uint64_t i = 0; i < budget.windowOps; ++i) serveOne();
+    const core::ServeCounters& c = deployment.counters();
+    WindowRow row;
+    row.p50Micros = deployment.latencies().p50();
+    row.p99Micros = deployment.latencies().p99();
+    const double ops = static_cast<double>(budget.windowOps);
+    row.goodput =
+        (ops - static_cast<double>(c.sheddedRequests + c.failedOps)) / ops;
+    row.hitRatio = c.hitRatio();
+    row.shed = c.sheddedRequests;
+    row.queueTimeouts = c.queueTimeouts + c.queueRejections;
+    row.breakerOpens = c.breakerOpens;
+    row.breakerShortCircuits = c.breakerShortCircuits;
+    row.hedgesSent = c.hedgesSent;
+    row.hedgeWins = c.hedgeWins;
+    row.retries = c.retries;
+    row.failedOps = c.failedOps;
+    row.amplification = 1.0 + static_cast<double>(c.retries) / ops;
+    row.windowSeconds = (simMicros - windowStartMicros) * 1e-6;
+    for (const sim::Tier* tier : deployment.tiers()) {
+      if (tier->kind() == sim::TierKind::kAppServer) {
+        row.appCpuMicros = tier->aggregateCpu().totalMicros();
+      }
+    }
+    const core::CostBreakdown breakdown =
+        model.breakdown(deployment.tiers(), row.windowSeconds,
+                        deployment.db().totalStoredBytes(),
+                        config.replicationFactor);
+    row.cost = breakdown.totalCost;
+    if (w == 0) {
+      if (const core::TierUsage* appUsage =
+              breakdown.tier(sim::TierKind::kAppServer)) {
+        cell.steadyAppComputeCost = appUsage->computeCost;
+      }
+    }
+    cell.windows.push_back(row);
+  }
+  if (const obs::Tracer* tracer = deployment.tracer()) {
+    cell.trace = tracer->summary();
+  }
+  return cell;
+}
+
+void printCell(const CellResult& cell, const OpBudget& budget) {
+  util::TablePrinter table({"window", "phase", "p50_us", "p99_us", "goodput",
+                            "hit_ratio", "shed", "queue_to", "brk_open",
+                            "brk_sc", "hedges", "hedge_wins", "retries",
+                            "failed", "amp", "window_cost"});
+  for (std::size_t w = 0; w < cell.windows.size(); ++w) {
+    const WindowRow& row = cell.windows[w];
+    table.row(static_cast<unsigned long long>(w), kPhases[w], row.p50Micros,
+              row.p99Micros, row.goodput, row.hitRatio,
+              static_cast<unsigned long long>(row.shed),
+              static_cast<unsigned long long>(row.queueTimeouts),
+              static_cast<unsigned long long>(row.breakerOpens),
+              static_cast<unsigned long long>(row.breakerShortCircuits),
+              static_cast<unsigned long long>(row.hedgesSent),
+              static_cast<unsigned long long>(row.hedgeWins),
+              static_cast<unsigned long long>(row.retries),
+              static_cast<unsigned long long>(row.failedOps),
+              row.amplification, row.cost.str());
+  }
+  char title[160];
+  std::snprintf(title, sizeof title,
+                "\nFigure 10 [%s, defenses=%s]: overload timeline (%lluK-op "
+                "windows, capacity=%.0fx steady)",
+                cell.architecture.c_str(), cell.defenses ? "on" : "off",
+                static_cast<unsigned long long>(budget.windowOps / 1000),
+                kHeadroomFactor);
+  table.print(title);
+}
+
+/// Worst (highest) amplification across the overloaded windows 2-5.
+double worstAmplification(const CellResult& cell) {
+  double worst = 0.0;
+  for (std::size_t w = 2; w <= 5 && w < cell.windows.size(); ++w) {
+    worst = std::max(worst, cell.windows[w].amplification);
+  }
+  return worst;
+}
+
+double worstP99(const CellResult& cell) {
+  double worst = 0.0;
+  for (std::size_t w = 2; w <= 5 && w < cell.windows.size(); ++w) {
+    worst = std::max(worst, cell.windows[w].p99Micros);
+  }
+  return worst;
+}
+
+double worstGoodput(const CellResult& cell) {
+  double worst = 1.0;
+  for (std::size_t w = 2; w <= 5 && w < cell.windows.size(); ++w) {
+    worst = std::min(worst, cell.windows[w].goodput);
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions benchOptions =
+      bench::parseBenchOptions(argc, argv);
+  const Fig10Options fig10 = parseFig10Options(argc, argv);
+  const core::MatrixOptions& options = benchOptions.matrix;
+  const OpBudget budget = opBudget();
+
+  util::ThreadPool pool(options.jobs);
+  const std::size_t cellCount = 2 * std::size(kArchs);
+  const std::vector<CellResult> cells =
+      util::mapOrdered(pool, cellCount, [&](std::size_t i) {
+        return runOverloadCell(i, options.rootSeed, fig10, budget);
+      });
+  pool.wait();
+
+  for (const CellResult& cell : cells) printCell(cell, budget);
+
+  // The metastability verdict: how much work the retry path multiplies the
+  // surge into, with and without the defenses, and what the defenses keep.
+  util::TablePrinter verdict({"architecture", "amp_off", "amp_on", "p99_off",
+                              "p99_on", "goodput_off", "goodput_on"});
+  for (std::size_t a = 0; a < std::size(kArchs); ++a) {
+    const CellResult& off = cells[a];
+    const CellResult& on = cells[a + std::size(kArchs)];
+    verdict.row(off.architecture, worstAmplification(off),
+                worstAmplification(on), worstP99(off), worstP99(on),
+                worstGoodput(off), worstGoodput(on));
+  }
+  char verdictTitle[160];
+  std::snprintf(verdictTitle, sizeof verdictTitle,
+                "\nFigure 10 summary: worst overloaded window (2-5) at "
+                "%.0fx surge, defenses off vs on",
+                fig10.surgeMultiplier);
+  verdict.print(verdictTitle);
+
+  // Provisioning headroom: the other way to survive the surge is to buy
+  // enough app servers that the peak fits under capacity. Demand is
+  // measured on the *bare* cells — without defenses the retry storm is
+  // part of the load you must provision for.
+  util::TablePrinter headroom({"architecture", "steady_cost", "peak_cost",
+                               "peak_phase", "headroom_delta",
+                               "extra_app_nodes", "extra_app_cost"});
+  for (std::size_t a = 0; a < std::size(kArchs); ++a) {
+    const CellResult& cell = cells[a];
+    const util::Money steady = cell.windows.front().cost;
+    util::Money peak = steady;
+    std::size_t peakWindow = 0;
+    double peakAppDemandPerSec = 0.0;
+    for (std::size_t w = 0; w < cell.windows.size(); ++w) {
+      if (cell.windows[w].cost.micros() > peak.micros()) {
+        peak = cell.windows[w].cost;
+        peakWindow = w;
+      }
+      if (cell.windows[w].windowSeconds > 0.0) {
+        peakAppDemandPerSec =
+            std::max(peakAppDemandPerSec, cell.windows[w].appCpuMicros /
+                                              cell.windows[w].windowSeconds);
+      }
+    }
+    const double delta =
+        steady.micros() > 0
+            ? (static_cast<double>(peak.micros()) /
+                   static_cast<double>(steady.micros()) -
+               1.0) * 100.0
+            : 0.0;
+    // Nodes needed so the observed peak demand fits under the same
+    // per-node capacity the steady tier was provisioned with.
+    const std::size_t neededNodes = static_cast<std::size_t>(
+        std::ceil(peakAppDemandPerSec / cell.appCapacityPerNode));
+    const std::size_t extraNodes =
+        neededNodes > cell.appServers ? neededNodes - cell.appServers : 0;
+    const double perNodeUsd = cell.steadyAppComputeCost.dollars() /
+                              static_cast<double>(cell.appServers);
+    char deltaCell[32];
+    std::snprintf(deltaCell, sizeof deltaCell, "+%.1f%%", delta);
+    char extraCost[32];
+    std::snprintf(extraCost, sizeof extraCost, "$%.2f/mo",
+                  static_cast<double>(extraNodes) * perNodeUsd);
+    headroom.row(cell.architecture, steady.str(), peak.str(),
+                 kPhases[peakWindow], deltaCell,
+                 static_cast<unsigned long long>(extraNodes), extraCost);
+  }
+  headroom.print("\nFigure 10 headroom: provisioning the surge away instead "
+                 "(extra app nodes -> extra $)");
+
+  if (benchOptions.trace.enabled()) {
+    // clearMeters resets the tracer per window, so the summary covers the
+    // final (recover) window.
+    for (const CellResult& cell : cells) {
+      core::ExperimentResult result;
+      result.architecture =
+          cell.architecture + (cell.defenses ? ".defenses" : ".bare");
+      result.trace = cell.trace;
+      std::printf("\n%s",
+                  core::traceTreeReport(result,
+                                        "trace fig10." + result.architecture +
+                                            " (final window)",
+                                        /*maxTraces=*/1)
+                      .c_str());
+    }
+  }
+  if (!benchOptions.metricsOut.empty()) {
+    obs::MetricsRegistry registry;
+    for (const CellResult& cell : cells) {
+      const std::string prefix = "fig10." + cell.architecture +
+                                 (cell.defenses ? ".defenses." : ".bare.");
+      for (std::size_t w = 0; w < cell.windows.size(); ++w) {
+        const WindowRow& row = cell.windows[w];
+        const std::string base = prefix + "window_" + std::to_string(w) + ".";
+        registry.setGauge(base + "p50_us", row.p50Micros);
+        registry.setGauge(base + "p99_us", row.p99Micros);
+        registry.setGauge(base + "goodput", row.goodput);
+        registry.setGauge(base + "hit_ratio", row.hitRatio);
+        registry.setCounter(base + "shedded_requests", row.shed);
+        registry.setCounter(base + "queue_timeouts", row.queueTimeouts);
+        registry.setCounter(base + "breaker_opens", row.breakerOpens);
+        registry.setCounter(base + "breaker_short_circuits",
+                            row.breakerShortCircuits);
+        registry.setCounter(base + "hedges_sent", row.hedgesSent);
+        registry.setCounter(base + "hedge_wins", row.hedgeWins);
+        registry.setCounter(base + "retries", row.retries);
+        registry.setCounter(base + "failed_ops", row.failedOps);
+        registry.setGauge(base + "amplification", row.amplification);
+        registry.setGauge(base + "window_cost_usd", row.cost.dollars());
+      }
+    }
+    if (!registry.writeJsonFile(benchOptions.metricsOut)) {
+      std::fprintf(stderr, "warning: could not write metrics to %s\n",
+                   benchOptions.metricsOut.c_str());
+    }
+  }
+  return 0;
+}

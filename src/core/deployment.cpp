@@ -14,6 +14,13 @@ namespace {
   return std::to_string(tableId);
 }
 
+/// Triage cost of turning a request away at admission control: parse the
+/// header, decide, answer. Far below a served request, deliberately not
+/// zero — shedding at scale is itself CPU the bill sees.
+constexpr double kShedTriageMicros = 0.5;
+/// Encoded size of the "try again later" error response.
+constexpr std::uint64_t kShedResponseBytes = 16;
+
 }  // namespace
 
 Deployment::Deployment(DeploymentConfig config) : config_(config) {
@@ -61,6 +68,28 @@ Deployment::Deployment(DeploymentConfig config) : config_(config) {
   if (config_.trace.enabled()) {
     tracer_ = std::make_unique<obs::Tracer>(config_.trace);
   }
+
+  if (config_.overload.enabled()) {
+    overloadInstalled_ = true;
+    const OverloadConfig& ov = config_.overload;
+    const auto limitTier = [&](sim::Tier* tier, double capacity) {
+      if (!tier || capacity <= 0.0) return;
+      for (std::size_t i = 0; i < tier->size(); ++i) {
+        tier->node(i).queue().configure(
+            {capacity, ov.maxQueueWaitMicros});
+      }
+    };
+    limitTier(app_.get(), ov.appCapacityMicrosPerSec);
+    limitTier(remoteTier_.get(), ov.remoteCacheCapacityMicrosPerSec);
+    limitTier(sql_.get(), ov.sqlCapacityMicrosPerSec);
+    limitTier(kv_.get(), ov.kvCapacityMicrosPerSec);
+    // Queueing and the defenses ride the channel's policy path, so arm it
+    // exactly the way installFaultSchedule does.
+    channel_->enableFaults(config_.faultSeed, config_.rpcPolicy);
+    if (ov.breakersEnabled) channel_->enableBreakers(ov.breaker);
+    if (ov.hedgingEnabled) channel_->enableHedging(ov.hedge);
+    if (ov.shed.enabled) shedder_ = std::make_unique<Shedder>(ov.shed);
+  }
 }
 
 void Deployment::populateKv(const workload::Workload& workload) {
@@ -102,13 +131,46 @@ std::size_t Deployment::appIndexFor(const std::string& key) {
   return rrApp_ % app_->size();  // whole tier down: calls will time out
 }
 
-double Deployment::clientLeg(sim::Node& app, std::uint64_t requestBytes,
-                             std::uint64_t responseBytes) {
+double Deployment::clientLeg(sim::Node& app, std::size_t appIndex,
+                             std::uint64_t requestBytes,
+                             std::uint64_t responseBytes, bool countFailure) {
   sim::SpanGuard span("client.leg", sim::TierKind::kClient);
-  return channel_
-      ->call(client_->node(0), app, requestBytes, responseBytes,
-             /*marshal=*/true, sim::CpuComponent::kClientComm)
-      .latencyMicros;
+  if (overloadInstalled_ && config_.overload.hedgingEnabled) {
+    // The app tier is the replicated tier every architecture has: any live
+    // server can answer (a non-owner pays the forward/miss path — the
+    // hedge trades that cost for the tail it cuts). Backup = next live
+    // server after the primary.
+    sim::Node* backup = nullptr;
+    for (std::size_t probe = 1; probe < app_->size(); ++probe) {
+      sim::Node& candidate = app_->node((appIndex + probe) % app_->size());
+      if (candidate.isUp()) {
+        backup = &candidate;
+        break;
+      }
+    }
+    const rpc::PolicyCallResult hedged = channel_->callHedged(
+        client_->node(0), app, backup, requestBytes, responseBytes,
+        config_.rpcPolicy, /*marshal=*/true, sim::CpuComponent::kClientComm);
+    if (!hedged.ok && countFailure) ++counters_.failedOps;
+    return hedged.latencyMicros;
+  }
+  const rpc::CallResult result =
+      channel_->call(client_->node(0), app, requestBytes, responseBytes,
+                     /*marshal=*/true, sim::CpuComponent::kClientComm);
+  if (!result.ok && countFailure) ++counters_.failedOps;
+  return result.latencyMicros;
+}
+
+bool Deployment::shouldShedRead(sim::Node& app) {
+  if (!shedder_) return false;
+  sim::NodeQueue& queue = app.queue();
+  queue.drainTo(simNowMicros_);
+  if (!shedder_->offer(queue.waitMicros(), simNowMicros_)) return false;
+  ++counters_.sheddedRequests;
+  // Turning a request away costs triage CPU, not a queue's worth of work —
+  // which is the entire trade admission control makes.
+  app.charge(sim::CpuComponent::kRequestPrep, kShedTriageMicros);
+  return true;
 }
 
 double Deployment::readFromStorageAndFill(sim::Node& app,
@@ -207,16 +269,19 @@ Deployment::OpResult Deployment::serve(const workload::Op& op) {
   const std::string key = workload::keyName(op.keyIndex);
   obs::RequestScope scope(tracer_.get(), op.isRead() ? "read" : "write");
   const std::uint64_t degradedBefore = counters_.degradedReads;
+  const std::uint64_t shedBefore = counters_.sheddedRequests;
   OpResult result =
       op.isRead() ? serveRead(key, op) : serveWrite(key, op);
   if (op.isRead()) {
-    scope.setOutcome(counters_.degradedReads > degradedBefore
+    scope.setOutcome(counters_.sheddedRequests > shedBefore
+                         ? sim::SpanOutcome::kShed
+                     : counters_.degradedReads > degradedBefore
                          ? sim::SpanOutcome::kDegraded
                      : result.cacheHit ? sim::SpanOutcome::kHit
                                        : sim::SpanOutcome::kMiss);
   }
   latency_.record(result.latencyMicros);
-  if (faultsInstalled_) syncFaultCounters();
+  if (faultsInstalled_ || overloadInstalled_) syncFaultCounters();
   return result;
 }
 
@@ -227,6 +292,14 @@ Deployment::OpResult Deployment::serveRead(const std::string& key,
   const std::size_t appIndex = appIndexFor(key);
   sim::Node& app = app_->node(appIndex);
   std::uint64_t servedBytes = op.valueSize;
+
+  if (shouldShedRead(app)) {
+    const rpc::GetRequest req{key};
+    result.latencyMicros += clientLeg(app, appIndex, req.encodedSize(),
+                                      kShedResponseBytes,
+                                      /*countFailure=*/false);
+    return result;
+  }
 
   switch (config_.architecture) {
     case Architecture::kBase: {
@@ -299,8 +372,8 @@ Deployment::OpResult Deployment::serveRead(const std::string& key,
   const rpc::GetRequest req{key};
   rpc::GetResponse resp;
   resp.found = true;
-  result.latencyMicros +=
-      clientLeg(app, req.encodedSize(), resp.encodedSize() + servedBytes);
+  result.latencyMicros += clientLeg(app, appIndex, req.encodedSize(),
+                                    resp.encodedSize() + servedBytes);
   return result;
 }
 
@@ -334,8 +407,8 @@ Deployment::OpResult Deployment::serveWrite(const std::string& key,
 
   const rpc::PutRequest req{key, {}, 0};
   const rpc::PutResponse resp{true, write.version};
-  result.latencyMicros += clientLeg(app, req.encodedSize() + op.valueSize,
-                                    resp.encodedSize());
+  result.latencyMicros += clientLeg(
+      app, appIndex, req.encodedSize() + op.valueSize, resp.encodedSize());
   return result;
 }
 
@@ -343,15 +416,18 @@ Deployment::OpResult Deployment::serveObject(const workload::Op& op) {
   obs::RequestScope scope(tracer_.get(),
                           op.isRead() ? "object.read" : "object.write");
   const std::uint64_t degradedBefore = counters_.degradedReads;
+  const std::uint64_t shedBefore = counters_.sheddedRequests;
   OpResult result = op.isRead() ? serveObjectRead(op) : serveObjectWrite(op);
   if (op.isRead()) {
-    scope.setOutcome(counters_.degradedReads > degradedBefore
+    scope.setOutcome(counters_.sheddedRequests > shedBefore
+                         ? sim::SpanOutcome::kShed
+                     : counters_.degradedReads > degradedBefore
                          ? sim::SpanOutcome::kDegraded
                      : result.cacheHit ? sim::SpanOutcome::kHit
                                        : sim::SpanOutcome::kMiss);
   }
   latency_.record(result.latencyMicros);
-  if (faultsInstalled_) syncFaultCounters();
+  if (faultsInstalled_ || overloadInstalled_) syncFaultCounters();
   return result;
 }
 
@@ -362,6 +438,14 @@ Deployment::OpResult Deployment::serveObjectRead(const workload::Op& op) {
   const std::size_t appIndex = appIndexFor(key);
   sim::Node& app = app_->node(appIndex);
   std::uint64_t servedBytes = op.valueSize;
+
+  if (shouldShedRead(app)) {
+    const rpc::GetRequest req{key};
+    result.latencyMicros += clientLeg(app, appIndex, req.encodedSize(),
+                                      kShedResponseBytes,
+                                      /*countFailure=*/false);
+    return result;
+  }
 
   auto assembleAndFill = [&]() {
     const auto assembled = assembler_->getTable(app, op.keyIndex);
@@ -440,8 +524,8 @@ Deployment::OpResult Deployment::serveObjectRead(const workload::Op& op) {
   const rpc::GetRequest req{key};
   rpc::GetResponse resp;
   resp.found = true;
-  result.latencyMicros +=
-      clientLeg(app, req.encodedSize(), resp.encodedSize() + servedBytes);
+  result.latencyMicros += clientLeg(app, appIndex, req.encodedSize(),
+                                    resp.encodedSize() + servedBytes);
   return result;
 }
 
@@ -472,7 +556,7 @@ Deployment::OpResult Deployment::serveObjectWrite(const workload::Op& op) {
   const rpc::PutRequest req{key, {}, 0};
   const rpc::PutResponse resp{true, version};
   result.latencyMicros +=
-      clientLeg(app, req.encodedSize() + 256, resp.encodedSize());
+      clientLeg(app, appIndex, req.encodedSize() + 256, resp.encodedSize());
   return result;
 }
 
@@ -595,6 +679,13 @@ void Deployment::syncFaultCounters() noexcept {
   counters_.timeouts = fc.timeouts;
   counters_.failedCalls = fc.failedCalls;
   counters_.wastedCpuMicros = fc.wastedCpuMicros;
+  counters_.budgetExhausted = fc.budgetExhausted;
+  counters_.queueTimeouts = fc.queueTimeouts;
+  counters_.queueRejections = fc.queueRejections;
+  counters_.breakerOpens = fc.breakerOpens;
+  counters_.breakerShortCircuits = fc.breakerShortCircuits;
+  counters_.hedgesSent = fc.hedgesSent;
+  counters_.hedgeWins = fc.hedgeWins;
 }
 
 void Deployment::pruneInflight() {

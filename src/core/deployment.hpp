@@ -18,6 +18,7 @@
 #include "consistency/version_check.hpp"
 #include "core/architecture.hpp"
 #include "core/calibration.hpp"
+#include "core/overload.hpp"
 #include "obs/trace.hpp"
 #include "richobject/assembler.hpp"
 #include "richobject/catalog_store.hpp"
@@ -78,6 +79,12 @@ struct DeploymentConfig {
   /// tracer and leaves serve() on its pre-tracing path).
   obs::TraceConfig trace{};
 
+  /// Overload model: per-tier capacities (finite queues, queueing delay)
+  /// and the defenses — load shedding, circuit breakers, hedged requests.
+  /// Off by default: every node keeps infinite capacity and serve() stays
+  /// on its pre-overload path.
+  OverloadConfig overload{};
+
   Calibration calibration{};
 };
 
@@ -101,6 +108,19 @@ struct ServeCounters {
   std::uint64_t degradedReads = 0;    // cache unreachable -> storage path
   std::uint64_t coalescedMisses = 0;  // misses that joined an in-flight read
   double wastedCpuMicros = 0.0;  // CPU charged to legs that never paid off
+
+  // Overload-path accounting (all zero unless OverloadConfig is enabled).
+  std::uint64_t sheddedRequests = 0;  // turned away by admission control
+  std::uint64_t queueTimeouts = 0;    // attempts outwaited by a backlog
+  std::uint64_t queueRejections = 0;  // bounced off a full bounded queue
+  std::uint64_t breakerOpens = 0;     // circuit-breaker trips (into open)
+  std::uint64_t breakerShortCircuits = 0;  // calls failed fast while open
+  std::uint64_t hedgesSent = 0;       // backup attempts fired
+  std::uint64_t hedgeWins = 0;        // hedges whose answer landed first
+  std::uint64_t budgetExhausted = 0;  // calls stopped by the deadline budget
+  /// Operations whose client leg ultimately failed — the client never got
+  /// an answer (distinct from sheddedRequests, where it got a fast error).
+  std::uint64_t failedOps = 0;
 
   [[nodiscard]] double hitRatio() const noexcept {
     const std::uint64_t n = cacheHits + cacheMisses;
@@ -134,6 +154,7 @@ class Deployment {
   /// injection: any scheduled fault events up to `nowMicros` fire here).
   void setSimTimeMicros(std::uint64_t nowMicros) noexcept {
     simNowMicros_ = nowMicros;
+    channel_->setNowMicros(nowMicros);  // queue drains + breaker cool-downs
     if (faultsInstalled_) applyPendingFaults();
   }
   [[nodiscard]] std::uint64_t simTimeMicros() const noexcept {
@@ -150,6 +171,13 @@ class Deployment {
   [[nodiscard]] bool faultsInstalled() const noexcept {
     return faultsInstalled_;
   }
+  /// True when config.overload armed the queueing model / defenses.
+  [[nodiscard]] bool overloadInstalled() const noexcept {
+    return overloadInstalled_;
+  }
+  /// Admission controller (null unless config.overload.shed.enabled).
+  [[nodiscard]] Shedder* shedder() noexcept { return shedder_.get(); }
+  [[nodiscard]] rpc::Channel& channel() noexcept { return *channel_; }
   /// Ring-ownership epoch: bumped every time cache ownership moves (an app
   /// node crash or restart resharding the linked ring). Stale in-flight
   /// writes carrying an older epoch are the Fig. 8 anomaly; the lease
@@ -210,8 +238,17 @@ class Deployment {
   [[nodiscard]] std::size_t appIndexFor(const std::string& key);
 
   /// Client <-> app leg: every architecture pays it, with the value bytes.
-  double clientLeg(sim::Node& app, std::uint64_t requestBytes,
-                   std::uint64_t responseBytes);
+  /// `appIndex` names the primary so the hedged path can pick a live
+  /// backup replica. `countFailure` is false on the shed path — the op is
+  /// already accounted as shed, not failed.
+  double clientLeg(sim::Node& app, std::size_t appIndex,
+                   std::uint64_t requestBytes, std::uint64_t responseBytes,
+                   bool countFailure = true);
+  /// Admission control for the read path: returns true (and accounts the
+  /// shed) when the app node's queueing delay says to turn the request
+  /// away. Writes are never offered — they carry invalidation state the
+  /// caches need.
+  bool shouldShedRead(sim::Node& app);
 
   /// Read through storage and fill the architecture's cache. With faults
   /// installed, concurrent misses for one key are single-flight coalesced:
@@ -261,6 +298,9 @@ class Deployment {
   std::size_t rrApp_ = 0;
   std::uint64_t simNowMicros_ = 0;
   std::unordered_map<std::string, std::uint64_t> fillTimes_;
+
+  std::unique_ptr<Shedder> shedder_;
+  bool overloadInstalled_ = false;
 
   std::unique_ptr<consistency::LeaseManager> leases_;
   sim::FaultSchedule faultSchedule_;

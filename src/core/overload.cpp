@@ -1,0 +1,39 @@
+#include "core/overload.hpp"
+
+#include <algorithm>
+
+namespace dcache::core {
+
+bool Shedder::offer(double queueDelayMicros, std::uint64_t nowMicros) noexcept {
+  if (!policy_.enabled) return false;
+  if (queueDelayMicros <= policy_.targetDelayMicros) {
+    // Healthy: reset everything, including the diffusion accumulator —
+    // residual credit must not cause a shed on the first over-target
+    // request of the next episode (the no-shed-below-threshold guarantee).
+    clear();
+    return false;
+  }
+  if (!aboveTarget_) {
+    aboveTarget_ = true;
+    aboveSinceMicros_ = nowMicros;
+  }
+  if (static_cast<double>(nowMicros - aboveSinceMicros_) <
+      policy_.graceMicros) {
+    return false;  // short burst: let the queue absorb it
+  }
+  dropping_ = true;
+  const double overshoot = queueDelayMicros - policy_.targetDelayMicros;
+  const double fraction =
+      std::min(policy_.maxShedFraction,
+               policy_.rampMicros > 0.0 ? overshoot / policy_.rampMicros
+                                        : policy_.maxShedFraction);
+  accumulator_ += fraction;
+  if (accumulator_ >= 1.0) {
+    accumulator_ -= 1.0;
+    ++shed_;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace dcache::core

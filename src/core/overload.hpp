@@ -1,0 +1,95 @@
+// Overload-control configuration and the deployment-level admission
+// controller. The queueing model itself lives in sim/queue.hpp and the
+// wire-level defenses (circuit breakers, hedged requests, deadline budgets)
+// in rpc/channel.hpp; this header is where a deployment decides how much
+// capacity each tier has and which defenses are armed. Everything defaults
+// to off: a default-constructed OverloadConfig leaves every node with
+// infinite capacity and every serve() path bit-for-bit what it was before
+// the overload subsystem existed.
+#pragma once
+
+#include <cstdint>
+
+#include "rpc/channel.hpp"
+
+namespace dcache::core {
+
+/// CoDel-style load shedder tuning. The controller watches the app tier's
+/// standing queueing delay: below `targetDelayMicros` nothing is ever shed;
+/// above it, shedding starts only after the delay has persisted for
+/// `graceMicros` (a burst shorter than the grace window rides the queue),
+/// then ramps linearly with the overshoot up to `maxShedFraction`.
+struct ShedPolicy {
+  bool enabled = false;
+  double targetDelayMicros = 2000.0;
+  double graceMicros = 5000.0;
+  /// Overshoot (µs above target) at which the shed fraction reaches 100%
+  /// (before the maxShedFraction cap).
+  double rampMicros = 20000.0;
+  /// Never shed everything: the surviving trickle is how the controller
+  /// observes recovery.
+  double maxShedFraction = 0.95;
+};
+
+/// Deterministic admission controller. Randomized dropping would break the
+/// simulator's byte-for-byte reproducibility, so the shed fraction is
+/// realized by error diffusion instead: the fraction accumulates per
+/// offered request and a request is shed each time the accumulator crosses
+/// 1. Same long-run rate as a random drop, zero RNG draws, and a monotone
+/// guarantee the unit tests can pin: a deeper queue never sheds less.
+class Shedder {
+ public:
+  explicit Shedder(ShedPolicy policy = {}) noexcept : policy_(policy) {}
+
+  /// Offer one admission decision for a request arriving at `nowMicros`
+  /// that would face `queueDelayMicros` of queueing. Returns true to shed.
+  [[nodiscard]] bool offer(double queueDelayMicros,
+                           std::uint64_t nowMicros) noexcept;
+
+  /// Currently past the grace window and actively shedding?
+  [[nodiscard]] bool dropping() const noexcept { return dropping_; }
+  [[nodiscard]] std::uint64_t shedCount() const noexcept { return shed_; }
+  [[nodiscard]] const ShedPolicy& policy() const noexcept { return policy_; }
+  void clear() noexcept {
+    aboveTarget_ = false;
+    dropping_ = false;
+    accumulator_ = 0.0;
+  }
+
+ private:
+  ShedPolicy policy_;
+  bool aboveTarget_ = false;
+  std::uint64_t aboveSinceMicros_ = 0;
+  bool dropping_ = false;
+  double accumulator_ = 0.0;
+  std::uint64_t shed_ = 0;
+};
+
+/// Per-deployment overload model: tier capacities (µs of CPU per simulated
+/// second; 0 = unlimited, i.e. the legacy no-queue behaviour) plus the
+/// three defenses. `enabled()` gates all Deployment-side wiring.
+struct OverloadConfig {
+  double appCapacityMicrosPerSec = 0.0;
+  double remoteCacheCapacityMicrosPerSec = 0.0;
+  double sqlCapacityMicrosPerSec = 0.0;
+  double kvCapacityMicrosPerSec = 0.0;
+  /// Queue bound for every capacity-limited node (sim::QueueParams).
+  double maxQueueWaitMicros = 100000.0;
+
+  ShedPolicy shed{};
+  bool breakersEnabled = false;
+  rpc::BreakerPolicy breaker{};
+  bool hedgingEnabled = false;
+  rpc::HedgePolicy hedge{};
+
+  [[nodiscard]] bool anyCapacity() const noexcept {
+    return appCapacityMicrosPerSec > 0.0 ||
+           remoteCacheCapacityMicrosPerSec > 0.0 ||
+           sqlCapacityMicrosPerSec > 0.0 || kvCapacityMicrosPerSec > 0.0;
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return anyCapacity() || shed.enabled || breakersEnabled || hedgingEnabled;
+  }
+};
+
+}  // namespace dcache::core

@@ -193,6 +193,16 @@ void exportExperimentMetrics(obs::MetricsRegistry& registry,
   registry.setCounter(base + "coalesced_misses", c.coalescedMisses);
   registry.setGauge(base + "wasted_cpu_micros", c.wastedCpuMicros);
   registry.setGauge(base + "hit_ratio", c.hitRatio());
+  registry.setCounter(base + "shedded_requests", c.sheddedRequests);
+  registry.setCounter(base + "queue_timeouts", c.queueTimeouts);
+  registry.setCounter(base + "queue_rejections", c.queueRejections);
+  registry.setCounter(base + "breaker_opens", c.breakerOpens);
+  registry.setCounter(base + "breaker_short_circuits",
+                      c.breakerShortCircuits);
+  registry.setCounter(base + "hedges_sent", c.hedgesSent);
+  registry.setCounter(base + "hedge_wins", c.hedgeWins);
+  registry.setCounter(base + "budget_exhausted", c.budgetExhausted);
+  registry.setCounter(base + "failed_ops", c.failedOps);
 
   registry.setGauge(base + "cost.compute_usd", result.cost.computeCost.dollars());
   registry.setGauge(base + "cost.memory_usd", result.cost.memoryCost.dollars());

@@ -1,6 +1,7 @@
 #include "rpc/channel.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "obs/metrics.hpp"
 #include "sim/trace_hook.hpp"
@@ -15,6 +16,69 @@ void exportFaultMetrics(obs::MetricsRegistry& registry,
   registry.setCounter(base + "timeouts", counters.timeouts);
   registry.setCounter(base + "failed_calls", counters.failedCalls);
   registry.setGauge(base + "wasted_cpu_micros", counters.wastedCpuMicros);
+  registry.setCounter(base + "budget_exhausted", counters.budgetExhausted);
+  registry.setCounter(base + "queue_timeouts", counters.queueTimeouts);
+  registry.setCounter(base + "queue_rejections", counters.queueRejections);
+  registry.setCounter(base + "breaker_opens", counters.breakerOpens);
+  registry.setCounter(base + "breaker_short_circuits",
+                      counters.breakerShortCircuits);
+  registry.setCounter(base + "hedges_sent", counters.hedgesSent);
+  registry.setCounter(base + "hedge_wins", counters.hedgeWins);
+}
+
+bool CircuitBreaker::allowRequest(double nowMicros) noexcept {
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (nowMicros < openUntilMicros_) return false;
+      state_ = State::kHalfOpen;
+      probeInFlight_ = false;
+      [[fallthrough]];
+    case State::kHalfOpen:
+      if (probeInFlight_) return false;  // one probe at a time
+      probeInFlight_ = true;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::record(bool ok, double nowMicros) noexcept {
+  if (state_ == State::kHalfOpen) {
+    probeInFlight_ = false;
+    if (ok) {
+      // Probe paid off: close with a clean slate, so one stray failure
+      // right after recovery doesn't re-trip on stale window history.
+      state_ = State::kClosed;
+      window_ = 0;
+      samples_ = 0;
+    } else {
+      trip(nowMicros);  // destination still sick: straight back to open
+    }
+    return;
+  }
+  if (state_ != State::kClosed) return;  // outcomes while open don't count
+  const std::size_t cap = std::min<std::size_t>(policy_.windowSize, 64);
+  window_ = (window_ << 1) | (ok ? 0ULL : 1ULL);
+  if (samples_ < cap) ++samples_;
+  const std::uint64_t mask =
+      cap >= 64 ? ~0ULL : ((1ULL << cap) - 1ULL);
+  const auto failures =
+      static_cast<std::size_t>(std::popcount(window_ & mask));
+  if (samples_ >= policy_.minSamples &&
+      static_cast<double>(failures) >=
+          policy_.failureRateToOpen * static_cast<double>(samples_)) {
+    trip(nowMicros);
+  }
+}
+
+void CircuitBreaker::trip(double nowMicros) noexcept {
+  state_ = State::kOpen;
+  openUntilMicros_ = nowMicros + policy_.openMicros;
+  window_ = 0;
+  samples_ = 0;
+  probeInFlight_ = false;
+  ++opens_;
 }
 
 CallResult Channel::callDirect(sim::Node& client, sim::Node& server,
@@ -74,16 +138,58 @@ PolicyCallResult Channel::callWithPolicy(
     sim::Node& client, sim::Node& server, std::uint64_t requestBytes,
     std::uint64_t responseBytes, const CallPolicy& policy, bool marshal,
     sim::CpuComponent framingComponent) noexcept {
-  PolicyCallResult out;
   if (&client == &server) {  // in-process: nothing can fail or cost
     ++calls_;
+    PolicyCallResult out;
     out.ok = true;
     out.attempts = 1;
     return out;
   }
 
+  CircuitBreaker* breaker = nullptr;
+  if (breakersEnabled_) {
+    breaker = &breakers_.try_emplace(&server, breakerPolicy_).first->second;
+    if (!breaker->allowRequest(static_cast<double>(nowMicros_))) {
+      // Tripped: fail fast, nothing touches the wire. The caller already
+      // built the request, though — a short-circuit is cheap, not free.
+      ++calls_;
+      PolicyCallResult out;
+      double wasted = 0.0;
+      if (marshal) {
+        serializer_.chargeSerialize(client, requestBytes);
+        wasted += serializer_.serializeMicros(requestBytes);
+      }
+      out.wastedCpuMicros += wasted;
+      faultCounters_.wastedCpuMicros += wasted;
+      ++faultCounters_.breakerShortCircuits;
+      return out;
+    }
+  }
+  const std::uint64_t opensBefore = breaker ? breaker->opens() : 0;
+  const PolicyCallResult out = runAttempts(
+      client, server, requestBytes, responseBytes, policy, marshal,
+      framingComponent);
+  if (breaker) {
+    breaker->record(out.ok, static_cast<double>(nowMicros_));
+    faultCounters_.breakerOpens += breaker->opens() - opensBefore;
+  }
+  return out;
+}
+
+PolicyCallResult Channel::runAttempts(
+    sim::Node& client, sim::Node& server, std::uint64_t requestBytes,
+    std::uint64_t responseBytes, const CallPolicy& policy, bool marshal,
+    sim::CpuComponent framingComponent) noexcept {
+  PolicyCallResult out;
+  const bool hasDeadline = policy.deadlineMicros > 0.0;
   const std::size_t budget = std::max<std::size_t>(policy.maxAttempts, 1);
   for (std::size_t attempt = 0; attempt < budget; ++attempt) {
+    if (hasDeadline && out.latencyMicros >= policy.deadlineMicros) {
+      // The per-call budget is gone: stop retrying even though the attempt
+      // budget isn't. Counted apart from the timeouts that drained it.
+      ++faultCounters_.budgetExhausted;
+      break;
+    }
     // One span per attempt: a retried call shows up in a trace as a ladder
     // of timed-out legs followed by the leg that paid off (or kFailed
     // silence). All the wasted CPU lands on the timed-out spans, which is
@@ -98,11 +204,20 @@ PolicyCallResult Channel::callWithPolicy(
         backoff *= 1.0 + policy.jitterFraction *
                              (2.0 * util::uniform01(faultRng_) - 1.0);
       }
+      if (hasDeadline) {
+        backoff = std::min(backoff, policy.deadlineMicros - out.latencyMicros);
+      }
       out.latencyMicros += backoff;
       ++faultCounters_.retries;
     }
     ++out.attempts;
     ++calls_;
+    // Each failed wait below is capped by the remaining budget, so the
+    // total can never overshoot the deadline.
+    const double attemptTimeout =
+        hasDeadline ? std::min(policy.timeoutMicros,
+                               policy.deadlineMicros - out.latencyMicros)
+                    : policy.timeoutMicros;
 
     // Request leg. A down server or a dropped packet loses the leg: the
     // client already paid to marshal and send, then waits out the timeout.
@@ -116,13 +231,71 @@ PolicyCallResult Channel::callWithPolicy(
       wasted += network_->params().perMessageCpuMicros +
                 network_->params().perByteCpuMicros *
                     static_cast<double>(requestBytes);
-      out.latencyMicros += policy.timeoutMicros;
+      out.latencyMicros += attemptTimeout;
       out.wastedCpuMicros += wasted;
       ++out.timedOutLegs;
       ++faultCounters_.timeouts;
       faultCounters_.wastedCpuMicros += wasted;
       attemptSpan.setOutcome(sim::SpanOutcome::kTimeout);
       continue;
+    }
+
+    // Destination queueing: with a finite capacity configured the attempt
+    // waits behind the node's backlog before service.
+    if (server.queue().enabled()) {
+      sim::NodeQueue& queue = server.queue();
+      queue.drainTo(nowMicros_);
+      const double wait = queue.waitMicros();
+      if (wait >= queue.params().maxWaitMicros) {
+        // Bounded queue is full: the node bounces the request at the door.
+        // Cheap for the server (that is the point of bounding the queue),
+        // but the client's marshal + send is spent, and the retry path
+        // will probably bring the request straight back.
+        double wasted = 0.0;
+        if (marshal) {
+          serializer_.chargeSerialize(client, requestBytes);
+          wasted += serializer_.serializeMicros(requestBytes);
+        }
+        network_->chargeLostLeg(client, requestBytes, framingComponent);
+        wasted += network_->params().perMessageCpuMicros +
+                  network_->params().perByteCpuMicros *
+                      static_cast<double>(requestBytes);
+        out.latencyMicros += 2.0 * network_->params().oneWayLatencyMicros;
+        out.wastedCpuMicros += wasted;
+        ++out.timedOutLegs;
+        ++faultCounters_.queueRejections;
+        faultCounters_.wastedCpuMicros += wasted;
+        attemptSpan.setOutcome(sim::SpanOutcome::kQueueTimeout);
+        continue;
+      }
+      if (wait > attemptTimeout) {
+        // The client will give up before the server reaches the request —
+        // but the server can't know that: the request sits in the queue
+        // and is processed anyway. Work the cluster pays for that nobody
+        // receives; under retries this is the metastable-failure
+        // amplifier (every abandoned attempt deepens the very backlog
+        // that caused it).
+        double wasted = 0.0;
+        if (marshal) {
+          serializer_.chargeSerialize(client, requestBytes);
+          serializer_.chargeDeserialize(server, requestBytes);
+          wasted += serializer_.serializeMicros(requestBytes) +
+                    serializer_.deserializeMicros(requestBytes);
+        }
+        network_->transfer(client, server, requestBytes, framingComponent);
+        wasted += 2.0 * (network_->params().perMessageCpuMicros +
+                         network_->params().perByteCpuMicros *
+                             static_cast<double>(requestBytes));
+        out.latencyMicros += attemptTimeout;
+        out.wastedCpuMicros += wasted;
+        ++out.timedOutLegs;
+        ++faultCounters_.timeouts;
+        ++faultCounters_.queueTimeouts;
+        faultCounters_.wastedCpuMicros += wasted;
+        attemptSpan.setOutcome(sim::SpanOutcome::kQueueTimeout);
+        continue;
+      }
+      out.latencyMicros += wait;  // service starts after the backlog drains
     }
 
     if (marshal) serializer_.chargeSerialize(client, requestBytes);
@@ -149,7 +322,7 @@ PolicyCallResult Channel::callWithPolicy(
                   serializer_.deserializeMicros(requestBytes) +
                   serializer_.serializeMicros(responseBytes);
       }
-      out.latencyMicros += policy.timeoutMicros;
+      out.latencyMicros += attemptTimeout;
       out.wastedCpuMicros += wasted;
       ++out.timedOutLegs;
       ++faultCounters_.timeouts;
@@ -167,6 +340,74 @@ PolicyCallResult Channel::callWithPolicy(
   }
 
   ++faultCounters_.failedCalls;
+  return out;
+}
+
+double Channel::hedgeDelayMicros(sim::TierKind tier) const noexcept {
+  const util::Histogram& tracked =
+      hedgeLatency_[static_cast<std::size_t>(tier)];
+  if (tracked.count() < hedgePolicy_.minSamples) {
+    return hedgePolicy_.minHedgeDelayMicros;
+  }
+  return std::max(hedgePolicy_.minHedgeDelayMicros,
+                  tracked.quantile(hedgePolicy_.quantile));
+}
+
+void Channel::noteHedgeLatency(sim::TierKind tier,
+                               const PolicyCallResult& result) noexcept {
+  if (!result.ok) return;  // the tracker models healthy-call latency
+  hedgeLatency_[static_cast<std::size_t>(tier)].record(result.latencyMicros);
+}
+
+PolicyCallResult Channel::callHedged(
+    sim::Node& client, sim::Node& primary, sim::Node* backup,
+    std::uint64_t requestBytes, std::uint64_t responseBytes,
+    const CallPolicy& policy, bool marshal,
+    sim::CpuComponent framingComponent) noexcept {
+  if (!hedgingEnabled_ || backup == nullptr || backup == &primary ||
+      !backup->isUp()) {
+    const PolicyCallResult out =
+        callWithPolicy(client, primary, requestBytes, responseBytes, policy,
+                       marshal, framingComponent);
+    if (hedgingEnabled_) noteHedgeLatency(primary.tier(), out);
+    return out;
+  }
+
+  const double hedgeDelay = hedgeDelayMicros(primary.tier());
+  const PolicyCallResult first =
+      callWithPolicy(client, primary, requestBytes, responseBytes, policy,
+                     marshal, framingComponent);
+  noteHedgeLatency(primary.tier(), first);
+  if (first.ok && first.latencyMicros <= hedgeDelay) return first;
+
+  // The primary blew through the tracked quantile (or failed outright):
+  // fire one backup attempt at the replica. Whichever answer lands first
+  // wins; cancel-on-first-win can't unspend the loser's CPU, so both
+  // attempts stay billed — the hedge's cost is the price of the tail it
+  // shaves.
+  sim::SpanGuard hedgeSpan("rpc.hedge", backup->tier());
+  hedgeSpan.setOutcome(sim::SpanOutcome::kHedged);
+  ++faultCounters_.hedgesSent;
+  CallPolicy single = policy;
+  single.maxAttempts = 1;  // the hedge is the retry
+  const PolicyCallResult hedge =
+      callWithPolicy(client, *backup, requestBytes, responseBytes, single,
+                     marshal, framingComponent);
+  noteHedgeLatency(backup->tier(), hedge);
+
+  PolicyCallResult out = first;
+  out.attempts += hedge.attempts;
+  out.timedOutLegs += hedge.timedOutLegs;
+  out.wastedCpuMicros += hedge.wastedCpuMicros;
+  if (hedge.ok) {
+    const double viaHedge = hedgeDelay + hedge.latencyMicros;
+    if (!first.ok || viaHedge < first.latencyMicros) {
+      ++faultCounters_.hedgeWins;
+      out.ok = true;
+      out.latencyMicros =
+          first.ok ? std::min(first.latencyMicros, viaHedge) : viaHedge;
+    }
+  }
   return out;
 }
 

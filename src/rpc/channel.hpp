@@ -14,13 +14,15 @@
 // benches can price it.
 #pragma once
 
+#include <array>
 #include <cstdint>
-
 #include <string_view>
+#include <unordered_map>
 
 #include "rpc/serialization_model.hpp"
 #include "sim/network.hpp"
 #include "sim/node.hpp"
+#include "util/histogram.hpp"
 #include "util/rng.hpp"
 
 namespace dcache::obs {
@@ -49,6 +51,66 @@ struct CallPolicy {
   double backoffBaseMicros = 500.0;
   double backoffMaxMicros = 8000.0;
   double jitterFraction = 0.2;
+  /// Overall per-call budget (0 = unbounded, the legacy behaviour).
+  /// Attempt timeouts and backoff waits are clamped so the call's total
+  /// latency can never exceed it; a call that runs out of budget stops
+  /// retrying and fails, counted as budgetExhausted (distinct from the
+  /// per-attempt timeouts that ate the budget).
+  double deadlineMicros = 0.0;
+};
+
+/// Per-destination circuit-breaker tuning (enableBreakers).
+struct BreakerPolicy {
+  std::size_t windowSize = 20;     // sliding outcome window (<= 64)
+  std::size_t minSamples = 10;     // don't judge a destination on one call
+  double failureRateToOpen = 0.5;  // trip when failures/window reaches this
+  double openMicros = 50000.0;     // cool-down before the half-open probe
+};
+
+/// Hedged-request tuning (enableHedging). The hedge delay tracks the
+/// destination tier's observed latency quantile, floored while the tracker
+/// warms up.
+struct HedgePolicy {
+  double quantile = 0.99;
+  double minHedgeDelayMicros = 500.0;
+  std::uint64_t minSamples = 64;  // tracker warm-up before the quantile rules
+};
+
+/// Closed -> open -> half-open state machine over a sliding window of call
+/// outcomes to one destination. Deterministic: driven entirely by the sim
+/// clock its owner passes in. Standalone so the state-machine tests can
+/// step it directly.
+class CircuitBreaker {
+ public:
+  enum class State : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(BreakerPolicy policy = {}) noexcept
+      : policy_(policy) {}
+
+  /// May a call proceed now? Open short-circuits until the cool-down
+  /// elapses; then exactly one half-open probe is admitted at a time.
+  [[nodiscard]] bool allowRequest(double nowMicros) noexcept;
+  /// Outcome of an admitted call. A failing closed-state window trips the
+  /// breaker; the half-open probe's outcome closes or re-opens it.
+  void record(bool ok, double nowMicros) noexcept;
+
+  [[nodiscard]] State state() const noexcept { return state_; }
+  /// Total transitions into open (including probe-failure re-opens).
+  [[nodiscard]] std::uint64_t opens() const noexcept { return opens_; }
+  [[nodiscard]] const BreakerPolicy& policy() const noexcept {
+    return policy_;
+  }
+
+ private:
+  void trip(double nowMicros) noexcept;
+
+  BreakerPolicy policy_;
+  State state_ = State::kClosed;
+  double openUntilMicros_ = 0.0;
+  std::uint64_t window_ = 0;  // outcome bits, newest at bit 0 (1 = failure)
+  std::size_t samples_ = 0;
+  std::uint64_t opens_ = 0;
+  bool probeInFlight_ = false;
 };
 
 /// Per-call outcome of the policy path, for callers that need the anatomy
@@ -99,6 +161,20 @@ class Channel {
       sim::CpuComponent framingComponent =
           sim::CpuComponent::kRpcFraming) noexcept;
 
+  /// Hedged unary call for replicated destinations: run the primary; if it
+  /// fails — or takes longer than the tier's tracked latency quantile —
+  /// fire one backup attempt at `backup` and take whichever answer lands
+  /// first. Cancel-on-first-win cannot unspend CPU: both attempts stay
+  /// billed, and the hedge's cost is the price of the tail latency it
+  /// shaves. Falls back to a plain policy call when hedging is off or no
+  /// live backup exists.
+  PolicyCallResult callHedged(sim::Node& client, sim::Node& primary,
+                              sim::Node* backup, std::uint64_t requestBytes,
+                              std::uint64_t responseBytes,
+                              const CallPolicy& policy, bool marshal = true,
+                              sim::CpuComponent framingComponent =
+                                  sim::CpuComponent::kRpcFraming) noexcept;
+
   /// Convenience for typed messages exposing encodedSize().
   template <typename Request, typename Response>
   CallResult callTyped(sim::Node& client, sim::Node& server,
@@ -120,12 +196,59 @@ class Channel {
     return defaultPolicy_;
   }
 
+  /// Sim clock, fed by the deployment. Drives the queueing model's drain
+  /// and the breaker cool-downs; harmless (a single store) when neither is
+  /// in use.
+  void setNowMicros(std::uint64_t nowMicros) noexcept {
+    nowMicros_ = nowMicros;
+  }
+  [[nodiscard]] std::uint64_t nowMicros() const noexcept { return nowMicros_; }
+
+  /// Arm per-destination circuit breakers: calls to a destination whose
+  /// recent failure rate trips the window are short-circuited (fail fast,
+  /// no wire traffic) until a half-open probe succeeds. The short-circuited
+  /// caller still pays the request it already built — tripping is cheap,
+  /// not free.
+  void enableBreakers(BreakerPolicy policy) noexcept {
+    breakersEnabled_ = true;
+    breakerPolicy_ = policy;
+  }
+  [[nodiscard]] bool breakersEnabled() const noexcept {
+    return breakersEnabled_;
+  }
+  /// Breaker guarding `server` (null if none has been created yet).
+  [[nodiscard]] const CircuitBreaker* breakerFor(
+      const sim::Node& server) const noexcept {
+    const auto it = breakers_.find(&server);
+    return it == breakers_.end() ? nullptr : &it->second;
+  }
+
+  /// Arm hedged requests (callHedged falls back to callWithPolicy when
+  /// this is off).
+  void enableHedging(HedgePolicy policy) noexcept {
+    hedgingEnabled_ = true;
+    hedgePolicy_ = policy;
+  }
+  [[nodiscard]] bool hedgingEnabled() const noexcept {
+    return hedgingEnabled_;
+  }
+  /// Current hedge-fire threshold for a destination tier.
+  [[nodiscard]] double hedgeDelayMicros(sim::TierKind tier) const noexcept;
+
   /// Cumulative fault-path accounting (cleared by clearFaultCounters).
   struct FaultCounters {
     std::uint64_t retries = 0;      // extra attempts beyond the first
     std::uint64_t timeouts = 0;     // legs that waited out the timeout
     std::uint64_t failedCalls = 0;  // calls that exhausted their budget
     double wastedCpuMicros = 0.0;   // CPU spent on legs that never paid off
+    // Overload-path accounting (zero unless the defenses are armed).
+    std::uint64_t budgetExhausted = 0;  // calls stopped by deadlineMicros
+    std::uint64_t queueTimeouts = 0;    // attempts outwaited by the backlog
+    std::uint64_t queueRejections = 0;  // bounced off a full bounded queue
+    std::uint64_t breakerOpens = 0;     // transitions into open
+    std::uint64_t breakerShortCircuits = 0;  // calls failed fast while open
+    std::uint64_t hedgesSent = 0;  // backup attempts fired
+    std::uint64_t hedgeWins = 0;   // hedges whose answer landed first
   };
   [[nodiscard]] const FaultCounters& faultCounters() const noexcept {
     return faultCounters_;
@@ -144,9 +267,19 @@ class Channel {
                         std::uint64_t requestBytes,
                         std::uint64_t responseBytes, bool marshal,
                         sim::CpuComponent framingComponent) noexcept;
+  /// The retry loop behind callWithPolicy (which adds breaker admission
+  /// around it).
+  PolicyCallResult runAttempts(sim::Node& client, sim::Node& server,
+                               std::uint64_t requestBytes,
+                               std::uint64_t responseBytes,
+                               const CallPolicy& policy, bool marshal,
+                               sim::CpuComponent framingComponent) noexcept;
   /// Roll a leg drop from the seeded RNG (only consumed when the window's
   /// drop probability is non-zero, preserving determinism elsewhere).
   [[nodiscard]] bool legDropped() noexcept;
+  /// Feed the hedge-delay tracker (only when hedging is armed).
+  void noteHedgeLatency(sim::TierKind tier,
+                        const PolicyCallResult& result) noexcept;
 
   sim::NetworkModel* network_;
   SerializationModel serializer_;
@@ -155,6 +288,18 @@ class Channel {
   util::Pcg32 faultRng_{};
   CallPolicy defaultPolicy_{};
   FaultCounters faultCounters_{};
+  std::uint64_t nowMicros_ = 0;
+
+  bool breakersEnabled_ = false;
+  BreakerPolicy breakerPolicy_{};
+  std::unordered_map<const sim::Node*, CircuitBreaker> breakers_;
+
+  bool hedgingEnabled_ = false;
+  HedgePolicy hedgePolicy_{};
+  /// Observed ok-call latency per destination tier; its quantile is the
+  /// hedge-fire threshold.
+  std::array<util::Histogram, static_cast<std::size_t>(sim::TierKind::kCount)>
+      hedgeLatency_;
 };
 
 /// Thin metrics adapter: publish the channel's fault counters under

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <string>
 
+#include "sim/queue.hpp"
 #include "sim/resource.hpp"
 #include "sim/trace_hook.hpp"
 
@@ -42,8 +43,15 @@ class Node {
   /// CPU-conservation property tests pin down.
   void charge(CpuComponent component, double micros) noexcept {
     cpu_.charge(component, micros);
+    queue_.addWork(micros);
     if (TraceSink* sink = tlsTraceSink) sink->onCpuCharge(*this, component, micros);
   }
+
+  /// Capacity/queue model (overload subsystem). Disabled — zero backlog,
+  /// zero wait, one dead branch in charge() — unless the deployment
+  /// configures a finite capacity.
+  [[nodiscard]] NodeQueue& queue() noexcept { return queue_; }
+  [[nodiscard]] const NodeQueue& queue() const noexcept { return queue_; }
 
   /// Liveness, driven by the fault-injection subsystem (sim/fault.hpp). A
   /// down node cannot be reached over the network: RPCs to it time out at
@@ -51,13 +59,17 @@ class Node {
   /// whole timeline — but volatile state (caches) is the owner's job to
   /// drop on crash/restart.
   [[nodiscard]] bool isUp() const noexcept { return up_; }
-  void setUp(bool up) noexcept { up_ = up; }
+  void setUp(bool up) noexcept {
+    up_ = up;
+    if (!up) queue_.clear();  // the crashed process takes its run queue
+  }
 
  private:
   std::string name_;
   TierKind tier_;
   CpuMeter cpu_;
   MemMeter mem_;
+  NodeQueue queue_;
   bool up_ = true;
 };
 

@@ -1,0 +1,74 @@
+// Per-node capacity and queueing (the overload model). A node drains CPU
+// work at a finite rate — `capacityMicrosPerSec` microseconds of metered
+// CPU per simulated second — and everything Node::charge accounts lands in
+// a fluid backlog. A request arriving at a busy node therefore waits
+// backlog/rate before it is served, which is the queueing-delay half of its
+// latency; a backlog deeper than `maxWaitMicros` means the node's bounded
+// queue is full and new arrivals are rejected outright.
+//
+// The model is deliberately fluid (a scalar backlog in µs of work, drained
+// deterministically against the sim clock) rather than a discrete event
+// queue: it composes with the existing synchronous serve() loop, costs one
+// branch when disabled, and stays byte-for-byte deterministic. Capacity 0
+// disables the queue entirely — the legacy infinite-capacity behaviour, and
+// the default everywhere.
+#pragma once
+
+#include <cstdint>
+
+namespace dcache::sim {
+
+struct QueueParams {
+  /// Microseconds of CPU work the node can serve per simulated second.
+  /// 0 = unlimited (queue disabled; nothing is tracked or charged).
+  double capacityMicrosPerSec = 0.0;
+  /// Queue bound, expressed as the maximum queueing delay an arriving
+  /// request may face; a deeper backlog rejects new arrivals (load has to
+  /// go somewhere cheaper than an unbounded queue — that is the metastable
+  /// failure the defenses exist to contain).
+  double maxWaitMicros = 100000.0;
+};
+
+class NodeQueue {
+ public:
+  void configure(QueueParams params) noexcept { params_ = params; }
+  [[nodiscard]] bool enabled() const noexcept {
+    return params_.capacityMicrosPerSec > 0.0;
+  }
+  [[nodiscard]] const QueueParams& params() const noexcept { return params_; }
+
+  /// Drain the backlog against the sim clock (monotone; stale calls no-op).
+  void drainTo(std::uint64_t nowMicros) noexcept {
+    if (!enabled() || nowMicros <= lastDrainMicros_) return;
+    const double elapsedSec =
+        static_cast<double>(nowMicros - lastDrainMicros_) * 1e-6;
+    backlogMicros_ -= elapsedSec * params_.capacityMicrosPerSec;
+    if (backlogMicros_ < 0.0) backlogMicros_ = 0.0;
+    lastDrainMicros_ = nowMicros;
+  }
+
+  /// Enqueue work (fed by Node::charge, so the backlog sees exactly the
+  /// CPU the meters and the bill see).
+  void addWork(double micros) noexcept {
+    if (enabled()) backlogMicros_ += micros;
+  }
+
+  /// Queueing delay a request arriving now would face.
+  [[nodiscard]] double waitMicros() const noexcept {
+    return enabled() ? backlogMicros_ * 1e6 / params_.capacityMicrosPerSec
+                     : 0.0;
+  }
+  [[nodiscard]] double backlogMicros() const noexcept {
+    return backlogMicros_;
+  }
+
+  /// Drop the backlog (a crashed process takes its run queue with it).
+  void clear() noexcept { backlogMicros_ = 0.0; }
+
+ private:
+  QueueParams params_{};
+  double backlogMicros_ = 0.0;
+  std::uint64_t lastDrainMicros_ = 0;
+};
+
+}  // namespace dcache::sim

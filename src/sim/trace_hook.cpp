@@ -2,7 +2,7 @@
 
 namespace dcache::sim {
 
-thread_local TraceSink* tlsTraceSink = nullptr;
+thread_local constinit TraceSink* tlsTraceSink = nullptr;
 
 TraceSink::~TraceSink() = default;
 
@@ -16,6 +16,9 @@ std::string_view spanOutcomeName(SpanOutcome outcome) noexcept {
     case SpanOutcome::kDegraded: return "degraded";
     case SpanOutcome::kCoalesced: return "coalesced";
     case SpanOutcome::kFailed: return "failed";
+    case SpanOutcome::kShed: return "shed";
+    case SpanOutcome::kQueueTimeout: return "queue_timeout";
+    case SpanOutcome::kHedged: return "hedged";
     case SpanOutcome::kCount: break;
   }
   return "?";

@@ -33,6 +33,9 @@ enum class SpanOutcome : std::uint8_t {
   kDegraded,   // cache unreachable; request degraded to the storage path
   kCoalesced,  // miss joined an in-flight storage read (single-flight)
   kFailed,     // call exhausted its retry budget
+  kShed,          // admission control turned the request away at the door
+  kQueueTimeout,  // attempt abandoned: server queue deeper than the timeout
+  kHedged,        // backup attempt fired after the hedge delay
   kCount,
 };
 
@@ -59,7 +62,13 @@ class TraceSink {
 /// Per-thread active sink. Each matrix worker thread runs one deployment at
 /// a time, so a thread-local slot gives per-deployment tracing that stays
 /// byte-identical for any --jobs value.
-extern thread_local TraceSink* tlsTraceSink;
+///
+/// constinit matters here: it guarantees constant initialization at every
+/// use site, so the compiler emits a plain TLS load with no init-guard or
+/// wrapper call on the Node::charge hot path. (It also sidesteps a GCC 12
+/// -fsanitize=null false positive where the address-null check after the
+/// guard branch reads stale flags — a `je` right after a flagless `lea`.)
+extern thread_local constinit TraceSink* tlsTraceSink;
 
 [[nodiscard]] inline TraceSink* activeTraceSink() noexcept {
   return tlsTraceSink;

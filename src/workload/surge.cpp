@@ -1,0 +1,50 @@
+#include "workload/surge.hpp"
+
+namespace dcache::workload {
+
+namespace {
+const SurgePhase kSteadyForever{};
+}  // namespace
+
+SurgeWorkload::SurgeWorkload(SyntheticConfig base,
+                             std::vector<SurgePhase> phases,
+                             std::uint64_t redirectSeed)
+    : base_(base),
+      phases_(std::move(phases)),
+      redirectRng_(redirectSeed, 7) {
+  std::uint64_t end = 0;
+  phaseEnds_.reserve(phases_.size());
+  for (const SurgePhase& phase : phases_) {
+    end += phase.ops;
+    phaseEnds_.push_back(end);
+  }
+}
+
+const SurgePhase& SurgeWorkload::phaseAt(std::uint64_t opIndex) const {
+  if (phases_.empty()) return kSteadyForever;
+  for (std::size_t i = 0; i < phaseEnds_.size(); ++i) {
+    if (opIndex < phaseEnds_[i]) return phases_[i];
+  }
+  return phases_.back();
+}
+
+Op SurgeWorkload::next() {
+  const SurgePhase& phase = phaseAt(opIndex_);
+  ++opIndex_;
+  Op op = base_.next();
+  // The redirect RNG is only consumed inside hot-key phases, so a schedule
+  // without them replays the base workload byte-for-byte.
+  if (phase.hotKeyFraction > 0.0 && op.isRead() &&
+      util::uniform01(redirectRng_) < phase.hotKeyFraction) {
+    op.keyIndex = phase.hotKey;
+    op.valueSize = base_.valueSizeFor(phase.hotKey);
+  }
+  return op;
+}
+
+std::string SurgeWorkload::name() const {
+  return "surge[" + base_.name() + "," + std::to_string(phases_.size()) +
+         " phases]";
+}
+
+}  // namespace dcache::workload

@@ -1,0 +1,61 @@
+// Surge workload for the overload bench: a SyntheticWorkload wrapped in a
+// phase schedule. Each phase scales the offered arrival rate (the bench
+// paces the sim clock by the phase's QPS multiplier) and can concentrate a
+// fraction of reads onto one hot key — the single-key Zipf spike of a
+// celebrity object or a viral cache entry, the skew regime load-balancing
+// caches are built for. Phases with no hot-key fraction draw nothing from
+// the redirection RNG, so a schedule of all-steady phases emits the exact
+// byte-identical op stream of the underlying SyntheticWorkload.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/synthetic.hpp"
+
+namespace dcache::workload {
+
+struct SurgePhase {
+  std::uint64_t ops = 0;        // phase length in operations
+  double qpsMultiplier = 1.0;   // arrival-rate scale vs the steady baseline
+  double hotKeyFraction = 0.0;  // fraction of reads redirected to hotKey
+  std::uint64_t hotKey = 0;
+  const char* name = "steady";
+};
+
+class SurgeWorkload final : public Workload {
+ public:
+  SurgeWorkload(SyntheticConfig base, std::vector<SurgePhase> phases,
+                std::uint64_t redirectSeed);
+
+  [[nodiscard]] Op next() override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::uint64_t keyCount() const override {
+    return base_.keyCount();
+  }
+  [[nodiscard]] std::uint64_t valueSizeFor(
+      std::uint64_t keyIndex) const override {
+    return base_.valueSizeFor(keyIndex);
+  }
+  [[nodiscard]] double readFraction() const override {
+    return base_.readFraction();
+  }
+
+  /// Phase governing op number `opIndex` (ops past the schedule get the
+  /// last phase; an empty schedule acts as one endless steady phase).
+  [[nodiscard]] const SurgePhase& phaseAt(std::uint64_t opIndex) const;
+  /// Phase the next() call will draw from.
+  [[nodiscard]] const SurgePhase& currentPhase() const {
+    return phaseAt(opIndex_);
+  }
+  [[nodiscard]] std::uint64_t opsEmitted() const noexcept { return opIndex_; }
+
+ private:
+  SyntheticWorkload base_;
+  std::vector<SurgePhase> phases_;
+  std::vector<std::uint64_t> phaseEnds_;  // cumulative op boundaries
+  std::uint64_t opIndex_ = 0;
+  util::Pcg32 redirectRng_;
+};
+
+}  // namespace dcache::workload

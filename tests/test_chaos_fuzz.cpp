@@ -1,0 +1,251 @@
+// Chaos fuzzing: ~50 seeded random combinations of fault schedules
+// (crashes, restarts, degraded-network windows) and overload regimes
+// (finite capacities, surging arrival rates, shedding / breakers / hedging
+// / deadline budgets toggled at random) thrown at random architectures.
+// Every combination must uphold the simulator's core invariants:
+//
+//   * counter conservation — ops in equals ops accounted, reads decompose
+//     into hit + miss + shed exactly;
+//   * CPU conservation — at trace-sample 1 the traced CPU equals the tier
+//     meters (every charge flows through the one Node::charge funnel, no
+//     matter which defense or failure path spent it);
+//   * no negative or impossible meters;
+//   * bit-for-bit determinism — the same seed yields the same counters and
+//     the same metered total on every run, whether the cells execute on
+//     one worker thread or eight (the --jobs contract of every bench).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/deployment.hpp"
+#include "obs/trace.hpp"
+#include "sim/fault.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/synthetic.hpp"
+
+namespace dcache {
+namespace {
+
+constexpr int kTrials = 50;
+constexpr std::uint64_t kWarmupOps = 500;
+constexpr std::uint64_t kMeasuredOps = 2500;
+constexpr double kQps = 120000.0;
+
+struct ChaosOutcome {
+  core::Architecture architecture = core::Architecture::kBase;
+  core::ServeCounters counters;
+  double meteredTotal = 0.0;
+  double tracedTotal = 0.0;
+  bool overloadEnabled = false;
+  bool shedEnabled = false;
+};
+
+[[nodiscard]] double uniform(util::Pcg32& rng, double lo, double hi) {
+  return lo + (hi - lo) * util::uniform01(rng);
+}
+
+/// One fully random scenario, deterministic in `seed`. All randomness is
+/// drawn up front from the seed's own Pcg32 stream, so a trial replays
+/// bit-for-bit regardless of which thread runs it.
+ChaosOutcome runChaosTrial(std::uint64_t seed) {
+  util::Pcg32 rng(seed, 0xc0ffee);
+
+  constexpr core::Architecture kArchs[] = {
+      core::Architecture::kBase, core::Architecture::kRemote,
+      core::Architecture::kLinked, core::Architecture::kLinkedVersion};
+  const core::Architecture arch = kArchs[rng.nextBounded(4)];
+
+  core::DeploymentConfig config;
+  config.architecture = arch;
+  config.faultSeed = seed * 2654435761u + 17;
+  config.trace.sampleEvery = 1;  // full sampling: conservation is exact
+  config.trace.seed = seed + 5;
+
+  ChaosOutcome outcome;
+  outcome.architecture = arch;
+  // Roll the overload regime: about half the trials run with finite
+  // capacity, and each defense toggles independently.
+  if (rng.nextBounded(2) == 0) {
+    // Loose to brutally tight: 4000 µs/s per app node is far below any
+    // architecture's steady demand at this pace, so deep saturation,
+    // rejection storms and recovery all get exercised across trials.
+    config.overload.appCapacityMicrosPerSec = uniform(rng, 4000.0, 400000.0);
+    config.overload.maxQueueWaitMicros = uniform(rng, 2000.0, 50000.0);
+  }
+  if (rng.nextBounded(2) == 0) {
+    config.overload.shed.enabled = true;
+    config.overload.shed.targetDelayMicros = uniform(rng, 200.0, 3000.0);
+    config.overload.shed.graceMicros = uniform(rng, 0.0, 3000.0);
+    config.overload.shed.rampMicros = uniform(rng, 500.0, 5000.0);
+  }
+  if (rng.nextBounded(2) == 0) config.overload.breakersEnabled = true;
+  if (rng.nextBounded(2) == 0) config.overload.hedgingEnabled = true;
+  if (rng.nextBounded(2) == 0) {
+    config.rpcPolicy.deadlineMicros = uniform(rng, 1000.0, 10000.0);
+  }
+  outcome.overloadEnabled = config.overload.enabled();
+  outcome.shedEnabled = config.overload.shed.enabled;
+
+  core::Deployment deployment(config);
+  workload::SyntheticConfig synthetic;
+  synthetic.seed = seed + 1000;
+  workload::SyntheticWorkload workload{synthetic};
+  deployment.populateKv(workload);
+
+  // Random arrival-rate schedule: a handful of phases, each pacing the sim
+  // clock at 0.5x..8x the base rate — surges and lulls in one stream.
+  std::array<double, 4> multipliers{};
+  for (double& m : multipliers) m = uniform(rng, 0.5, 8.0);
+
+  // Random fault schedule over the measured window: up to 2 crash/restart
+  // pairs on random tiers plus up to 1 degraded-network window.
+  const double horizonMicros =
+      static_cast<double>(kWarmupOps + kMeasuredOps) * (1e6 / kQps);
+  sim::FaultSchedule faults;
+  constexpr sim::TierKind kCrashable[] = {
+      sim::TierKind::kAppServer, sim::TierKind::kRemoteCache,
+      sim::TierKind::kSqlFrontend, sim::TierKind::kKvStorage};
+  const std::uint32_t crashes = rng.nextBounded(3);
+  for (std::uint32_t i = 0; i < crashes; ++i) {
+    const sim::TierKind tier = kCrashable[rng.nextBounded(4)];
+    const std::size_t node = rng.nextBounded(3);
+    const double down = uniform(rng, 0.0, horizonMicros * 0.8);
+    faults.crashNode(static_cast<std::uint64_t>(down), tier, node);
+    faults.restartNode(
+        static_cast<std::uint64_t>(
+            uniform(rng, down, down + horizonMicros * 0.2)),
+        tier, node);
+  }
+  if (rng.nextBounded(2) == 0) {
+    const double start = uniform(rng, 0.0, horizonMicros * 0.7);
+    faults.degradeNetwork(
+        static_cast<std::uint64_t>(start),
+        static_cast<std::uint64_t>(
+            uniform(rng, start, start + horizonMicros * 0.3)),
+        uniform(rng, 1.0, 4.0), uniform(rng, 0.0, 0.05));
+  }
+  deployment.installFaultSchedule(std::move(faults));
+
+  double simMicros = 0.0;
+  std::uint64_t opIndex = 0;
+  auto serveOne = [&] {
+    deployment.setSimTimeMicros(static_cast<std::uint64_t>(simMicros));
+    const double multiplier =
+        multipliers[(opIndex / 700) % multipliers.size()];
+    simMicros += 1e6 / (kQps * multiplier);
+    ++opIndex;
+    deployment.serve(workload.next());
+  };
+  for (std::uint64_t i = 0; i < kWarmupOps; ++i) serveOne();
+  deployment.clearMeters();
+  for (std::uint64_t i = 0; i < kMeasuredOps; ++i) serveOne();
+
+  outcome.counters = deployment.counters();
+  for (const sim::Tier* tier : deployment.tiers()) {
+    outcome.meteredTotal += tier->aggregateCpu().totalMicros();
+  }
+  EXPECT_NE(deployment.tracer(), nullptr);
+  outcome.tracedTotal = deployment.tracer()->summary().cpuMicrosTotal;
+  return outcome;
+}
+
+[[nodiscard]] double tolerance(double reference) {
+  return 1e-6 * std::max(1.0, reference);
+}
+
+void checkInvariants(const ChaosOutcome& outcome, std::uint64_t seed) {
+  SCOPED_TRACE("seed " + std::to_string(seed));
+  const core::ServeCounters& c = outcome.counters;
+
+  // Ops in == ops accounted.
+  EXPECT_EQ(c.reads + c.writes, kMeasuredOps);
+
+  // Reads decompose exactly: every read either probed a cache (hit or
+  // miss) or was shed at admission; Base has no cache, so every non-shed
+  // read is exactly one storage round trip.
+  if (outcome.architecture == core::Architecture::kBase) {
+    EXPECT_EQ(c.cacheHits + c.cacheMisses, 0u);
+    EXPECT_EQ(c.storageReads, c.reads - c.sheddedRequests);
+  } else {
+    EXPECT_EQ(c.cacheHits + c.cacheMisses + c.sheddedRequests, c.reads);
+  }
+  EXPECT_LE(c.sheddedRequests, c.reads);
+  if (!outcome.shedEnabled) EXPECT_EQ(c.sheddedRequests, 0u);
+
+  // No impossible meters.
+  EXPECT_GE(outcome.meteredTotal, 0.0);
+  EXPECT_GE(c.wastedCpuMicros, 0.0);
+  EXPECT_LE(c.wastedCpuMicros,
+            outcome.meteredTotal + tolerance(outcome.meteredTotal));
+  EXPECT_LE(c.hedgeWins, c.hedgesSent);
+  if (!outcome.overloadEnabled) {
+    EXPECT_EQ(c.queueTimeouts + c.queueRejections + c.breakerOpens +
+                  c.breakerShortCircuits + c.hedgesSent,
+              0u);
+  }
+
+  // CPU conservation at full sampling: the trace saw every charge the
+  // meters saw — shed triage, wasted retry legs, hedge attempts and all.
+  EXPECT_NEAR(outcome.tracedTotal, outcome.meteredTotal,
+              tolerance(outcome.meteredTotal));
+}
+
+TEST(ChaosFuzz, InvariantsHoldAcrossRandomFaultAndOverloadSchedules) {
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto seed = static_cast<std::uint64_t>(9000 + trial);
+    checkInvariants(runChaosTrial(seed), seed);
+  }
+}
+
+TEST(ChaosFuzz, SameSeedReplaysBitForBit) {
+  for (std::uint64_t seed : {9001ull, 9017ull, 9042ull}) {
+    const ChaosOutcome a = runChaosTrial(seed);
+    const ChaosOutcome b = runChaosTrial(seed);
+    EXPECT_EQ(a.counters.reads, b.counters.reads);
+    EXPECT_EQ(a.counters.cacheHits, b.counters.cacheHits);
+    EXPECT_EQ(a.counters.sheddedRequests, b.counters.sheddedRequests);
+    EXPECT_EQ(a.counters.retries, b.counters.retries);
+    EXPECT_EQ(a.counters.queueTimeouts, b.counters.queueTimeouts);
+    EXPECT_EQ(a.counters.hedgesSent, b.counters.hedgesSent);
+    EXPECT_EQ(a.counters.budgetExhausted, b.counters.budgetExhausted);
+    // Exact double equality: determinism means bit-for-bit, not "close".
+    EXPECT_EQ(a.meteredTotal, b.meteredTotal);
+    EXPECT_EQ(a.tracedTotal, b.tracedTotal);
+  }
+}
+
+TEST(ChaosFuzz, ResultsIdenticalAcrossWorkerCounts) {
+  // The --jobs contract, at unit scale: mapOrdered over chaos trials must
+  // produce identical outcomes on 1 worker and on 8.
+  constexpr std::size_t kCells = 8;
+  auto runAll = [&](std::size_t jobs) {
+    util::ThreadPool pool(jobs);
+    auto results = util::mapOrdered(pool, kCells, [&](std::size_t i) {
+      return runChaosTrial(7000 + static_cast<std::uint64_t>(i));
+    });
+    pool.wait();
+    return results;
+  };
+  const std::vector<ChaosOutcome> serial = runAll(1);
+  const std::vector<ChaosOutcome> parallel = runAll(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE("cell " + std::to_string(i));
+    EXPECT_EQ(serial[i].counters.reads, parallel[i].counters.reads);
+    EXPECT_EQ(serial[i].counters.writes, parallel[i].counters.writes);
+    EXPECT_EQ(serial[i].counters.cacheHits, parallel[i].counters.cacheHits);
+    EXPECT_EQ(serial[i].counters.sheddedRequests,
+              parallel[i].counters.sheddedRequests);
+    EXPECT_EQ(serial[i].counters.retries, parallel[i].counters.retries);
+    EXPECT_EQ(serial[i].counters.queueTimeouts,
+              parallel[i].counters.queueTimeouts);
+    EXPECT_EQ(serial[i].meteredTotal, parallel[i].meteredTotal);
+    EXPECT_EQ(serial[i].tracedTotal, parallel[i].tracedTotal);
+  }
+}
+
+}  // namespace
+}  // namespace dcache

@@ -34,7 +34,18 @@ if ! diff -q "$BUILD_DIR/fig9_j1.txt" "$BUILD_DIR/fig9_j8.txt" > /dev/null; then
   exit 1
 fi
 
-echo "check.sh: all tests, the parallel benches, and the fig9 determinism gate passed under ASan/UBSan"
+# The overload bench exercises the queueing model, load shedding, circuit
+# breakers, hedged requests and deadline budgets under the sanitizers, with
+# the same byte-identical --jobs contract.
+"$BUILD_DIR/bench/fig10_overload" --jobs 1 > "$BUILD_DIR/fig10_j1.txt"
+"$BUILD_DIR/bench/fig10_overload" --jobs 8 > "$BUILD_DIR/fig10_j8.txt"
+if ! diff -q "$BUILD_DIR/fig10_j1.txt" "$BUILD_DIR/fig10_j8.txt" > /dev/null; then
+  echo "check.sh: fig10_overload output differs between --jobs 1 and --jobs 8" >&2
+  diff "$BUILD_DIR/fig10_j1.txt" "$BUILD_DIR/fig10_j8.txt" >&2 || true
+  exit 1
+fi
+
+echo "check.sh: all tests, the parallel benches, and the fig9/fig10 determinism gates passed under ASan/UBSan"
 
 # ThreadSanitizer lane: TSan cannot be combined with ASan, so it gets its
 # own build tree and runs only the tests labeled `tsan` — the ones that

@@ -24,5 +24,6 @@ record fig4_synthetic fig4_synthetic.txt
 record fig6_breakdown fig6_breakdown.txt
 record fig8_delayed_writes fig8_delayed_writes.txt
 record fig6_breakdown fig6_breakdown_traced.txt --trace-sample 500 --trace-keep 1
+record fig10_overload fig10_overload.txt
 
 echo "goldens updated under $GOLDEN_DIR (DCACHE_GOLDEN_OPS=$DCACHE_GOLDEN_OPS)"
