@@ -1,3 +1,4 @@
+// dcache-lint: allow-file(bench-hygiene, Google-Benchmark microbench — stdout carries wall-clock timings and can never be byte-deterministic, so it is excluded from the determinism diff and golden gates)
 // Micro-benchmarks for the cache library: per-operation costs of the
 // eviction policies, sharding, consistent hashing, Zipf sampling and the
 // Mattson profiler — the structures every simulated request crosses.

@@ -1,3 +1,4 @@
+// dcache-lint: allow-file(bench-hygiene, Google-Benchmark microbench — stdout carries wall-clock timings and can never be byte-deterministic, so it is excluded from the determinism diff and golden gates)
 // Micro-benchmarks for the real wire codec. These calibrate (and verify)
 // the serialization cost model: encode and decode must be linear in payload
 // bytes with a small per-message constant — the assumption the experiment

@@ -1,3 +1,4 @@
+// dcache-lint: allow-file(bench-hygiene, Google-Benchmark microbench — stdout carries wall-clock timings and can never be byte-deterministic, so it is excluded from the determinism diff and golden gates)
 // Micro-benchmarks for the storage engine: SQL parse/plan, end-to-end
 // statement execution, raw KV engine operations and the row codec. The
 // parse/plan numbers here are the *host* cost of our mini engine; the

@@ -60,6 +60,7 @@ void TtlCache::clear() {
 
 std::size_t TtlCache::sweep(std::uint64_t nowMicros) {
   std::size_t reclaimed = 0;
+  // dcache-lint: allow(unordered-iter, erase-only sweep — every entry is tested independently and the expiration count is a commutative sum; no output or eviction order depends on visit order)
   for (auto it = deadline_.begin(); it != deadline_.end();) {
     if (inner_->peek(it->first) == nullptr) {
       // Evicted by the inner policy: prune, but this is not an expiration.
@@ -77,6 +78,7 @@ std::size_t TtlCache::sweep(std::uint64_t nowMicros) {
 }
 
 void TtlCache::dropStaleDeadlines() {
+  // dcache-lint: allow(unordered-iter, erase-only reconciliation against the inner policy; per-entry predicate with no cross-entry state, so visit order cannot affect the result)
   for (auto it = deadline_.begin(); it != deadline_.end();) {
     if (inner_->peek(it->first) == nullptr) {
       it = deadline_.erase(it);

@@ -255,6 +255,7 @@ void Deployment::maybeSweepFillTimes() {
     fillTimes_.clear();
     return;
   }
+  // dcache-lint: allow(unordered-iter, erase-only sweep dropping fill times whose key left the resharded ring; per-entry predicate, order cannot leak into serving or accounting)
   for (auto it = fillTimes_.begin(); it != fillTimes_.end();) {
     const std::size_t owner = linked_->ownerOf(it->first);
     if (linked_->shard(owner).peek(it->first) == nullptr) {
@@ -690,6 +691,7 @@ void Deployment::syncFaultCounters() noexcept {
 
 void Deployment::pruneInflight() {
   if (inflight_.size() < 4096) return;
+  // dcache-lint: allow(unordered-iter, erase-only expiry of single-flight entries; each entry is judged against the sim clock alone, so visit order is immaterial)
   for (auto it = inflight_.begin(); it != inflight_.end();) {
     if (it->second <= simNowMicros_) {
       it = inflight_.erase(it);

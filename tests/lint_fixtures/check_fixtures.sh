@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Fixture self-test for dcache_lint: run the checker over the seeded
+# violation tree (tree/) and assert
+#   (a) the exact findings — rule id, file, line, message — against
+#       expected.json, and
+#   (b) that the JSON report is byte-stable across runs.
+#
+# Usage: check_fixtures.sh <dcache_lint-binary> <fixture-dir>
+set -euo pipefail
+
+LINT="$1"
+FIXTURES="$2"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# The tree is deliberately red: expect exit 1 (0 would mean the rules went
+# blind; 2 would mean the walker or CLI broke).
+status=0
+"$LINT" --root "$FIXTURES/tree" --quiet --json "$TMP/run1.json" || status=$?
+if [[ "$status" -ne 1 ]]; then
+  echo "check_fixtures.sh: expected exit 1 on the seeded tree, got $status" >&2
+  exit 1
+fi
+
+status=0
+"$LINT" --root "$FIXTURES/tree" --quiet --json "$TMP/run2.json" || status=$?
+if [[ "$status" -ne 1 ]]; then
+  echo "check_fixtures.sh: expected exit 1 on the second run, got $status" >&2
+  exit 1
+fi
+
+if ! cmp -s "$TMP/run1.json" "$TMP/run2.json"; then
+  echo "check_fixtures.sh: JSON report is not byte-stable across runs" >&2
+  diff "$TMP/run1.json" "$TMP/run2.json" >&2 || true
+  exit 1
+fi
+
+if ! diff -u "$FIXTURES/expected.json" "$TMP/run1.json"; then
+  echo "check_fixtures.sh: findings diverge from expected.json (above)" >&2
+  exit 1
+fi
+
+echo "check_fixtures.sh: all seeded violations detected; JSON byte-stable"

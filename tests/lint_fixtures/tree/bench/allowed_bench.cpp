@@ -1,0 +1,7 @@
+// dcache-lint: allow-file(bench-hygiene, wall-clock microbench fixture — its stdout carries timings and cannot be byte-deterministic)
+#include <cstdio>
+
+int main() {
+  std::puts("allowed");
+  return 0;
+}

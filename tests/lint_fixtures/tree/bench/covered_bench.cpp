@@ -1,0 +1,8 @@
+// Fixture bench registered in tools/check.sh's determinism diff and
+// covered by tests/golden/covered_bench.txt — clean.
+#include <cstdio>
+
+int main() {
+  std::puts("covered");
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Fixture bench deliberately missing from tools/check.sh and from
+// tests/golden/ — the bench-hygiene rule must flag it at line 1.
+#include <cstdio>
+
+int main() {
+  std::puts("orphan");
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Seeded violations for the `charge-funnel` rule: direct meter charges
+// (member and parameter receivers) and raw cpuMicros mutation.
+#include <cstdint>
+
+struct CpuMeter {
+  void charge(double micros) { usedMicros_ += micros; }
+  double usedMicros_ = 0;
+};
+
+struct Span {
+  double cpuMicros = 0;
+};
+
+struct RogueNode {
+  CpuMeter cpu_;
+  Span span_;
+
+  void serveDirect(double micros) {
+    cpu_.charge(micros);
+    span_.cpuMicros += micros;
+  }
+};
+
+void chargeParam(CpuMeter& meter, double micros) {
+  meter.charge(micros);
+}

@@ -1,0 +1,16 @@
+// Clean counterpart: cost flows through the node's charge() funnel — the
+// receiver is a node, not a meter — and cpuMicros is only read.
+#include <cstdint>
+
+struct FunnelNode {
+  void charge(double micros) { totalMicros_ += micros; }
+  double totalMicros_ = 0;
+};
+
+void serveThroughFunnel(FunnelNode& node, double micros) {
+  node.charge(micros);
+}
+
+double doubleSpanCost(double cpuMicros) {
+  return cpuMicros * 2.0;
+}

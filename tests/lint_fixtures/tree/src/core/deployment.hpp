@@ -1,0 +1,14 @@
+// Fixture ServeCounters: reads/hits are fully registered; ghostReads is
+// deliberately missing from the report adapter and the conservation test.
+#pragma once
+#include <cstdint>
+
+namespace core {
+
+struct ServeCounters {
+  uint64_t reads = 0;
+  uint64_t hits = 0;
+  uint64_t ghostReads = 0;
+};
+
+}  // namespace core

@@ -1,0 +1,20 @@
+// Fixture metrics adapter: exports reads and hits (identifier read plus
+// snake_case metric key) but never mentions ghostReads.
+#include "deployment.hpp"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace core {
+
+std::vector<std::pair<std::string, uint64_t>> exportExperimentMetrics(
+    const ServeCounters& c) {
+  return {
+      {"reads", c.reads},
+      {"hits", c.hits},
+  };
+}
+
+}  // namespace core

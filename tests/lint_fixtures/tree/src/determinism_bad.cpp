@@ -1,0 +1,28 @@
+// Seeded violations for the `determinism` rule: every banned entropy and
+// wall-clock source, one per function.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int entropySeed() {
+  std::random_device rd;
+  return static_cast<int>(rd.entropy());
+}
+
+int stdEngine() {
+  std::mt19937 gen(42);
+  return static_cast<int>(gen());
+}
+
+long wallClock() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+long wallClockSeed() {
+  return time(nullptr);
+}
+
+int cRand() {
+  return rand();
+}

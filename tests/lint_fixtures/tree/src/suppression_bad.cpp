@@ -1,0 +1,15 @@
+// Seeded violations for the `suppression` audit: malformed directive,
+// unknown rule, missing reason, and a stale allow.
+#include <cstdint>
+
+// dcache-lint: allow me to skip this check
+uint64_t one() { return 1; }
+
+// dcache-lint: allow(no-such-rule, the rule id is misspelled)
+uint64_t two() { return 2; }
+
+// dcache-lint: allow(determinism)
+uint64_t three() { return 3; }
+
+// dcache-lint: allow(unordered-iter, nothing here iterates anything)
+uint64_t four() { return 4; }

@@ -1,0 +1,35 @@
+// Seeded violations for the `unordered-iter` rule: a range-for, an
+// iterator sweep, and a range-for through a `using` alias.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+using LoadMap = std::unordered_map<uint64_t, uint64_t>;
+
+struct HotSet {
+  std::unordered_map<uint64_t, uint64_t> hitsByKey_;
+  std::unordered_set<uint64_t> hotKeys_;
+  LoadMap loadByShard_;
+
+  uint64_t total() const {
+    uint64_t sum = 0;
+    for (const auto& kv : hitsByKey_) {
+      sum += kv.second;
+    }
+    return sum;
+  }
+
+  void expire() {
+    for (auto it = hotKeys_.begin(); it != hotKeys_.end();) {
+      it = hotKeys_.erase(it);
+    }
+  }
+
+  uint64_t maxShardLoad() const {
+    uint64_t best = 0;
+    for (const auto& kv : loadByShard_) {
+      if (kv.second > best) best = kv.second;
+    }
+    return best;
+  }
+};

@@ -1,0 +1,22 @@
+// Clean counterpart: the unordered map is only sized, never iterated; the
+// loop walks an ordered std::map, so no annotation is needed.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+struct SortedReport {
+  std::unordered_map<uint64_t, uint64_t> countsByKey_;
+  std::map<uint64_t, uint64_t> orderedCounts_;
+
+  std::vector<uint64_t> orderedKeys() const {
+    std::vector<uint64_t> keys;
+    keys.reserve(countsByKey_.size());
+    for (const auto& kv : orderedCounts_) {
+      keys.push_back(kv.first);
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+};

@@ -1,0 +1,8 @@
+// Fixture conservation test: compares reads and hits field by field but
+// never touches ghostReads.
+#include "../src/core/deployment.hpp"
+
+bool countersEqual(const core::ServeCounters& a,
+                   const core::ServeCounters& b) {
+  return a.reads == b.reads && a.hits == b.hits;
+}

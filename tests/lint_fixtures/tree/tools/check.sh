@@ -1,0 +1,6 @@
+#!/usr/bin/env bash
+# Fixture CI gate: only covered_bench participates in the determinism diff.
+set -euo pipefail
+build/bench/covered_bench --jobs 1 > j1.txt
+build/bench/covered_bench --jobs 8 > j8.txt
+diff j1.txt j8.txt

@@ -156,6 +156,40 @@ ChaosOutcome runChaosTrial(std::uint64_t seed) {
   return 1e-6 * std::max(1.0, reference);
 }
 
+/// Field-complete determinism check: every ServeCounters field must replay
+/// bit-for-bit. Listing each field here (rather than memcmp) keeps the
+/// assertion readable *and* is what the dcache-lint counter-registration
+/// rule pins: a new counter that is not added to this conservation test
+/// fails the lint lane.
+void expectCountersEqual(const core::ServeCounters& a,
+                         const core::ServeCounters& b) {
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.writes, b.writes);
+  EXPECT_EQ(a.cacheHits, b.cacheHits);
+  EXPECT_EQ(a.cacheMisses, b.cacheMisses);
+  EXPECT_EQ(a.versionChecks, b.versionChecks);
+  EXPECT_EQ(a.versionMismatches, b.versionMismatches);
+  EXPECT_EQ(a.statementsIssued, b.statementsIssued);
+  EXPECT_EQ(a.ttlExpirations, b.ttlExpirations);
+  EXPECT_EQ(a.storageReads, b.storageReads);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.timeouts, b.timeouts);
+  EXPECT_EQ(a.failedCalls, b.failedCalls);
+  EXPECT_EQ(a.degradedReads, b.degradedReads);
+  EXPECT_EQ(a.coalescedMisses, b.coalescedMisses);
+  // Exact double equality: determinism means bit-for-bit, not "close".
+  EXPECT_EQ(a.wastedCpuMicros, b.wastedCpuMicros);
+  EXPECT_EQ(a.sheddedRequests, b.sheddedRequests);
+  EXPECT_EQ(a.queueTimeouts, b.queueTimeouts);
+  EXPECT_EQ(a.queueRejections, b.queueRejections);
+  EXPECT_EQ(a.breakerOpens, b.breakerOpens);
+  EXPECT_EQ(a.breakerShortCircuits, b.breakerShortCircuits);
+  EXPECT_EQ(a.hedgesSent, b.hedgesSent);
+  EXPECT_EQ(a.hedgeWins, b.hedgeWins);
+  EXPECT_EQ(a.budgetExhausted, b.budgetExhausted);
+  EXPECT_EQ(a.failedOps, b.failedOps);
+}
+
 void checkInvariants(const ChaosOutcome& outcome, std::uint64_t seed) {
   SCOPED_TRACE("seed " + std::to_string(seed));
   const core::ServeCounters& c = outcome.counters;
@@ -174,6 +208,13 @@ void checkInvariants(const ChaosOutcome& outcome, std::uint64_t seed) {
   }
   EXPECT_LE(c.sheddedRequests, c.reads);
   if (!outcome.shedEnabled) EXPECT_EQ(c.sheddedRequests, 0u);
+
+  // Weak conservation bounds on the remaining counters: mismatches are a
+  // subset of checks, client-visible failures are a subset of ops, and
+  // single-flight coalescing only ever joins read-path misses.
+  EXPECT_LE(c.versionMismatches, c.versionChecks);
+  EXPECT_LE(c.failedOps, c.reads + c.writes);
+  EXPECT_LE(c.coalescedMisses, c.reads);
 
   // No impossible meters.
   EXPECT_GE(outcome.meteredTotal, 0.0);
@@ -204,13 +245,8 @@ TEST(ChaosFuzz, SameSeedReplaysBitForBit) {
   for (std::uint64_t seed : {9001ull, 9017ull, 9042ull}) {
     const ChaosOutcome a = runChaosTrial(seed);
     const ChaosOutcome b = runChaosTrial(seed);
-    EXPECT_EQ(a.counters.reads, b.counters.reads);
-    EXPECT_EQ(a.counters.cacheHits, b.counters.cacheHits);
-    EXPECT_EQ(a.counters.sheddedRequests, b.counters.sheddedRequests);
-    EXPECT_EQ(a.counters.retries, b.counters.retries);
-    EXPECT_EQ(a.counters.queueTimeouts, b.counters.queueTimeouts);
-    EXPECT_EQ(a.counters.hedgesSent, b.counters.hedgesSent);
-    EXPECT_EQ(a.counters.budgetExhausted, b.counters.budgetExhausted);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    expectCountersEqual(a.counters, b.counters);
     // Exact double equality: determinism means bit-for-bit, not "close".
     EXPECT_EQ(a.meteredTotal, b.meteredTotal);
     EXPECT_EQ(a.tracedTotal, b.tracedTotal);
@@ -234,14 +270,7 @@ TEST(ChaosFuzz, ResultsIdenticalAcrossWorkerCounts) {
   ASSERT_EQ(serial.size(), parallel.size());
   for (std::size_t i = 0; i < serial.size(); ++i) {
     SCOPED_TRACE("cell " + std::to_string(i));
-    EXPECT_EQ(serial[i].counters.reads, parallel[i].counters.reads);
-    EXPECT_EQ(serial[i].counters.writes, parallel[i].counters.writes);
-    EXPECT_EQ(serial[i].counters.cacheHits, parallel[i].counters.cacheHits);
-    EXPECT_EQ(serial[i].counters.sheddedRequests,
-              parallel[i].counters.sheddedRequests);
-    EXPECT_EQ(serial[i].counters.retries, parallel[i].counters.retries);
-    EXPECT_EQ(serial[i].counters.queueTimeouts,
-              parallel[i].counters.queueTimeouts);
+    expectCountersEqual(serial[i].counters, parallel[i].counters);
     EXPECT_EQ(serial[i].meteredTotal, parallel[i].meteredTotal);
     EXPECT_EQ(serial[i].tracedTotal, parallel[i].tracedTotal);
   }

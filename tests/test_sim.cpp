@@ -1,5 +1,7 @@
 // Tests for the simulation substrate: resource meters, tiers, the network
 // cost model and the deterministic event loop.
+//
+// dcache-lint: allow-file(charge-funnel, unit tests for CpuMeter itself — charges exercise the meter in isolation and are not part of any deployment's cost accounting)
 #include <gtest/gtest.h>
 
 #include <vector>

@@ -1,9 +1,17 @@
 #!/usr/bin/env bash
-# Sanitizer gate: build everything with ASan + UBSan and run the test
-# suite, then rebuild the thread-heavy tests under ThreadSanitizer and run
-# the ctest `tsan` label (the matrix runner, thread pool, fault paths and
-# the trace --jobs determinism tests). The figure benches run their cells
-# on a thread pool, so this is the data-race/lifetime gate for all of it.
+# CI gate, in lane order:
+#
+#   1. dcache_lint — the invariant checker (INVARIANTS.md) runs first and
+#      blocks everything else: a determinism / charge-funnel /
+#      counter-registration / bench-hygiene violation fails the build
+#      before a single sanitized test runs.
+#   2. ASan+UBSan build of everything, full ctest, parallel benches, and a
+#      byte-identical --jobs 1 vs --jobs 8 diff of every deterministic
+#      bench (micro_* are wall-clock and carry lint allows instead).
+#   3. ThreadSanitizer build running the `tsan`-labeled tests and a traced
+#      parallel bench.
+#   4. (opt-in) clang-tidy over src/ when RUN_CLANG_TIDY=1; skipped
+#      gracefully when clang-tidy is not installed.
 #
 # Usage: tools/check.sh [build-dir]   (default: build-asan)
 set -euo pipefail
@@ -15,6 +23,14 @@ TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+
+# Lint lane: build only the linter and run it before anything else.
+cmake --build "$BUILD_DIR" --target dcache_lint -j "$(nproc)"
+if ! "$BUILD_DIR/tools/lint/dcache_lint" --root .; then
+  echo "check.sh: dcache_lint found invariant violations (see INVARIANTS.md); fix or suppress with a reason" >&2
+  exit 1
+fi
+
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
@@ -22,6 +38,26 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 # One parallel bench end-to-end under the sanitizers: worker threads,
 # per-cell deployments, ordered result collection.
 "$BUILD_DIR/bench/fig4_synthetic" --jobs 8 > /dev/null
+
+# Determinism diff: every deterministic bench must emit byte-identical
+# stdout for --jobs 1 and --jobs 8. The golden-op cap keeps the sanitized
+# runs fast while still driving the full matrix (same cells, same seeds).
+# fig9/fig10 additionally run at full scale below, because their fault and
+# overload paths only saturate with the complete timeline.
+DET_BENCHES=(fig2_model fig3_uc_trace fig4_synthetic fig5_kv_workloads
+             fig6_breakdown fig7_rich_objects fig8_delayed_writes
+             ablation_cache_alloc ablation_consistency ext_workloads)
+for bench in "${DET_BENCHES[@]}"; do
+  DCACHE_GOLDEN_OPS="${DCACHE_GOLDEN_OPS:-2000}" \
+    "$BUILD_DIR/bench/$bench" --jobs 1 > "$BUILD_DIR/${bench}_j1.txt"
+  DCACHE_GOLDEN_OPS="${DCACHE_GOLDEN_OPS:-2000}" \
+    "$BUILD_DIR/bench/$bench" --jobs 8 > "$BUILD_DIR/${bench}_j8.txt"
+  if ! diff -q "$BUILD_DIR/${bench}_j1.txt" "$BUILD_DIR/${bench}_j8.txt" > /dev/null; then
+    echo "check.sh: $bench output differs between --jobs 1 and --jobs 8" >&2
+    diff "$BUILD_DIR/${bench}_j1.txt" "$BUILD_DIR/${bench}_j8.txt" >&2 || true
+    exit 1
+  fi
+done
 
 # The failure-timeline bench exercises the fault-injection paths (crashes,
 # resharding, RPC retries, single-flight coalescing) under the sanitizers,
@@ -45,7 +81,7 @@ if ! diff -q "$BUILD_DIR/fig10_j1.txt" "$BUILD_DIR/fig10_j8.txt" > /dev/null; th
   exit 1
 fi
 
-echo "check.sh: all tests, the parallel benches, and the fig9/fig10 determinism gates passed under ASan/UBSan"
+echo "check.sh: lint, all tests, the parallel benches, and the determinism gates passed under ASan/UBSan"
 
 # ThreadSanitizer lane: TSan cannot be combined with ASan, so it gets its
 # own build tree and runs only the tests labeled `tsan` — the ones that
@@ -61,3 +97,17 @@ cmake --build "$TSAN_BUILD_DIR" -j "$(nproc)"
 "$TSAN_BUILD_DIR/bench/fig6_breakdown" --jobs 8 --trace-sample 500 > /dev/null
 
 echo "check.sh: tsan-labeled tests and the traced parallel bench passed under TSan"
+
+# Opt-in clang-tidy lane (RUN_CLANG_TIDY=1): uses the compile database the
+# ASan tree exported. Skipped gracefully when clang-tidy is not installed,
+# so the gate never depends on optional tooling.
+if [[ "${RUN_CLANG_TIDY:-0}" == "1" ]]; then
+  if command -v clang-tidy > /dev/null 2>&1; then
+    echo "check.sh: running clang-tidy (config: .clang-tidy)"
+    find src -name '*.cpp' -print0 \
+      | xargs -0 clang-tidy -p "$BUILD_DIR" --quiet
+    echo "check.sh: clang-tidy lane passed"
+  else
+    echo "check.sh: clang-tidy not found — skipping the opt-in tidy lane"
+  fi
+fi

@@ -1,0 +1,227 @@
+// Tokenizer for dcache-lint. Light but honest: comments and literals are
+// handled for real (including raw strings and escapes) because the rules
+// must never fire on a banned token that only appears inside a comment or
+// a string — and must still see string *contents* for the metric-name
+// checks. Suppression directives live in comments, so they are parsed here.
+#include "lint.hpp"
+
+#include <cctype>
+
+namespace dcache::lint {
+
+namespace {
+
+[[nodiscard]] bool isIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+[[nodiscard]] bool isIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+[[nodiscard]] std::string trim(std::string s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Parse every `allow(...)` / `allow-file(...)` directive out of one
+/// comment's text. Malformed directives (no closing paren) are recorded
+/// with an empty rule so the suppression audit can flag them.
+void parseDirectives(const std::string& comment, int line, bool /*block*/,
+                     std::vector<Suppression>& out) {
+  static const std::string kMarker = "dcache-lint:";
+  std::size_t pos = comment.find(kMarker);
+  while (pos != std::string::npos) {
+    std::size_t p = pos + kMarker.size();
+    while (p < comment.size() &&
+           std::isspace(static_cast<unsigned char>(comment[p]))) {
+      ++p;
+    }
+    bool fileWide = false;
+    static const std::string kAllowFile = "allow-file(";
+    static const std::string kAllow = "allow(";
+    std::size_t argStart = std::string::npos;
+    if (comment.compare(p, kAllowFile.size(), kAllowFile) == 0) {
+      fileWide = true;
+      argStart = p + kAllowFile.size();
+    } else if (comment.compare(p, kAllow.size(), kAllow) == 0) {
+      argStart = p + kAllow.size();
+    }
+    if (argStart == std::string::npos) {
+      // A "dcache-lint:" marker with no recognizable directive: record it
+      // malformed so it cannot silently do nothing.
+      out.push_back({"", "", line, false, false});
+      pos = comment.find(kMarker, p);
+      continue;
+    }
+    const std::size_t close = comment.find(')', argStart);
+    if (close == std::string::npos) {
+      out.push_back({"", "", line, fileWide, false});
+      return;
+    }
+    const std::string args = comment.substr(argStart, close - argStart);
+    const std::size_t comma = args.find(',');
+    Suppression s;
+    s.line = line;
+    s.fileWide = fileWide;
+    if (comma == std::string::npos) {
+      s.rule = trim(args);
+      s.reason.clear();  // missing reason -> audited, does not suppress
+    } else {
+      s.rule = trim(args.substr(0, comma));
+      s.reason = trim(args.substr(comma + 1));
+    }
+    out.push_back(std::move(s));
+    pos = comment.find(kMarker, close);
+  }
+}
+
+/// Multi-char operators the rules care about. Everything else is emitted
+/// one char at a time ('<' and '>' stay single so template scanning can
+/// count depth without untangling ">>").
+[[nodiscard]] std::size_t matchOperator(const std::string& text,
+                                        std::size_t i) {
+  static const char* kTwo[] = {"::", "->", "+=", "-=", "*=", "/=", "==",
+                               "!=", "&&", "||", "++", "--", "|=", "&=",
+                               "^=", "%="};
+  for (const char* op : kTwo) {
+    if (text.compare(i, 2, op) == 0) return 2;
+  }
+  return 1;
+}
+
+}  // namespace
+
+SourceFile lexFile(const std::string& relPath, const std::string& text) {
+  SourceFile out;
+  out.relPath = relPath;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+
+  const auto advanceOver = [&](char c) {
+    if (c == '\n') ++line;
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      const std::size_t start = i + 2;
+      std::size_t end = text.find('\n', start);
+      if (end == std::string::npos) end = n;
+      parseDirectives(text.substr(start, end - start), line, false,
+                      out.suppressions);
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      const int startLine = line;
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(text[j] == '*' && text[j + 1] == '/')) {
+        advanceOver(text[j]);
+        ++j;
+      }
+      parseDirectives(text.substr(i + 2, j - (i + 2)), startLine, true,
+                      out.suppressions);
+      i = (j + 1 < n) ? j + 2 : n;
+      continue;
+    }
+    // Raw string literal: (u8|u|U|L)?R"delim( ... )delim".
+    // (An identifier ending in R would have been consumed by the
+    // identifier branch, so reaching 'R' here means a fresh token.)
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && text[j] != '(' && delim.size() < 16) {
+        delim.push_back(text[j]);
+        ++j;
+      }
+      const std::string closer = ")" + delim + "\"";
+      const int startLine = line;
+      const std::size_t bodyStart = j + 1;
+      const std::size_t end = text.find(closer, bodyStart);
+      const std::size_t stop = (end == std::string::npos) ? n : end;
+      for (std::size_t k = i; k < stop; ++k) advanceOver(text[k]);
+      out.tokens.push_back({TokenKind::kString,
+                            text.substr(bodyStart, stop - bodyStart),
+                            startLine});
+      i = (end == std::string::npos) ? n : end + closer.size();
+      continue;
+    }
+    // String / char literal with escapes.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int startLine = line;
+      std::size_t j = i + 1;
+      std::string contents;
+      while (j < n && text[j] != quote) {
+        if (text[j] == '\\' && j + 1 < n) {
+          contents.push_back(text[j]);
+          contents.push_back(text[j + 1]);
+          advanceOver(text[j + 1]);
+          j += 2;
+          continue;
+        }
+        advanceOver(text[j]);
+        contents.push_back(text[j]);
+        ++j;
+      }
+      out.tokens.push_back({quote == '"' ? TokenKind::kString
+                                         : TokenKind::kCharLit,
+                            std::move(contents), startLine});
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    // Identifier / keyword.
+    if (isIdentStart(c)) {
+      std::size_t j = i + 1;
+      while (j < n && isIdentChar(text[j])) ++j;
+      out.tokens.push_back({TokenKind::kIdentifier, text.substr(i, j - i),
+                            line});
+      i = j;
+      continue;
+    }
+    // Number (loose pp-number: digits, idents, dots, exponent signs).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      std::size_t j = i + 1;
+      while (j < n && (isIdentChar(text[j]) || text[j] == '.' ||
+                       ((text[j] == '+' || text[j] == '-') &&
+                        (text[j - 1] == 'e' || text[j - 1] == 'E' ||
+                         text[j - 1] == 'p' || text[j - 1] == 'P')))) {
+        ++j;
+      }
+      out.tokens.push_back({TokenKind::kNumber, text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Preprocessor directives are lexed like ordinary tokens; the rules
+    // only match semantic token sequences, so this is harmless.
+    const std::size_t len = matchOperator(text, i);
+    out.tokens.push_back({TokenKind::kPunct, text.substr(i, len), line});
+    i += len;
+  }
+  return out;
+}
+
+bool findingLess(const Finding& a, const Finding& b) {
+  if (a.file != b.file) return a.file < b.file;
+  if (a.line != b.line) return a.line < b.line;
+  if (a.rule != b.rule) return a.rule < b.rule;
+  return a.message < b.message;
+}
+
+}  // namespace dcache::lint

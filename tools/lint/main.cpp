@@ -1,0 +1,238 @@
+// dcache_lint CLI: walk <root>/{src,bench,tests}, run every rule, print a
+// human report and (optionally) a byte-stable JSON report, exit nonzero on
+// findings. Run with no arguments from the repo root; tools/check.sh runs
+// it as the first blocking lane and tools/update_goldens.sh refuses to
+// record goldens while it is red.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+using dcache::lint::Finding;
+using dcache::lint::LintInput;
+using dcache::lint::SourceFile;
+
+namespace {
+
+[[nodiscard]] bool readWholeFile(const fs::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+[[nodiscard]] bool hasLintableExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h";
+}
+
+/// Root-relative path with '/' separators (byte-stable across platforms).
+[[nodiscard]] std::string relPathOf(const fs::path& file,
+                                    const fs::path& root) {
+  return file.lexically_relative(root).generic_string();
+}
+
+/// Directories whose contents are deliberate violations or data files.
+[[nodiscard]] bool isExcludedDir(const fs::path& dir) {
+  const std::string name = dir.filename().string();
+  return name == "lint_fixtures" || name == "golden";
+}
+
+void collectFiles(const fs::path& dir, std::vector<fs::path>& out) {
+  if (!fs::exists(dir)) return;
+  for (fs::recursive_directory_iterator it(dir), end; it != end; ++it) {
+    if (it->is_directory()) {
+      if (isExcludedDir(it->path())) it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && hasLintableExtension(it->path())) {
+      out.push_back(it->path());
+    }
+  }
+}
+
+[[nodiscard]] std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// The JSON report is byte-stable: findings are sorted, keys are emitted in
+/// a fixed order, and nothing environment-dependent (absolute paths,
+/// timestamps, host names) is included.
+[[nodiscard]] std::string jsonReport(const std::vector<Finding>& findings,
+                                     std::size_t filesScanned,
+                                     std::size_t suppressionsUsed) {
+  std::string out;
+  out += "{\n";
+  out += "  \"tool\": \"dcache-lint\",\n";
+  out += "  \"version\": 1,\n";
+  out += "  \"filesScanned\": " + std::to_string(filesScanned) + ",\n";
+  out += "  \"suppressionsUsed\": " + std::to_string(suppressionsUsed) + ",\n";
+  out += "  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += i ? ",\n    {" : "\n    {";
+    out += "\"rule\": \"" + jsonEscape(f.rule) + "\", ";
+    out += "\"file\": \"" + jsonEscape(f.file) + "\", ";
+    out += "\"line\": " + std::to_string(f.line) + ", ";
+    out += "\"message\": \"" + jsonEscape(f.message) + "\"}";
+  }
+  out += findings.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+void usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: dcache_lint [--root DIR] [--json FILE|-] [--quiet] "
+      "[--list-rules]\n"
+      "\n"
+      "Scans DIR/{src,bench,tests} for dcache invariant violations.\n"
+      "Exit status: 0 clean, 1 findings, 2 usage/environment error.\n"
+      "See INVARIANTS.md for the rule catalogue and suppression syntax.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string jsonOut;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      jsonOut = argv[++i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--list-rules") {
+      for (const std::string& r : dcache::lint::knownRules()) {
+        std::printf("%s\n", r.c_str());
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "dcache_lint: unknown argument '%s'\n",
+                   arg.c_str());
+      usage(stderr);
+      return 2;
+    }
+  }
+
+  const fs::path rootPath(root);
+  if (!fs::exists(rootPath / "src")) {
+    std::fprintf(stderr,
+                 "dcache_lint: '%s' does not look like the repo root "
+                 "(no src/ directory)\n",
+                 root.c_str());
+    return 2;
+  }
+
+  LintInput input;
+
+  std::vector<fs::path> files;
+  for (const char* dir : {"src", "bench", "tests"}) {
+    collectFiles(rootPath / dir, files);
+  }
+  std::vector<std::string> rels;
+  rels.reserve(files.size());
+  for (const fs::path& p : files) rels.push_back(relPathOf(p, rootPath));
+  // Sort by relative path so the scan (and therefore the report) is
+  // independent of directory enumeration order.
+  std::vector<std::size_t> order(files.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return rels[a] < rels[b];
+  });
+  for (const std::size_t idx : order) {
+    std::string text;
+    if (!readWholeFile(files[idx], text)) {
+      std::fprintf(stderr, "dcache_lint: cannot read %s\n",
+                   rels[idx].c_str());
+      return 2;
+    }
+    input.files.push_back(dcache::lint::lexFile(rels[idx], text));
+    if (rels[idx].rfind("bench/", 0) == 0 &&
+        files[idx].extension() == ".cpp") {
+      input.benchSources.push_back(rels[idx]);
+    }
+  }
+
+  input.hasCheckSh = readWholeFile(rootPath / "tools" / "check.sh",
+                                   input.checkShText);
+  const fs::path goldenDir = rootPath / "tests" / "golden";
+  if (fs::exists(goldenDir)) {
+    for (const auto& entry : fs::directory_iterator(goldenDir)) {
+      if (entry.is_regular_file()) {
+        input.goldenFiles.insert(entry.path().filename().string());
+      }
+    }
+  }
+
+  const std::vector<Finding> findings = dcache::lint::runLint(input);
+  std::size_t suppressionsUsed = 0;
+  for (const SourceFile& f : input.files) {
+    for (const auto& s : f.suppressions) suppressionsUsed += s.used ? 1 : 0;
+  }
+
+  if (!quiet) {
+    for (const Finding& f : findings) {
+      std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+    }
+    std::printf(
+        "dcache-lint: %zu finding%s, %zu file%s scanned, %zu suppression%s "
+        "honored\n",
+        findings.size(), findings.size() == 1 ? "" : "s", input.files.size(),
+        input.files.size() == 1 ? "" : "s", suppressionsUsed,
+        suppressionsUsed == 1 ? "" : "s");
+  }
+
+  if (!jsonOut.empty()) {
+    const std::string report =
+        jsonReport(findings, input.files.size(), suppressionsUsed);
+    if (jsonOut == "-") {
+      std::fputs(report.c_str(), stdout);
+    } else {
+      std::ofstream out(jsonOut, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "dcache_lint: cannot write %s\n",
+                     jsonOut.c_str());
+        return 2;
+      }
+      out << report;
+    }
+  }
+
+  return findings.empty() ? 0 : 1;
+}

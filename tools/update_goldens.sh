@@ -3,6 +3,9 @@
 #
 # Run this only after verifying that an output change is intentional; the
 # golden ctest entries (ctest -L golden) byte-diff against these files.
+# The lint lane must be green first: recording goldens on top of an
+# invariant violation (say, an unordered iteration feeding a table) would
+# freeze hash-order output into the regression baseline.
 #
 # Usage: tools/update_goldens.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -12,6 +15,17 @@ BUILD_DIR="${1:-build}"
 GOLDEN_DIR="tests/golden"
 export DCACHE_GOLDEN_OPS="${DCACHE_GOLDEN_OPS:-2000}"
 
+LINT="$BUILD_DIR/tools/lint/dcache_lint"
+if [[ ! -x "$LINT" ]]; then
+  echo "update_goldens.sh: $LINT not built; run cmake --build $BUILD_DIR --target dcache_lint first" >&2
+  exit 1
+fi
+if ! "$LINT" --root . --quiet; then
+  "$LINT" --root . || true
+  echo "update_goldens.sh: refusing to record goldens while dcache_lint is red (see INVARIANTS.md)" >&2
+  exit 1
+fi
+
 record() {
   local bench="$1" out="$2"
   shift 2
@@ -20,10 +34,17 @@ record() {
 }
 
 record fig2_model fig2_model.txt
+record fig3_uc_trace fig3_uc_trace.txt
 record fig4_synthetic fig4_synthetic.txt
+record fig5_kv_workloads fig5_kv_workloads.txt
 record fig6_breakdown fig6_breakdown.txt
+record fig7_rich_objects fig7_rich_objects.txt
 record fig8_delayed_writes fig8_delayed_writes.txt
+record fig9_failure_timeline fig9_failure_timeline.txt
 record fig6_breakdown fig6_breakdown_traced.txt --trace-sample 500 --trace-keep 1
 record fig10_overload fig10_overload.txt
+record ablation_cache_alloc ablation_cache_alloc.txt
+record ablation_consistency ablation_consistency.txt
+record ext_workloads ext_workloads.txt
 
 echo "goldens updated under $GOLDEN_DIR (DCACHE_GOLDEN_OPS=$DCACHE_GOLDEN_OPS)"
