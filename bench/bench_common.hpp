@@ -1,12 +1,15 @@
 // Shared helpers for the figure-reproduction benches.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include <sys/resource.h>
 
 #include "core/experiment.hpp"
 #include "core/matrix.hpp"
@@ -26,6 +29,15 @@ struct BenchOptions {
   obs::TraceConfig trace;
   /// --metrics-out FILE: write the unified metrics registry as JSON.
   std::string metricsOut;
+  /// --bench-json FILE: write a perf-trajectory record (schema
+  /// dcache.bench.v1) with wall-clock, ops/sec and peak RSS. Timing data
+  /// goes to this sidecar only — stdout stays byte-deterministic.
+  std::string benchJsonOut;
+  /// argv[0] basename, for the perf record's bench name.
+  std::string benchName;
+  /// Process wall-clock start, captured in parseBenchOptions.
+  // dcache-lint: allow(determinism, wall-clock member feeds only the --bench-json perf sidecar, never stdout)
+  std::chrono::steady_clock::time_point startTime;
 };
 
 /// Per-binary options singleton, set by parseBenchOptions.
@@ -63,8 +75,21 @@ struct BenchOptions {
           static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
     } else if (const char* v = value(i, arg, "--metrics-out")) {
       options.metricsOut = v;
+    } else if (const char* v = value(i, arg, "--bench-json")) {
+      options.benchJsonOut = v;
     }
   }
+  if (argc > 0) {
+    std::string_view name = argv[0];
+    if (const auto slash = name.rfind('/'); slash != std::string_view::npos) {
+      name.remove_prefix(slash + 1);
+    }
+    options.benchName = name;
+  }
+  // Wall-clock feeds only the --bench-json perf sidecar, never stdout, so
+  // the --jobs determinism contract is untouched.
+  // dcache-lint: allow(determinism, bench wall-clock goes to the --bench-json perf sidecar only)
+  options.startTime = std::chrono::steady_clock::now();
   benchOptions() = options;
   return options;
 }
@@ -85,6 +110,49 @@ struct BenchOptions {
     std::size_t index, const core::ExperimentResult& result) {
   return "cell" + std::to_string(index) + "." + result.architecture + "." +
          result.workload;
+}
+
+/// Perf-trajectory record (schema dcache.bench.v1): wall-clock, simulated
+/// op throughput and peak RSS for one bench invocation. tools/perf.sh
+/// records these per bench into perf/BENCH_<name>.json and fails the perf
+/// lane on >20% wall-clock regressions; stdout (golden-diffed) is never
+/// touched.
+inline void writeBenchJson(const BenchOptions& options,
+                           std::span<const core::ExperimentResult> results) {
+  // dcache-lint: allow(determinism, bench wall-clock goes to the --bench-json perf sidecar only)
+  const auto end = std::chrono::steady_clock::now();
+  const double wallMs =
+      std::chrono::duration<double, std::milli>(end - options.startTime)
+          .count();
+  std::uint64_t ops = 0;
+  for (const core::ExperimentResult& r : results) {
+    ops += r.counters.reads + r.counters.writes;
+  }
+  const double opsPerSec = wallMs > 0.0 ? ops * 1000.0 / wallMs : 0.0;
+  long peakRssKb = 0;
+  if (rusage usage{}; getrusage(RUSAGE_SELF, &usage) == 0) {
+    peakRssKb = usage.ru_maxrss;  // KiB on Linux
+  }
+  std::FILE* f = std::fopen(options.benchJsonOut.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: could not write bench json to %s\n",
+                 options.benchJsonOut.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"schema\": \"dcache.bench.v1\",\n"
+               "  \"bench\": \"%s\",\n"
+               "  \"wall_ms\": %.1f,\n"
+               "  \"ops\": %llu,\n"
+               "  \"ops_per_sec\": %.1f,\n"
+               "  \"peak_rss_kb\": %ld,\n"
+               "  \"cells\": %zu\n"
+               "}\n",
+               options.benchName.c_str(), wallMs,
+               static_cast<unsigned long long>(ops), opsPerSec, peakRssKb,
+               results.size());
+  std::fclose(f);
 }
 
 /// Shared bench epilogue: when --trace-sample is on, print each traced
@@ -113,6 +181,9 @@ inline void finishBench(std::span<const core::ExperimentResult> results) {
       std::fprintf(stderr, "warning: could not write metrics to %s\n",
                    options.metricsOut.c_str());
     }
+  }
+  if (!options.benchJsonOut.empty()) {
+    writeBenchJson(options, results);
   }
 }
 

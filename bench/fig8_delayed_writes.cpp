@@ -96,5 +96,8 @@ int main(int argc, char** argv) {
                    benchOptions.metricsOut.c_str());
     }
   }
+  if (!benchOptions.benchJsonOut.empty()) {
+    bench::writeBenchJson(benchOptions, {});
+  }
   return 0;
 }

@@ -27,9 +27,20 @@ std::vector<std::string> makeKeys(std::size_t n) {
   return keys;
 }
 
+std::string backendLabel(cache::EvictionPolicy policy,
+                         cache::CacheBackend backend) {
+  std::string label(cache::evictionPolicyName(policy));
+  label += '/';
+  label += cache::cacheBackendName(backend);
+  return label;
+}
+
+// Each policy benchmark runs as a node/flat pair interleaved in one process,
+// so the backend comparison is immune to machine-load drift between runs.
 void BM_PolicyGetHit(benchmark::State& state) {
   const auto policy = static_cast<cache::EvictionPolicy>(state.range(0));
-  auto cache = cache::makeCache(policy, util::Bytes::mb(64));
+  const auto backend = static_cast<cache::CacheBackend>(state.range(1));
+  auto cache = cache::makeCache(policy, util::Bytes::mb(64), backend);
   const auto keys = makeKeys(10000);
   for (const auto& key : keys) {
     cache->put(key, cache::CacheEntry::sized(100));
@@ -39,23 +50,50 @@ void BM_PolicyGetHit(benchmark::State& state) {
     benchmark::DoNotOptimize(cache->get(keys[i]));
     i = (i + 7919) % keys.size();
   }
-  state.SetLabel(std::string(cache::evictionPolicyName(policy)));
+  state.SetLabel(backendLabel(policy, backend));
 }
-BENCHMARK(BM_PolicyGetHit)->DenseRange(0, 3);
+BENCHMARK(BM_PolicyGetHit)
+    ->ArgsProduct({{0, 1, 2, 3}, {1, 2}});  // policy x {kNode, kFlat}
 
 void BM_PolicyPutWithEviction(benchmark::State& state) {
   const auto policy = static_cast<cache::EvictionPolicy>(state.range(0));
+  const auto backend = static_cast<cache::CacheBackend>(state.range(1));
   // Capacity for ~1000 entries; inserts from a 10x keyspace force evictions.
-  auto cache = cache::makeCache(policy, util::Bytes::of(1000 * 200));
+  auto cache = cache::makeCache(policy, util::Bytes::of(1000 * 200), backend);
   const auto keys = makeKeys(10000);
   std::size_t i = 0;
   for (auto _ : state) {
     cache->put(keys[i], cache::CacheEntry::sized(100));
     i = (i + 7919) % keys.size();
   }
-  state.SetLabel(std::string(cache::evictionPolicyName(policy)));
+  state.SetLabel(backendLabel(policy, backend));
 }
-BENCHMARK(BM_PolicyPutWithEviction)->DenseRange(0, 3);
+BENCHMARK(BM_PolicyPutWithEviction)
+    ->ArgsProduct({{0, 1, 2, 3}, {1, 2}});
+
+// Cold fill: construct a cache and insert 10k distinct entries per
+// iteration. This is the allocation-dominated path the slab/arena storage
+// targets — the node backends pay three heap allocations per insert, the
+// flat backend bump-allocates from chunked slabs. Millisecond-scale
+// iterations also make this the most machine-noise-immune cache benchmark
+// in the suite.
+void BM_PolicyColdFill(benchmark::State& state) {
+  const auto policy = static_cast<cache::EvictionPolicy>(state.range(0));
+  const auto backend = static_cast<cache::CacheBackend>(state.range(1));
+  const auto keys = makeKeys(10000);
+  for (auto _ : state) {
+    auto cache = cache::makeCache(policy, util::Bytes::mb(64), backend);
+    for (const auto& key : keys) {
+      cache->put(key, cache::CacheEntry::sized(100));
+    }
+    benchmark::DoNotOptimize(cache->itemCount());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(keys.size()));
+  state.SetLabel(backendLabel(policy, backend));
+}
+BENCHMARK(BM_PolicyColdFill)
+    ->ArgsProduct({{0, 1, 2, 3}, {1, 2}});
 
 void BM_ShardedGet(benchmark::State& state) {
   cache::ShardedCache cache(util::Bytes::mb(64),

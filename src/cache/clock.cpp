@@ -29,6 +29,7 @@ void ClockCache::put(std::string_view key, CacheEntry entry) {
     used_ += need;
     slot.entry = std::move(entry);
     slot.referenced = true;
+    ++stats_.overwrites;
   } else {
     std::size_t index;
     if (!freeList_.empty()) {
@@ -71,12 +72,10 @@ void ClockCache::clear() {
 }
 
 void ClockCache::evictOne() {
-  if (map_.empty()) {
-    used_ = 0;
-    return;
-  }
+  cacheInvariant(!map_.empty(), "clock",
+                 "evictOne with no resident entries: accounted bytes "
+                 "drifted from the entry set");
   for (;;) {
-    if (slots_.empty()) return;
     hand_ = (hand_ + 1) % slots_.size();
     Slot& slot = slots_[hand_];
     if (!slot.occupied) continue;

@@ -25,6 +25,7 @@ void FifoCache::put(std::string_view key, CacheEntry entry) {
     used_ -= chargedSize(key, it->second->entry);
     used_ += need;
     it->second->entry = std::move(entry);  // overwrite keeps queue position
+    ++stats_.overwrites;
   } else {
     list_.push_front(Item{std::string(key), std::move(entry)});
     map_.emplace(std::string_view(list_.front().key), list_.begin());
@@ -50,10 +51,9 @@ void FifoCache::clear() {
 }
 
 void FifoCache::evictOne() {
-  if (list_.empty()) {
-    used_ = 0;
-    return;
-  }
+  cacheInvariant(!list_.empty(), "fifo",
+                 "evictOne with no resident entries: accounted bytes "
+                 "drifted from the entry set");
   const Item& last = list_.back();
   used_ -= chargedSize(last.key, last.entry);
   map_.erase(std::string_view(last.key));

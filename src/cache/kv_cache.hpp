@@ -33,10 +33,21 @@ struct CacheEntry {
   }
 };
 
+/// Counter semantics, shared by every policy and backend so identical op
+/// streams produce identical stats:
+///   - `hits`/`misses` count `get` calls only; `peek` never touches stats.
+///   - `insertions` counts puts admitted as a NEW resident key.
+///   - `overwrites` counts puts that replaced an already-resident entry.
+///   - A put rejected up front (charged size exceeds total capacity) counts
+///     as neither insertion nor overwrite.
+///   - `evictions` counts entries removed by capacity pressure; explicit
+///     `erase` is not an eviction.
+///   - `hitRatio()` and `missRatio()` both return 0.0 before any lookup.
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
+  std::uint64_t overwrites = 0;
   std::uint64_t evictions = 0;
 
   [[nodiscard]] std::uint64_t lookups() const noexcept { return hits + misses; }
@@ -45,7 +56,8 @@ struct CacheStats {
     return n ? static_cast<double>(hits) / static_cast<double>(n) : 0.0;
   }
   [[nodiscard]] double missRatio() const noexcept {
-    return lookups() ? 1.0 - hitRatio() : 1.0;
+    const auto n = lookups();
+    return n ? static_cast<double>(misses) / static_cast<double>(n) : 0.0;
   }
   void clear() noexcept { *this = CacheStats{}; }
 };
@@ -57,6 +69,21 @@ inline constexpr std::uint64_t kEntryOverheadBytes = 80;
 [[nodiscard]] inline std::uint64_t chargedSize(std::string_view key,
                                                const CacheEntry& entry) noexcept {
   return entry.size + key.size() + kEntryOverheadBytes;
+}
+
+/// Aborts with a diagnostic on stderr. Split out of cacheInvariant so the
+/// inlined fast path is a single predictable branch.
+[[noreturn]] void cacheInvariantFailure(const char* policy, const char* what);
+
+/// Always-on accounting invariant (active under NDEBUG too: the eviction
+/// loops run in RelWithDebInfo benches where a plain assert would vanish).
+/// A violation means byte accounting drifted from the resident entries —
+/// aborting beats silently re-zeroing `used_` and masking the drift.
+inline void cacheInvariant(bool condition, const char* policy,
+                           const char* what) {
+  if (!condition) [[unlikely]] {
+    cacheInvariantFailure(policy, what);
+  }
 }
 
 class KvCache {
@@ -101,8 +128,27 @@ enum class EvictionPolicy : std::uint8_t {
 
 [[nodiscard]] std::string_view evictionPolicyName(EvictionPolicy p) noexcept;
 
+/// Storage backend selector. `kNode` is the original std::list +
+/// std::unordered_map implementation (one heap allocation per entry);
+/// `kFlat` is the slab/arena + open-addressing backend (flat_cache.hpp),
+/// sequence-identical to kNode for LRU/FIFO/Clock. `kAuto` picks kFlat for
+/// the policies the flat backend implements (LRU/FIFO/Clock, and SLRU via
+/// flat LRU segments) and kNode for the rest, honoring the
+/// DCACHE_CACHE_BACKEND=node|flat environment override.
+enum class CacheBackend : std::uint8_t {
+  kAuto,
+  kNode,
+  kFlat,
+};
+
+[[nodiscard]] std::string_view cacheBackendName(CacheBackend b) noexcept;
+
+/// Resolve kAuto against the DCACHE_CACHE_BACKEND override (parsed once).
+[[nodiscard]] CacheBackend defaultCacheBackend() noexcept;
+
 /// Build a cache of the given policy and byte capacity.
-[[nodiscard]] std::unique_ptr<KvCache> makeCache(EvictionPolicy policy,
-                                                 util::Bytes capacity);
+[[nodiscard]] std::unique_ptr<KvCache> makeCache(
+    EvictionPolicy policy, util::Bytes capacity,
+    CacheBackend backend = CacheBackend::kAuto);
 
 }  // namespace dcache::cache

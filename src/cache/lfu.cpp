@@ -36,6 +36,7 @@ void LfuCache::put(std::string_view key, CacheEntry entry) {
     used_ += need;
     it->second->entry = std::move(entry);
     bumpFrequency(it->second);
+    ++stats_.overwrites;
   } else {
     Bucket& bucket = buckets_[1];
     bucket.push_front(Item{std::string(key), std::move(entry), 1});
@@ -70,10 +71,9 @@ std::uint64_t LfuCache::frequencyOf(std::string_view key) const {
 }
 
 void LfuCache::evictOne() {
-  if (buckets_.empty()) {
-    used_ = 0;
-    return;
-  }
+  cacheInvariant(!buckets_.empty(), "lfu",
+                 "evictOne with no resident entries: accounted bytes "
+                 "drifted from the entry set");
   Bucket& lowest = buckets_.begin()->second;
   const Item& victim = lowest.back();  // LRU within the lowest frequency
   used_ -= chargedSize(victim.key, victim.entry);

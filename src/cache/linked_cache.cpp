@@ -1,5 +1,6 @@
 #include "cache/linked_cache.hpp"
 
+#include "rpc/wire_size.hpp"
 #include "sim/trace_hook.hpp"
 #include "util/hash.hpp"
 
@@ -45,12 +46,10 @@ LinkedCache::GetResult LinkedCache::get(std::size_t serverIndex,
 
   if (!out.local) {
     // Forwarded probe: the value is marshalled between the two app servers.
-    const rpc::GetRequest req{std::string(key)};
-    rpc::GetResponse resp;
-    resp.found = out.hit;
-    const std::uint64_t respBytes = resp.encodedSize() + out.size;
-    const auto call = channel_->call(tier_->node(serverIndex), ownerNode,
-                                     req.encodedSize(), respBytes);
+    const std::uint64_t respBytes = rpc::getResponseWireSize() + out.size;
+    const auto call =
+        channel_->call(tier_->node(serverIndex), ownerNode,
+                       rpc::getRequestWireSize(key.size()), respBytes);
     out.latencyMicros = call.latencyMicros;
   }
   ownerNode.mem().use(shard->bytesUsed());
@@ -74,9 +73,8 @@ double LinkedCache::invalidate(std::size_t writerIndex, std::string_view key) {
   ownerNode.charge(sim::CpuComponent::kCacheOp, costs_.probeMicros);
   shards_[owner]->erase(key);
   if (owner == writerIndex) return 0.0;
-  const rpc::GetRequest msg{std::string(key)};
   return channel_->oneWay(tier_->node(writerIndex), ownerNode,
-                          msg.encodedSize());
+                          rpc::getRequestWireSize(key.size()));
 }
 
 double LinkedCache::update(std::size_t writerIndex, std::string_view key,
@@ -88,9 +86,8 @@ double LinkedCache::update(std::size_t writerIndex, std::string_view key,
   shards_[owner]->put(key, CacheEntry::sized(size, version));
   ownerNode.mem().use(shards_[owner]->bytesUsed());
   if (owner == writerIndex) return 0.0;
-  const rpc::PutRequest msg{std::string(key), {}, version};
   return channel_->oneWay(tier_->node(writerIndex), ownerNode,
-                          msg.encodedSize() + size);
+                          rpc::putRequestWireSize(key.size()) + size);
 }
 
 void LinkedCache::removeServer(std::size_t serverIndex) {
@@ -112,6 +109,7 @@ CacheStats LinkedCache::aggregateStats() const noexcept {
     total.hits += shard->stats().hits;
     total.misses += shard->stats().misses;
     total.insertions += shard->stats().insertions;
+    total.overwrites += shard->stats().overwrites;
     total.evictions += shard->stats().evictions;
   }
   return total;

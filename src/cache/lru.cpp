@@ -27,6 +27,7 @@ void LruCache::put(std::string_view key, CacheEntry entry) {
     used_ += need;
     it->second->entry = std::move(entry);
     list_.splice(list_.begin(), list_, it->second);
+    ++stats_.overwrites;
   } else {
     list_.push_front(Item{std::string(key), std::move(entry)});
     // string_view key points into the Item's own string: stable address.
@@ -57,10 +58,9 @@ std::string_view LruCache::victim() const noexcept {
 }
 
 void LruCache::evictOne() {
-  if (list_.empty()) {
-    used_ = 0;
-    return;
-  }
+  cacheInvariant(!list_.empty(), "lru",
+                 "evictOne with no resident entries: accounted bytes "
+                 "drifted from the entry set");
   const Item& last = list_.back();
   used_ -= chargedSize(last.key, last.entry);
   map_.erase(std::string_view(last.key));

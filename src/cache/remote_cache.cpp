@@ -1,5 +1,6 @@
 #include "cache/remote_cache.hpp"
 
+#include "rpc/wire_size.hpp"
 #include "sim/trace_hook.hpp"
 #include "util/hash.hpp"
 
@@ -30,9 +31,9 @@ RemoteCache::GetResult RemoteCache::get(sim::Node& client,
   if (!server.isUp()) {
     // The pod is gone: no probe runs, but the client still pays the full
     // timed-out retry budget against it (the channel's policy path).
-    const rpc::GetRequest req{std::string(key)};
-    const auto call = channel_->call(client, server, req.encodedSize(),
-                                     rpc::GetResponse{}.encodedSize());
+    const auto call =
+        channel_->call(client, server, rpc::getRequestWireSize(key.size()),
+                       rpc::getResponseWireSize());
     GetResult out;
     out.failed = true;
     out.latencyMicros = call.latencyMicros;
@@ -43,19 +44,12 @@ RemoteCache::GetResult RemoteCache::get(sim::Node& client,
   server.charge(sim::CpuComponent::kCacheOp, costs_.probeMicros);
   const CacheEntry* entry = shard.get(key);
 
-  const rpc::GetRequest req{std::string(key)};
-  rpc::GetResponse resp;
-  resp.found = entry != nullptr;
-  if (entry) {
-    resp.version = entry->version;
-    // The value crosses the wire on a hit: account its bytes without
-    // materializing them (CacheEntry::size is the logical value size).
-    resp.value.clear();
-  }
+  // The value crosses the wire on a hit: account its bytes without
+  // materializing them (CacheEntry::size is the logical value size).
   const std::uint64_t respBytes =
-      resp.encodedSize() + (entry ? entry->size : 0);
-  const auto call =
-      channel_->call(client, server, req.encodedSize(), respBytes);
+      rpc::getResponseWireSize() + (entry ? entry->size : 0);
+  const auto call = channel_->call(
+      client, server, rpc::getRequestWireSize(key.size()), respBytes);
 
   GetResult out;
   // A call lost to a degraded network (every retry dropped) is a failure
@@ -78,10 +72,9 @@ double RemoteCache::put(sim::Node& client, std::string_view key,
   const std::size_t idx = nodeForKey(key);
   sim::Node& server = tier_->node(idx);
 
-  const rpc::PutRequest req{std::string(key), {}, version};
-  const rpc::PutResponse resp{true, version};
-  const auto call = channel_->call(client, server, req.encodedSize() + size,
-                                   resp.encodedSize());
+  const auto call = channel_->call(
+      client, server, rpc::putRequestWireSize(key.size()) + size,
+      rpc::putResponseWireSize());
   if (server.isUp() && call.ok) {
     server.charge(sim::CpuComponent::kCacheOp, costs_.insertMicros);
     shards_[idx]->put(key, CacheEntry::sized(size, version));
@@ -95,10 +88,10 @@ double RemoteCache::invalidate(sim::Node& client, std::string_view key) {
   const std::size_t idx = nodeForKey(key);
   sim::Node& server = tier_->node(idx);
 
-  const rpc::GetRequest req{std::string(key)};  // key-only message
-  const rpc::PutResponse resp{true, 0};
+  // Key-only request message, minimal ack back.
   const auto call =
-      channel_->call(client, server, req.encodedSize(), resp.encodedSize());
+      channel_->call(client, server, rpc::getRequestWireSize(key.size()),
+                     rpc::putResponseWireSize());
   if (server.isUp() && call.ok) {
     server.charge(sim::CpuComponent::kCacheOp, costs_.probeMicros);
     shards_[idx]->erase(key);
@@ -117,6 +110,7 @@ CacheStats RemoteCache::aggregateStats() const noexcept {
     total.hits += shard->stats().hits;
     total.misses += shard->stats().misses;
     total.insertions += shard->stats().insertions;
+    total.overwrites += shard->stats().overwrites;
     total.evictions += shard->stats().evictions;
   }
   return total;

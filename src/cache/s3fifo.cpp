@@ -58,6 +58,7 @@ void S3FifoCache::put(std::string_view key, CacheEntry entry) {
     (item.inMain ? usedMain_ : usedSmall_) += need - old;
     item.entry = std::move(entry);
     if (item.freq < 3) ++item.freq;
+    ++stats_.overwrites;
   } else {
     // Keys remembered by the ghost queue were recently evicted from small
     // after a single touch — their return proves reuse: admit to main.
@@ -66,6 +67,11 @@ void S3FifoCache::put(std::string_view key, CacheEntry entry) {
   }
 
   while (usedSmall_ + usedMain_ > capacity_.count()) {
+    // Either branch must make progress; an empty small queue that still
+    // claims bytes (or vice versa) would spin here forever.
+    cacheInvariant(!small_.empty() || !main_.empty(), "s3fifo",
+                   "eviction loop with no resident entries: accounted "
+                   "bytes drifted from the entry set");
     if (usedSmall_ > smallCapacity_ || main_.empty()) {
       evictFromSmall();
     } else {
@@ -76,7 +82,9 @@ void S3FifoCache::put(std::string_view key, CacheEntry entry) {
 }
 
 void S3FifoCache::evictFromSmall() {
-  if (small_.empty()) return;
+  cacheInvariant(!small_.empty(), "s3fifo",
+                 "evictFromSmall with an empty small queue: usedSmall_ "
+                 "drifted from the queue contents");
   Item& victim = small_.back();
   const std::uint64_t size = chargedSize(victim.key, victim.entry);
   if (victim.freq > 0) {

@@ -33,8 +33,14 @@ const CacheEntry* ShardedCache::peek(std::string_view key) const {
 }
 
 void ShardedCache::put(std::string_view key, CacheEntry entry) {
-  ++stats_.insertions;
-  shards_[shardForKey(key)]->put(key, std::move(entry));
+  KvCache& shard = *shards_[shardForKey(key)];
+  const std::uint64_t insertionsBefore = shard.stats().insertions;
+  const std::uint64_t overwritesBefore = shard.stats().overwrites;
+  shard.put(key, std::move(entry));
+  // Mirror the shard's own verdict so a rejected put counts as neither
+  // insertion nor overwrite here either (see CacheStats).
+  stats_.insertions += shard.stats().insertions - insertionsBefore;
+  stats_.overwrites += shard.stats().overwrites - overwritesBefore;
 }
 
 bool ShardedCache::erase(std::string_view key) {
@@ -69,6 +75,7 @@ CacheStats ShardedCache::aggregateStats() const noexcept {
     total.hits += shard->stats().hits;
     total.misses += shard->stats().misses;
     total.insertions += shard->stats().insertions;
+    total.overwrites += shard->stats().overwrites;
     total.evictions += shard->stats().evictions;
   }
   return total;

@@ -1,0 +1,187 @@
+// Slab/arena storage primitives for the flat cache backend (flat_cache.hpp).
+//
+// NodeSlab hands out stable uint32 indices into chunked node storage with a
+// LIFO free list — the chunking means a grow never moves existing nodes, so
+// `get()` results stay valid across later insertions, and the LIFO reuse
+// discipline matches ClockCache's slot free list exactly (required for the
+// flat clock backend to be sequence-identical to the node one).
+//
+// KeyArena packs variable-length key bytes into chunked buffers with
+// size-class free lists, so cache churn recycles key storage instead of
+// allocating per entry. Keys short enough to live inline in the node (the
+// common case: workload keys are "k%09llu") never touch the arena at all —
+// the same inline-or-chunked split cachegrand's storage_db uses.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace dcache::cache {
+
+/// Chunked storage for out-of-line key bytes. Allocations are rounded up to
+/// an 8-byte size class; released blocks go on a per-class free list and are
+/// reused before the bump pointer advances. Blocks larger than kMaxClassed
+/// (rare: keys longer than 4 KiB) use an exact-match scan list instead.
+class KeyArena {
+ public:
+  struct Ref {
+    std::uint32_t chunk = 0;
+    std::uint32_t offset = 0;
+  };
+
+  [[nodiscard]] Ref store(std::string_view key) {
+    const std::uint32_t cap = classBytes(key.size());
+    Ref ref;
+    if (cap <= kMaxClassed) {
+      auto& freeList = freeByClass_[cap / kGranularity];
+      if (!freeList.empty()) {
+        ref = freeList.back();
+        freeList.pop_back();
+      } else {
+        ref = bumpAlloc(cap);
+      }
+    } else if (!takeLarge(cap, ref)) {
+      ref = bumpAlloc(cap);
+    }
+    if (!key.empty()) {
+      std::memcpy(chunks_[ref.chunk].get() + ref.offset, key.data(),
+                  key.size());
+    }
+    return ref;
+  }
+
+  void release(Ref ref, std::size_t length) {
+    const std::uint32_t cap = classBytes(length);
+    if (cap <= kMaxClassed) {
+      // dcache-lint: allow(hot-path-alloc, free-list growth is bounded by the live high-water mark, then pure reuse)
+      freeByClass_[cap / kGranularity].push_back(ref);
+    } else {
+      // dcache-lint: allow(hot-path-alloc, large-block free list is bounded by the live high-water mark, then pure reuse)
+      largeFree_.push_back(LargeBlock{cap, ref});
+    }
+  }
+
+  [[nodiscard]] std::string_view view(Ref ref,
+                                      std::size_t length) const noexcept {
+    return {chunks_[ref.chunk].get() + ref.offset, length};
+  }
+
+  void clear() noexcept {
+    chunks_.clear();
+    chunkBytes_.clear();
+    tailUsed_ = 0;
+    for (auto& freeList : freeByClass_) freeList.clear();
+    largeFree_.clear();
+  }
+
+  [[nodiscard]] std::size_t chunkCount() const noexcept {
+    return chunks_.size();
+  }
+
+ private:
+  static constexpr std::size_t kChunkBytes = 64 * 1024;
+  static constexpr std::uint32_t kGranularity = 8;
+  static constexpr std::uint32_t kMaxClassed = 4096;
+
+  struct LargeBlock {
+    std::uint32_t capacity;
+    Ref ref;
+  };
+
+  [[nodiscard]] static constexpr std::uint32_t classBytes(
+      std::size_t length) noexcept {
+    const std::size_t len = length ? length : 1;
+    return static_cast<std::uint32_t>((len + kGranularity - 1) &
+                                      ~std::size_t{kGranularity - 1});
+  }
+
+  [[nodiscard]] Ref bumpAlloc(std::uint32_t cap) {
+    if (chunks_.empty() || tailUsed_ + cap > chunkBytes_.back()) {
+      const std::size_t bytes = cap > kChunkBytes ? cap : kChunkBytes;
+      // dcache-lint: allow(hot-path-alloc, amortized arena growth: one chunk per 64 KiB of key bytes, not per entry)
+      chunks_.push_back(std::make_unique<char[]>(bytes));
+      chunkBytes_.push_back(bytes);  // dcache-lint: allow(hot-path-alloc, grows with the chunk list, one element per 64 KiB chunk)
+      tailUsed_ = 0;
+    }
+    const Ref ref{static_cast<std::uint32_t>(chunks_.size() - 1),
+                  static_cast<std::uint32_t>(tailUsed_)};
+    tailUsed_ += cap;
+    return ref;
+  }
+
+  [[nodiscard]] bool takeLarge(std::uint32_t cap, Ref& out) {
+    for (std::size_t i = 0; i < largeFree_.size(); ++i) {
+      if (largeFree_[i].capacity == cap) {
+        out = largeFree_[i].ref;
+        largeFree_[i] = largeFree_.back();
+        largeFree_.pop_back();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  std::vector<std::size_t> chunkBytes_;
+  std::size_t tailUsed_ = 0;
+  std::vector<std::vector<Ref>> freeByClass_{kMaxClassed / kGranularity + 1};
+  std::vector<LargeBlock> largeFree_;
+};
+
+/// Chunked slab of default-constructible nodes addressed by uint32 index.
+/// Reuse is LIFO; `highWater()` is the total number of indices ever handed
+/// out (free or not) — the flat clock hand sweeps modulo this, mirroring
+/// ClockCache's `slots_.size()`.
+template <typename T>
+class NodeSlab {
+ public:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  [[nodiscard]] std::uint32_t acquire() {
+    if (!free_.empty()) {
+      const std::uint32_t index = free_.back();
+      free_.pop_back();
+      return index;
+    }
+    if (allocated_ % kNodesPerChunk == 0) {
+      // dcache-lint: allow(hot-path-alloc, amortized slab growth: one chunk per kNodesPerChunk entries, not per entry)
+      chunks_.push_back(std::make_unique<T[]>(kNodesPerChunk));
+    }
+    return allocated_++;
+  }
+
+  /// Resets the node to a default-constructed state and recycles its index.
+  void release(std::uint32_t index) {
+    (*this)[index] = T{};
+    // dcache-lint: allow(hot-path-alloc, free-list growth is bounded by the slab high-water mark, then pure reuse)
+    free_.push_back(index);
+  }
+
+  [[nodiscard]] T& operator[](std::uint32_t index) noexcept {
+    return chunks_[index / kNodesPerChunk][index % kNodesPerChunk];
+  }
+  [[nodiscard]] const T& operator[](std::uint32_t index) const noexcept {
+    return chunks_[index / kNodesPerChunk][index % kNodesPerChunk];
+  }
+
+  /// Indices ever allocated (including currently-free ones); 0 after clear.
+  [[nodiscard]] std::uint32_t highWater() const noexcept { return allocated_; }
+
+  void clear() noexcept {
+    chunks_.clear();
+    free_.clear();
+    allocated_ = 0;
+  }
+
+ private:
+  static constexpr std::uint32_t kNodesPerChunk = 1024;
+
+  std::vector<std::unique_ptr<T[]>> chunks_;
+  std::vector<std::uint32_t> free_;
+  std::uint32_t allocated_ = 0;
+};
+
+}  // namespace dcache::cache

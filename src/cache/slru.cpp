@@ -1,15 +1,41 @@
+// dcache-lint: allow-file(hot-path-alloc, segments are built once in the constructor; per-op work is delegated to the segment caches)
 #include "cache/slru.hpp"
 
 #include <algorithm>
+#include <cmath>
+
+#include "cache/flat_cache.hpp"
+#include "cache/lru.hpp"
 
 namespace dcache::cache {
 
-SlruCache::SlruCache(util::Bytes capacity, double protectedFraction)
+namespace {
+
+[[nodiscard]] std::unique_ptr<KvCache> makeSegment(util::Bytes bytes,
+                                                   CacheBackend backend) {
+  if (backend == CacheBackend::kAuto) backend = defaultCacheBackend();
+  if (backend == CacheBackend::kFlat) {
+    return std::make_unique<FlatCache>(FlatMode::kLru, bytes);
+  }
+  return std::make_unique<LruCache>(bytes);
+}
+
+}  // namespace
+
+SlruCache::SlruCache(util::Bytes capacity, double protectedFraction,
+                     CacheBackend backend)
     : capacity_(capacity) {
-  protectedFraction = std::clamp(protectedFraction, 0.0, 1.0);
-  const auto protectedBytes = capacity * protectedFraction;
-  probation_ = std::make_unique<LruCache>(capacity - protectedBytes);
-  protected_ = std::make_unique<LruCache>(protectedBytes);
+  // Clamp in integer space: `capacity * fraction` goes through a double, so
+  // for huge capacities rounding could overshoot the total and leave the
+  // probation segment with a wrapped (or zero) capacity.
+  const double fraction = std::isfinite(protectedFraction)
+                              ? std::clamp(protectedFraction, 0.0, 1.0)
+                              : 0.8;
+  std::uint64_t protectedBytes = (capacity * fraction).count();
+  protectedBytes = std::min(protectedBytes, capacity.count());
+  probation_ =
+      makeSegment(util::Bytes::of(capacity.count() - protectedBytes), backend);
+  protected_ = makeSegment(util::Bytes::of(protectedBytes), backend);
 }
 
 const CacheEntry* SlruCache::get(std::string_view key) {
@@ -42,19 +68,28 @@ const CacheEntry* SlruCache::peek(std::string_view key) const {
 }
 
 void SlruCache::put(std::string_view key, CacheEntry entry) {
+  const std::uint64_t need = chargedSize(key, entry);
   if (protected_->peek(key) != nullptr) {
-    protected_->put(key, std::move(entry));  // update in place
-    return;
-  }
-  ++stats_.insertions;
-  // New entries go to probation; entries the probation segment cannot hold
-  // (tiny split, large object) are admitted straight to protected rather
-  // than silently dropped.
-  if (chargedSize(key, entry) > probation_->capacity().count()) {
-    probation_->erase(key);
+    // Update in place. The segment rejects entries larger than its whole
+    // capacity, leaving the old entry resident — that counts as neither
+    // insertion nor overwrite (see CacheStats).
+    if (need <= protected_->capacity().count()) ++stats_.overwrites;
     protected_->put(key, std::move(entry));
     return;
   }
+  const bool resident = probation_->peek(key) != nullptr;
+  // New entries go to probation; entries the probation segment cannot hold
+  // (tiny split, large object) are admitted straight to protected rather
+  // than silently dropped.
+  if (need > probation_->capacity().count()) {
+    probation_->erase(key);
+    if (need <= protected_->capacity().count()) {
+      resident ? ++stats_.overwrites : ++stats_.insertions;
+    }
+    protected_->put(key, std::move(entry));
+    return;
+  }
+  resident ? ++stats_.overwrites : ++stats_.insertions;
   probation_->put(key, std::move(entry));
 }
 

@@ -7,14 +7,20 @@
 
 #include <memory>
 
-#include "cache/lru.hpp"
+#include "cache/kv_cache.hpp"
 
 namespace dcache::cache {
 
 class SlruCache final : public KvCache {
  public:
   /// `protectedFraction` of the capacity goes to the protected segment.
-  explicit SlruCache(util::Bytes capacity, double protectedFraction = 0.8);
+  /// Non-finite fractions fall back to the default split; finite ones are
+  /// clamped to [0, 1]. The two segment capacities always partition
+  /// `capacity` exactly — the fraction math is done in integers so a
+  /// floating-point overshoot can never push the protected segment past the
+  /// total (and the probation capacity can never wrap).
+  explicit SlruCache(util::Bytes capacity, double protectedFraction = 0.8,
+                     CacheBackend backend = CacheBackend::kAuto);
 
   [[nodiscard]] const CacheEntry* get(std::string_view key) override;
   void put(std::string_view key, CacheEntry entry) override;
@@ -32,17 +38,17 @@ class SlruCache final : public KvCache {
     return capacity_;
   }
 
-  [[nodiscard]] const LruCache& probationSegment() const noexcept {
+  [[nodiscard]] const KvCache& probationSegment() const noexcept {
     return *probation_;
   }
-  [[nodiscard]] const LruCache& protectedSegment() const noexcept {
+  [[nodiscard]] const KvCache& protectedSegment() const noexcept {
     return *protected_;
   }
 
  private:
   util::Bytes capacity_;
-  std::unique_ptr<LruCache> probation_;
-  std::unique_ptr<LruCache> protected_;
+  std::unique_ptr<KvCache> probation_;
+  std::unique_ptr<KvCache> protected_;
 };
 
 }  // namespace dcache::cache

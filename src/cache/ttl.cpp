@@ -30,10 +30,12 @@ const CacheEntry* TtlCache::get(std::string_view key, std::uint64_t nowMicros) {
 
 void TtlCache::put(std::string_view key, CacheEntry entry,
                    std::uint64_t nowMicros) {
-  ++stats_.insertions;
+  const bool resident = inner_->peek(key) != nullptr;
   inner_->put(key, std::move(entry));
   if (inner_->peek(key) != nullptr) {
-    // Admitted (insert or overwrite): the deadline always restarts now.
+    // Admitted (insert or overwrite; a rejected put counts as neither —
+    // see CacheStats). The deadline always restarts now.
+    resident ? ++stats_.overwrites : ++stats_.insertions;
     deadline_[std::string(key)] = nowMicros + ttlMicros_;
   } else {
     // Not admitted — make sure no deadline from an earlier residency

@@ -1,17 +1,28 @@
 #include "core/deployment.hpp"
 
-#include "rpc/messages.hpp"
+#include <cstdio>
+
+#include "rpc/wire_size.hpp"
 #include "workload/workload.hpp"
 
 namespace dcache::core {
 namespace {
 
-[[nodiscard]] std::string objectKey(std::uint64_t tableId) {
-  return "obj:tbl" + std::to_string(tableId);
+// The serve loops run once per simulated op; key formatting reuses the
+// caller's scratch string so steady state allocates nothing.
+
+void objectKeyTo(std::uint64_t tableId, std::string& out) {
+  char buf[32];
+  const int n = std::snprintf(buf, sizeof buf, "obj:tbl%llu",
+                              static_cast<unsigned long long>(tableId));
+  out.assign(buf, static_cast<std::size_t>(n));
 }
 
-[[nodiscard]] std::string tablePk(std::uint64_t tableId) {
-  return std::to_string(tableId);
+void tablePkTo(std::uint64_t tableId, std::string& out) {
+  char buf[24];
+  const int n = std::snprintf(buf, sizeof buf, "%llu",
+                              static_cast<unsigned long long>(tableId));
+  out.assign(buf, static_cast<std::size_t>(n));
 }
 
 /// Triage cost of turning a request away at admission control: parse the
@@ -93,8 +104,11 @@ Deployment::Deployment(DeploymentConfig config) : config_(config) {
 }
 
 void Deployment::populateKv(const workload::Workload& workload) {
+  db_->reserveKeys(workload.keyCount());
+  std::string key;
   for (std::uint64_t k = 0; k < workload.keyCount(); ++k) {
-    db_->loadValue(workload::keyName(k), workload.valueSizeFor(k));
+    workload::keyNameTo(k, key);
+    db_->loadValue(key, workload.valueSizeFor(k));
   }
 }
 
@@ -267,7 +281,8 @@ void Deployment::maybeSweepFillTimes() {
 }
 
 Deployment::OpResult Deployment::serve(const workload::Op& op) {
-  const std::string key = workload::keyName(op.keyIndex);
+  workload::keyNameTo(op.keyIndex, keyScratch_);
+  const std::string& key = keyScratch_;
   obs::RequestScope scope(tracer_.get(), op.isRead() ? "read" : "write");
   const std::uint64_t degradedBefore = counters_.degradedReads;
   const std::uint64_t shedBefore = counters_.sheddedRequests;
@@ -295,10 +310,10 @@ Deployment::OpResult Deployment::serveRead(const std::string& key,
   std::uint64_t servedBytes = op.valueSize;
 
   if (shouldShedRead(app)) {
-    const rpc::GetRequest req{key};
-    result.latencyMicros += clientLeg(app, appIndex, req.encodedSize(),
-                                      kShedResponseBytes,
-                                      /*countFailure=*/false);
+    result.latencyMicros +=
+        clientLeg(app, appIndex, rpc::getRequestWireSize(key.size()),
+                  kShedResponseBytes,
+                  /*countFailure=*/false);
     return result;
   }
 
@@ -370,11 +385,9 @@ Deployment::OpResult Deployment::serveRead(const std::string& key,
     }
   }
 
-  const rpc::GetRequest req{key};
-  rpc::GetResponse resp;
-  resp.found = true;
-  result.latencyMicros += clientLeg(app, appIndex, req.encodedSize(),
-                                    resp.encodedSize() + servedBytes);
+  result.latencyMicros +=
+      clientLeg(app, appIndex, rpc::getRequestWireSize(key.size()),
+                rpc::getResponseWireSize() + servedBytes);
   return result;
 }
 
@@ -406,10 +419,9 @@ Deployment::OpResult Deployment::serveWrite(const std::string& key,
     }
   }
 
-  const rpc::PutRequest req{key, {}, 0};
-  const rpc::PutResponse resp{true, write.version};
   result.latencyMicros += clientLeg(
-      app, appIndex, req.encodedSize() + op.valueSize, resp.encodedSize());
+      app, appIndex, rpc::putRequestWireSize(key.size()) + op.valueSize,
+      rpc::putResponseWireSize());
   return result;
 }
 
@@ -435,16 +447,17 @@ Deployment::OpResult Deployment::serveObject(const workload::Op& op) {
 Deployment::OpResult Deployment::serveObjectRead(const workload::Op& op) {
   ++counters_.reads;
   OpResult result;
-  const std::string key = objectKey(op.keyIndex);
+  objectKeyTo(op.keyIndex, keyScratch_);
+  const std::string& key = keyScratch_;
   const std::size_t appIndex = appIndexFor(key);
   sim::Node& app = app_->node(appIndex);
   std::uint64_t servedBytes = op.valueSize;
 
   if (shouldShedRead(app)) {
-    const rpc::GetRequest req{key};
-    result.latencyMicros += clientLeg(app, appIndex, req.encodedSize(),
-                                      kShedResponseBytes,
-                                      /*countFailure=*/false);
+    result.latencyMicros +=
+        clientLeg(app, appIndex, rpc::getRequestWireSize(key.size()),
+                  kShedResponseBytes,
+                  /*countFailure=*/false);
     return result;
   }
 
@@ -454,8 +467,8 @@ Deployment::OpResult Deployment::serveObjectRead(const workload::Op& op) {
     result.latencyMicros += assembled.latencyMicros;
     if (!assembled.ok) return;
     servedBytes = assembled.object.approximateSize();
-    const auto version =
-        db_->peekRowVersion("tables", tablePk(op.keyIndex)).value_or(0);
+    tablePkTo(op.keyIndex, pkScratch_);
+    const auto version = db_->peekRowVersion("tables", pkScratch_).value_or(0);
     if (remote_) {
       // The remote cache stores the *encoded* object; encoding it is real
       // work charged at the app before the cache RPC ships it.
@@ -498,8 +511,8 @@ Deployment::OpResult Deployment::serveObjectRead(const workload::Op& op) {
         servedBytes = hit.size;
         bool consistent = true;
         if (config_.architecture == Architecture::kLinkedVersion) {
-          const auto check = db_->versionCheckRow(app, "tables",
-                                                  tablePk(op.keyIndex));
+          tablePkTo(op.keyIndex, pkScratch_);
+          const auto check = db_->versionCheckRow(app, "tables", pkScratch_);
           ++counters_.versionChecks;
           result.latencyMicros += check.latencyMicros;
           if (!check.found || check.version != hit.version) {
@@ -522,26 +535,25 @@ Deployment::OpResult Deployment::serveObjectRead(const workload::Op& op) {
     }
   }
 
-  const rpc::GetRequest req{key};
-  rpc::GetResponse resp;
-  resp.found = true;
-  result.latencyMicros += clientLeg(app, appIndex, req.encodedSize(),
-                                    resp.encodedSize() + servedBytes);
+  result.latencyMicros +=
+      clientLeg(app, appIndex, rpc::getRequestWireSize(key.size()),
+                rpc::getResponseWireSize() + servedBytes);
   return result;
 }
 
 Deployment::OpResult Deployment::serveObjectWrite(const workload::Op& op) {
   ++counters_.writes;
   OpResult result;
-  const std::string key = objectKey(op.keyIndex);
+  objectKeyTo(op.keyIndex, keyScratch_);
+  const std::string& key = keyScratch_;
   const std::size_t appIndex = appIndexFor(key);
   sim::Node& app = app_->node(appIndex);
 
   result.latencyMicros += assembler_->updateTable(app, op.keyIndex);
   counters_.statementsIssued += 2;  // read + update statements
 
-  const auto version =
-      db_->peekRowVersion("tables", tablePk(op.keyIndex)).value_or(0);
+  tablePkTo(op.keyIndex, pkScratch_);
+  const auto version = db_->peekRowVersion("tables", pkScratch_).value_or(0);
   if (remote_) {
     result.latencyMicros += remote_->invalidate(app, key);
   } else if (linked_) {
@@ -554,10 +566,9 @@ Deployment::OpResult Deployment::serveObjectWrite(const workload::Op& op) {
     }
   }
 
-  const rpc::PutRequest req{key, {}, 0};
-  const rpc::PutResponse resp{true, version};
   result.latencyMicros +=
-      clientLeg(app, appIndex, req.encodedSize() + 256, resp.encodedSize());
+      clientLeg(app, appIndex, rpc::putRequestWireSize(key.size()) + 256,
+                rpc::putResponseWireSize());
   return result;
 }
 

@@ -295,6 +295,11 @@ class Deployment {
   ServeCounters counters_;
   util::Histogram latency_;
   std::unique_ptr<obs::Tracer> tracer_;
+  /// Per-op key/primary-key scratch: serve() formats into these instead of
+  /// allocating a fresh std::string per simulated operation. Valid only for
+  /// the duration of one serve call.
+  std::string keyScratch_;
+  std::string pkScratch_;
   std::size_t rrApp_ = 0;
   std::uint64_t simNowMicros_ = 0;
   std::unordered_map<std::string, std::uint64_t> fillTimes_;

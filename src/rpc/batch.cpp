@@ -1,0 +1,137 @@
+#include "rpc/batch.hpp"
+
+#include <cstring>
+
+#include "rpc/messages.hpp"
+
+namespace dcache::rpc {
+
+void RequestBatch::appendVarint(std::uint64_t value) {
+  while (value >= 0x80) {
+    arena_.push_back(static_cast<std::uint8_t>(value) | 0x80u);
+    value >>= 7;
+  }
+  arena_.push_back(static_cast<std::uint8_t>(value));
+}
+
+void RequestBatch::appendBytes(std::string_view bytes) {
+  appendVarint(bytes.size());
+  const auto* p = reinterpret_cast<const std::uint8_t*>(bytes.data());
+  arena_.insert(arena_.end(), p, p + bytes.size());
+}
+
+void RequestBatch::appendKeyOnly(BatchOp op, std::string_view key) {
+  arena_.push_back(static_cast<std::uint8_t>(op));
+  appendBytes(key);
+  ++count_;
+}
+
+void RequestBatch::appendPut(std::string_view key, std::string_view value,
+                             std::uint64_t version) {
+  arena_.push_back(static_cast<std::uint8_t>(BatchOp::kPut));
+  appendBytes(key);
+  appendBytes(value);
+  std::uint8_t fixed[8];
+  for (int i = 0; i < 8; ++i) {
+    fixed[i] = static_cast<std::uint8_t>(version >> (8 * i));
+  }
+  arena_.insert(arena_.end(), fixed, fixed + 8);
+  ++count_;
+}
+
+std::uint64_t RequestBatch::encodedSize() const noexcept {
+  // field 1: tag + count varint; field 2: tag + block length + block.
+  return 1 + varintSize(count_) + bytesFieldSize(arena_.size());
+}
+
+void RequestBatch::encode(WireEncoder& enc) const {
+  enc.writeUint(1, count_);
+  enc.writeBytes(2, records());
+}
+
+std::optional<BatchReader> BatchReader::decode(std::string_view bytes) {
+  WireDecoder dec(bytes);
+  std::uint64_t count = 0;
+  std::string_view records;
+  bool haveRecords = false;
+  while (!dec.done()) {
+    const auto field = dec.readTag();
+    if (!field) return std::nullopt;
+    switch (field->number) {
+      case 1: {
+        const auto v = dec.readVarint();
+        if (!v) return std::nullopt;
+        count = *v;
+        break;
+      }
+      case 2: {
+        const auto v = dec.readBytes();
+        if (!v) return std::nullopt;
+        records = *v;
+        haveRecords = true;
+        break;
+      }
+      default:
+        if (!dec.skip(field->type)) return std::nullopt;
+    }
+  }
+  if (!haveRecords && count != 0) return std::nullopt;
+  if (count > records.size()) return std::nullopt;  // each record is >= 1 byte
+  return BatchReader(records, static_cast<std::uint32_t>(count));
+}
+
+bool BatchReader::readVarint(std::uint64_t& out) noexcept {
+  out = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (pos_ >= data_.size()) return false;
+    const auto byte = static_cast<std::uint8_t>(data_[pos_++]);
+    out |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return true;
+  }
+  return false;  // varint longer than 64 bits
+}
+
+bool BatchReader::next(BatchItem& out) noexcept {
+  if (!ok_ || pos_ >= data_.size() || consumed_ >= expected_) return false;
+  const auto op = static_cast<std::uint8_t>(data_[pos_++]);
+  if (op > static_cast<std::uint8_t>(BatchOp::kInvalidate)) {
+    ok_ = false;
+    return false;
+  }
+  out.op = static_cast<BatchOp>(op);
+  out.value = {};
+  out.version = 0;
+
+  std::uint64_t len = 0;
+  if (!readVarint(len) || len > data_.size() - pos_) {
+    ok_ = false;
+    return false;
+  }
+  out.key = data_.substr(pos_, len);
+  pos_ += len;
+
+  if (out.op == BatchOp::kPut) {
+    if (!readVarint(len) || len > data_.size() - pos_) {
+      ok_ = false;
+      return false;
+    }
+    out.value = data_.substr(pos_, len);
+    pos_ += len;
+    if (data_.size() - pos_ < 8) {
+      ok_ = false;
+      return false;
+    }
+    std::uint64_t version = 0;
+    for (int i = 0; i < 8; ++i) {
+      version |= static_cast<std::uint64_t>(
+                     static_cast<std::uint8_t>(data_[pos_ + i]))
+                 << (8 * i);
+    }
+    out.version = version;
+    pos_ += 8;
+  }
+  ++consumed_;
+  return true;
+}
+
+}  // namespace dcache::rpc

@@ -1,0 +1,131 @@
+// Batched, arena-backed request buffers: many cache/KV operations coalesced
+// into one wire message with a single length-delimited record block. The
+// builder appends fixed-layout records into a reusable byte arena (clear()
+// keeps capacity, so a steady-state serve loop performs zero allocations
+// per batch), and the reader iterates records as string_views into the
+// received buffer — no per-op message objects on either side.
+//
+// Wire layout (codec-compatible with messages.cpp):
+//   field 1 (varint)            op count
+//   field 2 (length-delimited)  record block
+// Record block layout, one record per op:
+//   op byte | varint keyLen | key bytes
+//   puts additionally carry:  varint valueLen | value bytes | fixed64 version
+//
+// Like every decoder in this library, BatchReader is total: malformed bytes
+// from "the network" yield a clean failure, never UB.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "rpc/wire.hpp"
+
+namespace dcache::rpc {
+
+enum class BatchOp : std::uint8_t {
+  kGet = 0,
+  kPut = 1,
+  kInvalidate = 2,
+};
+
+/// One decoded operation. Views point into the reader's buffer and are
+/// valid only while that buffer outlives the reader.
+struct BatchItem {
+  BatchOp op = BatchOp::kGet;
+  std::string_view key;
+  std::string_view value;        // puts only
+  std::uint64_t version = 0;     // puts only
+};
+
+class RequestBatch {
+ public:
+  void appendGet(std::string_view key) { appendKeyOnly(BatchOp::kGet, key); }
+  void appendInvalidate(std::string_view key) {
+    appendKeyOnly(BatchOp::kInvalidate, key);
+  }
+  void appendPut(std::string_view key, std::string_view value,
+                 std::uint64_t version);
+
+  [[nodiscard]] std::uint32_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  /// Drops all records but keeps the arena allocation for reuse.
+  void clear() noexcept {
+    arena_.clear();
+    count_ = 0;
+  }
+
+  /// Bytes this batch occupies on the wire — what a Channel::call should
+  /// charge for shipping it. Matches encode()'s output size exactly.
+  [[nodiscard]] std::uint64_t encodedSize() const noexcept;
+  void encode(WireEncoder& enc) const;
+
+  /// The raw record block (already in wire form).
+  [[nodiscard]] std::string_view records() const noexcept {
+    return {reinterpret_cast<const char*>(arena_.data()), arena_.size()};
+  }
+
+ private:
+  void appendKeyOnly(BatchOp op, std::string_view key);
+  void appendVarint(std::uint64_t value);
+  void appendBytes(std::string_view bytes);
+
+  std::vector<std::uint8_t> arena_;
+  std::uint32_t count_ = 0;
+};
+
+/// Forward iterator over a batch's record block. Construct via decode()
+/// (full wire message) or directly from a record block + count.
+class BatchReader {
+ public:
+  BatchReader(std::string_view records, std::uint32_t count) noexcept
+      : data_(records), expected_(count) {}
+
+  /// Parse a full wire message produced by RequestBatch::encode. The views
+  /// inside the reader alias `bytes`. Returns nullopt on malformed input.
+  [[nodiscard]] static std::optional<BatchReader> decode(
+      std::string_view bytes);
+
+  /// Advance to the next record. Returns false at the end of the block or
+  /// on malformed bytes (check ok() to distinguish).
+  [[nodiscard]] bool next(BatchItem& out) noexcept;
+
+  /// True while no malformed record has been seen.
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  /// Op count claimed by the batch header.
+  [[nodiscard]] std::uint32_t expectedCount() const noexcept {
+    return expected_;
+  }
+  /// Records successfully yielded so far.
+  [[nodiscard]] std::uint32_t consumed() const noexcept { return consumed_; }
+
+ private:
+  [[nodiscard]] bool readVarint(std::uint64_t& out) noexcept;
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  std::uint32_t expected_ = 0;
+  std::uint32_t consumed_ = 0;
+  bool ok_ = true;
+};
+
+/// Wire size of one batched get/invalidate record for `keyLen`-byte keys —
+/// lets serve loops account batch growth without building the batch.
+[[nodiscard]] constexpr std::uint64_t batchKeyOpWireSize(
+    std::uint64_t keyLen) noexcept {
+  std::uint64_t lenBytes = 1;
+  for (std::uint64_t v = keyLen; v >= 0x80; v >>= 7) ++lenBytes;
+  return 1 + lenBytes + keyLen;
+}
+
+/// Wire size of one batched put record.
+[[nodiscard]] constexpr std::uint64_t batchPutOpWireSize(
+    std::uint64_t keyLen, std::uint64_t valueLen) noexcept {
+  std::uint64_t valueLenBytes = 1;
+  for (std::uint64_t v = valueLen; v >= 0x80; v >>= 7) ++valueLenBytes;
+  return batchKeyOpWireSize(keyLen) + valueLenBytes + valueLen + 8;
+}
+
+}  // namespace dcache::rpc

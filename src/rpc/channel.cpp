@@ -81,42 +81,10 @@ void CircuitBreaker::trip(double nowMicros) noexcept {
   ++opens_;
 }
 
-CallResult Channel::callDirect(sim::Node& client, sim::Node& server,
-                               std::uint64_t requestBytes,
-                               std::uint64_t responseBytes, bool marshal,
-                               sim::CpuComponent framingComponent) noexcept {
-  ++calls_;
-  CallResult result;
-  result.requestBytes = requestBytes;
-  result.responseBytes = responseBytes;
-
-  if (&client == &server) return result;  // in-process: free by design
-
-  if (marshal) {
-    serializer_.chargeSerialize(client, requestBytes);
-  }
-  result.latencyMicros +=
-      network_->transfer(client, server, requestBytes, framingComponent);
-  if (marshal) {
-    serializer_.chargeDeserialize(server, requestBytes);
-    serializer_.chargeSerialize(server, responseBytes);
-  }
-  result.latencyMicros +=
-      network_->transfer(server, client, responseBytes, framingComponent);
-  if (marshal) {
-    serializer_.chargeDeserialize(client, responseBytes);
-  }
-  return result;
-}
-
-CallResult Channel::call(sim::Node& client, sim::Node& server,
-                         std::uint64_t requestBytes,
-                         std::uint64_t responseBytes, bool marshal,
-                         sim::CpuComponent framingComponent) noexcept {
-  if (!faultsEnabled_) {
-    return callDirect(client, server, requestBytes, responseBytes, marshal,
-                      framingComponent);
-  }
+CallResult Channel::callSlow(sim::Node& client, sim::Node& server,
+                             std::uint64_t requestBytes,
+                             std::uint64_t responseBytes, bool marshal,
+                             sim::CpuComponent framingComponent) noexcept {
   const PolicyCallResult policyResult =
       callWithPolicy(client, server, requestBytes, responseBytes,
                      defaultPolicy_, marshal, framingComponent);

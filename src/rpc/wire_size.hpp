@@ -1,0 +1,56 @@
+// Zero-allocation wire-size helpers for the serve hot path.
+//
+// The experiment loops only ever need encodedSize() of a message they would
+// build from a key/value they already have — constructing a GetRequest just
+// to ask its size costs a std::string copy per simulated op. Each helper
+// below computes exactly what the corresponding message's encodedSize()
+// returns (field layouts in messages.cpp); test_wire.cpp pins the
+// equivalence against real messages across a sweep of lengths, so the two
+// can never drift silently.
+#pragma once
+
+#include <cstdint>
+
+#include "rpc/messages.hpp"
+
+namespace dcache::rpc {
+
+/// GetRequest{key}.encodedSize() — layout: 1=key.
+[[nodiscard]] constexpr std::uint64_t getRequestWireSize(
+    std::uint64_t keyLen) noexcept {
+  return bytesFieldSize(keyLen);
+}
+
+/// GetResponse{found, version, value}.encodedSize() — layout: 1=found,
+/// 2=version(fixed64), 3=value. Simulation paths pass valueLen = 0 and
+/// account the logical value bytes separately.
+[[nodiscard]] constexpr std::uint64_t getResponseWireSize(
+    std::uint64_t valueLen = 0) noexcept {
+  return 2 + 9 + bytesFieldSize(valueLen);
+}
+
+/// PutRequest{key, value, version}.encodedSize() — layout: 1=key, 2=value,
+/// 3=version(fixed64).
+[[nodiscard]] constexpr std::uint64_t putRequestWireSize(
+    std::uint64_t keyLen, std::uint64_t valueLen = 0) noexcept {
+  return bytesFieldSize(keyLen) + bytesFieldSize(valueLen) + 9;
+}
+
+/// PutResponse{ok, version}.encodedSize() — layout: 1=ok,
+/// 2=version(fixed64).
+[[nodiscard]] constexpr std::uint64_t putResponseWireSize() noexcept {
+  return 2 + 9;
+}
+
+/// VersionCheckRequest: identical layout to GetRequest.
+[[nodiscard]] constexpr std::uint64_t versionCheckRequestWireSize(
+    std::uint64_t keyLen) noexcept {
+  return getRequestWireSize(keyLen);
+}
+
+/// VersionCheckResponse: identical layout to PutResponse.
+[[nodiscard]] constexpr std::uint64_t versionCheckResponseWireSize() noexcept {
+  return putResponseWireSize();
+}
+
+}  // namespace dcache::rpc

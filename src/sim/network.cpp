@@ -2,26 +2,6 @@
 
 namespace dcache::sim {
 
-double NetworkModel::transfer(Node& src, Node& dst, std::uint64_t payloadBytes,
-                              CpuComponent component) noexcept {
-  if (&src == &dst) return 0.0;  // in-process handoff
-
-  const double perEnd = params_.perMessageCpuMicros +
-                        params_.perByteCpuMicros *
-                            static_cast<double>(payloadBytes);
-  src.charge(component, perEnd);
-  dst.charge(component, perEnd);
-
-  ++messages_;
-  bytes_ += payloadBytes;
-  if (TraceSink* sink = activeTraceSink()) sink->onBytesMoved(payloadBytes);
-
-  const double latency =
-      params_.oneWayLatencyMicros +
-      params_.perByteLatencyMicros * static_cast<double>(payloadBytes);
-  return degraded_ ? latency * latencyFactor_ : latency;
-}
-
 double NetworkModel::chargeLostLeg(Node& src, std::uint64_t payloadBytes,
                                    CpuComponent component) noexcept {
   const double perEnd = params_.perMessageCpuMicros +

@@ -30,8 +30,27 @@ class NetworkModel {
   /// under `component` and returns the one-way latency in microseconds.
   /// In-process transfers (src == dst) are free: a linked cache hit must not
   /// pay network cost — that is the architectural point being measured.
+  /// Inline: every simulated RPC leg lands here (tens of millions of calls
+  /// per bench run).
   double transfer(Node& src, Node& dst, std::uint64_t payloadBytes,
-                  CpuComponent component) noexcept;
+                  CpuComponent component) noexcept {
+    if (&src == &dst) return 0.0;  // in-process handoff
+
+    const double perEnd =
+        params_.perMessageCpuMicros +
+        params_.perByteCpuMicros * static_cast<double>(payloadBytes);
+    src.charge(component, perEnd);
+    dst.charge(component, perEnd);
+
+    ++messages_;
+    bytes_ += payloadBytes;
+    if (TraceSink* sink = activeTraceSink()) sink->onBytesMoved(payloadBytes);
+
+    const double latency =
+        params_.oneWayLatencyMicros +
+        params_.perByteLatencyMicros * static_cast<double>(payloadBytes);
+    return degraded_ ? latency * latencyFactor_ : latency;
+  }
 
   [[nodiscard]] const NetworkParams& params() const noexcept { return params_; }
 

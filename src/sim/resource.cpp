@@ -25,12 +25,6 @@ std::string_view cpuComponentName(CpuComponent c) noexcept {
   return "unknown";
 }
 
-void CpuMeter::charge(CpuComponent component, double micros) noexcept {
-  if (micros <= 0.0) return;
-  byComponent_[static_cast<std::size_t>(component)] += micros;
-  total_ += micros;
-}
-
 void CpuMeter::merge(const CpuMeter& other) noexcept {
   for (std::size_t i = 0; i < kNumCpuComponents; ++i) {
     byComponent_[i] += other.byComponent_[i];

@@ -1,12 +1,16 @@
 #include "storage/block_cache.hpp"
 
-#include <cstdio>
-
 #include "util/hash.hpp"
 
 namespace dcache::storage {
 
 std::string BlockCache::blockIdFor(std::string_view key) {
+  std::string out;
+  blockIdTo(key, out);
+  return out;
+}
+
+void BlockCache::blockIdTo(std::string_view key, std::string& out) {
   // Group 16 hash buckets per block: preserves the "over-read" property of
   // block storage (a hot key drags its block neighbours into memory).
   std::uint64_t block = util::hashKey(key) >> 4;
@@ -17,23 +21,24 @@ std::string BlockCache::blockIdFor(std::string_view key) {
     buf[i] = kHex[block & 0xF];
     block >>= 4;
   }
-  return std::string(buf, sizeof buf);
+  out.assign(buf, sizeof buf);
 }
 
 bool BlockCache::touchRead(std::string_view key, std::uint64_t rowBytes) {
-  const std::string id = blockIdFor(key);
-  if (cache_.get(id) != nullptr) return true;
-  cache_.put(id, cache::CacheEntry::sized(blockSizeFor(rowBytes)));
+  blockIdTo(key, idScratch_);
+  if (cache_.get(idScratch_) != nullptr) return true;
+  cache_.put(idScratch_, cache::CacheEntry::sized(blockSizeFor(rowBytes)));
   return false;
 }
 
 void BlockCache::touchWrite(std::string_view key, std::uint64_t rowBytes) {
-  const std::string id = blockIdFor(key);
-  cache_.put(id, cache::CacheEntry::sized(blockSizeFor(rowBytes)));
+  blockIdTo(key, idScratch_);
+  cache_.put(idScratch_, cache::CacheEntry::sized(blockSizeFor(rowBytes)));
 }
 
 void BlockCache::invalidate(std::string_view key) {
-  cache_.erase(blockIdFor(key));
+  blockIdTo(key, idScratch_);
+  cache_.erase(idScratch_);
 }
 
 }  // namespace dcache::storage

@@ -5,12 +5,16 @@
 // write-through (a freshly written row sits in the memtable, so an
 // immediately following read is cheap — write-invalidate would overstate
 // disk traffic).
+//
+// Runs on the flat slab/open-addressing backend (flat_cache.hpp), which is
+// sequence-identical to the node ClockCache it replaced.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 
-#include "cache/clock.hpp"
+#include "cache/flat_cache.hpp"
 
 namespace dcache::storage {
 
@@ -18,7 +22,8 @@ class BlockCache {
  public:
   static constexpr std::uint64_t kBlockBytes = 4096;
 
-  explicit BlockCache(util::Bytes capacity) : cache_(capacity) {}
+  explicit BlockCache(util::Bytes capacity)
+      : cache_(cache::FlatMode::kClock, capacity) {}
 
   /// Probe for the block containing `key` (a row of `rowBytes`). On a miss
   /// the block is loaded (inserted); the caller charges the disk path.
@@ -46,13 +51,17 @@ class BlockCache {
 
   /// Block identifier for a key: 16 adjacent hash buckets share a block.
   [[nodiscard]] static std::string blockIdFor(std::string_view key);
+  /// blockIdFor into a caller-provided scratch buffer (per-read hot path).
+  static void blockIdTo(std::string_view key, std::string& out);
   /// Bytes charged for a block holding a row of `rowBytes`.
   [[nodiscard]] static std::uint64_t blockSizeFor(std::uint64_t rowBytes) noexcept {
     return rowBytes > kBlockBytes ? rowBytes : kBlockBytes;
   }
 
  private:
-  cache::ClockCache cache_;
+  cache::FlatCache cache_;
+  /// Per-op block-id scratch; valid only within one touch/invalidate call.
+  std::string idScratch_;
 };
 
 }  // namespace dcache::storage

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "rpc/messages.hpp"
+#include "rpc/wire_size.hpp"
 #include "sim/trace_hook.hpp"
 #include "storage/executor.hpp"
 #include "storage/sql_parser.hpp"
@@ -106,6 +106,13 @@ void Database::loadRow(std::string_view table, const Row& row) {
 void Database::loadValue(std::string_view key, std::uint64_t size) {
   const std::string k = kvKey(key);
   engines_[nodeFor(k)].put(k, StoredValue::sized(size), ++ts_);
+}
+
+void Database::reserveKeys(std::size_t expectedKeys) {
+  // 1/8 slack absorbs hash skew across engines.
+  const std::size_t perEngine =
+      expectedKeys / engines_.size() + expectedKeys / (engines_.size() * 8);
+  for (KvEngine& engine : engines_) engine.reserveKeys(perEngine);
 }
 
 // ---- engine-level API ----
@@ -317,13 +324,10 @@ Database::ReadResult Database::readValue(sim::Node& client,
   result.size = stored ? stored->size : 0;
   result.version = stored ? stored->version : 0;
 
-  const rpc::GetRequest req{std::string(key)};
-  rpc::GetResponse resp;
-  resp.found = result.found;
   result.latencyMicros =
       trace.latencyMicros +
-      settleRpc(client, frontend, req.encodedSize(),
-                resp.encodedSize() + result.size, trace);
+      settleRpc(client, frontend, rpc::getRequestWireSize(key.size()),
+                rpc::getResponseWireSize() + result.size, trace);
   span.setOutcome(result.found ? sim::SpanOutcome::kOk
                                : sim::SpanOutcome::kMiss);
   return result;
@@ -340,12 +344,10 @@ Database::WriteResult Database::writeValue(sim::Node& client,
   enginePut(kvKey(key), StoredValue::sized(size), trace);
   result.version = ts_;
 
-  const rpc::PutRequest req{std::string(key), {}, 0};
-  const rpc::PutResponse resp{true, result.version};
   result.latencyMicros =
       trace.latencyMicros +
-      settleRpc(client, frontend, req.encodedSize() + size,
-                resp.encodedSize(), trace);
+      settleRpc(client, frontend, rpc::putRequestWireSize(key.size()) + size,
+                rpc::putResponseWireSize(), trace);
   return result;
 }
 
@@ -363,12 +365,10 @@ Database::VersionResult Database::versionCheck(sim::Node& client,
   result.found = stored != nullptr;
   result.version = stored ? stored->version : 0;
 
-  const rpc::VersionCheckRequest req{std::string(key)};
-  const rpc::VersionCheckResponse resp{result.found, result.version};
   result.latencyMicros =
       trace.latencyMicros +
-      settleRpc(client, frontend, req.encodedSize(), resp.encodedSize(),
-                trace);
+      settleRpc(client, frontend, rpc::versionCheckRequestWireSize(key.size()),
+                rpc::versionCheckResponseWireSize(), trace);
   return result;
 }
 
@@ -384,12 +384,10 @@ Database::VersionResult Database::versionCheckRow(sim::Node& client,
   result.found = stored != nullptr;
   result.version = stored ? stored->version : 0;
 
-  const rpc::VersionCheckRequest req{std::string(pk)};
-  const rpc::VersionCheckResponse resp{result.found, result.version};
   result.latencyMicros =
       trace.latencyMicros +
-      settleRpc(client, frontend, req.encodedSize(), resp.encodedSize(),
-                trace);
+      settleRpc(client, frontend, rpc::versionCheckRequestWireSize(pk.size()),
+                rpc::versionCheckResponseWireSize(), trace);
   return result;
 }
 

@@ -79,6 +79,9 @@ class Database {
   [[nodiscard]] const TableSchema* schema(std::string_view table) const;
   void loadRow(std::string_view table, const Row& row);
   void loadValue(std::string_view key, std::uint64_t size);
+  /// Pre-size every engine's point index for a bulk load of `expectedKeys`
+  /// (spread by key hash), avoiding per-engine rehash cascades.
+  void reserveKeys(std::size_t expectedKeys);
 
   // ---- SQL path ----
   struct QueryResult {

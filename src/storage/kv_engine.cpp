@@ -4,13 +4,63 @@
 
 namespace dcache::storage {
 
+KvEngine::Chain* KvEngine::findChain(std::uint64_t hash,
+                                     std::string_view key) const {
+  if (index_.empty()) return nullptr;
+  std::size_t pos = static_cast<std::size_t>(hash) & indexMask_;
+  while (index_[pos].chain != nullptr) {
+    if (index_[pos].hash == hash && *index_[pos].key == key) {
+      return index_[pos].chain;
+    }
+    pos = (pos + 1) & indexMask_;
+  }
+  return nullptr;
+}
+
+void KvEngine::indexInsert(std::uint64_t hash, const std::string* key,
+                           Chain* chain) {
+  maybeGrowIndex();
+  std::size_t pos = static_cast<std::size_t>(hash) & indexMask_;
+  while (index_[pos].chain != nullptr) pos = (pos + 1) & indexMask_;
+  index_[pos] = IndexSlot{hash, key, chain};
+}
+
+void KvEngine::maybeGrowIndex() {
+  // Grow at 70% load; chains_.size() is the number of occupied slots.
+  if (!index_.empty() && (chains_.size() + 1) * 10 <= index_.size() * 7) {
+    return;
+  }
+  rebuildIndex(index_.empty() ? 1024 : index_.size() * 2);
+}
+
+void KvEngine::rebuildIndex(std::size_t slots) {
+  index_.assign(slots, IndexSlot{});
+  indexMask_ = slots - 1;
+  for (auto& [key, chain] : chains_) {
+    const std::uint64_t h = util::fastHash64(key);
+    std::size_t pos = static_cast<std::size_t>(h) & indexMask_;
+    while (index_[pos].chain != nullptr) pos = (pos + 1) & indexMask_;
+    index_[pos] = IndexSlot{h, &key, &chain};
+  }
+}
+
+void KvEngine::reserveKeys(std::size_t expectedKeys) {
+  std::size_t slots = 1024;
+  // Size so `expectedKeys` stays under the 70% growth threshold.
+  while (expectedKeys * 10 > slots * 7) slots *= 2;
+  if (slots > index_.size()) rebuildIndex(slots);
+}
+
 bool KvEngine::put(std::string_view key, StoredValue value,
                    std::uint64_t commitTs) {
-  auto it = chains_.find(key);
-  if (it == chains_.end()) {
-    it = chains_.emplace(std::string(key), Chain{}).first;
+  const std::uint64_t h = util::fastHash64(key);
+  Chain* found = findChain(h, key);
+  if (found == nullptr) {
+    auto it = chains_.emplace(std::string(key), Chain{}).first;
+    found = &it->second;
+    indexInsert(h, &it->first, found);
   }
-  Chain& chain = it->second;
+  Chain& chain = *found;
   if (!chain.empty() && chain.back().version >= commitTs) {
     return false;  // stale write: a newer version is already committed
   }
@@ -32,9 +82,9 @@ bool KvEngine::erase(std::string_view key, std::uint64_t commitTs) {
 
 const StoredValue* KvEngine::get(std::string_view key,
                                  std::uint64_t snapshotTs) const {
-  const auto it = chains_.find(key);
-  if (it == chains_.end()) return nullptr;
-  const Chain& chain = it->second;
+  const Chain* found = findChain(util::fastHash64(key), key);
+  if (found == nullptr) return nullptr;
+  const Chain& chain = *found;
   // Newest version with version <= snapshotTs.
   for (auto rit = chain.rbegin(); rit != chain.rend(); ++rit) {
     if (rit->version <= snapshotTs) {

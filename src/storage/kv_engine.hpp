@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "util/bytes.hpp"
+#include "util/hash.hpp"
 
 namespace dcache::storage {
 
@@ -65,6 +66,10 @@ class KvEngine {
   /// of versions reclaimed.
   std::size_t gc(std::size_t keep = 2);
 
+  /// Pre-size the point index for `expectedKeys` keys, avoiding the
+  /// rehash cascade when a deployment bulk-loads its keyspace.
+  void reserveKeys(std::size_t expectedKeys);
+
   [[nodiscard]] std::size_t keyCount() const noexcept { return chains_.size(); }
   [[nodiscard]] util::Bytes liveBytes() const noexcept {
     return util::Bytes::of(liveBytes_);
@@ -74,7 +79,26 @@ class KvEngine {
  private:
   using Chain = std::vector<StoredValue>;  // ascending by version
 
+  /// Open-addressing point index over `chains_`. Point gets/puts dominate
+  /// the serve path, and an RB-tree descent per lookup was the single
+  /// hottest function in the whole simulator; the ordered map is kept only
+  /// for scanPrefix. Safe because nothing ever erases a chains_ node (GC
+  /// trims chains in place), so the cached key/chain pointers stay valid.
+  struct IndexSlot {
+    std::uint64_t hash = 0;
+    const std::string* key = nullptr;
+    Chain* chain = nullptr;  // nullptr == empty slot
+  };
+
+  [[nodiscard]] Chain* findChain(std::uint64_t hash,
+                                 std::string_view key) const;
+  void indexInsert(std::uint64_t hash, const std::string* key, Chain* chain);
+  void maybeGrowIndex();
+  void rebuildIndex(std::size_t slots);
+
   std::map<std::string, Chain, std::less<>> chains_;
+  std::vector<IndexSlot> index_;  // power-of-two linear probing
+  std::size_t indexMask_ = 0;
   std::uint64_t liveBytes_ = 0;  // newest non-tombstone version per key
   std::uint64_t writes_ = 0;
 };

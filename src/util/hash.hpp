@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <string_view>
 
 namespace dcache::util {
@@ -36,6 +37,41 @@ namespace dcache::util {
 /// Hash a 64-bit integer key (e.g. a row id) directly.
 [[nodiscard]] constexpr std::uint64_t hashU64(std::uint64_t x) noexcept {
   return mix64(x + 0x9e3779b97f4a7c15ULL);
+}
+
+/// Fast word-at-a-time 64-bit hash (MurmurHash64A). Roughly 5x cheaper than
+/// hashKey's byte-serial FNV on short keys, but NOT part of any observable
+/// placement decision: use it ONLY for internal index layout (open-addressing
+/// probe positions) where an exact key compare decides equality — never for
+/// shard selection, ring placement, or anything else whose value leaks into
+/// experiment output.
+[[nodiscard]] inline std::uint64_t fastHash64(std::string_view bytes) noexcept {
+  constexpr std::uint64_t kMul = 0xc6a4a7935bd1e995ULL;
+  constexpr int kShift = 47;
+  std::uint64_t h = 0x8445d61a4e774912ULL ^ (bytes.size() * kMul);
+  const char* p = bytes.data();
+  std::size_t n = bytes.size();
+  while (n >= 8) {
+    std::uint64_t k;
+    std::memcpy(&k, p, 8);
+    k *= kMul;
+    k ^= k >> kShift;
+    k *= kMul;
+    h ^= k;
+    h *= kMul;
+    p += 8;
+    n -= 8;
+  }
+  if (n != 0) {
+    std::uint64_t tail = 0;
+    std::memcpy(&tail, p, n);
+    h ^= tail;
+    h *= kMul;
+  }
+  h ^= h >> kShift;
+  h *= kMul;
+  h ^= h >> kShift;
+  return h;
 }
 
 /// Transparent hasher for unordered containers keyed by std::string but

@@ -6,10 +6,24 @@
 namespace dcache::workload {
 
 std::string keyName(std::uint64_t keyIndex) {
+  std::string out;
+  keyNameTo(keyIndex, out);
+  return out;
+}
+
+void keyNameTo(std::uint64_t keyIndex, std::string& out) {
+  // Hand-rolled "k%09llu": the serve loop formats one key per simulated op,
+  // where snprintf's format parsing is measurable.
   char buf[24];
-  std::snprintf(buf, sizeof buf, "k%09llu",
-                static_cast<unsigned long long>(keyIndex));
-  return buf;
+  char* const end = buf + sizeof buf;
+  char* p = end;
+  do {
+    *--p = static_cast<char>('0' + keyIndex % 10);
+    keyIndex /= 10;
+  } while (keyIndex != 0);
+  while (end - p < 9) *--p = '0';
+  *--p = 'k';
+  out.assign(p, static_cast<std::size_t>(end - p));
 }
 
 double Workload::meanValueSize(std::uint64_t sampleKeys) const {

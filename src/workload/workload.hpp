@@ -30,6 +30,10 @@ struct Op {
 /// bytes on the wire don't vary with the index.
 [[nodiscard]] std::string keyName(std::uint64_t keyIndex);
 
+/// keyName without the return-value allocation: formats into `out`,
+/// reusing its capacity. The serve hot path calls this once per op.
+void keyNameTo(std::uint64_t keyIndex, std::string& out);
+
 class Workload {
  public:
   virtual ~Workload() = default;

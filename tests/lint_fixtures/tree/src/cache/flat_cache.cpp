@@ -1,0 +1,32 @@
+// Seeded hot-path-alloc violations. This relPath is on the rule's
+// serve-path whitelist, so each allocation below must be flagged; the
+// annotated reserve() pins the allow syntax.
+#include <memory>
+#include <vector>
+
+namespace fixture {
+
+struct Node {
+  int value = 0;
+};
+
+class FlatCache {
+ public:
+  void put(int key) {
+    nodes_.push_back(Node{key});
+    auto spare = std::make_unique<Node>();
+    Node* raw = new Node();
+    delete raw;
+    spare.reset();
+  }
+
+  void grow() {
+    // dcache-lint: allow(hot-path-alloc, fixture: amortized growth in whole strides, not per entry)
+    nodes_.reserve(nodes_.size() + 1024);
+  }
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace fixture

@@ -98,6 +98,22 @@ cmake --build "$TSAN_BUILD_DIR" -j "$(nproc)"
 
 echo "check.sh: tsan-labeled tests and the traced parallel bench passed under TSan"
 
+# Perf lane (RUN_PERF=1, needs a plain RelWithDebInfo tree — sanitizer
+# timing is meaningless): re-runs the deterministic benches and fails on a
+# >20% wall-clock regression vs the committed perf/BENCH_*.json baselines.
+# Opt-in because wall-clock gates on shared CI machines need a deliberate
+# quiet-machine run; tools/perf.sh takes best-of-3 to filter scheduler
+# noise either way.
+if [[ "${RUN_PERF:-0}" == "1" ]]; then
+  PERF_BUILD_DIR="${PERF_BUILD_DIR:-build}"
+  cmake -B "$PERF_BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$PERF_BUILD_DIR" -j "$(nproc)"
+  tools/perf.sh check "$PERF_BUILD_DIR"
+  echo "check.sh: perf lane passed (no bench regressed >20% vs perf/ baselines)"
+else
+  echo "check.sh: perf lane skipped (opt in with RUN_PERF=1)"
+fi
+
 # Opt-in clang-tidy lane (RUN_CLANG_TIDY=1): uses the compile database the
 # ASan tree exported. Skipped gracefully when clang-tidy is not installed,
 # so the gate never depends on optional tooling.

@@ -109,5 +109,6 @@ void ruleUnorderedIter(const LintInput& in, std::vector<Finding>& out);
 void ruleChargeFunnel(const LintInput& in, std::vector<Finding>& out);
 void ruleCounterRegistration(const LintInput& in, std::vector<Finding>& out);
 void ruleBenchHygiene(const LintInput& in, std::vector<Finding>& out);
+void ruleHotPathAlloc(const LintInput& in, std::vector<Finding>& out);
 
 }  // namespace dcache::lint

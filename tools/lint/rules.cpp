@@ -1,4 +1,4 @@
-// The five dcache invariant rules plus the suppression audit. Each rule is
+// The six dcache invariant rules plus the suppression audit. Each rule is
 // a pure function of the LintInput snapshot; see INVARIANTS.md for the
 // contract each one enforces and the approved ways to suppress it.
 #include "lint.hpp"
@@ -95,8 +95,9 @@ void add(std::vector<Finding>& out, std::string rule,
 
 const std::vector<std::string>& knownRules() {
   static const std::vector<std::string> kRules = {
-      "determinism",      "unordered-iter", "charge-funnel",
-      "counter-registration", "bench-hygiene",  "suppression"};
+      "determinism",          "unordered-iter", "charge-funnel",
+      "counter-registration", "bench-hygiene",  "hot-path-alloc",
+      "suppression"};
   return kRules;
 }
 
@@ -525,6 +526,67 @@ void ruleBenchHygiene(const LintInput& in, std::vector<Finding>& out) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: hot-path-alloc
+// ---------------------------------------------------------------------------
+// The flat serve path — the node slab, the key arena, the open-addressing
+// table and the SLRU segments built on them — is allocation-free per
+// operation by design; that property is where the cold-fill speedups come
+// from and it regresses silently (a stray per-entry resize() costs 2x and
+// no test fails). In the serve-path files every allocation-shaped token
+// (operator new, make_unique/make_shared, malloc-family calls, and
+// container growth like .push_back/.resize) must carry an allow stating
+// its amortization argument.
+
+void ruleHotPathAlloc(const LintInput& in, std::vector<Finding>& out) {
+  static constexpr std::array<std::string_view, 5> kAllocCalls = {
+      "make_unique", "make_shared", "malloc", "calloc", "realloc"};
+  static constexpr std::array<std::string_view, 6> kGrowthCalls = {
+      "push_back", "emplace_back", "resize", "reserve", "assign", "insert"};
+
+  for (const SourceFile& f : in.files) {
+    // The serve-path whitelist: the slab/arena storage, the flat cache, and
+    // the SLRU wrapper whose segments are flat caches. The node-based
+    // reference backends (lru.cpp, clock.cpp, ...) allocate per entry by
+    // design and are deliberately out of scope.
+    if (!fileIs(f, {"src/cache/slab.hpp", "src/cache/flat_cache.hpp",
+                    "src/cache/flat_cache.cpp", "src/cache/slru.cpp"})) {
+      continue;
+    }
+    const Tokens& t = f.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != TokenKind::kIdentifier) continue;
+      const std::string& s = t[i].text;
+      const Token* prev = i > 0 ? &t[i - 1] : nullptr;
+      const Token* next = i + 1 < t.size() ? &t[i + 1] : nullptr;
+
+      if (s == "new" && (!prev || !isPunct(*prev, "::"))) {
+        add(out, "hot-path-alloc", f.relPath, t[i].line,
+            "operator new in a serve-path file; nodes and keys must come "
+            "from the slab/arena (src/cache/slab.hpp)");
+        continue;
+      }
+      if (std::find(kAllocCalls.begin(), kAllocCalls.end(), s) !=
+              kAllocCalls.end() &&
+          next && (isPunct(*next, "(") || isPunct(*next, "<"))) {
+        add(out, "hot-path-alloc", f.relPath, t[i].line,
+            "heap allocation (" + s + ") in a serve-path file; allocate in "
+            "amortized chunks and annotate the amortization argument");
+        continue;
+      }
+      if (std::find(kGrowthCalls.begin(), kGrowthCalls.end(), s) !=
+              kGrowthCalls.end() &&
+          next && isPunct(*next, "(") && prev &&
+          (isPunct(*prev, ".") || isPunct(*prev, "->"))) {
+        add(out, "hot-path-alloc", f.relPath, t[i].line,
+            "container growth (." + s + ") in a serve-path file can "
+            "reallocate per entry; grow in amortized strides and annotate "
+            "the amortization argument");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Driver: rules -> suppression filtering -> suppression audit -> sort
 // ---------------------------------------------------------------------------
 
@@ -535,6 +597,7 @@ std::vector<Finding> runLint(LintInput& input) {
   ruleChargeFunnel(input, raw);
   ruleCounterRegistration(input, raw);
   ruleBenchHygiene(input, raw);
+  ruleHotPathAlloc(input, raw);
 
   std::vector<Finding> kept;
   for (Finding& finding : raw) {
