@@ -38,6 +38,28 @@ std::optional<std::size_t> HashRing::ownerOf(
   return it->second;
 }
 
+std::vector<std::size_t> HashRing::replicasOf(std::uint64_t keyHash,
+                                              std::size_t n) const {
+  std::vector<std::size_t> out;
+  if (ring_.empty() || n == 0) return out;
+  const std::size_t want = std::min(n, members_.size());
+  out.reserve(want);
+  auto it = ring_.lower_bound(keyHash);
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  const auto start = it;
+  do {
+    // Linear membership scan: `want` is a replication factor (2–3), not a
+    // fleet size, so this beats a set.
+    if (std::find(out.begin(), out.end(), it->second) == out.end()) {
+      out.push_back(it->second);
+      if (out.size() == want) break;
+    }
+    ++it;
+    if (it == ring_.end()) it = ring_.begin();
+  } while (it != start);
+  return out;
+}
+
 bool HashRing::contains(std::size_t member) const noexcept {
   return std::find(members_.begin(), members_.end(), member) !=
          members_.end();

@@ -25,6 +25,16 @@ class HashRing {
   [[nodiscard]] std::optional<std::size_t> ownerOf(
       std::uint64_t keyHash) const noexcept;
 
+  /// The key's replica set (DistCache-style): the first `n` *distinct*
+  /// members met walking the ring clockwise from `keyHash`. Element 0 is
+  /// ownerOf(keyHash); interleaved vnodes of members already collected are
+  /// skipped, so the result never contains a duplicate and holds at most
+  /// min(n, memberCount()) entries. Successor-walk placement is what makes
+  /// replica sets stable under churn: adding or removing one member
+  /// perturbs only the sets that straddle its vnode points.
+  [[nodiscard]] std::vector<std::size_t> replicasOf(std::uint64_t keyHash,
+                                                    std::size_t n) const;
+
   [[nodiscard]] std::size_t memberCount() const noexcept {
     return members_.size();
   }

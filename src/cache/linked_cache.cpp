@@ -28,10 +28,21 @@ std::size_t LinkedCache::ownerOf(std::string_view key) const noexcept {
   return ring_.ownerOf(util::hashKey(key)).value_or(0);
 }
 
+std::vector<std::size_t> LinkedCache::replicasOf(std::string_view key,
+                                                 std::size_t n) const {
+  return ring_.replicasOf(util::hashKey(key), n);
+}
+
 LinkedCache::GetResult LinkedCache::get(std::size_t serverIndex,
                                         std::string_view key) {
+  return getAt(serverIndex, ownerOf(key), key);
+}
+
+LinkedCache::GetResult LinkedCache::getAt(std::size_t serverIndex,
+                                          std::size_t ownerIndex,
+                                          std::string_view key) {
   sim::SpanGuard span("linked.get", sim::TierKind::kAppServer);
-  const std::size_t owner = ownerOf(key);
+  const std::size_t owner = ownerIndex;
   sim::Node& ownerNode = tier_->node(owner);
   KvCache* shard = shards_[owner].get();
 
@@ -59,16 +70,27 @@ LinkedCache::GetResult LinkedCache::get(std::size_t serverIndex,
 
 void LinkedCache::fill(std::string_view key, std::uint64_t size,
                        std::uint64_t version) {
+  fillAt(ownerOf(key), key, size, version);
+}
+
+void LinkedCache::fillAt(std::size_t ownerIndex, std::string_view key,
+                         std::uint64_t size, std::uint64_t version) {
   sim::SpanGuard span("linked.fill", sim::TierKind::kAppServer);
-  const std::size_t owner = ownerOf(key);
+  const std::size_t owner = ownerIndex;
   tier_->node(owner).charge(sim::CpuComponent::kCacheOp, costs_.insertMicros);
   shards_[owner]->put(key, CacheEntry::sized(size, version));
   tier_->node(owner).mem().use(shards_[owner]->bytesUsed());
 }
 
 double LinkedCache::invalidate(std::size_t writerIndex, std::string_view key) {
+  return invalidateAt(writerIndex, ownerOf(key), key);
+}
+
+double LinkedCache::invalidateAt(std::size_t writerIndex,
+                                 std::size_t ownerIndex,
+                                 std::string_view key) {
   sim::SpanGuard span("linked.inval", sim::TierKind::kAppServer);
-  const std::size_t owner = ownerOf(key);
+  const std::size_t owner = ownerIndex;
   sim::Node& ownerNode = tier_->node(owner);
   ownerNode.charge(sim::CpuComponent::kCacheOp, costs_.probeMicros);
   shards_[owner]->erase(key);
@@ -79,8 +101,14 @@ double LinkedCache::invalidate(std::size_t writerIndex, std::string_view key) {
 
 double LinkedCache::update(std::size_t writerIndex, std::string_view key,
                            std::uint64_t size, std::uint64_t version) {
+  return updateAt(writerIndex, ownerOf(key), key, size, version);
+}
+
+double LinkedCache::updateAt(std::size_t writerIndex, std::size_t ownerIndex,
+                             std::string_view key, std::uint64_t size,
+                             std::uint64_t version) {
   sim::SpanGuard span("linked.update", sim::TierKind::kAppServer);
-  const std::size_t owner = ownerOf(key);
+  const std::size_t owner = ownerIndex;
   sim::Node& ownerNode = tier_->node(owner);
   ownerNode.charge(sim::CpuComponent::kCacheOp, costs_.insertMicros);
   shards_[owner]->put(key, CacheEntry::sized(size, version));

@@ -65,6 +65,27 @@ class LinkedCache {
     return ring_.contains(serverIndex);
   }
 
+  // ---- replica-aware access (gray-failure survival) ----
+  /// The key's replica shard owners, primary first: the first `n` distinct
+  /// ring members clockwise from the key's hash. With n == 1 this is just
+  /// {ownerOf(key)}; the deployment's replication knob decides how many
+  /// shards actually hold the key.
+  [[nodiscard]] std::vector<std::size_t> replicasOf(std::string_view key,
+                                                    std::size_t n) const;
+  /// Probe/fill/update/invalidate against an explicit shard (a replica
+  /// chosen by the deployment). Cost accounting mirrors the keyed
+  /// versions: a non-local probe pays the forwarded marshalled hop, a
+  /// cross-server update pays the one-way message.
+  GetResult getAt(std::size_t serverIndex, std::size_t ownerIndex,
+                  std::string_view key);
+  void fillAt(std::size_t ownerIndex, std::string_view key,
+              std::uint64_t size, std::uint64_t version);
+  double updateAt(std::size_t writerIndex, std::size_t ownerIndex,
+                  std::string_view key, std::uint64_t size,
+                  std::uint64_t version);
+  double invalidateAt(std::size_t writerIndex, std::size_t ownerIndex,
+                      std::string_view key);
+
   [[nodiscard]] CacheStats aggregateStats() const noexcept;
   [[nodiscard]] util::Bytes bytesUsed() const noexcept;
   /// Total entries across shards (TTL bookkeeping boundedness checks).

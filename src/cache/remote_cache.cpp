@@ -23,8 +23,14 @@ std::size_t RemoteCache::nodeForKey(std::string_view key) const noexcept {
 
 RemoteCache::GetResult RemoteCache::get(sim::Node& client,
                                         std::string_view key) {
+  return getAt(client, nodeForKey(key), key);
+}
+
+RemoteCache::GetResult RemoteCache::getAt(sim::Node& client,
+                                          std::size_t nodeIndex,
+                                          std::string_view key) {
   sim::SpanGuard span("remote.get", sim::TierKind::kRemoteCache);
-  const std::size_t idx = nodeForKey(key);
+  const std::size_t idx = nodeIndex;
   sim::Node& server = tier_->node(idx);
   KvCache& shard = *shards_[idx];
 
@@ -68,8 +74,14 @@ RemoteCache::GetResult RemoteCache::get(sim::Node& client,
 
 double RemoteCache::put(sim::Node& client, std::string_view key,
                         std::uint64_t size, std::uint64_t version) {
+  return putAt(client, nodeForKey(key), key, size, version);
+}
+
+double RemoteCache::putAt(sim::Node& client, std::size_t nodeIndex,
+                          std::string_view key, std::uint64_t size,
+                          std::uint64_t version) {
   sim::SpanGuard span("remote.put", sim::TierKind::kRemoteCache);
-  const std::size_t idx = nodeForKey(key);
+  const std::size_t idx = nodeIndex;
   sim::Node& server = tier_->node(idx);
 
   const auto call = channel_->call(
@@ -84,8 +96,13 @@ double RemoteCache::put(sim::Node& client, std::string_view key,
 }
 
 double RemoteCache::invalidate(sim::Node& client, std::string_view key) {
+  return invalidateAt(client, nodeForKey(key), key);
+}
+
+double RemoteCache::invalidateAt(sim::Node& client, std::size_t nodeIndex,
+                                 std::string_view key) {
   sim::SpanGuard span("remote.inval", sim::TierKind::kRemoteCache);
-  const std::size_t idx = nodeForKey(key);
+  const std::size_t idx = nodeIndex;
   sim::Node& server = tier_->node(idx);
 
   // Key-only request message, minimal ack back.
@@ -97,6 +114,20 @@ double RemoteCache::invalidate(sim::Node& client, std::string_view key) {
     shards_[idx]->erase(key);
   }
   return call.latencyMicros;
+}
+
+void RemoteCache::enableReplication(std::size_t factor) {
+  replicationFactor_ = factor < 1 ? 1 : factor;
+  if (replicationFactor_ <= 1) return;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    replicaRing_.addMember(i);
+  }
+}
+
+std::vector<std::size_t> RemoteCache::replicasForKey(
+    std::string_view key) const {
+  if (replicationFactor_ <= 1) return {};
+  return replicaRing_.replicasOf(util::hashKey(key), replicationFactor_);
 }
 
 void RemoteCache::dropShard(std::size_t nodeIndex) {

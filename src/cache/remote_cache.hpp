@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "cache/hash_ring.hpp"
 #include "cache/kv_cache.hpp"
 #include "rpc/channel.hpp"
 #include "rpc/messages.hpp"
@@ -51,6 +52,33 @@ class RemoteCache {
   /// Delete-on-write invalidation.
   double invalidate(sim::Node& client, std::string_view key);
 
+  // ---- replica-aware access (gray-failure survival) ----
+  /// Arm replica placement: keys map onto a consistent-hash ring over the
+  /// pod indices with `factor` distinct replicas each. With factor <= 1
+  /// this is never called and the legacy modulo placement above stays
+  /// byte-exact; with it armed the deployment routes through
+  /// replicasForKey + the *At accessors and owns the fan-out/fallback
+  /// policy.
+  void enableReplication(std::size_t factor);
+  [[nodiscard]] std::size_t replicationFactor() const noexcept {
+    return replicationFactor_;
+  }
+  /// The key's replica pods, primary first (empty unless replication is
+  /// armed).
+  [[nodiscard]] std::vector<std::size_t> replicasForKey(
+      std::string_view key) const;
+  /// GET/PUT/invalidate against an explicit pod (a replica chosen by the
+  /// deployment). Cost accounting is identical to the keyed versions.
+  GetResult getAt(sim::Node& client, std::size_t nodeIndex,
+                  std::string_view key);
+  double putAt(sim::Node& client, std::size_t nodeIndex, std::string_view key,
+               std::uint64_t size, std::uint64_t version);
+  double invalidateAt(sim::Node& client, std::size_t nodeIndex,
+                      std::string_view key);
+  [[nodiscard]] bool nodeUp(std::size_t nodeIndex) const noexcept {
+    return tier_->node(nodeIndex).isUp();
+  }
+
   /// Crash handling: a cache pod's contents die with the process.
   void dropShard(std::size_t nodeIndex);
   /// Is the node owning `key` currently reachable? Lets clients fail fast
@@ -74,6 +102,9 @@ class RemoteCache {
   rpc::Channel* channel_;
   CacheOpCosts costs_;
   std::vector<std::unique_ptr<KvCache>> shards_;  // one per tier node
+  /// Replica placement ring (empty until enableReplication).
+  HashRing replicaRing_;
+  std::size_t replicationFactor_ = 1;
 };
 
 }  // namespace dcache::cache

@@ -101,6 +101,28 @@ Deployment::Deployment(DeploymentConfig config) : config_(config) {
     if (ov.hedgingEnabled) channel_->enableHedging(ov.hedge);
     if (ov.shed.enabled) shedder_ = std::make_unique<Shedder>(ov.shed);
   }
+
+  if (config_.health.enabled) {
+    monitor_ = std::make_unique<HealthMonitor>(config_.health);
+    const auto registerTier = [&](sim::Tier* tier) {
+      if (!tier) return;
+      for (std::size_t i = 0; i < tier->size(); ++i) {
+        monitor_->registerNode(tier->node(i), tier->kind(), i);
+      }
+    };
+    registerTier(app_.get());
+    registerTier(remoteTier_.get());
+    registerTier(sql_.get());
+    registerTier(kv_.get());
+    channel_->setCallObserver(monitor_.get());
+    // The monitor listens at the channel's policy path; arm it the way
+    // overload and installFaultSchedule do.
+    channel_->enableFaults(config_.faultSeed, config_.rpcPolicy);
+  }
+  if (config_.cacheReplicationFactor > 1 && (remote_ || linked_)) {
+    replicationOn_ = true;
+    if (remote_) remote_->enableReplication(config_.cacheReplicationFactor);
+  }
 }
 
 void Deployment::populateKv(const workload::Workload& workload) {
@@ -122,8 +144,50 @@ void Deployment::populateCatalog(const workload::UcTraceWorkload& trace,
       *catalogStore_, config_.calibration.app);
 }
 
+bool Deployment::replicaUsable(sim::TierKind tier, std::size_t index) {
+  sim::Tier* t = tierFor(tier);
+  if (!t || index >= t->size() || !t->node(index).isUp()) return false;
+  if (monitor_ && !monitor_->allowRequest(tier, index, simNowMicros_)) {
+    return false;
+  }
+  return true;
+}
+
+std::size_t Deployment::chooseLinkedReplica(const std::string& key,
+                                            bool& fallback) {
+  const auto replicas =
+      linked_->replicasOf(key, config_.cacheReplicationFactor);
+  fallback = false;
+  if (replicas.empty()) return linked_->ownerOf(key);
+  for (std::size_t r = 0; r < replicas.size(); ++r) {
+    if (replicaUsable(sim::TierKind::kAppServer, replicas[r])) {
+      fallback = r > 0;
+      return replicas[r];
+    }
+  }
+  return replicas[0];  // nothing usable: the primary's failure is counted
+}
+
+void Deployment::noteReplicaStaleness(const std::string& key,
+                                      std::uint64_t version) {
+  // peek*, not read*: anomaly accounting is the experimenter's x-ray, it
+  // must not charge CPU or change cache state.
+  const auto stored = db_->peekValueVersion(key);
+  if (stored && *stored != version) ++counters_.staleReplicaReads;
+}
+
 std::size_t Deployment::appIndexFor(const std::string& key) {
+  linkedPickValid_ = false;
   if (linked_ && config_.affinityRouting) {
+    if (replicationOn_) {
+      // Replica-aware affinity: the client leg lands on the shard the
+      // probe will use, so an ejected/slow owner is bypassed end to end.
+      linkedPick_ = chooseLinkedReplica(key, linkedPickFallback_);
+      linkedPickValid_ = true;
+      if (!faultsInstalled_ || app_->node(linkedPick_).isUp()) {
+        return linkedPick_;
+      }
+    }
     const std::size_t owner = linked_->ownerOf(key);
     if (!faultsInstalled_ || app_->node(owner).isUp()) {
       return owner;  // Slicer-style affinity
@@ -131,16 +195,24 @@ std::size_t Deployment::appIndexFor(const std::string& key) {
     // The ring still names a down node (a tier outage doesn't reshard —
     // the shards' contents survive); spray over the live servers below.
   }
-  if (!faultsInstalled_) {
+  if (!faultsInstalled_ && !monitor_) {
     const std::size_t idx = rrApp_ % app_->size();
     ++rrApp_;
     return idx;
   }
-  // Load-balancer health checks: round-robin over live servers only.
+  // Load-balancer health checks: round-robin over live servers only, and —
+  // with the health monitor on — skip ejected servers too (an ejected node
+  // still gets its periodic probe request routed through here).
   for (std::size_t probe = 0; probe < app_->size(); ++probe) {
     const std::size_t idx = rrApp_ % app_->size();
     ++rrApp_;
-    if (app_->node(idx).isUp()) return idx;
+    if (!app_->node(idx).isUp()) continue;
+    if (monitor_ &&
+        !monitor_->allowRequest(sim::TierKind::kAppServer, idx,
+                                simNowMicros_)) {
+      continue;
+    }
+    return idx;
   }
   return rrApp_ % app_->size();  // whole tier down: calls will time out
 }
@@ -214,6 +286,22 @@ double Deployment::readFromStorageAndFill(sim::Node& app,
   }
   if (!read.found) return read.latencyMicros;
   if (remote_) {
+    if (replicationOn_) {
+      // Write-all fill: every usable replica gets the value. The copies
+      // ship in parallel, so the op pays the slowest one; the extra
+      // copies' CPU/bytes land on the meters and replicaWriteFanout.
+      double maxLat = 0.0;
+      std::size_t copies = 0;
+      for (const std::size_t idx : remote_->replicasForKey(key)) {
+        if (!replicaUsable(sim::TierKind::kRemoteCache, idx)) continue;
+        const double lat = remote_->putAt(app, idx, key, read.size,
+                                          read.version);
+        if (lat > maxLat) maxLat = lat;
+        ++copies;
+      }
+      if (copies > 1) counters_.replicaWriteFanout += copies - 1;
+      return read.latencyMicros + maxLat;
+    }
     if (faultsInstalled_ && !remote_->nodeUpFor(key)) {
       // Circuit breaker: don't burn a timed-out retry budget filling a
       // pod known to be dead; the value simply isn't cached this round.
@@ -223,6 +311,26 @@ double Deployment::readFromStorageAndFill(sim::Node& app,
            remote_->put(app, key, read.size, read.version);
   }
   if (linked_) {
+    if (replicationOn_) {
+      double maxLat = 0.0;
+      std::size_t copies = 0;
+      const auto replicas =
+          linked_->replicasOf(key, config_.cacheReplicationFactor);
+      for (const std::size_t idx : replicas) {
+        if (!replicaUsable(sim::TierKind::kAppServer, idx)) continue;
+        if (config_.affinityRouting && idx == appIndex) {
+          linked_->fillAt(idx, key, read.size, read.version);
+        } else {
+          const double lat =
+              linked_->updateAt(appIndex, idx, key, read.size, read.version);
+          if (lat > maxLat) maxLat = lat;
+        }
+        ++copies;
+      }
+      if (copies > 1) counters_.replicaWriteFanout += copies - 1;
+      noteFill(key);
+      return read.latencyMicros + maxLat;
+    }
     if (config_.affinityRouting) {
       linked_->fill(key, read.size, read.version);
     } else {
@@ -286,6 +394,7 @@ Deployment::OpResult Deployment::serve(const workload::Op& op) {
   obs::RequestScope scope(tracer_.get(), op.isRead() ? "read" : "write");
   const std::uint64_t degradedBefore = counters_.degradedReads;
   const std::uint64_t shedBefore = counters_.sheddedRequests;
+  const std::uint64_t fallbackBefore = counters_.replicaFallbackReads;
   OpResult result =
       op.isRead() ? serveRead(key, op) : serveWrite(key, op);
   if (op.isRead()) {
@@ -293,11 +402,13 @@ Deployment::OpResult Deployment::serve(const workload::Op& op) {
                          ? sim::SpanOutcome::kShed
                      : counters_.degradedReads > degradedBefore
                          ? sim::SpanOutcome::kDegraded
+                     : counters_.replicaFallbackReads > fallbackBefore
+                         ? sim::SpanOutcome::kReplicaFallback
                      : result.cacheHit ? sim::SpanOutcome::kHit
                                        : sim::SpanOutcome::kMiss);
   }
   latency_.record(result.latencyMicros);
-  if (faultsInstalled_ || overloadInstalled_) syncFaultCounters();
+  if (faultsInstalled_ || overloadInstalled_ || monitor_) syncFaultCounters();
   return result;
 }
 
@@ -328,16 +439,38 @@ Deployment::OpResult Deployment::serveRead(const std::string& key,
       break;
     }
     case Architecture::kRemote: {
-      const auto hit = remote_->get(app, key);
-      result.latencyMicros += hit.latencyMicros;
+      cache::RemoteCache::GetResult hit;
+      bool contacted = false;
+      if (replicationOn_) {
+        // Walk the replica set primary-first; skip down/ejected pods and
+        // fall through a failed call to the next replica.
+        const auto replicas = remote_->replicasForKey(key);
+        for (std::size_t r = 0; r < replicas.size(); ++r) {
+          if (!replicaUsable(sim::TierKind::kRemoteCache, replicas[r])) {
+            continue;
+          }
+          hit = remote_->getAt(app, replicas[r], key);
+          result.latencyMicros += hit.latencyMicros;
+          contacted = true;
+          if (!hit.failed) {
+            if (r > 0) ++counters_.replicaFallbackReads;
+            break;
+          }
+        }
+      } else {
+        hit = remote_->get(app, key);
+        result.latencyMicros += hit.latencyMicros;
+        contacted = true;
+      }
       if (hit.hit) {
         ++counters_.cacheHits;
         result.cacheHit = true;
         servedBytes = hit.size;
+        if (replicationOn_) noteReplicaStaleness(key, hit.version);
       } else {
         // A failed call (pod down / every retry dropped) degrades to the
         // storage path — availability is preserved, the cost moves.
-        if (hit.failed) ++counters_.degradedReads;
+        if (!contacted || hit.failed) ++counters_.degradedReads;
         ++counters_.cacheMisses;
         result.latencyMicros += readFromStorageAndFill(app, appIndex, key);
       }
@@ -345,7 +478,25 @@ Deployment::OpResult Deployment::serveRead(const std::string& key,
     }
     case Architecture::kLinked:
     case Architecture::kLinkedVersion: {
-      const auto hit = linked_->get(appIndex, key);
+      cache::LinkedCache::GetResult hit;
+      if (replicationOn_) {
+        // Probe the shard the routing layer picked (appIndexFor stashes
+        // its choice so probe slots aren't granted twice per op).
+        bool fallback = false;
+        std::size_t owner;
+        if (linkedPickValid_) {
+          owner = linkedPick_;
+          fallback = linkedPickFallback_;
+          linkedPickValid_ = false;
+        } else {
+          owner = chooseLinkedReplica(key, fallback);
+        }
+        hit = linked_->getAt(appIndex, owner, key);
+        if (fallback) ++counters_.replicaFallbackReads;
+        if (hit.hit) noteReplicaStaleness(key, hit.version);
+      } else {
+        hit = linked_->get(appIndex, key);
+      }
       result.latencyMicros += hit.latencyMicros;
       if (hit.hit && ttlExpired(key)) {
         // Bounded-staleness mode: the entry outlived its freshness bound;
@@ -404,12 +555,53 @@ Deployment::OpResult Deployment::serveWrite(const std::string& key,
   result.latencyMicros += write.latencyMicros;
 
   if (remote_) {
-    result.latencyMicros +=
-        config_.writeThroughCache
-            ? remote_->put(app, key, op.valueSize, write.version)
-            : remote_->invalidate(app, key);
+    if (replicationOn_) {
+      // Write-all: every usable replica is refreshed (or invalidated) in
+      // parallel; a skipped replica goes stale, which fallback reads will
+      // surface as staleReplicaReads.
+      double maxLat = 0.0;
+      std::size_t copies = 0;
+      for (const std::size_t idx : remote_->replicasForKey(key)) {
+        if (!replicaUsable(sim::TierKind::kRemoteCache, idx)) continue;
+        const double lat =
+            config_.writeThroughCache
+                ? remote_->putAt(app, idx, key, op.valueSize, write.version)
+                : remote_->invalidateAt(app, idx, key);
+        if (lat > maxLat) maxLat = lat;
+        ++copies;
+      }
+      if (copies > 1) counters_.replicaWriteFanout += copies - 1;
+      result.latencyMicros += maxLat;
+    } else {
+      result.latencyMicros +=
+          config_.writeThroughCache
+              ? remote_->put(app, key, op.valueSize, write.version)
+              : remote_->invalidate(app, key);
+    }
   } else if (linked_) {
-    if (config_.writeThroughCache) {
+    if (replicationOn_) {
+      double maxLat = 0.0;
+      std::size_t copies = 0;
+      const auto replicas =
+          linked_->replicasOf(key, config_.cacheReplicationFactor);
+      for (const std::size_t idx : replicas) {
+        if (!replicaUsable(sim::TierKind::kAppServer, idx)) continue;
+        const double lat =
+            config_.writeThroughCache
+                ? linked_->updateAt(appIndex, idx, key, op.valueSize,
+                                    write.version)
+                : linked_->invalidateAt(appIndex, idx, key);
+        if (lat > maxLat) maxLat = lat;
+        ++copies;
+      }
+      if (copies > 1) counters_.replicaWriteFanout += copies - 1;
+      result.latencyMicros += maxLat;
+      if (config_.writeThroughCache) {
+        noteFill(key);
+      } else {
+        fillTimes_.erase(key);
+      }
+    } else if (config_.writeThroughCache) {
       result.latencyMicros +=
           linked_->update(appIndex, key, op.valueSize, write.version);
       noteFill(key);
@@ -440,7 +632,7 @@ Deployment::OpResult Deployment::serveObject(const workload::Op& op) {
                                        : sim::SpanOutcome::kMiss);
   }
   latency_.record(result.latencyMicros);
-  if (faultsInstalled_ || overloadInstalled_) syncFaultCounters();
+  if (faultsInstalled_ || overloadInstalled_ || monitor_) syncFaultCounters();
   return result;
 }
 
@@ -682,6 +874,46 @@ void Deployment::applyFault(const sim::FaultEvent& event) {
     case sim::FaultKind::kDegradeEnd:
       network_.clearDegradation();
       break;
+    case sim::FaultKind::kNodeSlowBegin: {
+      sim::Tier* tier = tierFor(event.tier);
+      if (!tier || event.nodeIndex >= tier->size()) break;
+      tier->node(event.nodeIndex).setSlowFactor(event.latencyFactor);
+      ++activeSlowNodes_;
+      network_.setAnySlowNodes(true);
+      grayFaultStarts_.push_back(
+          {event.tier, event.nodeIndex, event.atMicros});
+      break;
+    }
+    case sim::FaultKind::kNodeSlowEnd: {
+      sim::Tier* tier = tierFor(event.tier);
+      if (!tier || event.nodeIndex >= tier->size()) break;
+      tier->node(event.nodeIndex).setSlowFactor(1.0);
+      if (activeSlowNodes_ > 0) --activeSlowNodes_;
+      network_.setAnySlowNodes(activeSlowNodes_ > 0);
+      break;
+    }
+    case sim::FaultKind::kPartialPartitionBegin:
+      // Asymmetric: only the tier->dstTier direction drops; replies and
+      // independent traffic the other way still flow.
+      network_.cutLink(event.tier, event.dstTier);
+      break;
+    case sim::FaultKind::kPartialPartitionEnd:
+      network_.healLink(event.tier, event.dstTier);
+      break;
+    case sim::FaultKind::kNodeFlakyBegin: {
+      sim::Tier* tier = tierFor(event.tier);
+      if (!tier || event.nodeIndex >= tier->size()) break;
+      tier->node(event.nodeIndex).setFlakyProbability(event.dropProbability);
+      grayFaultStarts_.push_back(
+          {event.tier, event.nodeIndex, event.atMicros});
+      break;
+    }
+    case sim::FaultKind::kNodeFlakyEnd: {
+      sim::Tier* tier = tierFor(event.tier);
+      if (!tier || event.nodeIndex >= tier->size()) break;
+      tier->node(event.nodeIndex).setFlakyProbability(0.0);
+      break;
+    }
   }
 }
 
@@ -698,6 +930,32 @@ void Deployment::syncFaultCounters() noexcept {
   counters_.breakerShortCircuits = fc.breakerShortCircuits;
   counters_.hedgesSent = fc.hedgesSent;
   counters_.hedgeWins = fc.hedgeWins;
+  if (monitor_) {
+    // Consume new ejections incrementally so clearMeters() gives windowed
+    // counts (the cursor survives the clear; the counters don't).
+    const auto& ejections = monitor_->ejections();
+    while (ejectionCursor_ < ejections.size()) {
+      const auto& e = ejections[ejectionCursor_];
+      ++counters_.ejectedNodes;
+      // Detection lag = ejection time minus the latest injected gray-fault
+      // onset on that node. Ejections with no matching injection (e.g. a
+      // crashed pod racking up failures) contribute no lag.
+      std::uint64_t onset = 0;
+      bool found = false;
+      for (const GrayFaultStart& s : grayFaultStarts_) {
+        if (s.tier == e.tier && s.index == e.index &&
+            s.atMicros <= e.atMicros && (!found || s.atMicros > onset)) {
+          onset = s.atMicros;
+          found = true;
+        }
+      }
+      if (found) {
+        counters_.detectionLagMicros +=
+            static_cast<double>(e.atMicros - onset);
+      }
+      ++ejectionCursor_;
+    }
+  }
 }
 
 void Deployment::pruneInflight() {

@@ -18,6 +18,7 @@
 #include "consistency/version_check.hpp"
 #include "core/architecture.hpp"
 #include "core/calibration.hpp"
+#include "core/health.hpp"
 #include "core/overload.hpp"
 #include "obs/trace.hpp"
 #include "richobject/assembler.hpp"
@@ -85,6 +86,18 @@ struct DeploymentConfig {
   /// on its pre-overload path.
   OverloadConfig overload{};
 
+  /// Gray-failure defense: deterministic health monitoring with outlier
+  /// ejection + probing re-admission (see core/health.hpp). Off by
+  /// default; enabling it arms the channel's policy path the way overload
+  /// does, so latencies and drop draws match the fault-injection paths.
+  HealthPolicy health{};
+  /// Cache-tier replica placement for the KV serve path: each key lives on
+  /// this many distinct cache shards (Remote pods / Linked app shards).
+  /// Reads fall back to the next usable replica when the primary is down
+  /// or ejected; fills/writes fan out to every usable replica. 1 = off —
+  /// the legacy single-owner routing stays byte-exact.
+  std::size_t cacheReplicationFactor = 1;
+
   Calibration calibration{};
 };
 
@@ -121,6 +134,22 @@ struct ServeCounters {
   /// Operations whose client leg ultimately failed — the client never got
   /// an answer (distinct from sheddedRequests, where it got a fast error).
   std::uint64_t failedOps = 0;
+
+  // Gray-failure accounting (all zero unless health monitoring and/or
+  // cache replication is enabled).
+  std::uint64_t ejectedNodes = 0;  // transitions into the ejected state
+  /// Reads served by a non-primary replica because the primary was down,
+  /// ejected or failing.
+  std::uint64_t replicaFallbackReads = 0;
+  /// Replica hits whose version trails storage — the consistency anomaly a
+  /// fallback read risks (served anyway; this counts, it doesn't fix).
+  std::uint64_t staleReplicaReads = 0;
+  /// Extra replica copies written beyond the first (fan-out cost of
+  /// write-all replication).
+  std::uint64_t replicaWriteFanout = 0;
+  /// Sum over ejections of (ejection time - gray-fault onset): how long
+  /// the detector let each injected gray failure drag the tail.
+  double detectionLagMicros = 0.0;
 
   [[nodiscard]] double hitRatio() const noexcept {
     const std::uint64_t n = cacheHits + cacheMisses;
@@ -177,6 +206,15 @@ class Deployment {
   }
   /// Admission controller (null unless config.overload.shed.enabled).
   [[nodiscard]] Shedder* shedder() noexcept { return shedder_.get(); }
+  /// Failure detector (null unless config.health.enabled).
+  [[nodiscard]] HealthMonitor* healthMonitor() noexcept {
+    return monitor_.get();
+  }
+  /// True when config.cacheReplicationFactor armed replica routing (>1 and
+  /// the architecture has a cache tier to replicate).
+  [[nodiscard]] bool replicationInstalled() const noexcept {
+    return replicationOn_;
+  }
   [[nodiscard]] rpc::Channel& channel() noexcept { return *channel_; }
   /// Ring-ownership epoch: bumped every time cache ownership moves (an app
   /// node crash or restart resharding the linked ring). Stale in-flight
@@ -257,6 +295,20 @@ class Deployment {
   double readFromStorageAndFill(sim::Node& app, std::size_t appIndex,
                                 const std::string& key);
 
+  // ---- gray-failure machinery (replication + health monitoring) ----
+  /// Routing gate for one replica: node up, and (when the monitor is on)
+  /// not ejected — or ejected but due a probe, in which case the caller
+  /// must route this request to it (allowRequest mutates probe state).
+  [[nodiscard]] bool replicaUsable(sim::TierKind tier, std::size_t index);
+  /// First usable replica of the key's linked-cache replica set (primary
+  /// first); `fallback` reports whether a non-primary was picked. Called
+  /// at most once per op — replicaUsable grants probe slots.
+  [[nodiscard]] std::size_t chooseLinkedReplica(const std::string& key,
+                                                bool& fallback);
+  /// Count a replica hit whose version trails storage (fallback-read
+  /// staleness anomaly — counted, not fixed).
+  void noteReplicaStaleness(const std::string& key, std::uint64_t version);
+
   // ---- fault machinery ----
   void applyPendingFaults();
   void applyFault(const sim::FaultEvent& event);
@@ -306,6 +358,26 @@ class Deployment {
 
   std::unique_ptr<Shedder> shedder_;
   bool overloadInstalled_ = false;
+
+  std::unique_ptr<HealthMonitor> monitor_;
+  bool replicationOn_ = false;
+  /// Linked-replica pick made by appIndexFor (affinity routing) so the
+  /// serve path probes the same shard the client leg was routed to —
+  /// choosing twice would double-grant probe slots. Valid for one op.
+  std::size_t linkedPick_ = 0;
+  bool linkedPickFallback_ = false;
+  bool linkedPickValid_ = false;
+  /// Gray-fault onsets (slow/flaky begin events) for detection-lag
+  /// accounting, and the cursor over monitor ejections already consumed
+  /// into counters_.
+  struct GrayFaultStart {
+    sim::TierKind tier = sim::TierKind::kAppServer;
+    std::size_t index = 0;
+    std::uint64_t atMicros = 0;
+  };
+  std::vector<GrayFaultStart> grayFaultStarts_;
+  std::size_t ejectionCursor_ = 0;
+  std::size_t activeSlowNodes_ = 0;
 
   std::unique_ptr<consistency::LeaseManager> leases_;
   sim::FaultSchedule faultSchedule_;

@@ -1,0 +1,147 @@
+#include "core/health.hpp"
+
+#include <algorithm>
+
+namespace dcache::core {
+
+void HealthMonitor::registerNode(const sim::Node& node, sim::TierKind tier,
+                                 std::size_t index) {
+  const auto t = static_cast<std::size_t>(tier);
+  if (t >= kTiers) return;
+  if (tiers_[t].size() <= index) tiers_[t].resize(index + 1);
+  index_[&node] = {t, index};
+}
+
+const HealthMonitor::NodeState* HealthMonitor::state(
+    sim::TierKind tier, std::size_t index) const noexcept {
+  const auto t = static_cast<std::size_t>(tier);
+  if (t >= kTiers || index >= tiers_[t].size()) return nullptr;
+  return &tiers_[t][index];
+}
+
+HealthMonitor::NodeState* HealthMonitor::state(sim::TierKind tier,
+                                               std::size_t index) noexcept {
+  return const_cast<NodeState*>(
+      static_cast<const HealthMonitor*>(this)->state(tier, index));
+}
+
+double HealthMonitor::tierReferenceLatency(sim::TierKind tier) const {
+  const auto t = static_cast<std::size_t>(tier);
+  if (t >= kTiers) return 0.0;
+  medianScratch_.clear();
+  for (const NodeState& s : tiers_[t]) {
+    if (s.samples >= policy_.minSamples) {
+      medianScratch_.push_back(s.latencyEwma);
+    }
+  }
+  if (medianScratch_.empty()) return 0.0;
+  // Lower median: in a 2-node tier [healthy, slow] the reference must be
+  // the healthy node, or the slow one could never read as an outlier.
+  const std::size_t mid = (medianScratch_.size() - 1) / 2;
+  std::nth_element(medianScratch_.begin(), medianScratch_.begin() + mid,
+                   medianScratch_.end());
+  return medianScratch_[mid];
+}
+
+void HealthMonitor::onCallOutcome(const sim::Node& dst, bool ok,
+                                  double latencyMicros,
+                                  std::uint64_t nowMicros) {
+  const auto it = index_.find(&dst);
+  if (it == index_.end()) return;
+  const auto [t, i] = it->second;
+  NodeState& s = tiers_[t][i];
+  const auto tier = static_cast<sim::TierKind>(t);
+
+  if (s.ejected) {
+    // This call was a probe (routing only lets probes through). Clean =
+    // succeeded at unremarkable latency; a probe that crawls home is not
+    // evidence of recovery.
+    const double ref = tierReferenceLatency(tier);
+    const bool slow =
+        ref > 0.0 && latencyMicros > policy_.outlierFactor * ref;
+    if (ok && !slow) {
+      if (++s.probeOks >= policy_.reAdmitProbes) {
+        // Re-admit with a fresh EWMA (the pre-ejection latency history is
+        // stale; judging the recovered node on it would re-eject it
+        // instantly) but NOT a fresh suspicion score: a node that just got
+        // ejected re-enters half-way to the threshold. The hysteresis is
+        // what stops flap cycles — a flaky node whose probes happen to
+        // land needs only a couple of fresh failures to be re-ejected,
+        // instead of a full window's worth of damage.
+        s.ejected = false;
+        s.suspicion = 0.5 * policy_.suspicionToEject;
+        s.latencyEwma = 0.0;
+        s.samples = 0;
+        s.probeOks = 0;
+        --ejectedInTier_[t];
+        ++readmissions_;
+      }
+    } else {
+      s.probeOks = 0;
+    }
+    return;
+  }
+
+  if (!ok) {
+    s.suspicion += policy_.failureSuspicion;
+  } else {
+    s.latencyEwma = s.samples == 0
+                        ? latencyMicros
+                        : policy_.ewmaAlpha * latencyMicros +
+                              (1.0 - policy_.ewmaAlpha) * s.latencyEwma;
+    ++s.samples;
+    const double ref = tierReferenceLatency(tier);
+    if (s.samples >= policy_.minSamples && ref > 0.0 &&
+        s.latencyEwma > policy_.outlierFactor * ref) {
+      // The gray-failure signal: the call *succeeded*, but this node's
+      // smoothed latency stands apart from its peers.
+      s.suspicion += policy_.outlierSuspicion;
+    } else {
+      s.suspicion -= policy_.okDecay;
+      if (s.suspicion < 0.0) s.suspicion = 0.0;
+    }
+  }
+
+  if (s.suspicion >= policy_.suspicionToEject &&
+      ejectedInTier_[t] < policy_.maxEjectedPerTier) {
+    s.ejected = true;
+    s.probeOks = 0;
+    s.lastProbeMicros = nowMicros;
+    ++ejectedInTier_[t];
+    ejections_.push_back({tier, i, nowMicros});
+  }
+}
+
+bool HealthMonitor::ejected(sim::TierKind tier,
+                            std::size_t index) const noexcept {
+  const NodeState* s = state(tier, index);
+  return s != nullptr && s->ejected;
+}
+
+bool HealthMonitor::allowRequest(sim::TierKind tier, std::size_t index,
+                                 std::uint64_t nowMicros) noexcept {
+  NodeState* s = state(tier, index);
+  if (s == nullptr || !s->ejected) return true;
+  const auto interval =
+      static_cast<std::uint64_t>(policy_.probeIntervalMicros);
+  if (nowMicros >= s->lastProbeMicros + interval) {
+    s->lastProbeMicros = nowMicros;
+    ++probesGranted_;
+    return true;  // this request is the probe
+  }
+  return false;
+}
+
+double HealthMonitor::suspicion(sim::TierKind tier,
+                                std::size_t index) const noexcept {
+  const NodeState* s = state(tier, index);
+  return s != nullptr ? s->suspicion : 0.0;
+}
+
+double HealthMonitor::latencyEwma(sim::TierKind tier,
+                                  std::size_t index) const noexcept {
+  const NodeState* s = state(tier, index);
+  return s != nullptr ? s->latencyEwma : 0.0;
+}
+
+}  // namespace dcache::core

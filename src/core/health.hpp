@@ -1,0 +1,169 @@
+// Deterministic failure detector for gray failures. Circuit breakers
+// (rpc/channel.hpp) answer "is this destination failing my calls right
+// now?" — a binary, per-window judgment that fail-fasts hard failures.
+// They are blind to the defining property of a gray failure: the node
+// still answers, just slowly or lossily enough to drag the fleet's tail.
+//
+// The HealthMonitor closes that gap with a phi-accrual-style suspicion
+// score per destination, fed from every policy-path call outcome at the
+// channel boundary (rpc::CallObserver). Failures accrue suspicion
+// directly; successful calls update a latency EWMA that is compared
+// against the tier's median — a node whose smoothed latency is an outlier
+// among its peers accrues suspicion too, which is the signal breakers
+// never see. Past the threshold the node is *ejected*: routing stops
+// sending it live traffic and grants it one probe per probe interval;
+// enough consecutive clean probes re-admit it with a clean slate.
+//
+// Division of labor, by design:
+//   breaker  — per-destination fail-fast on outright call failures; acts
+//              in microseconds; no cross-node context; recovers via its
+//              own half-open probe.
+//   monitor  — cross-node *comparative* judgment (outlier vs tier median),
+//              latency-sensitive, bounded by a per-tier ejection quota so
+//              a tier-wide event (outage, overload) can never eject the
+//              quorum — tier-wide sickness is the breakers' and shedder's
+//              problem, ejection is for the one bad apple.
+//
+// Everything is driven by the sim clock and the deterministic call-outcome
+// order: no wall clock, no RNG, so a matrix cell replays byte-for-byte at
+// any --jobs (the dcache_lint determinism rule holds here like everywhere
+// else).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "rpc/channel.hpp"
+#include "sim/node.hpp"
+
+namespace dcache::core {
+
+/// Tuning for the failure detector. Defaults are sized for the benches'
+/// tiers (3–24 nodes, RPC latencies in the tens of microseconds): a hard
+/// failure ejects after ~6 consecutive failed calls, a 10x-slow node after
+/// ~minSamples + a few dozen outlier observations.
+struct HealthPolicy {
+  bool enabled = false;
+  /// Smoothing for the per-node ok-call latency EWMA.
+  double ewmaAlpha = 0.2;
+  /// Suspicion level at which a node is ejected.
+  double suspicionToEject = 6.0;
+  /// Suspicion accrued per failed call.
+  double failureSuspicion = 1.0;
+  /// A node whose latency EWMA exceeds `outlierFactor` x the tier median
+  /// is an outlier; each ok call observed in that state accrues
+  /// `outlierSuspicion`.
+  double outlierFactor = 4.0;
+  double outlierSuspicion = 1.0;
+  /// Suspicion shed per healthy (ok, non-outlier) call.
+  double okDecay = 0.25;
+  /// Ok-call samples a node needs before outlier judgment applies (a cold
+  /// EWMA is noise, not evidence).
+  std::size_t minSamples = 16;
+  /// While ejected, one probe request is admitted per interval.
+  double probeIntervalMicros = 20000.0;
+  /// Consecutive clean probes required to re-admit an ejected node.
+  std::size_t reAdmitProbes = 3;
+  /// Quorum guard: at most this many nodes may be ejected per tier. The
+  /// cap is what keeps a tier-wide partition or overload from reading as
+  /// "every node is an outlier" and ejecting the whole tier.
+  std::size_t maxEjectedPerTier = 1;
+};
+
+class HealthMonitor final : public rpc::CallObserver {
+ public:
+  explicit HealthMonitor(HealthPolicy policy) noexcept : policy_(policy) {}
+
+  /// Register a destination under its (tier, tier-local index) identity.
+  /// Outcomes for unregistered nodes are ignored.
+  void registerNode(const sim::Node& node, sim::TierKind tier,
+                    std::size_t index);
+
+  // rpc::CallObserver
+  void onCallOutcome(const sim::Node& dst, bool ok, double latencyMicros,
+                     std::uint64_t nowMicros) override;
+
+  /// Is the node currently ejected?
+  [[nodiscard]] bool ejected(sim::TierKind tier,
+                             std::size_t index) const noexcept;
+  /// Routing gate: true for healthy nodes always; for an ejected node,
+  /// true once per probe interval (the call so admitted is the probe —
+  /// its outcome feeds re-admission). Mutates probe bookkeeping, so the
+  /// caller must route to the node when this returns true.
+  [[nodiscard]] bool allowRequest(sim::TierKind tier, std::size_t index,
+                                  std::uint64_t nowMicros) noexcept;
+
+  /// One ejection record per transition into the ejected state, in the
+  /// order they happened (the deployment turns these into detection-lag
+  /// accounting).
+  struct Ejection {
+    sim::TierKind tier = sim::TierKind::kAppServer;
+    std::size_t index = 0;
+    std::uint64_t atMicros = 0;
+  };
+  [[nodiscard]] const std::vector<Ejection>& ejections() const noexcept {
+    return ejections_;
+  }
+  [[nodiscard]] std::uint64_t totalEjections() const noexcept {
+    return ejections_.size();
+  }
+  [[nodiscard]] std::uint64_t readmissions() const noexcept {
+    return readmissions_;
+  }
+  [[nodiscard]] std::uint64_t probesGranted() const noexcept {
+    return probesGranted_;
+  }
+  [[nodiscard]] std::size_t currentlyEjected(
+      sim::TierKind tier) const noexcept {
+    return ejectedInTier_[static_cast<std::size_t>(tier)];
+  }
+
+  // ---- introspection (tests) ----
+  [[nodiscard]] double suspicion(sim::TierKind tier,
+                                 std::size_t index) const noexcept;
+  [[nodiscard]] double latencyEwma(sim::TierKind tier,
+                                   std::size_t index) const noexcept;
+  /// Median ok-latency EWMA over the tier's qualified nodes (lower median;
+  /// 0 while no node has minSamples yet).
+  [[nodiscard]] double tierReferenceLatency(sim::TierKind tier) const;
+  [[nodiscard]] const HealthPolicy& policy() const noexcept {
+    return policy_;
+  }
+
+ private:
+  struct NodeState {
+    double latencyEwma = 0.0;
+    double suspicion = 0.0;
+    std::uint64_t samples = 0;
+    bool ejected = false;
+    std::uint64_t lastProbeMicros = 0;
+    std::size_t probeOks = 0;
+  };
+
+  static constexpr std::size_t kTiers =
+      static_cast<std::size_t>(sim::TierKind::kCount);
+
+  [[nodiscard]] const NodeState* state(sim::TierKind tier,
+                                       std::size_t index) const noexcept;
+  [[nodiscard]] NodeState* state(sim::TierKind tier,
+                                 std::size_t index) noexcept;
+
+  HealthPolicy policy_;
+  /// Per-tier node state, tier-local-index ordered — the only containers
+  /// ever iterated, so visit order is deterministic by construction.
+  std::array<std::vector<NodeState>, kTiers> tiers_;
+  std::array<std::size_t, kTiers> ejectedInTier_{};
+  /// Pointer -> (tier, index) lookup for onCallOutcome; never iterated.
+  std::unordered_map<const sim::Node*, std::pair<std::size_t, std::size_t>>
+      index_;
+  std::vector<Ejection> ejections_;
+  std::uint64_t readmissions_ = 0;
+  std::uint64_t probesGranted_ = 0;
+  /// Scratch for the median computation (reused, so steady-state calls
+  /// allocate nothing).
+  mutable std::vector<double> medianScratch_;
+};
+
+}  // namespace dcache::core

@@ -203,6 +203,12 @@ void exportExperimentMetrics(obs::MetricsRegistry& registry,
   registry.setCounter(base + "hedge_wins", c.hedgeWins);
   registry.setCounter(base + "budget_exhausted", c.budgetExhausted);
   registry.setCounter(base + "failed_ops", c.failedOps);
+  registry.setCounter(base + "ejected_nodes", c.ejectedNodes);
+  registry.setCounter(base + "replica_fallback_reads",
+                      c.replicaFallbackReads);
+  registry.setCounter(base + "stale_replica_reads", c.staleReplicaReads);
+  registry.setCounter(base + "replica_write_fanout", c.replicaWriteFanout);
+  registry.setGauge(base + "detection_lag_micros", c.detectionLagMicros);
 
   registry.setGauge(base + "cost.compute_usd", result.cost.computeCost.dollars());
   registry.setGauge(base + "cost.memory_usd", result.cost.memoryCost.dollars());

@@ -96,8 +96,18 @@ CallResult Channel::callSlow(sim::Node& client, sim::Node& server,
   return result;
 }
 
-bool Channel::legDropped() noexcept {
+bool Channel::legDropped(const sim::Node& src, const sim::Node& dst) noexcept {
   const double p = network_->dropProbability();
+  const double fs = src.flakyProbability();
+  const double fd = dst.flakyProbability();
+  if (fs > 0.0 || fd > 0.0) [[unlikely]] {
+    // A flaky endpoint drops legs independently of the degradation window.
+    // Combined only when a flaky window is actually open: 1-(1-p) is not p
+    // in floating point, so the plain-p path below must stay untouched for
+    // byte-identity outside flaky windows.
+    const double combined = 1.0 - (1.0 - p) * (1.0 - fs) * (1.0 - fd);
+    return util::uniform01(faultRng_) < combined;
+  }
   if (p <= 0.0) return false;  // no RNG draw: determinism outside windows
   return util::uniform01(faultRng_) < p;
 }
@@ -140,6 +150,9 @@ PolicyCallResult Channel::callWithPolicy(
   if (breaker) {
     breaker->record(out.ok, static_cast<double>(nowMicros_));
     faultCounters_.breakerOpens += breaker->opens() - opensBefore;
+  }
+  if (observer_ != nullptr) {
+    observer_->onCallOutcome(server, out.ok, out.latencyMicros, nowMicros_);
   }
   return out;
 }
@@ -187,9 +200,12 @@ PolicyCallResult Channel::runAttempts(
                                policy.deadlineMicros - out.latencyMicros)
                     : policy.timeoutMicros;
 
-    // Request leg. A down server or a dropped packet loses the leg: the
-    // client already paid to marshal and send, then waits out the timeout.
-    if (!server.isUp() || legDropped()) {
+    // Request leg. A down server, a cut client->server link (asymmetric
+    // partition) or a dropped packet loses the leg: the client already paid
+    // to marshal and send, then waits out the timeout.
+    if (!server.isUp() ||
+        network_->linkCut(client.tier(), server.tier()) ||
+        legDropped(client, server)) {
       double wasted = 0.0;
       if (marshal) {
         serializer_.chargeSerialize(client, requestBytes);
@@ -275,8 +291,12 @@ PolicyCallResult Channel::runAttempts(
     }
 
     // Response leg. A drop here wastes the whole round so far: the server
-    // did its work, but the client never sees the answer.
-    if (legDropped()) {
+    // did its work, but the client never sees the answer. A cut
+    // server->client link is the expensive asymmetric-partition case: every
+    // request gets through, every answer is lost, and the server burns full
+    // work per retry.
+    if (network_->linkCut(server.tier(), client.tier()) ||
+        legDropped(server, client)) {
       network_->chargeLostLeg(server, responseBytes, framingComponent);
       double wasted = network_->params().perMessageCpuMicros +
                       network_->params().perByteCpuMicros *
@@ -384,7 +404,9 @@ double Channel::oneWay(sim::Node& from, sim::Node& to, std::uint64_t bytes,
                        sim::CpuComponent framingComponent) noexcept {
   ++calls_;
   if (&from == &to) return 0.0;
-  if (faultsEnabled_ && (!to.isUp() || legDropped())) {
+  if (faultsEnabled_ &&
+      (!to.isUp() || network_->linkCut(from.tier(), to.tier()) ||
+       legDropped(from, to))) {
     // Fire-and-forget into the void: the sender pays, the message is lost.
     double wasted = 0.0;
     if (marshal) {

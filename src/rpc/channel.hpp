@@ -123,6 +123,24 @@ struct PolicyCallResult {
   double wastedCpuMicros = 0.0;  // CPU charged to legs that never paid off
 };
 
+/// Observer of per-destination call outcomes at the channel boundary — the
+/// feed a failure detector (core::HealthMonitor) runs on. The channel
+/// reports only calls that actually went to the wire: breaker
+/// short-circuits carry no fresh evidence about the destination (the
+/// breaker already judged it), and the no-fault fast path never reports
+/// (nothing to detect when nothing can fail).
+class CallObserver {
+ public:
+  virtual ~CallObserver() = default;
+  /// One policy-governed call to `dst` finished: `ok` is the final verdict
+  /// after retries, `latencyMicros` the call's total latency (backoff and
+  /// timed-out waits included — slowness is the signal), `nowMicros` the
+  /// sim clock.
+  virtual void onCallOutcome(const sim::Node& dst, bool ok,
+                             double latencyMicros,
+                             std::uint64_t nowMicros) = 0;
+};
+
 class Channel {
  public:
   Channel(sim::NetworkModel& network, SerializationModel serializer) noexcept
@@ -231,6 +249,16 @@ class Channel {
     return it == breakers_.end() ? nullptr : &it->second;
   }
 
+  /// Install (or clear, with nullptr) the per-destination outcome observer.
+  /// Only policy-path calls are reported, so with faults/overload disarmed
+  /// an installed observer never fires.
+  void setCallObserver(CallObserver* observer) noexcept {
+    observer_ = observer;
+  }
+  [[nodiscard]] CallObserver* callObserver() const noexcept {
+    return observer_;
+  }
+
   /// Arm hedged requests (callHedged falls back to callWithPolicy when
   /// this is off).
   void enableHedging(HedgePolicy policy) noexcept {
@@ -311,9 +339,13 @@ class Channel {
                                std::uint64_t responseBytes,
                                const CallPolicy& policy, bool marshal,
                                sim::CpuComponent framingComponent) noexcept;
-  /// Roll a leg drop from the seeded RNG (only consumed when the window's
-  /// drop probability is non-zero, preserving determinism elsewhere).
-  [[nodiscard]] bool legDropped() noexcept;
+  /// Roll a leg drop from the seeded RNG for the src -> dst leg. Combines
+  /// the network degradation window's drop probability with either
+  /// endpoint's flaky-node probability; only consumed when some probability
+  /// is non-zero, preserving determinism (and the exact draw sequence)
+  /// elsewhere.
+  [[nodiscard]] bool legDropped(const sim::Node& src,
+                                const sim::Node& dst) noexcept;
   /// Feed the hedge-delay tracker (only when hedging is armed).
   void noteHedgeLatency(sim::TierKind tier,
                         const PolicyCallResult& result) noexcept;
@@ -330,6 +362,7 @@ class Channel {
   bool breakersEnabled_ = false;
   BreakerPolicy breakerPolicy_{};
   std::unordered_map<const sim::Node*, CircuitBreaker> breakers_;
+  CallObserver* observer_ = nullptr;
 
   bool hedgingEnabled_ = false;
   HedgePolicy hedgePolicy_{};

@@ -11,10 +11,12 @@ double NetworkModel::chargeLostLeg(Node& src, std::uint64_t payloadBytes,
   ++messages_;
   bytes_ += payloadBytes;
   if (TraceSink* sink = activeTraceSink()) sink->onBytesMoved(payloadBytes);
-  const double latency =
+  double latency =
       params_.oneWayLatencyMicros +
       params_.perByteLatencyMicros * static_cast<double>(payloadBytes);
-  return degraded_ ? latency * latencyFactor_ : latency;
+  if (degraded_) latency *= latencyFactor_;
+  if (anySlowNodes_ && src.slowFactor() != 1.0) latency *= src.slowFactor();
+  return latency;
 }
 
 }  // namespace dcache::sim

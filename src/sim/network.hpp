@@ -5,6 +5,8 @@
 // benefit the paper sets aside.
 #pragma once
 
+#include <array>
+
 #include "sim/node.hpp"
 
 namespace dcache::sim {
@@ -46,10 +48,18 @@ class NetworkModel {
     bytes_ += payloadBytes;
     if (TraceSink* sink = activeTraceSink()) sink->onBytesMoved(payloadBytes);
 
-    const double latency =
+    double latency =
         params_.oneWayLatencyMicros +
         params_.perByteLatencyMicros * static_cast<double>(payloadBytes);
-    return degraded_ ? latency * latencyFactor_ : latency;
+    if (degraded_) latency *= latencyFactor_;
+    if (anySlowNodes_) [[unlikely]] {
+      // A slow node drags every leg it touches: its NIC, kernel and
+      // userspace are all running on the throttled clock.
+      const double s = src.slowFactor() > dst.slowFactor() ? src.slowFactor()
+                                                           : dst.slowFactor();
+      if (s != 1.0) latency *= s;
+    }
+    return latency;
   }
 
   [[nodiscard]] const NetworkParams& params() const noexcept { return params_; }
@@ -76,6 +86,41 @@ class NetworkModel {
   }
   [[nodiscard]] double latencyFactor() const noexcept { return latencyFactor_; }
 
+  /// Partial (asymmetric) partition: messages from `from` to `to` are lost
+  /// while the reverse direction still delivers — the classic gray failure
+  /// where A can't reach B but B's replies to everyone else look healthy.
+  /// The RPC channel consults linkCut() per leg; the drop itself is
+  /// deterministic (no RNG draw).
+  void cutLink(TierKind from, TierKind to) noexcept {
+    linkCut_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)] =
+        true;
+    anyLinkCut_ = true;
+  }
+  void healLink(TierKind from, TierKind to) noexcept {
+    linkCut_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)] =
+        false;
+    anyLinkCut_ = false;
+    for (const auto& row : linkCut_) {
+      for (const bool cut : row) {
+        if (cut) {
+          anyLinkCut_ = true;
+          return;
+        }
+      }
+    }
+  }
+  [[nodiscard]] bool linkCut(TierKind from, TierKind to) const noexcept {
+    return anyLinkCut_ &&
+           linkCut_[static_cast<std::size_t>(from)]
+                   [static_cast<std::size_t>(to)];
+  }
+
+  /// Armed by the deployment while any slow-node window is open, so the
+  /// transfer hot path pays one bool test — not two Node loads — when no
+  /// gray fault is active.
+  void setAnySlowNodes(bool any) noexcept { anySlowNodes_ = any; }
+  [[nodiscard]] bool anySlowNodes() const noexcept { return anySlowNodes_; }
+
   /// Charge only the sending side of a transfer — the leg was lost (link
   /// drop) or the receiver is down; the sender still did the syscall and
   /// copy work. Returns the latency the sender spent putting the bytes on
@@ -91,12 +136,18 @@ class NetworkModel {
   }
 
  private:
+  static constexpr std::size_t kTiers =
+      static_cast<std::size_t>(TierKind::kCount);
+
   NetworkParams params_{};
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;
   bool degraded_ = false;
   double latencyFactor_ = 1.0;
   double dropProbability_ = 0.0;
+  bool anySlowNodes_ = false;
+  bool anyLinkCut_ = false;
+  std::array<std::array<bool, kTiers>, kTiers> linkCut_{};
 };
 
 }  // namespace dcache::sim

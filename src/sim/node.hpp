@@ -40,8 +40,14 @@ class Node {
   /// Convenience: charge CPU microseconds to this node. Every unit of CPU
   /// the simulator accounts anywhere passes through here, so the active
   /// trace sink (if any) sees charges exactly once — the invariant the
-  /// CPU-conservation property tests pin down.
+  /// CPU-conservation property tests pin down. A slow-node gray fault
+  /// (sim/fault.hpp) stretches every charge by its factor: the same work
+  /// takes more core-microseconds, which is exactly how a throttled VM
+  /// deepens its queue and inflates its bill. The factor is 1.0 outside a
+  /// slow window, so the untaken branch keeps the arithmetic bit-identical
+  /// to the pre-gray-fault build.
   void charge(CpuComponent component, double micros) noexcept {
+    if (slowFactor_ != 1.0) [[unlikely]] micros *= slowFactor_;
     cpu_.charge(component, micros);
     queue_.addWork(micros);
     if (TraceSink* sink = tlsTraceSink) sink->onCpuCharge(*this, component, micros);
@@ -64,6 +70,22 @@ class Node {
     if (!up) queue_.clear();  // the crashed process takes its run queue
   }
 
+  /// Gray-fault state (sim/fault.hpp). Unlike setUp(false) the node keeps
+  /// answering — that is the whole problem: health checks pass while the
+  /// node quietly drags the fleet's tail.
+  [[nodiscard]] double slowFactor() const noexcept { return slowFactor_; }
+  void setSlowFactor(double factor) noexcept {
+    slowFactor_ = factor < 1.0 ? 1.0 : factor;
+  }
+  /// Per-leg message-drop probability while the node is flaky (the seeded
+  /// draw itself lives in the RPC channel, which owns the fault RNG).
+  [[nodiscard]] double flakyProbability() const noexcept {
+    return flakyProbability_;
+  }
+  void setFlakyProbability(double p) noexcept {
+    flakyProbability_ = p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p);
+  }
+
  private:
   std::string name_;
   TierKind tier_;
@@ -71,6 +93,8 @@ class Node {
   MemMeter mem_;
   NodeQueue queue_;
   bool up_ = true;
+  double slowFactor_ = 1.0;
+  double flakyProbability_ = 0.0;
 };
 
 }  // namespace dcache::sim

@@ -19,6 +19,7 @@ std::string_view spanOutcomeName(SpanOutcome outcome) noexcept {
     case SpanOutcome::kShed: return "shed";
     case SpanOutcome::kQueueTimeout: return "queue_timeout";
     case SpanOutcome::kHedged: return "hedged";
+    case SpanOutcome::kReplicaFallback: return "replica_fallback";
     case SpanOutcome::kCount: break;
   }
   return "?";

@@ -36,6 +36,7 @@ enum class SpanOutcome : std::uint8_t {
   kShed,          // admission control turned the request away at the door
   kQueueTimeout,  // attempt abandoned: server queue deeper than the timeout
   kHedged,        // backup attempt fired after the hedge delay
+  kReplicaFallback,  // read served by a non-primary replica (gray failure)
   kCount,
 };
 

@@ -1,7 +1,9 @@
 // Chaos fuzzing: ~50 seeded random combinations of fault schedules
-// (crashes, restarts, degraded-network windows) and overload regimes
-// (finite capacities, surging arrival rates, shedding / breakers / hedging
-// / deadline budgets toggled at random) thrown at random architectures.
+// (crashes, restarts, degraded-network windows, and the gray kinds — slow
+// nodes, partial partitions, flaky nodes) and overload regimes (finite
+// capacities, surging arrival rates, shedding / breakers / hedging /
+// deadline budgets toggled at random) plus randomly armed gray defenses
+// (health monitoring, cache replication) thrown at random architectures.
 // Every combination must uphold the simulator's core invariants:
 //
 //   * counter conservation — ops in equals ops accounted, reads decompose
@@ -41,6 +43,8 @@ struct ChaosOutcome {
   double tracedTotal = 0.0;
   bool overloadEnabled = false;
   bool shedEnabled = false;
+  bool healthEnabled = false;
+  bool replicationOn = false;
 };
 
 [[nodiscard]] double uniform(util::Pcg32& rng, double lo, double hi) {
@@ -86,10 +90,17 @@ ChaosOutcome runChaosTrial(std::uint64_t seed) {
   if (rng.nextBounded(2) == 0) {
     config.rpcPolicy.deadlineMicros = uniform(rng, 1000.0, 10000.0);
   }
+  // Gray-failure defenses toggle independently of the faults, so every
+  // combination gets exercised: defenses with nothing to catch, gray
+  // faults with no defense, and the full detect-and-route-around loop.
+  if (rng.nextBounded(2) == 0) config.health.enabled = true;
+  if (rng.nextBounded(2) == 0) config.cacheReplicationFactor = 2;
   outcome.overloadEnabled = config.overload.enabled();
   outcome.shedEnabled = config.overload.shed.enabled;
+  outcome.healthEnabled = config.health.enabled;
 
   core::Deployment deployment(config);
+  outcome.replicationOn = deployment.replicationInstalled();
   workload::SyntheticConfig synthetic;
   synthetic.seed = seed + 1000;
   workload::SyntheticWorkload workload{synthetic};
@@ -126,6 +137,35 @@ ChaosOutcome runChaosTrial(std::uint64_t seed) {
         static_cast<std::uint64_t>(
             uniform(rng, start, start + horizonMicros * 0.3)),
         uniform(rng, 1.0, 4.0), uniform(rng, 0.0, 0.05));
+  }
+  // Gray kinds: up to one slow-node window, one flaky-node window and one
+  // asymmetric partition per trial, on random tiers/nodes. Windows may be
+  // drawn inverted on purpose — the builders clamp them empty.
+  if (rng.nextBounded(2) == 0) {
+    const double start = uniform(rng, 0.0, horizonMicros * 0.7);
+    faults.slowNode(static_cast<std::uint64_t>(start),
+                    static_cast<std::uint64_t>(
+                        uniform(rng, start, start + horizonMicros * 0.3)),
+                    kCrashable[rng.nextBounded(4)], rng.nextBounded(3),
+                    uniform(rng, 1.0, 20.0));
+  }
+  if (rng.nextBounded(2) == 0) {
+    const double start = uniform(rng, 0.0, horizonMicros * 0.7);
+    faults.flakyNode(static_cast<std::uint64_t>(start),
+                     static_cast<std::uint64_t>(
+                         uniform(rng, start, start + horizonMicros * 0.3)),
+                     kCrashable[rng.nextBounded(4)], rng.nextBounded(3),
+                     uniform(rng, 0.0, 0.6));
+  }
+  if (rng.nextBounded(2) == 0) {
+    const double start = uniform(rng, 0.0, horizonMicros * 0.7);
+    const sim::TierKind from = kCrashable[rng.nextBounded(4)];
+    const sim::TierKind to = kCrashable[rng.nextBounded(4)];
+    faults.partialPartition(
+        static_cast<std::uint64_t>(start),
+        static_cast<std::uint64_t>(
+            uniform(rng, start, start + horizonMicros * 0.3)),
+        from, to);
   }
   deployment.installFaultSchedule(std::move(faults));
 
@@ -188,6 +228,11 @@ void expectCountersEqual(const core::ServeCounters& a,
   EXPECT_EQ(a.hedgeWins, b.hedgeWins);
   EXPECT_EQ(a.budgetExhausted, b.budgetExhausted);
   EXPECT_EQ(a.failedOps, b.failedOps);
+  EXPECT_EQ(a.ejectedNodes, b.ejectedNodes);
+  EXPECT_EQ(a.replicaFallbackReads, b.replicaFallbackReads);
+  EXPECT_EQ(a.staleReplicaReads, b.staleReplicaReads);
+  EXPECT_EQ(a.replicaWriteFanout, b.replicaWriteFanout);
+  EXPECT_EQ(a.detectionLagMicros, b.detectionLagMicros);
 }
 
 void checkInvariants(const ChaosOutcome& outcome, std::uint64_t seed) {
@@ -227,6 +272,22 @@ void checkInvariants(const ChaosOutcome& outcome, std::uint64_t seed) {
                   c.breakerShortCircuits + c.hedgesSent,
               0u);
   }
+
+  // Gray-failure accounting stays zero unless its defense is armed, and
+  // within weak conservation bounds when it is: fallbacks and stale reads
+  // are read-path events, ejections carry non-negative detection lag.
+  if (!outcome.healthEnabled) {
+    EXPECT_EQ(c.ejectedNodes, 0u);
+    EXPECT_EQ(c.detectionLagMicros, 0.0);
+  }
+  if (!outcome.replicationOn) {
+    EXPECT_EQ(c.replicaFallbackReads + c.staleReplicaReads +
+                  c.replicaWriteFanout,
+              0u);
+  }
+  EXPECT_LE(c.replicaFallbackReads, c.reads);
+  EXPECT_LE(c.staleReplicaReads, c.reads);
+  EXPECT_GE(c.detectionLagMicros, 0.0);
 
   // CPU conservation at full sampling: the trace saw every charge the
   // meters saw — shed triage, wasted retry legs, hedge attempts and all.

@@ -56,6 +56,71 @@ TEST(FaultSchedule, KindNamesAreDistinct) {
             sim::faultKindName(sim::FaultKind::kNodeRestart));
   EXPECT_NE(sim::faultKindName(sim::FaultKind::kTierOutage),
             sim::faultKindName(sim::FaultKind::kDegradeBegin));
+  EXPECT_EQ(sim::faultKindName(sim::FaultKind::kNodeSlowBegin),
+            "node-slow-begin");
+  EXPECT_EQ(sim::faultKindName(sim::FaultKind::kPartialPartitionEnd),
+            "partial-partition-end");
+  EXPECT_EQ(sim::faultKindName(sim::FaultKind::kNodeFlakyBegin),
+            "node-flaky-begin");
+}
+
+TEST(FaultSchedule, GrayBuildersExpandToPairedEvents) {
+  sim::FaultSchedule schedule;
+  schedule.slowNode(100, 500, sim::TierKind::kAppServer, 1, 10.0);
+  schedule.partialPartition(200, 400, sim::TierKind::kSqlFrontend,
+                            sim::TierKind::kKvStorage);
+  schedule.flakyNode(300, 600, sim::TierKind::kRemoteCache, 2, 0.25);
+  ASSERT_EQ(schedule.size(), 6u);
+
+  const auto& events = schedule.events();
+  EXPECT_EQ(events[0].kind, sim::FaultKind::kNodeSlowBegin);
+  EXPECT_DOUBLE_EQ(events[0].latencyFactor, 10.0);
+  EXPECT_EQ(events[0].nodeIndex, 1u);
+  EXPECT_EQ(events[1].kind, sim::FaultKind::kPartialPartitionBegin);
+  EXPECT_EQ(events[1].tier, sim::TierKind::kSqlFrontend);
+  EXPECT_EQ(events[1].dstTier, sim::TierKind::kKvStorage);
+  EXPECT_EQ(events[2].kind, sim::FaultKind::kNodeFlakyBegin);
+  EXPECT_DOUBLE_EQ(events[2].dropProbability, 0.25);
+  EXPECT_EQ(events[3].kind, sim::FaultKind::kPartialPartitionEnd);
+  EXPECT_EQ(events[3].dstTier, sim::TierKind::kKvStorage);
+  EXPECT_EQ(events[4].kind, sim::FaultKind::kNodeSlowEnd);
+  EXPECT_EQ(events[5].kind, sim::FaultKind::kNodeFlakyEnd);
+}
+
+TEST(FaultSchedule, GrayBuildersClampOutOfRangeKnobs) {
+  sim::FaultSchedule schedule;
+  schedule.slowNode(0, 100, sim::TierKind::kAppServer, 0, 0.25);  // < 1x
+  schedule.flakyNode(0, 100, sim::TierKind::kAppServer, 0, 1.75);
+  const auto& events = schedule.events();
+  // A "slow" factor below 1 would be a speedup; it clamps to neutral.
+  EXPECT_DOUBLE_EQ(events[0].latencyFactor, 1.0);
+  // Drop probabilities are probabilities.
+  EXPECT_DOUBLE_EQ(events[1].dropProbability, 1.0);
+}
+
+TEST(FaultSchedule, InvertedWindowsClampToEmptyLength) {
+  // Regression: an inverted window (until < from) used to sort its end
+  // event before its begin event — closing a window that never opened,
+  // then opening it with no matching close. The builders now clamp the
+  // end up to the start, making the window empty instead of eternal.
+  sim::FaultSchedule schedule;
+  schedule.crashWindow(500, 100, sim::TierKind::kAppServer, 0);
+  schedule.tierOutage(500, 100, sim::TierKind::kRemoteCache);
+  schedule.degradeNetwork(500, 100, 2.0, 0.1);
+  schedule.slowNode(500, 100, sim::TierKind::kAppServer, 1, 10.0);
+  schedule.partialPartition(500, 100, sim::TierKind::kAppServer,
+                            sim::TierKind::kRemoteCache);
+  schedule.flakyNode(500, 100, sim::TierKind::kRemoteCache, 0, 0.3);
+
+  const auto& events = schedule.events();
+  ASSERT_EQ(events.size(), 12u);
+  for (const auto& event : events) EXPECT_EQ(event.atMicros, 500u);
+  // Insertion order survives the (stable) sort, so every begin still
+  // precedes its end and the net effect at t=500 is a no-op.
+  EXPECT_EQ(events[0].kind, sim::FaultKind::kNodeCrash);
+  EXPECT_EQ(events[1].kind, sim::FaultKind::kNodeRestart);
+  EXPECT_EQ(events[6].kind, sim::FaultKind::kNodeSlowBegin);
+  EXPECT_EQ(events[7].kind, sim::FaultKind::kNodeSlowEnd);
 }
 
 // ----------------------------------------------------------- channel policy
@@ -409,6 +474,21 @@ TEST(DeploymentFaults, TierOutageKeepsShardContentsWarm) {
   deployment.clearMeters();
   drive(deployment, workload, 2000, now + 20000);
   EXPECT_GT(deployment.counters().hitRatio(), 0.5);
+}
+
+TEST(DeploymentFaults, InvertedSlowWindowLeavesNodeAtNeutralSpeed) {
+  core::DeploymentConfig config;
+  config.architecture = core::Architecture::kLinked;
+  core::Deployment deployment(config);
+  workload::SyntheticWorkload workload{smallWorkload()};
+  deployment.populateKv(workload);
+
+  sim::FaultSchedule schedule;
+  schedule.slowNode(5000, 1000, sim::TierKind::kAppServer, 0, 10.0);
+  deployment.installFaultSchedule(std::move(schedule));
+
+  deployment.setSimTimeMicros(6000);  // both events fired, in clamp order
+  EXPECT_DOUBLE_EQ(deployment.appTier().node(0).slowFactor(), 1.0);
 }
 
 TEST(DeploymentFaults, IdenticalSeedsReplayIdenticalTimelines) {

@@ -108,6 +108,61 @@ TEST(HashRing, DuplicateAddIgnored) {
   EXPECT_EQ(ring.memberCount(), 1u);
 }
 
+TEST(HashRing, ReplicasAreDistinctAndLedByTheOwner) {
+  HashRing ring;
+  for (std::size_t m = 0; m < 5; ++m) ring.addMember(m);
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    const auto replicas = ring.replicasOf(util::hashU64(k), 3);
+    ASSERT_EQ(replicas.size(), 3u);
+    EXPECT_EQ(replicas[0], *ring.ownerOf(util::hashU64(k)));
+    const std::set<std::size_t> distinct(replicas.begin(), replicas.end());
+    EXPECT_EQ(distinct.size(), replicas.size());
+  }
+}
+
+TEST(HashRing, ReplicaCountSaturatesAtMembership) {
+  HashRing ring;
+  EXPECT_TRUE(ring.replicasOf(42, 3).empty());  // empty ring: no owners
+  ring.addMember(0);
+  ring.addMember(1);
+  // Asking for more replicas than members returns every member once.
+  const auto replicas = ring.replicasOf(42, 5);
+  ASSERT_EQ(replicas.size(), 2u);
+  EXPECT_NE(replicas[0], replicas[1]);
+  // n = 0 is a valid request for nothing.
+  EXPECT_TRUE(ring.replicasOf(42, 0).empty());
+}
+
+TEST(HashRing, ChurnRestoresExactReplicaSets) {
+  // Replica placement, like ownership, depends only on the membership
+  // set — a removal and re-add of the same member must restore every
+  // key's replica list exactly (vnode positions are index-derived).
+  HashRing ring;
+  for (std::size_t m = 0; m < 4; ++m) ring.addMember(m);
+  std::vector<std::vector<std::size_t>> before(2000);
+  for (std::uint64_t k = 0; k < before.size(); ++k) {
+    before[k] = ring.replicasOf(util::hashU64(k), 2);
+  }
+
+  ASSERT_TRUE(ring.removeMember(2));
+  for (std::uint64_t k = 0; k < before.size(); ++k) {
+    const auto during = ring.replicasOf(util::hashU64(k), 2);
+    ASSERT_EQ(during.size(), 2u);
+    // The removed member never appears...
+    EXPECT_NE(during[0], 2u);
+    EXPECT_NE(during[1], 2u);
+    // ...and keys it served neither of keep their exact replica set.
+    if (before[k][0] != 2 && before[k][1] != 2) {
+      EXPECT_EQ(during, before[k]);
+    }
+  }
+
+  ring.addMember(2);
+  for (std::uint64_t k = 0; k < before.size(); ++k) {
+    EXPECT_EQ(ring.replicasOf(util::hashU64(k), 2), before[k]);
+  }
+}
+
 // ---- Remote / linked cache front-ends over the sim fabric ----
 
 class CacheFrontends : public ::testing::Test {
@@ -276,6 +331,46 @@ TEST_F(CacheFrontends, LinkedUpdateAndInvalidate) {
 
   linked.invalidate(writer, "k");
   EXPECT_FALSE(linked.get(owner, "k").hit);
+}
+
+TEST_F(CacheFrontends, RemoteReplicationPlacesDistinctCopies) {
+  RemoteCache remote(cacheTier_, util::Bytes::mb(64), channel_);
+  EXPECT_TRUE(remote.replicasForKey("k").empty());  // off by default
+  remote.enableReplication(2);
+  const auto replicas = remote.replicasForKey("k");
+  ASSERT_EQ(replicas.size(), 2u);
+  EXPECT_NE(replicas[0], replicas[1]);
+  EXPECT_EQ(remote.replicasForKey("k"), replicas);  // placement is stable
+
+  sim::Node& app = appTier_.node(0);
+  remote.putAt(app, replicas[0], "k", 4096, 3);
+  remote.putAt(app, replicas[1], "k", 4096, 3);
+  // Each copy is independently probeable; the primary going down does not
+  // take the replica's copy with it.
+  EXPECT_TRUE(remote.getAt(app, replicas[1], "k").hit);
+  cacheTier_.node(replicas[0]).setUp(false);
+  EXPECT_FALSE(remote.nodeUp(replicas[0]));
+  EXPECT_TRUE(remote.getAt(app, replicas[1], "k").hit);
+}
+
+TEST_F(CacheFrontends, LinkedReplicaFillsAreIndependentCopies) {
+  LinkedCache linked(appTier_, util::Bytes::mb(64), channel_);
+  const auto replicas = linked.replicasOf("k", 2);
+  ASSERT_EQ(replicas.size(), 2u);
+  EXPECT_EQ(replicas[0], linked.ownerOf("k"));
+  EXPECT_NE(replicas[0], replicas[1]);
+
+  linked.fillAt(replicas[0], "k", 256, 4);
+  linked.updateAt(replicas[1], replicas[1], "k", 256, 4);
+  // A local probe at the fallback shard hits without touching the owner.
+  const auto hit = linked.getAt(replicas[1], replicas[1], "k");
+  EXPECT_TRUE(hit.hit);
+  EXPECT_TRUE(hit.local);
+  EXPECT_EQ(hit.version, 4u);
+  // Invalidating one copy leaves the other (the deployment fans out).
+  linked.invalidateAt(replicas[0], replicas[0], "k");
+  EXPECT_FALSE(linked.getAt(replicas[0], replicas[0], "k").hit);
+  EXPECT_TRUE(linked.getAt(replicas[1], replicas[1], "k").hit);
 }
 
 }  // namespace

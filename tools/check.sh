@@ -81,6 +81,18 @@ if ! diff -q "$BUILD_DIR/fig10_j1.txt" "$BUILD_DIR/fig10_j8.txt" > /dev/null; th
   exit 1
 fi
 
+# The gray-failure bench exercises slow-node / partial-partition / flaky
+# injection, the health monitor's ejection + probing loop, and replica
+# fallback routing under the sanitizers. Full scale for the same reason as
+# fig9/fig10: the detection and recovery dynamics need the whole timeline.
+"$BUILD_DIR/bench/fig11_gray_failures" --jobs 1 > "$BUILD_DIR/fig11_j1.txt"
+"$BUILD_DIR/bench/fig11_gray_failures" --jobs 8 > "$BUILD_DIR/fig11_j8.txt"
+if ! diff -q "$BUILD_DIR/fig11_j1.txt" "$BUILD_DIR/fig11_j8.txt" > /dev/null; then
+  echo "check.sh: fig11_gray_failures output differs between --jobs 1 and --jobs 8" >&2
+  diff "$BUILD_DIR/fig11_j1.txt" "$BUILD_DIR/fig11_j8.txt" >&2 || true
+  exit 1
+fi
+
 echo "check.sh: lint, all tests, the parallel benches, and the determinism gates passed under ASan/UBSan"
 
 # ThreadSanitizer lane: TSan cannot be combined with ASan, so it gets its
