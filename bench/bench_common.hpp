@@ -33,6 +33,11 @@ struct BenchOptions {
   /// dcache.bench.v1) with wall-clock, ops/sec and peak RSS. Timing data
   /// goes to this sidecar only — stdout stays byte-deterministic.
   std::string benchJsonOut;
+  /// --disagg 0|1 (or DCACHE_DISAGG=0|1; the flag wins): include the fifth,
+  /// memory-disaggregated architecture in the arch-sweeping benches. On by
+  /// default; --disagg 0 restores the pre-disaggregation four-architecture
+  /// stdout byte-for-byte.
+  bool disagg = true;
   /// argv[0] basename, for the perf record's bench name.
   std::string benchName;
   /// Process wall-clock start, captured in parseBenchOptions.
@@ -65,9 +70,14 @@ struct BenchOptions {
     }
     return nullptr;
   };
+  if (const char* env = std::getenv("DCACHE_DISAGG")) {
+    options.disagg = env[0] != '0';
+  }
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
-    if (const char* v = value(i, arg, "--trace-sample")) {
+    if (const char* v = value(i, arg, "--disagg")) {
+      options.disagg = std::strtoull(v, nullptr, 10) != 0;
+    } else if (const char* v = value(i, arg, "--trace-sample")) {
       options.trace.sampleEvery =
           static_cast<std::uint64_t>(std::strtoull(v, nullptr, 10));
     } else if (const char* v = value(i, arg, "--trace-keep")) {
@@ -185,6 +195,22 @@ inline void finishBench(std::span<const core::ExperimentResult> results) {
   if (!options.benchJsonOut.empty()) {
     writeBenchJson(options, results);
   }
+}
+
+/// Architecture list for an arch-sweeping bench: `base` (a bench's own
+/// roster, or core::kAllArchitectures) with kDisaggregated appended/kept
+/// only while the --disagg gate is open. With the gate closed every sweep
+/// collapses to its pre-disaggregation roster, so stdout stays byte-exact.
+[[nodiscard]] inline std::vector<core::Architecture> sweepArchitectures(
+    std::span<const core::Architecture> base = core::kAllArchitectures) {
+  std::vector<core::Architecture> archs;
+  for (const core::Architecture arch : base) {
+    if (arch == core::Architecture::kDisaggregated && !benchOptions().disagg) {
+      continue;
+    }
+    archs.push_back(arch);
+  }
+  return archs;
 }
 
 /// Offered load for the compute-bound synthetic sweeps. The paper's testbed

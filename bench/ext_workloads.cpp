@@ -24,16 +24,13 @@ using namespace dcache;
 
 namespace {
 
-constexpr core::Architecture kTwitterArchs[] = {
-    core::Architecture::kBase, core::Architecture::kRemote,
-    core::Architecture::kLinked, core::Architecture::kLinkedVersion};
-
-void addTwitterCells(core::ExperimentMatrix& matrix) {
+void addTwitterCells(core::ExperimentMatrix& matrix,
+                     const std::vector<core::Architecture>& archs) {
   core::ExperimentConfig experiment;
   experiment.operations = 200000;
   experiment.warmupOperations = 400000;
   experiment.qps = bench::kSyntheticQps;
-  for (const core::Architecture arch : kTwitterArchs) {
+  for (const core::Architecture arch : archs) {
     bench::addCell(matrix, arch,
                    workload::TwitterTraceWorkload(
                        workload::TwitterTraceConfig{}),
@@ -41,7 +38,8 @@ void addTwitterCells(core::ExperimentMatrix& matrix) {
   }
 }
 
-void addLatencyCells(core::ExperimentMatrix& matrix) {
+void addLatencyCells(core::ExperimentMatrix& matrix,
+                     const std::vector<core::Architecture>& archs) {
   core::ExperimentConfig experiment;
   experiment.operations = 120000;
   experiment.warmupOperations = 120000;
@@ -49,15 +47,17 @@ void addLatencyCells(core::ExperimentMatrix& matrix) {
   workload::SyntheticConfig workload;
   workload.valueSize = 16384;
   workload.readRatio = 0.93;
-  for (const core::Architecture arch : core::kAllArchitectures) {
+  for (const core::Architecture arch : archs) {
     bench::addCell(matrix, arch, workload::SyntheticWorkload(workload),
                    core::DeploymentConfig{}, experiment);
   }
 }
 
-void twitterPanel(const std::vector<core::ExperimentResult>& results) {
-  const std::vector<core::ExperimentResult> panel(results.begin(),
-                                                  results.begin() + 4);
+void twitterPanel(const std::vector<core::ExperimentResult>& results,
+                  std::size_t archCount) {
+  const std::vector<core::ExperimentResult> panel(
+      results.begin(),
+      results.begin() + static_cast<std::ptrdiff_t>(archCount));
   std::fputs(core::costComparisonTable(
                  panel, "Extension: Twitter-style trace (230B median, "
                         "r=0.8, 120K QPS)")
@@ -65,11 +65,13 @@ void twitterPanel(const std::vector<core::ExperimentResult>& results) {
              stdout);
 }
 
-void latencyPanel(const std::vector<core::ExperimentResult>& results) {
+void latencyPanel(const std::vector<core::ExperimentResult>& results,
+                  std::size_t archCount) {
   util::TablePrinter table(
       {"architecture", "mean_us", "p99_us", "vs_Base_mean"});
-  const std::vector<core::ExperimentResult> panel(results.begin() + 4,
-                                                  results.begin() + 8);
+  const std::vector<core::ExperimentResult> panel(
+      results.begin() + static_cast<std::ptrdiff_t>(archCount),
+      results.begin() + static_cast<std::ptrdiff_t>(2 * archCount));
   const double baseMean = panel.front().meanLatencyMicros;
   for (const auto& result : panel) {
     char speedup[16];
@@ -127,11 +129,12 @@ int main(int argc, char** argv) {
   const core::MatrixOptions options =
       bench::parseBenchOptions(argc, argv).matrix;
   core::ExperimentMatrix matrix(options);
-  addTwitterCells(matrix);
-  addLatencyCells(matrix);
+  const std::vector<core::Architecture> archs = bench::sweepArchitectures();
+  addTwitterCells(matrix, archs);
+  addLatencyCells(matrix, archs);
   const std::vector<core::ExperimentResult> results = matrix.run();
-  twitterPanel(results);
-  latencyPanel(results);
+  twitterPanel(results, archs.size());
+  latencyPanel(results, archs.size());
   advisorPanel(options.jobs);
   bench::finishBench(results);
   return 0;

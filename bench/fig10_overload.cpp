@@ -38,9 +38,12 @@ using namespace dcache;
 
 namespace {
 
+// Sweep roster: the kDisaggregated tail rides behind the --disagg gate
+// (bench::sweepArchitectures strips it, restoring the original cells).
 constexpr core::Architecture kArchs[] = {
     core::Architecture::kBase, core::Architecture::kRemote,
-    core::Architecture::kLinked, core::Architecture::kLinkedVersion};
+    core::Architecture::kLinked, core::Architecture::kLinkedVersion,
+    core::Architecture::kDisaggregated};
 
 constexpr std::size_t kWindows = 8;
 constexpr const char* kPhases[kWindows] = {"steady", "steady", "surge",
@@ -190,10 +193,10 @@ struct CellResult {
 };
 
 CellResult runOverloadCell(std::size_t index, std::uint64_t rootSeed,
-                           const Fig10Options& options,
-                           const OpBudget& budget) {
-  const core::Architecture arch = kArchs[index % std::size(kArchs)];
-  const bool defenses = index >= std::size(kArchs);
+                           const Fig10Options& options, const OpBudget& budget,
+                           const std::vector<core::Architecture>& archs) {
+  const core::Architecture arch = archs[index % archs.size()];
+  const bool defenses = index >= archs.size();
   const TierDemand demand = calibrateDemand(arch, budget);
 
   core::DeploymentConfig config;
@@ -376,10 +379,12 @@ int main(int argc, char** argv) {
   const OpBudget budget = opBudget();
 
   util::ThreadPool pool(options.jobs);
-  const std::size_t cellCount = 2 * std::size(kArchs);
+  const std::vector<core::Architecture> archs =
+      bench::sweepArchitectures(kArchs);
+  const std::size_t cellCount = 2 * archs.size();
   const std::vector<CellResult> cells =
       util::mapOrdered(pool, cellCount, [&](std::size_t i) {
-        return runOverloadCell(i, options.rootSeed, fig10, budget);
+        return runOverloadCell(i, options.rootSeed, fig10, budget, archs);
       });
   pool.wait();
 
@@ -389,9 +394,9 @@ int main(int argc, char** argv) {
   // surge into, with and without the defenses, and what the defenses keep.
   util::TablePrinter verdict({"architecture", "amp_off", "amp_on", "p99_off",
                               "p99_on", "goodput_off", "goodput_on"});
-  for (std::size_t a = 0; a < std::size(kArchs); ++a) {
+  for (std::size_t a = 0; a < archs.size(); ++a) {
     const CellResult& off = cells[a];
-    const CellResult& on = cells[a + std::size(kArchs)];
+    const CellResult& on = cells[a + archs.size()];
     verdict.row(off.architecture, worstAmplification(off),
                 worstAmplification(on), worstP99(off), worstP99(on),
                 worstGoodput(off), worstGoodput(on));
@@ -410,7 +415,7 @@ int main(int argc, char** argv) {
   util::TablePrinter headroom({"architecture", "steady_cost", "peak_cost",
                                "peak_phase", "headroom_delta",
                                "extra_app_nodes", "extra_app_cost"});
-  for (std::size_t a = 0; a < std::size(kArchs); ++a) {
+  for (std::size_t a = 0; a < archs.size(); ++a) {
     const CellResult& cell = cells[a];
     const util::Money steady = cell.windows.front().cost;
     util::Money peak = steady;

@@ -55,9 +55,12 @@ using namespace dcache;
 
 namespace {
 
+// Sweep roster: the kDisaggregated tail rides behind the --disagg gate
+// (bench::sweepArchitectures strips it, restoring the original cells).
 constexpr core::Architecture kArchs[] = {
     core::Architecture::kBase, core::Architecture::kRemote,
-    core::Architecture::kLinked, core::Architecture::kLinkedVersion};
+    core::Architecture::kLinked, core::Architecture::kLinkedVersion,
+    core::Architecture::kDisaggregated};
 
 enum class Posture : std::size_t { kNone = 0, kBreaker = 1, kFull = 2 };
 constexpr std::size_t kPostures = 3;
@@ -186,8 +189,11 @@ TierDemand calibrateDemand(core::Architecture arch, const OpBudget& budget) {
 /// keeps its cache-adjacent hot path. Base has no cache tier; its app node
 /// going gray is the closest equivalent.
 [[nodiscard]] sim::TierKind grayTier(core::Architecture arch) {
-  return arch == core::Architecture::kRemote ? sim::TierKind::kRemoteCache
-                                             : sim::TierKind::kAppServer;
+  switch (arch) {
+    case core::Architecture::kRemote: return sim::TierKind::kRemoteCache;
+    case core::Architecture::kDisaggregated: return sim::TierKind::kFarMemory;
+    default: return sim::TierKind::kAppServer;
+  }
 }
 
 struct WindowRow {
@@ -219,9 +225,10 @@ struct CellResult {
 };
 
 CellResult runGrayCell(std::size_t index, std::uint64_t rootSeed,
-                       const Fig11Options& options, const OpBudget& budget) {
-  const core::Architecture arch = kArchs[index % std::size(kArchs)];
-  const Posture posture = static_cast<Posture>(index / std::size(kArchs));
+                       const Fig11Options& options, const OpBudget& budget,
+                       const std::vector<core::Architecture>& archs) {
+  const core::Architecture arch = archs[index % archs.size()];
+  const Posture posture = static_cast<Posture>(index / archs.size());
   const TierDemand demand = calibrateDemand(arch, budget);
 
   core::DeploymentConfig config;
@@ -277,6 +284,13 @@ CellResult runGrayCell(std::size_t index, std::uint64_t rootSeed,
                             windowStartMicros(kPartitionWindow + 1),
                             sim::TierKind::kAppServer,
                             sim::TierKind::kRemoteCache);
+  } else if (arch == core::Architecture::kDisaggregated) {
+    // One-sided reads toward the far-memory pool are lost; the pool itself
+    // is healthy, so only the clients see the outage.
+    faults.partialPartition(windowStartMicros(kPartitionWindow),
+                            windowStartMicros(kPartitionWindow + 1),
+                            sim::TierKind::kAppServer,
+                            sim::TierKind::kFarMemory);
   } else {
     // SQL -> KV requests are lost: the miss path (and Base's every read)
     // stalls while a warm cache shields whatever it already holds.
@@ -399,10 +413,12 @@ int main(int argc, char** argv) {
   const OpBudget budget = opBudget();
 
   util::ThreadPool pool(options.jobs);
-  const std::size_t cellCount = kPostures * std::size(kArchs);
+  const std::vector<core::Architecture> archs =
+      bench::sweepArchitectures(kArchs);
+  const std::size_t cellCount = kPostures * archs.size();
   const std::vector<CellResult> cells =
       util::mapOrdered(pool, cellCount, [&](std::size_t i) {
-        return runGrayCell(i, options.rootSeed, fig11, budget);
+        return runGrayCell(i, options.rootSeed, fig11, budget, archs);
       });
   pool.wait();
 
@@ -414,10 +430,10 @@ int main(int argc, char** argv) {
   util::TablePrinter verdict({"architecture", "p99_steady", "drag_none",
                               "drag_breaker", "drag_full", "ejections",
                               "readmits", "detect_ms"});
-  for (std::size_t a = 0; a < std::size(kArchs); ++a) {
+  for (std::size_t a = 0; a < archs.size(); ++a) {
     const CellResult& none = cells[a];
-    const CellResult& breaker = cells[a + std::size(kArchs)];
-    const CellResult& full = cells[a + 2 * std::size(kArchs)];
+    const CellResult& breaker = cells[a + archs.size()];
+    const CellResult& full = cells[a + 2 * archs.size()];
     const auto drag = [](const CellResult& cell) {
       const double steady = steadyP99(cell);
       return steady > 0.0 ? worstSlowP99(cell) / steady : 0.0;
@@ -449,9 +465,9 @@ int main(int argc, char** argv) {
   // bill — the headroom an auto-scaler would provision for — spikes.
   util::TablePrinter nines({"architecture", "steady_bare", "steady_full",
                             "nines_premium", "peak_bare", "bare_headroom"});
-  for (std::size_t a = 0; a < std::size(kArchs); ++a) {
+  for (std::size_t a = 0; a < archs.size(); ++a) {
     const CellResult& none = cells[a];
-    const CellResult& full = cells[a + 2 * std::size(kArchs)];
+    const CellResult& full = cells[a + 2 * archs.size()];
     const util::Money steadyBare = none.windows[1].cost;
     const util::Money steadyFull = full.windows[1].cost;
     util::Money peakBare = steadyBare;

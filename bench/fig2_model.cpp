@@ -122,6 +122,38 @@ void takeaways(util::ThreadPool& pool) {
       model.dTdAppCache(best, util::Bytes::gb(1)));
 }
 
+void disaggPanel(util::ThreadPool& pool) {
+  // Fifth-architecture extension: a 512MB DRAM hot cache per replica set
+  // backed by a 16GB far-memory pool at the far $/GB rate, against the
+  // Fig. 2a Linked allocation. The crossover the simulation reproduces:
+  // heavy skew keeps the hot cache hitting (disagg wins on memory price);
+  // flat skew makes every read pay the one-sided fixed cost (Linked wins).
+  const auto rows =
+      util::mapOrdered(pool, std::size(kAlphas2a), [](std::size_t i) {
+        core::ModelParams params = baseParams();
+        params.alpha = kAlphas2a[i];
+        const core::TheoreticalModel model(params);
+        const auto sHot = util::Bytes::mb(512);
+        const auto sFar = util::Bytes::gb(16);
+        const auto sD = util::Bytes::gb(1);
+        const auto linked = model.totalCost(util::Bytes::gb(8), sD);
+        const auto disagg = model.totalCostDisagg(sHot, sFar, sD);
+        char vsLinked[16];
+        std::snprintf(vsLinked, sizeof vsLinked, "%.2fx", linked / disagg);
+        return std::vector<std::string>{
+            util::TablePrinter::toCell(params.alpha),
+            util::TablePrinter::toCell(model.missRatio(sHot)),
+            util::TablePrinter::toCell(model.missRatio(sHot + sFar)),
+            disagg.str(), linked.str(), vsLinked};
+      });
+  util::TablePrinter table({"alpha", "MR(hot)", "MR(hot+far)", "T_disagg",
+                            "T_linked", "linked/disagg"});
+  for (auto row : rows) table.addRow(std::move(row));
+  table.print(
+      "\nFigure 2c: disaggregated (hot=512MB, far=16GB @ far-memory rate) "
+      "vs Linked(sA=8GB) — >1x means disagg is cheaper");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -131,6 +163,7 @@ int main(int argc, char** argv) {
   figure2a(pool);
   figure2b(pool);
   takeaways(pool);
+  if (benchOptions.disagg) disaggPanel(pool);
   if (!benchOptions.metricsOut.empty()) {
     // Analytic bench: no deployments, so export the model's headline
     // numbers (per-alpha savings) directly.

@@ -18,9 +18,12 @@ using namespace dcache;
 
 namespace {
 
+// Sweep roster: the kDisaggregated tail rides behind the --disagg gate
+// (bench::sweepArchitectures strips it, restoring the original columns).
 constexpr core::Architecture kArchs[] = {core::Architecture::kBase,
                                          core::Architecture::kRemote,
-                                         core::Architecture::kLinked};
+                                         core::Architecture::kLinked,
+                                         core::Architecture::kDisaggregated};
 constexpr double kReadRatios[] = {0.50, 0.75, 0.90, 0.93, 0.99};
 constexpr std::uint64_t kValueSizes[] = {1024,  4096,   16384,
                                          65536, 262144, 1048576};
@@ -33,13 +36,14 @@ core::ExperimentConfig experimentConfig() {
   return experiment;
 }
 
-void addPanelCells(core::ExperimentMatrix& matrix) {
+void addPanelCells(core::ExperimentMatrix& matrix,
+                   const std::vector<core::Architecture>& archs) {
   for (const double readRatio : kReadRatios) {
     workload::SyntheticConfig workload;
     workload.readRatio = readRatio;
     workload.valueSize = 4096;
     const workload::SyntheticWorkload reference(workload);
-    for (const core::Architecture arch : kArchs) {
+    for (const core::Architecture arch : archs) {
       bench::addCell(matrix, arch, reference, core::DeploymentConfig{},
                      experimentConfig());
     }
@@ -49,48 +53,66 @@ void addPanelCells(core::ExperimentMatrix& matrix) {
     workload.readRatio = 0.99;
     workload.valueSize = valueSize;
     const workload::SyntheticWorkload reference(workload);
-    for (const core::Architecture arch : kArchs) {
+    for (const core::Architecture arch : archs) {
       bench::addCell(matrix, arch, reference, core::DeploymentConfig{},
                      experimentConfig());
     }
   }
 }
 
+/// Headers: one cost column per architecture, then a saving-vs-Base column
+/// per non-Base architecture.
+std::vector<std::string> headerRow(const std::vector<core::Architecture>& archs,
+                                   const char* sweepColumn) {
+  std::vector<std::string> headers{sweepColumn};
+  for (const core::Architecture arch : archs) {
+    headers.emplace_back(core::architectureName(arch));
+  }
+  for (std::size_t a = 1; a < archs.size(); ++a) {
+    headers.push_back(std::string(core::architectureName(archs[a])) +
+                      "_saving");
+  }
+  return headers;
+}
+
+void addArchRow(util::TablePrinter& table,
+                const std::vector<core::ExperimentResult>& results,
+                std::size_t cell, std::size_t archCount,
+                std::string sweepCell) {
+  std::vector<std::string> row{std::move(sweepCell)};
+  const auto& base = results[cell];
+  for (std::size_t a = 0; a < archCount; ++a) {
+    row.push_back(results[cell + a].cost.totalCost.str());
+  }
+  for (std::size_t a = 1; a < archCount; ++a) {
+    row.push_back(bench::savingCell(base, results[cell + a]));
+  }
+  table.addRow(std::move(row));
+}
+
 void figure4a(const std::vector<core::ExperimentResult>& results,
-              std::size_t offset) {
-  util::TablePrinter table(
-      {"read_ratio", "Base", "Remote", "Linked", "Remote_saving",
-       "Linked_saving"});
+              std::size_t offset,
+              const std::vector<core::Architecture>& archs) {
+  util::TablePrinter table(headerRow(archs, "read_ratio"));
   std::size_t cell = offset;
   for (const double readRatio : kReadRatios) {
-    const auto& base = results[cell++];
-    const auto& remote = results[cell++];
-    const auto& linked = results[cell++];
-    table.addRow({util::TablePrinter::toCell(readRatio),
-                  base.cost.totalCost.str(), remote.cost.totalCost.str(),
-                  linked.cost.totalCost.str(),
-                  bench::savingCell(base, remote),
-                  bench::savingCell(base, linked)});
+    addArchRow(table, results, cell, archs.size(),
+               util::TablePrinter::toCell(readRatio));
+    cell += archs.size();
   }
   table.print("Figure 4a: total monthly cost vs read ratio (4KB values, "
               "Zipf 1.2, 120K QPS)");
 }
 
 void figure4b(const std::vector<core::ExperimentResult>& results,
-              std::size_t offset) {
-  util::TablePrinter table(
-      {"value_size", "Base", "Remote", "Linked", "Remote_saving",
-       "Linked_saving"});
+              std::size_t offset,
+              const std::vector<core::Architecture>& archs) {
+  util::TablePrinter table(headerRow(archs, "value_size"));
   std::size_t cell = offset;
   for (const std::uint64_t valueSize : kValueSizes) {
-    const auto& base = results[cell++];
-    const auto& remote = results[cell++];
-    const auto& linked = results[cell++];
-    table.addRow({util::Bytes::of(valueSize).str(),
-                  base.cost.totalCost.str(), remote.cost.totalCost.str(),
-                  linked.cost.totalCost.str(),
-                  bench::savingCell(base, remote),
-                  bench::savingCell(base, linked)});
+    addArchRow(table, results, cell, archs.size(),
+               util::Bytes::of(valueSize).str());
+    cell += archs.size();
   }
   table.print("\nFigure 4b: total monthly cost vs value size (r=0.99, "
               "Zipf 1.2, 120K QPS; paper: Linked saves 3.9x@1KB, "
@@ -101,10 +123,12 @@ void figure4b(const std::vector<core::ExperimentResult>& results,
 
 int main(int argc, char** argv) {
   core::ExperimentMatrix matrix(bench::parseBenchOptions(argc, argv).matrix);
-  addPanelCells(matrix);
+  const std::vector<core::Architecture> archs =
+      bench::sweepArchitectures(kArchs);
+  addPanelCells(matrix, archs);
   const std::vector<core::ExperimentResult> results = matrix.run();
-  figure4a(results, 0);
-  figure4b(results, std::size(kReadRatios) * std::size(kArchs));
+  figure4a(results, 0, archs);
+  figure4b(results, std::size(kReadRatios) * archs.size(), archs);
   bench::finishBench(results);
   return 0;
 }

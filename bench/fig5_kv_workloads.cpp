@@ -17,30 +17,36 @@ using namespace dcache;
 
 namespace {
 
+// Sweep roster: the kDisaggregated tail rides behind the --disagg gate
+// (bench::sweepArchitectures strips it, restoring the original rows).
 constexpr core::Architecture kArchs[] = {core::Architecture::kBase,
                                          core::Architecture::kRemote,
-                                         core::Architecture::kLinked};
+                                         core::Architecture::kLinked,
+                                         core::Architecture::kDisaggregated};
 
 template <typename WorkloadT>
-void addPanel(core::ExperimentMatrix& matrix, const WorkloadT& reference,
-              double qps, std::uint64_t operations) {
+void addPanel(core::ExperimentMatrix& matrix,
+              const std::vector<core::Architecture>& archs,
+              const WorkloadT& reference, double qps,
+              std::uint64_t operations) {
   core::ExperimentConfig experiment;
   experiment.operations = operations;
   // Long warmup: production caches are warmed over hours; compulsory
   // misses must not dominate the measured window.
   experiment.warmupOperations = operations * 3;
   experiment.qps = qps;
-  for (const core::Architecture arch : kArchs) {
+  for (const core::Architecture arch : archs) {
     bench::addCell(matrix, arch, reference, core::DeploymentConfig{},
                    experiment);
   }
 }
 
 void printPanel(const std::vector<core::ExperimentResult>& results,
-                std::size_t offset, const char* title) {
+                std::size_t offset, std::size_t archCount,
+                const char* title) {
   const std::vector<core::ExperimentResult> panel(
       results.begin() + static_cast<std::ptrdiff_t>(offset),
-      results.begin() + static_cast<std::ptrdiff_t>(offset + 3));
+      results.begin() + static_cast<std::ptrdiff_t>(offset + archCount));
   std::fputs(core::costComparisonTable(panel, title).c_str(), stdout);
   std::fputs("\n", stdout);
 }
@@ -49,19 +55,21 @@ void printPanel(const std::vector<core::ExperimentResult>& results,
 
 int main(int argc, char** argv) {
   core::ExperimentMatrix matrix(bench::parseBenchOptions(argc, argv).matrix);
+  const std::vector<core::Architecture> archs =
+      bench::sweepArchitectures(kArchs);
 
   workload::UcTraceConfig ucConfig;  // paper shape: 23KB median, 93% reads
-  addPanel(matrix, workload::UcTraceWorkload(ucConfig), bench::kUcQps,
+  addPanel(matrix, archs, workload::UcTraceWorkload(ucConfig), bench::kUcQps,
            200000);
   workload::MetaTraceConfig metaConfig;  // ~10B median, 30% writes
-  addPanel(matrix, workload::MetaTraceWorkload(metaConfig),
+  addPanel(matrix, archs, workload::MetaTraceWorkload(metaConfig),
            bench::kSyntheticQps, 300000);
 
   const std::vector<core::ExperimentResult> results = matrix.run();
-  printPanel(results, 0,
+  printPanel(results, 0, archs.size(),
              "Figure 5a: Unity Catalog-KV (denormalized single-row reads, "
              "40K QPS)");
-  printPanel(results, 3,
+  printPanel(results, archs.size(), archs.size(),
              "Figure 5b: Meta key-value trace (10B median values, 30% "
              "writes, 120K QPS)");
   bench::finishBench(results);

@@ -37,15 +37,22 @@ std::size_t addPoint(core::ExperimentMatrix& matrix, core::Architecture arch,
 
 void tierShares(core::Architecture arch,
                 const std::vector<core::ExperimentResult>& results,
-                std::size_t offset) {
-  util::TablePrinter table({"value_size", "app%", "remote_cache%", "sql%",
-                            "kv%", "db_query_proc%", "mem_share%"});
+                std::size_t offset, bool includeFarColumn) {
+  // The far-memory column only exists while the --disagg gate is open, so
+  // the gate-closed table stays byte-identical to the four-arch original.
+  std::vector<std::string> headers{"value_size", "app%", "remote_cache%"};
+  if (includeFarColumn) headers.emplace_back("far_mem%");
+  for (const char* h : {"sql%", "kv%", "db_query_proc%", "mem_share%"}) {
+    headers.emplace_back(h);
+  }
+  util::TablePrinter table(std::move(headers));
   std::size_t cell = offset;
   for (const std::uint64_t valueSize : kValueSizes) {
     const auto& result = results[cell++];
     double total = 0.0;
     double app = 0.0;
     double remote = 0.0;
+    double farMem = 0.0;
     double sql = 0.0;
     double kv = 0.0;
     for (const core::TierUsage& tier : result.cost.tiers) {
@@ -53,6 +60,7 @@ void tierShares(core::Architecture arch,
       switch (tier.kind) {
         case sim::TierKind::kAppServer: app += tier.cpuMicrosTotal; break;
         case sim::TierKind::kRemoteCache: remote += tier.cpuMicrosTotal; break;
+        case sim::TierKind::kFarMemory: farMem += tier.cpuMicrosTotal; break;
         case sim::TierKind::kSqlFrontend: sql += tier.cpuMicrosTotal; break;
         case sim::TierKind::kKvStorage: kv += tier.cpuMicrosTotal; break;
         default: break;
@@ -69,8 +77,14 @@ void tierShares(core::Architecture arch,
     char memShare[16];
     std::snprintf(memShare, sizeof memShare, "%.1f",
                   100.0 * core::memoryCostShare(result));
-    table.addRow({util::Bytes::of(valueSize).str(), pct(app), pct(remote),
-                  pct(sql), pct(kv), queryProc, memShare});
+    std::vector<std::string> row{util::Bytes::of(valueSize).str(), pct(app),
+                                 pct(remote)};
+    if (includeFarColumn) row.push_back(pct(farMem));
+    row.push_back(pct(sql));
+    row.push_back(pct(kv));
+    row.emplace_back(queryProc);
+    row.emplace_back(memShare);
+    table.addRow(std::move(row));
   }
   table.print(std::string("\nFigure 6 — ") +
               std::string(core::architectureName(arch)) +
@@ -116,10 +130,11 @@ int main(int argc, char** argv) {
   // One cell per (architecture, value size); panel rows index into this
   // block, and the Linked/Linked+Version @16KB cells double as the
   // decomposition and full-breakdown inputs.
+  const std::vector<core::Architecture> archs = bench::sweepArchitectures();
   std::vector<std::size_t> panelOffsets;
   std::size_t linked16k = 0;
   std::size_t linkedVersion16k = 0;
-  for (const core::Architecture arch : core::kAllArchitectures) {
+  for (const core::Architecture arch : archs) {
     panelOffsets.push_back(matrix.cellCount());
     for (const std::uint64_t valueSize : kValueSizes) {
       const std::size_t cell = addPoint(matrix, arch, valueSize);
@@ -136,8 +151,9 @@ int main(int argc, char** argv) {
 
   const std::vector<core::ExperimentResult> results = matrix.run();
 
-  for (std::size_t i = 0; i < std::size(core::kAllArchitectures); ++i) {
-    tierShares(core::kAllArchitectures[i], results, panelOffsets[i]);
+  for (std::size_t i = 0; i < archs.size(); ++i) {
+    tierShares(archs[i], results, panelOffsets[i],
+               bench::benchOptions().disagg);
   }
   linkedAppDecomposition(results[linked16k], 16384, 0.93);
   linkedAppDecomposition(results[linkedWriteHeavy], 16384, 0.50);

@@ -68,7 +68,8 @@ std::size_t addKvCell(core::ExperimentMatrix& matrix,
 
 int main(int argc, char** argv) {
   core::ExperimentMatrix matrix(bench::parseBenchOptions(argc, argv).matrix);
-  for (const core::Architecture arch : core::kAllArchitectures) {
+  const std::vector<core::Architecture> archs = bench::sweepArchitectures();
+  for (const core::Architecture arch : archs) {
     addObjectCell(matrix, arch);
   }
   // UC-KV variant for the 2x comparison.
@@ -78,8 +79,9 @@ int main(int argc, char** argv) {
   }
   const std::vector<core::ExperimentResult> results = matrix.run();
 
-  const std::vector<core::ExperimentResult> object(results.begin(),
-                                                   results.begin() + 4);
+  const std::vector<core::ExperimentResult> object(
+      results.begin(),
+      results.begin() + static_cast<std::ptrdiff_t>(archs.size()));
   std::fputs(core::costComparisonTable(
                  object, "Figure 7: Unity Catalog-Object — reads issue up "
                          "to 8 SQL statements (40K QPS)")
@@ -92,7 +94,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(object.front().counters.reads));
 
   const double objectSaving = core::savingsVs(object[0], object[2]);
-  const double kvSaving = core::savingsVs(results[4], results[5]);
+  const double kvSaving =
+      core::savingsVs(results[archs.size()], results[archs.size() + 1]);
   std::printf(
       "Linked-vs-Base saving, Unity Catalog-Object: %.2fx (paper: up to "
       "~8x)\n"

@@ -59,6 +59,8 @@ constexpr const char* kPhases[kWindows] = {
   switch (arch) {
     case core::Architecture::kRemote:
       return sim::TierKind::kRemoteCache;
+    case core::Architecture::kDisaggregated:
+      return sim::TierKind::kFarMemory;
     case core::Architecture::kLinked:
     case core::Architecture::kLinkedVersion:
       return sim::TierKind::kAppServer;

@@ -8,6 +8,7 @@ std::string_view architectureName(Architecture arch) noexcept {
     case Architecture::kRemote: return "Remote";
     case Architecture::kLinked: return "Linked";
     case Architecture::kLinkedVersion: return "Linked+Version";
+    case Architecture::kDisaggregated: return "Disaggregated";
   }
   return "unknown";
 }
@@ -19,6 +20,10 @@ std::optional<Architecture> parseArchitecture(std::string_view name) noexcept {
   if (name == "Linked+Version" || name == "linked+version" ||
       name == "linked_version" || name == "LinkedVersion") {
     return Architecture::kLinkedVersion;
+  }
+  if (name == "Disaggregated" || name == "disaggregated" ||
+      name == "disagg") {
+    return Architecture::kDisaggregated;
   }
   return std::nullopt;
 }

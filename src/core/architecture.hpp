@@ -1,4 +1,5 @@
-// The four deployment shapes under study (Fig. 1).
+// The five deployment shapes under study (Fig. 1 plus the
+// memory-disaggregated contender from the Ditto/DiFache line of work).
 #pragma once
 
 #include <cstdint>
@@ -12,11 +13,12 @@ enum class Architecture : std::uint8_t {
   kRemote,         // + remote lookaside cache tier (Fig. 1b)
   kLinked,         // + in-process sharded cache (Fig. 1c)
   kLinkedVersion,  // linked + per-read version check (Fig. 1d)
+  kDisaggregated,  // far-memory pool via one-sided reads + hot caches
 };
 
 inline constexpr Architecture kAllArchitectures[] = {
     Architecture::kBase, Architecture::kRemote, Architecture::kLinked,
-    Architecture::kLinkedVersion};
+    Architecture::kLinkedVersion, Architecture::kDisaggregated};
 
 [[nodiscard]] std::string_view architectureName(Architecture arch) noexcept;
 [[nodiscard]] std::optional<Architecture> parseArchitecture(

@@ -20,8 +20,13 @@
 //  * App server: 5 µs to prepare/issue a storage or cache request; object
 //    composition 2 µs per statement + 0.4 ns/B — sized so a Linked app's
 //    cycles split ≈60 % request prep / ≈31 % client comm as in §5.3.
+//  * One-sided far memory: ~1 µs to post the read + 0.5 µs completion
+//    poll, 0.2 ns/B initiator-side pull (DMA engine copies, no marshal),
+//    0.02 µs at the pool (the NIC serves from memory; the host CPU sees
+//    almost nothing) — the RDMA cost shape Ditto/DiFache build on.
 #pragma once
 
+#include "cache/disagg_cache.hpp"
 #include "cache/remote_cache.hpp"
 #include "richobject/assembler.hpp"
 #include "rpc/serialization_model.hpp"
@@ -38,6 +43,7 @@ struct Calibration {
   storage::RaftCosts raft{};
   cache::CacheOpCosts cacheOps{};
   richobject::AppCosts app{};
+  cache::DisaggCosts disagg{};
 
   /// The defaults above; named constructor for emphasis at call sites.
   [[nodiscard]] static Calibration defaults() { return Calibration{}; }

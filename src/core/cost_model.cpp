@@ -33,7 +33,12 @@ TierUsage CostModel::tierUsage(const sim::Tier& tier,
   usage.memoryProvisioned = tier.totalProvisionedMemory();
 
   usage.computeCost = pricing_.computeCost(usage.cores);
-  usage.memoryCost = pricing_.memoryCost(usage.memoryProvisioned);
+  // A far-memory pool's GBs bill at the disaggregated rate, not the
+  // server-DRAM rate — the distinct cost shape the fifth architecture
+  // trades its per-read transfer charges against.
+  usage.memoryCost = tier.kind() == sim::TierKind::kFarMemory
+                         ? pricing_.farMemoryCost(usage.memoryProvisioned)
+                         : pricing_.memoryCost(usage.memoryProvisioned);
   return usage;
 }
 

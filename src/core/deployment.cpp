@@ -74,6 +74,26 @@ Deployment::Deployment(DeploymentConfig config) : config_(config) {
           *app_, config_.appCachePerNode, *channel_, config_.evictionPolicy,
           cal.cacheOps);
       break;
+    case Architecture::kDisaggregated: {
+      farTier_ = std::make_unique<sim::Tier>(
+          "far-memory", sim::TierKind::kFarMemory, config_.farMemoryNodes);
+      disagg_ = std::make_unique<cache::DisaggCache>(
+          *farTier_, config_.farMemoryPerNode, *app_, config_.hotCachePerNode,
+          *channel_, config_.evictionPolicy, cal.disagg);
+      // DiFache-style decentralized coherence: every app server subscribes
+      // its own hot cache; a writer fans invalidations straight to its
+      // peers — no coordinator on the path. Subscriber id == app index
+      // (subscription order), which lets the writer skip itself.
+      invalidationBus_ =
+          std::make_unique<consistency::InvalidationBus>(*channel_);
+      for (std::size_t i = 0; i < app_->size(); ++i) {
+        invalidationBus_->subscribe(
+            app_->node(i), [this, i](std::string_view key, std::uint64_t) {
+              disagg_->hotInvalidate(i, key);
+            });
+      }
+      break;
+    }
   }
   versionChecker_ = std::make_unique<consistency::VersionChecker>(*db_);
   if (config_.trace.enabled()) {
@@ -112,6 +132,7 @@ Deployment::Deployment(DeploymentConfig config) : config_(config) {
     };
     registerTier(app_.get());
     registerTier(remoteTier_.get());
+    registerTier(farTier_.get());
     registerTier(sql_.get());
     registerTier(kv_.get());
     channel_->setCallObserver(monitor_.get());
@@ -309,6 +330,17 @@ double Deployment::readFromStorageAndFill(sim::Node& app,
     }
     return read.latencyMicros +
            remote_->put(app, key, read.size, read.version);
+  }
+  if (disagg_) {
+    // The hot copy is in-process and always fillable; the far slot is
+    // skipped when its pool node is known dead (same breaker idiom as the
+    // remote tier — don't burn a timed-out retry budget on a corpse).
+    disagg_->hotFill(appIndex, key, read.size, read.version);
+    if (!faultsInstalled_ || disagg_->nodeUpFor(key)) {
+      return read.latencyMicros +
+             disagg_->farPut(app, key, read.size, read.version);
+    }
+    return read.latencyMicros;
   }
   if (linked_) {
     if (replicationOn_) {
@@ -534,6 +566,43 @@ Deployment::OpResult Deployment::serveRead(const std::string& key,
       }
       break;
     }
+    case Architecture::kDisaggregated: {
+      // Hot cache first: an in-process hit never touches far memory.
+      const auto hot = disagg_->hotGet(appIndex, key);
+      result.latencyMicros += hot.latencyMicros;
+      if (hot.hit) {
+        ++counters_.cacheHits;
+        ++counters_.hotCacheHits;
+        result.cacheHit = true;
+        servedBytes = hot.size;
+        break;
+      }
+      // Cold: one one-sided read against the key's pool slot. The gate is
+      // the same replica gate the other tiers use — a down or ejected pool
+      // node degrades the op to the storage path instead of burning the
+      // retry budget.
+      const std::size_t farIdx = disagg_->nodeForKey(key);
+      cache::DisaggCache::GetResult far;
+      bool contacted = false;
+      if (replicaUsable(sim::TierKind::kFarMemory, farIdx)) {
+        far = disagg_->farGetAt(app, farIdx, key);
+        result.latencyMicros += far.latencyMicros;
+        ++counters_.farMemoryReads;
+        counters_.farMemoryBytes += far.wireBytes;
+        contacted = true;
+      }
+      if (far.hit) {
+        ++counters_.cacheHits;
+        result.cacheHit = true;
+        servedBytes = far.size;
+        disagg_->hotFill(appIndex, key, far.size, far.version);
+      } else {
+        if (!contacted || far.failed) ++counters_.degradedReads;
+        ++counters_.cacheMisses;
+        result.latencyMicros += readFromStorageAndFill(app, appIndex, key);
+      }
+      break;
+    }
   }
 
   result.latencyMicros +=
@@ -609,6 +678,28 @@ Deployment::OpResult Deployment::serveWrite(const std::string& key,
       result.latencyMicros += linked_->invalidate(appIndex, key);
       fillTimes_.erase(key);
     }
+  } else if (disagg_) {
+    // Writer updates (or tombstones) the far slot and its own hot copy,
+    // then fans the invalidation to its peers itself — DiFache-style, no
+    // coordinator on the coherence path. Peers drop their hot copies via
+    // the bus handler; the next read re-pulls from the far pool.
+    if (config_.writeThroughCache) {
+      if (!faultsInstalled_ || disagg_->nodeUpFor(key)) {
+        result.latencyMicros +=
+            disagg_->farPut(app, key, op.valueSize, write.version);
+      }
+      disagg_->hotFill(appIndex, key, op.valueSize, write.version);
+    } else {
+      if (!faultsInstalled_ || disagg_->nodeUpFor(key)) {
+        result.latencyMicros += disagg_->farInvalidate(app, key);
+      }
+      disagg_->hotInvalidate(appIndex, key);
+    }
+    const std::uint64_t deliveredBefore = invalidationBus_->delivered();
+    result.latencyMicros +=
+        invalidationBus_->publish(app, key, write.version, appIndex);
+    counters_.clientInvalidations +=
+        invalidationBus_->delivered() - deliveredBefore;
   }
 
   result.latencyMicros += clientLeg(
@@ -668,6 +759,16 @@ Deployment::OpResult Deployment::serveObjectRead(const workload::Op& op) {
       result.latencyMicros += remote_->put(app, key, servedBytes, version);
     } else if (linked_) {
       linked_->fill(key, servedBytes, version);
+    } else if (disagg_) {
+      // The far slot stores the *encoded* object (encoding is app work,
+      // like the remote fill); the hot cache keeps the live in-process
+      // graph alongside, so hot hits skip the decode entirely.
+      channel_->serializer().chargeSerialize(app, servedBytes);
+      if (!faultsInstalled_ || disagg_->nodeUpFor(key)) {
+        result.latencyMicros +=
+            disagg_->farPut(app, key, servedBytes, version);
+      }
+      disagg_->hotFill(appIndex, key, servedBytes, version);
     }
   };
 
@@ -725,6 +826,45 @@ Deployment::OpResult Deployment::serveObjectRead(const workload::Op& op) {
       }
       break;
     }
+    case Architecture::kDisaggregated: {
+      const auto hot = disagg_->hotGet(appIndex, key);
+      result.latencyMicros += hot.latencyMicros;
+      if (hot.hit) {
+        // The hot cache holds the live object graph: no decode, no wire.
+        ++counters_.cacheHits;
+        ++counters_.hotCacheHits;
+        result.cacheHit = true;
+        servedBytes = hot.size;
+        break;
+      }
+      const std::size_t farIdx = disagg_->nodeForKey(key);
+      cache::DisaggCache::GetResult far;
+      bool contacted = false;
+      if (replicaUsable(sim::TierKind::kFarMemory, farIdx)) {
+        far = disagg_->farGetAt(app, farIdx, key);
+        result.latencyMicros += far.latencyMicros;
+        ++counters_.farMemoryReads;
+        counters_.farMemoryBytes += far.wireBytes;
+        contacted = true;
+      }
+      if (far.hit) {
+        ++counters_.cacheHits;
+        result.cacheHit = true;
+        servedBytes = far.size;
+        // The one-sided read pulled the encoded bytes; materializing the
+        // object graph is app logic — the cost a hot (or linked) hit
+        // avoids.
+        app.charge(sim::CpuComponent::kAppLogic,
+                   config_.calibration.app.composePerByteMicros *
+                       static_cast<double>(far.size));
+        disagg_->hotFill(appIndex, key, far.size, far.version);
+      } else {
+        if (!contacted || far.failed) ++counters_.degradedReads;
+        ++counters_.cacheMisses;
+        assembleAndFill();
+      }
+      break;
+    }
   }
 
   result.latencyMicros +=
@@ -756,6 +896,18 @@ Deployment::OpResult Deployment::serveObjectWrite(const workload::Op& op) {
     } else {
       result.latencyMicros += linked_->invalidate(appIndex, key);
     }
+  } else if (disagg_) {
+    // Object writes invalidate rather than refresh (assembly is too
+    // expensive to redo inline), then fan the drop to the peers.
+    if (!faultsInstalled_ || disagg_->nodeUpFor(key)) {
+      result.latencyMicros += disagg_->farInvalidate(app, key);
+    }
+    disagg_->hotInvalidate(appIndex, key);
+    const std::uint64_t deliveredBefore = invalidationBus_->delivered();
+    result.latencyMicros +=
+        invalidationBus_->publish(app, key, version, appIndex);
+    counters_.clientInvalidations +=
+        invalidationBus_->delivered() - deliveredBefore;
   }
 
   result.latencyMicros +=
@@ -795,6 +947,8 @@ sim::Tier* Deployment::tierFor(sim::TierKind kind) noexcept {
       return app_.get();
     case sim::TierKind::kRemoteCache:
       return remoteTier_.get();
+    case sim::TierKind::kFarMemory:
+      return farTier_.get();
     case sim::TierKind::kSqlFrontend:
       return sql_.get();
     case sim::TierKind::kKvStorage:
@@ -832,6 +986,15 @@ void Deployment::applyFault(const sim::FaultEvent& event) {
       }
       if (event.tier == sim::TierKind::kRemoteCache && remote_) {
         remote_->dropShard(event.nodeIndex);  // pod memory is gone
+      }
+      if (event.tier == sim::TierKind::kFarMemory && disagg_) {
+        // Pool memory dies with the node. Client-driven placement means no
+        // coordinator can quiesce readers, so fence coarsely: bump the
+        // ownership epoch and drop every hot copy — a stale hot hit for a
+        // key whose far slot just vanished is now impossible.
+        disagg_->dropShard(event.nodeIndex);
+        disagg_->clearHotCaches();
+        ++ownershipEpoch_;
       }
       break;
     }
@@ -974,6 +1137,7 @@ void Deployment::clearMeters() {
   client_->clearMeters();
   app_->clearMeters();
   if (remoteTier_) remoteTier_->clearMeters();
+  if (farTier_) farTier_->clearMeters();
   sql_->clearMeters();
   kv_->clearMeters();
   counters_.clear();
@@ -988,6 +1152,7 @@ void Deployment::clearMeters() {
 std::vector<const sim::Tier*> Deployment::tiers() const {
   std::vector<const sim::Tier*> out{client_.get(), app_.get()};
   if (remoteTier_) out.push_back(remoteTier_.get());
+  if (farTier_) out.push_back(farTier_.get());
   out.push_back(sql_.get());
   out.push_back(kv_.get());
   return out;
@@ -998,6 +1163,10 @@ util::Bytes Deployment::totalCacheMemoryProvisioned() const {
   if (linked_) total += config_.appCachePerNode * double(app_->size());
   if (remote_) {
     total += config_.remoteCachePerNode * double(remoteTier_->size());
+  }
+  if (disagg_) {
+    total += config_.farMemoryPerNode * double(farTier_->size());
+    total += config_.hotCachePerNode * double(app_->size());
   }
   total += config_.blockCachePerNode * double(kv_->size());
   return total;

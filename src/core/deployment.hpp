@@ -1,6 +1,6 @@
 // A full simulated service deployment: client tier, app-server tier,
-// optional remote-cache tier, SQL front-end tier and KV storage tier, wired
-// per one of the four architectures. serve() pushes one workload operation
+// optional remote-cache or far-memory tier, SQL front-end tier and KV
+// storage tier, wired per one of the five architectures. serve() pushes one workload operation
 // through the deployment, charging every hop and every byte; afterwards the
 // tiers' meters hold exactly the CPU/memory picture the cost model prices.
 #pragma once
@@ -12,8 +12,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cache/disagg_cache.hpp"
 #include "cache/linked_cache.hpp"
 #include "cache/remote_cache.hpp"
+#include "consistency/invalidation.hpp"
 #include "consistency/lease.hpp"
 #include "consistency/version_check.hpp"
 #include "core/architecture.hpp"
@@ -39,6 +41,7 @@ struct DeploymentConfig {
 
   std::size_t appServers = 3;
   std::size_t remoteCacheNodes = 3;  // only instantiated for kRemote
+  std::size_t farMemoryNodes = 3;    // only instantiated for kDisaggregated
   std::size_t sqlFrontends = 3;
   std::size_t kvStorageNodes = 3;
 
@@ -48,6 +51,11 @@ struct DeploymentConfig {
   util::Bytes blockCachePerNode = util::Bytes::gb(1);
   util::Bytes appBaseMemoryPerNode = util::Bytes::gb(2);
   util::Bytes sqlBaseMemoryPerNode = util::Bytes::gb(1);
+  /// kDisaggregated: capacity of each far-memory pool node (priced at the
+  /// far-memory $/GB rate, not DRAM), and the small in-process hot cache
+  /// each app server keeps in front of the pool.
+  util::Bytes farMemoryPerNode = util::Bytes::gb(16);
+  util::Bytes hotCachePerNode = util::Bytes::mb(512);
 
   cache::EvictionPolicy evictionPolicy = cache::EvictionPolicy::kLru;
   /// Slicer-style affinity routing: client requests for a key land directly
@@ -150,6 +158,22 @@ struct ServeCounters {
   /// Sum over ejections of (ejection time - gray-fault onset): how long
   /// the detector let each injected gray failure drag the tail.
   double detectionLagMicros = 0.0;
+
+  // Disaggregated-path accounting (all zero unless the architecture is
+  // kDisaggregated).
+  /// One-sided reads posted against the far-memory pool (at most one per
+  /// serve — the hot cache absorbs the rest).
+  std::uint64_t farMemoryReads = 0;
+  /// Bytes those one-sided reads actually pulled across the fabric
+  /// (slot header + value on a hit; header-sized on a miss; 0 on a
+  /// failed access).
+  std::uint64_t farMemoryBytes = 0;
+  /// Reads answered by the app server's in-process hot cache without
+  /// touching far memory (a subset of cacheHits).
+  std::uint64_t hotCacheHits = 0;
+  /// DiFache-style decentralized invalidations delivered: writer-fanned
+  /// hot-cache drops received by peer app servers (no coordinator hop).
+  std::uint64_t clientInvalidations = 0;
 
   [[nodiscard]] double hitRatio() const noexcept {
     const std::uint64_t n = cacheHits + cacheMisses;
@@ -260,6 +284,13 @@ class Deployment {
   [[nodiscard]] cache::RemoteCache* remoteCache() noexcept {
     return remote_.get();
   }
+  [[nodiscard]] cache::DisaggCache* disaggCache() noexcept {
+    return disagg_.get();
+  }
+  /// Decentralized invalidation fan-out (kDisaggregated only; else null).
+  [[nodiscard]] consistency::InvalidationBus* invalidationBus() noexcept {
+    return invalidationBus_.get();
+  }
   [[nodiscard]] richobject::CatalogStore* catalogStore() noexcept {
     return catalogStore_.get();
   }
@@ -326,12 +357,15 @@ class Deployment {
   std::unique_ptr<sim::Tier> client_;
   std::unique_ptr<sim::Tier> app_;
   std::unique_ptr<sim::Tier> remoteTier_;
+  std::unique_ptr<sim::Tier> farTier_;
   std::unique_ptr<sim::Tier> sql_;
   std::unique_ptr<sim::Tier> kv_;
 
   std::unique_ptr<storage::Database> db_;
   std::unique_ptr<cache::RemoteCache> remote_;
   std::unique_ptr<cache::LinkedCache> linked_;
+  std::unique_ptr<cache::DisaggCache> disagg_;
+  std::unique_ptr<consistency::InvalidationBus> invalidationBus_;
   std::unique_ptr<consistency::VersionChecker> versionChecker_;
 
   std::unique_ptr<richobject::CatalogStore> catalogStore_;

@@ -74,6 +74,30 @@ util::Money TheoreticalModel::totalCost(util::Bytes appCache,
          params_.pricing.memoryCost(memory);
 }
 
+util::Money TheoreticalModel::totalCostDisagg(
+    util::Bytes hotCache, util::Bytes farPool,
+    util::Bytes storageCache) const {
+  const double mrHot = missRatio(hotCache);
+  const double mrFar = missRatio(hotCache + farPool);
+  const double mrAll = missRatio(hotCache + farPool + storageCache);
+  // Fixed one-sided cost on every hot miss; the per-byte pull only for the
+  // fraction the far pool actually answers; the full storage round trip on
+  // the misses that fall through the pool.
+  const double busyMicrosPerSecond =
+      params_.qps *
+      (mrHot * params_.farReadFixedMicros +
+       (mrHot - mrFar) * params_.farReadPerByteMicros *
+           params_.avgObjectBytes +
+       mrFar * params_.missCostAppMicros +
+       mrAll * params_.missCostStorageMicros);
+  const double cores = busyMicrosPerSecond / 1e6 / params_.utilization;
+
+  return params_.pricing.computeCost(cores) +
+         params_.pricing.memoryCost(hotCache * params_.replicas +
+                                    storageCache) +
+         params_.pricing.farMemoryCost(farPool);
+}
+
 double TheoreticalModel::dTdAppCache(util::Bytes appCache,
                                      util::Bytes storageCache) const {
   const util::Bytes h = util::Bytes::mb(64);

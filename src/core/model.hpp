@@ -28,6 +28,12 @@ struct ModelParams {
   double missCostAppMicros = 220.0;
   /// Extra CPU when the storage-layer cache misses too (disk path).
   double missCostStorageMicros = 60.0;
+  /// Disaggregated variant: fixed CPU per one-sided far read (post +
+  /// completion poll + client-side placement; matches DisaggCosts/
+  /// OneSidedParams) and the per-byte pull paid only for bytes that
+  /// actually cross (i.e. far hits).
+  double farReadFixedMicros = 1.7;
+  double farReadPerByteMicros = 0.0002;
   double replicas = 1.0;  // N_r
   double utilization = 0.7;
   Pricing pricing = Pricing::gcp();
@@ -43,6 +49,15 @@ class TheoreticalModel {
   /// Total monthly cost at the given cache allocation.
   [[nodiscard]] util::Money totalCost(util::Bytes appCache,
                                       util::Bytes storageCache) const;
+
+  /// Disaggregated variant: a small DRAM hot cache per replica set, a far
+  /// memory pool priced at the far-memory $/GB rate, and the storage-layer
+  /// cache behind both. Every hot miss pays the fixed one-sided read cost;
+  /// only far *hits* pay the per-byte pull (a miss moves just the slot
+  /// header).
+  [[nodiscard]] util::Money totalCostDisagg(util::Bytes hotCache,
+                                            util::Bytes farPool,
+                                            util::Bytes storageCache) const;
 
   /// Numeric partial derivatives in $/GB (central difference).
   [[nodiscard]] double dTdAppCache(util::Bytes appCache,

@@ -13,12 +13,20 @@ struct Pricing {
   util::Money vcpuPerMonth = util::Money::fromDollars(17.0);
   util::Money dramPerGbMonth = util::Money::fromDollars(2.0);
   util::Money storagePerGbMonth = util::Money::fromDollars(0.02);
+  /// Disaggregated far memory: pooled DRAM behind one-sided NICs is billed
+  /// below server DRAM because the GB is stranded-capacity harvested from
+  /// hosts with idle memory and amortized over no per-GB CPU (Ditto's
+  /// elasticity argument). ≈40% of the server-DRAM rate.
+  util::Money farMemoryPerGbMonth = util::Money::fromDollars(0.80);
 
   [[nodiscard]] util::Money computeCost(double cores) const {
     return vcpuPerMonth * cores;
   }
   [[nodiscard]] util::Money memoryCost(util::Bytes bytes) const {
     return dramPerGbMonth * bytes.asGb();
+  }
+  [[nodiscard]] util::Money farMemoryCost(util::Bytes bytes) const {
+    return farMemoryPerGbMonth * bytes.asGb();
   }
   [[nodiscard]] util::Money storageCost(util::Bytes bytes) const {
     return storagePerGbMonth * bytes.asGb();

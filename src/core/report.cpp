@@ -209,6 +209,10 @@ void exportExperimentMetrics(obs::MetricsRegistry& registry,
   registry.setCounter(base + "stale_replica_reads", c.staleReplicaReads);
   registry.setCounter(base + "replica_write_fanout", c.replicaWriteFanout);
   registry.setGauge(base + "detection_lag_micros", c.detectionLagMicros);
+  registry.setCounter(base + "far_memory_reads", c.farMemoryReads);
+  registry.setCounter(base + "far_memory_bytes", c.farMemoryBytes);
+  registry.setCounter(base + "hot_cache_hits", c.hotCacheHits);
+  registry.setCounter(base + "client_invalidations", c.clientInvalidations);
 
   registry.setGauge(base + "cost.compute_usd", result.cost.computeCost.dollars());
   registry.setGauge(base + "cost.memory_usd", result.cost.memoryCost.dollars());

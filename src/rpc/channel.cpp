@@ -399,6 +399,143 @@ PolicyCallResult Channel::callHedged(
   return out;
 }
 
+CallResult Channel::oneSidedRead(sim::Node& initiator, sim::Node& target,
+                                 std::uint64_t payloadBytes,
+                                 const OneSidedParams& params) noexcept {
+  constexpr auto kComp = sim::CpuComponent::kFarMemAccess;
+  CallResult result;
+  result.responseBytes = payloadBytes;
+  if (&initiator == &target) {  // in-process: free by design, like call()
+    ++calls_;
+    return result;
+  }
+
+  const auto wireLatency = [&]() noexcept {
+    double latency =
+        2.0 * params.oneWayLatencyMicros +
+        params.perByteLatencyMicros * static_cast<double>(payloadBytes);
+    if (network_->degraded()) latency *= network_->latencyFactor();
+    if (network_->anySlowNodes()) [[unlikely]] {
+      // A throttled target drags the read even though its CPU is off the
+      // path: the NIC and memory bus run on the same starved clock.
+      const double s = initiator.slowFactor() > target.slowFactor()
+                           ? initiator.slowFactor()
+                           : target.slowFactor();
+      if (s != 1.0) latency *= s;
+    }
+    return latency;
+  };
+  const auto chargeSuccess = [&]() noexcept {
+    // Three separate charges, not one fused sum: the byte-accounting test
+    // reproduces bytes x per-byte price exactly, which a fused
+    // floating-point add order would perturb.
+    initiator.charge(kComp, params.issueMicros);
+    initiator.charge(
+        kComp, params.perByteCpuMicros * static_cast<double>(payloadBytes));
+    initiator.charge(kComp, params.completionMicros);
+    target.charge(kComp, params.targetTouchMicros);
+    network_->noteBytes(payloadBytes);
+  };
+
+  if (!faultsEnabled_) [[likely]] {
+    ++calls_;
+    chargeSuccess();
+    result.latencyMicros = wireLatency();
+    return result;
+  }
+
+  // Fault path: same admission (breaker), retry ladder, and observer feed
+  // as a unary call — a far-memory node can be just as down, partitioned,
+  // flaky or gray-slow as an RPC server; only the per-leg cost shape
+  // differs (a lost read wastes the tiny issue cost, not a marshalled
+  // request).
+  const CallPolicy& policy = defaultPolicy_;
+  CircuitBreaker* breaker = nullptr;
+  if (breakersEnabled_) {
+    breaker = &breakers_.try_emplace(&target, breakerPolicy_).first->second;
+    if (!breaker->allowRequest(static_cast<double>(nowMicros_))) {
+      ++calls_;
+      initiator.charge(kComp, params.issueMicros);
+      faultCounters_.wastedCpuMicros += params.issueMicros;
+      ++faultCounters_.breakerShortCircuits;
+      result.ok = false;
+      return result;
+    }
+  }
+  const std::uint64_t opensBefore = breaker ? breaker->opens() : 0;
+  const bool hasDeadline = policy.deadlineMicros > 0.0;
+  const std::size_t budget = std::max<std::size_t>(policy.maxAttempts, 1);
+  bool ok = false;
+  for (std::size_t attempt = 0; attempt < budget; ++attempt) {
+    if (hasDeadline && result.latencyMicros >= policy.deadlineMicros) {
+      ++faultCounters_.budgetExhausted;
+      break;
+    }
+    sim::SpanGuard attemptSpan("rdma.attempt", target.tier());
+    if (attempt > 0) {
+      double backoff = policy.backoffBaseMicros *
+                       static_cast<double>(1ULL << (attempt - 1));
+      backoff = std::min(backoff, policy.backoffMaxMicros);
+      if (policy.jitterFraction > 0.0) {
+        backoff *= 1.0 + policy.jitterFraction *
+                             (2.0 * util::uniform01(faultRng_) - 1.0);
+      }
+      if (hasDeadline) {
+        backoff =
+            std::min(backoff, policy.deadlineMicros - result.latencyMicros);
+      }
+      result.latencyMicros += backoff;
+      ++faultCounters_.retries;
+    }
+    ++calls_;
+    const double attemptTimeout =
+        hasDeadline ? std::min(policy.timeoutMicros,
+                               policy.deadlineMicros - result.latencyMicros)
+                    : policy.timeoutMicros;
+    // Posting leg: a down target, a cut initiator->target direction, or a
+    // dropped leg loses the read before any memory is touched — the
+    // initiator spent only the issue cost and waits out the timeout.
+    if (!target.isUp() ||
+        network_->linkCut(initiator.tier(), target.tier()) ||
+        legDropped(initiator, target)) {
+      initiator.charge(kComp, params.issueMicros);
+      result.latencyMicros += attemptTimeout;
+      ++faultCounters_.timeouts;
+      faultCounters_.wastedCpuMicros += params.issueMicros;
+      attemptSpan.setOutcome(sim::SpanOutcome::kTimeout);
+      continue;
+    }
+    // Data return: the target's memory was read but the payload never
+    // lands (reverse-direction cut, or a drop rolled for the return leg).
+    if (network_->linkCut(target.tier(), initiator.tier()) ||
+        legDropped(target, initiator)) {
+      initiator.charge(kComp, params.issueMicros);
+      target.charge(kComp, params.targetTouchMicros);
+      result.latencyMicros += attemptTimeout;
+      ++faultCounters_.timeouts;
+      faultCounters_.wastedCpuMicros +=
+          params.issueMicros + params.targetTouchMicros;
+      attemptSpan.setOutcome(sim::SpanOutcome::kTimeout);
+      continue;
+    }
+    chargeSuccess();
+    result.latencyMicros += wireLatency();
+    ok = true;
+    if (attempt > 0) attemptSpan.setOutcome(sim::SpanOutcome::kRetry);
+    break;
+  }
+  if (!ok) ++faultCounters_.failedCalls;
+  result.ok = ok;
+  if (breaker) {
+    breaker->record(ok, static_cast<double>(nowMicros_));
+    faultCounters_.breakerOpens += breaker->opens() - opensBefore;
+  }
+  if (observer_ != nullptr) {
+    observer_->onCallOutcome(target, ok, result.latencyMicros, nowMicros_);
+  }
+  return result;
+}
+
 double Channel::oneWay(sim::Node& from, sim::Node& to, std::uint64_t bytes,
                        bool marshal,
                        sim::CpuComponent framingComponent) noexcept {

@@ -59,6 +59,20 @@ struct CallPolicy {
   double deadlineMicros = 0.0;
 };
 
+/// Cost shape of a one-sided (RDMA-style) far-memory access. The whole
+/// point of the disaggregated architecture is that this shape is unlike a
+/// unary RPC: the initiator pays a small fixed issue/completion cost plus a
+/// per-byte pull, the target's CPU is barely touched (its NIC serves the
+/// read from memory), and the fabric round-trip skips both kernels.
+struct OneSidedParams {
+  double issueMicros = 1.0;         // initiator: post the work request
+  double completionMicros = 0.5;    // initiator: poll/absorb the completion
+  double perByteCpuMicros = 0.0002; // initiator per payload byte (0.2 ns/B)
+  double targetTouchMicros = 0.02;  // target CPU per access (near zero)
+  double oneWayLatencyMicros = 3.0; // no kernel on the path
+  double perByteLatencyMicros = 0.0008;  // same 10 Gbps wire as the RPCs
+};
+
 /// Per-destination circuit-breaker tuning (enableBreakers).
 struct BreakerPolicy {
   std::size_t windowSize = 20;     // sliding outcome window (<= 64)
@@ -173,6 +187,18 @@ class Channel {
                 bool marshal = true,
                 sim::CpuComponent framingComponent =
                     sim::CpuComponent::kRpcFraming) noexcept;
+
+  /// One-sided read: a single round-trip that pulls `payloadBytes` out of
+  /// `target`'s memory. No marshal/unmarshal, no per-message framing at the
+  /// target — the initiator pays issue + per-byte + completion CPU (all
+  /// under kFarMemAccess), the target pays only `targetTouchMicros`, and
+  /// the bytes cross the wire via NetworkModel::noteBytes. Under faults the
+  /// access retries like a unary call (a down/partitioned/flaky target
+  /// times the initiator out) and reports to the breaker/observer feeds so
+  /// health monitoring can judge a gray far-memory node.
+  CallResult oneSidedRead(sim::Node& initiator, sim::Node& target,
+                          std::uint64_t payloadBytes,
+                          const OneSidedParams& params) noexcept;
 
   /// Unary call under an explicit retry policy. Each attempt can lose its
   /// request leg (server down, or a drop rolled from the seeded RNG inside

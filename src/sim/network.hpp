@@ -128,6 +128,17 @@ class NetworkModel {
   double chargeLostLeg(Node& src, std::uint64_t payloadBytes,
                        CpuComponent component) noexcept;
 
+  /// Account bytes that crossed the fabric with no endpoint CPU charge —
+  /// a one-sided read's data movement: the initiator's NIC pulls straight
+  /// out of the target's memory, no kernel or userspace on either side.
+  /// The initiator's own (small) issue/completion CPU is the RPC layer's
+  /// to charge; here only the wire counters and the trace byte feed move.
+  void noteBytes(std::uint64_t payloadBytes) noexcept {
+    ++messages_;
+    bytes_ += payloadBytes;
+    if (TraceSink* sink = activeTraceSink()) sink->onBytesMoved(payloadBytes);
+  }
+
   [[nodiscard]] std::uint64_t messagesSent() const noexcept { return messages_; }
   [[nodiscard]] std::uint64_t bytesSent() const noexcept { return bytes_; }
   void clearCounters() noexcept {

@@ -9,6 +9,7 @@ std::string_view tierKindName(TierKind kind) noexcept {
     case TierKind::kRemoteCache: return "remote_cache";
     case TierKind::kSqlFrontend: return "sql_frontend";
     case TierKind::kKvStorage: return "kv_storage";
+    case TierKind::kFarMemory: return "far_memory";
     case TierKind::kCount: break;
   }
   return "unknown";

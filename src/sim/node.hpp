@@ -20,6 +20,7 @@ enum class TierKind : std::uint8_t {
   kRemoteCache,  // memcached/redis-like remote cache pods
   kSqlFrontend,  // TiDB-like stateless SQL layer
   kKvStorage,    // TiKV-like replicated storage nodes
+  kFarMemory,    // disaggregated memory pool reached by one-sided reads
   kCount,
 };
 

@@ -20,6 +20,7 @@ std::string_view cpuComponentName(CpuComponent c) noexcept {
     case CpuComponent::kAppLogic: return "app_logic";
     case CpuComponent::kRequestPrep: return "request_prep";
     case CpuComponent::kClientComm: return "client_comm";
+    case CpuComponent::kFarMemAccess: return "far_mem_access";
     case CpuComponent::kCount: break;
   }
   return "unknown";

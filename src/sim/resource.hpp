@@ -31,6 +31,7 @@ enum class CpuComponent : std::uint8_t {
   kAppLogic,          // application-level object assembly / business logic
   kRequestPrep,       // preparing and issuing requests to storage/cache
   kClientComm,        // communication between end clients and app servers
+  kFarMemAccess,      // one-sided far-memory access: issue + per-byte pull
   kCount,
 };
 

@@ -59,8 +59,9 @@ ChaosOutcome runChaosTrial(std::uint64_t seed) {
 
   constexpr core::Architecture kArchs[] = {
       core::Architecture::kBase, core::Architecture::kRemote,
-      core::Architecture::kLinked, core::Architecture::kLinkedVersion};
-  const core::Architecture arch = kArchs[rng.nextBounded(4)];
+      core::Architecture::kLinked, core::Architecture::kLinkedVersion,
+      core::Architecture::kDisaggregated};
+  const core::Architecture arch = kArchs[rng.nextBounded(5)];
 
   core::DeploymentConfig config;
   config.architecture = arch;
@@ -116,12 +117,15 @@ ChaosOutcome runChaosTrial(std::uint64_t seed) {
   const double horizonMicros =
       static_cast<double>(kWarmupOps + kMeasuredOps) * (1e6 / kQps);
   sim::FaultSchedule faults;
+  // Faults aimed at a tier the architecture does not build are no-ops, so
+  // every kind is drawable for every arch.
   constexpr sim::TierKind kCrashable[] = {
       sim::TierKind::kAppServer, sim::TierKind::kRemoteCache,
-      sim::TierKind::kSqlFrontend, sim::TierKind::kKvStorage};
+      sim::TierKind::kSqlFrontend, sim::TierKind::kKvStorage,
+      sim::TierKind::kFarMemory};
   const std::uint32_t crashes = rng.nextBounded(3);
   for (std::uint32_t i = 0; i < crashes; ++i) {
-    const sim::TierKind tier = kCrashable[rng.nextBounded(4)];
+    const sim::TierKind tier = kCrashable[rng.nextBounded(5)];
     const std::size_t node = rng.nextBounded(3);
     const double down = uniform(rng, 0.0, horizonMicros * 0.8);
     faults.crashNode(static_cast<std::uint64_t>(down), tier, node);
@@ -146,7 +150,7 @@ ChaosOutcome runChaosTrial(std::uint64_t seed) {
     faults.slowNode(static_cast<std::uint64_t>(start),
                     static_cast<std::uint64_t>(
                         uniform(rng, start, start + horizonMicros * 0.3)),
-                    kCrashable[rng.nextBounded(4)], rng.nextBounded(3),
+                    kCrashable[rng.nextBounded(5)], rng.nextBounded(3),
                     uniform(rng, 1.0, 20.0));
   }
   if (rng.nextBounded(2) == 0) {
@@ -154,13 +158,13 @@ ChaosOutcome runChaosTrial(std::uint64_t seed) {
     faults.flakyNode(static_cast<std::uint64_t>(start),
                      static_cast<std::uint64_t>(
                          uniform(rng, start, start + horizonMicros * 0.3)),
-                     kCrashable[rng.nextBounded(4)], rng.nextBounded(3),
+                     kCrashable[rng.nextBounded(5)], rng.nextBounded(3),
                      uniform(rng, 0.0, 0.6));
   }
   if (rng.nextBounded(2) == 0) {
     const double start = uniform(rng, 0.0, horizonMicros * 0.7);
-    const sim::TierKind from = kCrashable[rng.nextBounded(4)];
-    const sim::TierKind to = kCrashable[rng.nextBounded(4)];
+    const sim::TierKind from = kCrashable[rng.nextBounded(5)];
+    const sim::TierKind to = kCrashable[rng.nextBounded(5)];
     faults.partialPartition(
         static_cast<std::uint64_t>(start),
         static_cast<std::uint64_t>(
@@ -233,6 +237,10 @@ void expectCountersEqual(const core::ServeCounters& a,
   EXPECT_EQ(a.staleReplicaReads, b.staleReplicaReads);
   EXPECT_EQ(a.replicaWriteFanout, b.replicaWriteFanout);
   EXPECT_EQ(a.detectionLagMicros, b.detectionLagMicros);
+  EXPECT_EQ(a.farMemoryReads, b.farMemoryReads);
+  EXPECT_EQ(a.farMemoryBytes, b.farMemoryBytes);
+  EXPECT_EQ(a.hotCacheHits, b.hotCacheHits);
+  EXPECT_EQ(a.clientInvalidations, b.clientInvalidations);
 }
 
 void checkInvariants(const ChaosOutcome& outcome, std::uint64_t seed) {
@@ -288,6 +296,19 @@ void checkInvariants(const ChaosOutcome& outcome, std::uint64_t seed) {
   EXPECT_LE(c.replicaFallbackReads, c.reads);
   EXPECT_LE(c.staleReplicaReads, c.reads);
   EXPECT_GE(c.detectionLagMicros, 0.0);
+
+  // Far-memory accounting exists only under kDisaggregated, and stays
+  // within its serve-path bounds when it does: at most one one-sided read
+  // per served read, and hot hits are a subset of cache hits.
+  if (outcome.architecture != core::Architecture::kDisaggregated) {
+    EXPECT_EQ(c.farMemoryReads, 0u);
+    EXPECT_EQ(c.farMemoryBytes, 0u);
+    EXPECT_EQ(c.hotCacheHits, 0u);
+    EXPECT_EQ(c.clientInvalidations, 0u);
+  } else {
+    EXPECT_LE(c.farMemoryReads, c.reads);
+    EXPECT_LE(c.hotCacheHits, c.cacheHits);
+  }
 
   // CPU conservation at full sampling: the trace saw every charge the
   // meters saw — shed triage, wasted retry legs, hedge attempts and all.

@@ -146,16 +146,39 @@ INSTANTIATE_TEST_SUITE_P(
     Architectures, ConservationAllArchitectures,
     ::testing::Values(core::Architecture::kBase, core::Architecture::kRemote,
                       core::Architecture::kLinked,
-                      core::Architecture::kLinkedVersion),
+                      core::Architecture::kLinkedVersion,
+                      core::Architecture::kDisaggregated),
     [](const ::testing::TestParamInfo<core::Architecture>& info) {
       switch (info.param) {
         case core::Architecture::kBase: return "Base";
         case core::Architecture::kRemote: return "Remote";
         case core::Architecture::kLinked: return "Linked";
         case core::Architecture::kLinkedVersion: return "LinkedVersion";
+        case core::Architecture::kDisaggregated: return "Disaggregated";
       }
       return "Unknown";
     });
+
+TEST(ObsConservation, DisaggregatedFarMemoryChargesAreTraced) {
+  // The far-memory pool's whole point is near-zero remote CPU, but the
+  // charges it does take (slot bookkeeping on one-sided access) plus the
+  // client-side per-byte wire handling must still balance at sample 1.
+  const TracedRun run = runTraced(core::Architecture::kDisaggregated,
+                                  /*sampleEvery=*/1, /*withFaults=*/false);
+
+  ASSERT_GT(run.counters.farMemoryReads, 0u)
+      << "workload never reached the far-memory pool";
+  EXPECT_GT(run.counters.farMemoryBytes, 0u);
+  const auto far = static_cast<std::size_t>(sim::TierKind::kFarMemory);
+  EXPECT_GT(run.meteredByTier[far], 0.0);
+  EXPECT_NEAR(run.trace.tierCpuMicros(sim::TierKind::kFarMemory),
+              run.meteredByTier[far], tolerance(run.meteredByTier[far]));
+  // The pool stays near-idle relative to the app tier: the architecture's
+  // defining property, checked here so a regression that starts billing
+  // full lookups to the pool cannot slip through the equality above.
+  const auto app = static_cast<std::size_t>(sim::TierKind::kAppServer);
+  EXPECT_LT(run.meteredByTier[far], 0.2 * run.meteredByTier[app]);
+}
 
 TEST(ObsConservation, SampleOneEqualityHoldsThroughFaultsAndRetries) {
   // The wasted legs of retried and timed-out calls are charged to real

@@ -39,6 +39,26 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 # per-cell deployments, ordered result collection.
 "$BUILD_DIR/bench/fig4_synthetic" --jobs 8 > /dev/null
 
+# Disaggregated lane: the fifth architecture's one-sided read path, hot
+# caches and invalidation fan-out run under ASan explicitly (fig2's
+# analytic panel + fig4's experiment cells), and the --disagg gate itself
+# holds the determinism contract in both positions — the gate-closed runs
+# must also be byte-identical across worker counts.
+"$BUILD_DIR/bench/fig2_model" --disagg 1 > /dev/null
+DCACHE_GOLDEN_OPS="${DCACHE_GOLDEN_OPS:-2000}" \
+  "$BUILD_DIR/bench/fig4_synthetic" --disagg 1 --jobs 8 > /dev/null
+for bench in fig2_model fig4_synthetic; do
+  DCACHE_GOLDEN_OPS="${DCACHE_GOLDEN_OPS:-2000}" \
+    "$BUILD_DIR/bench/$bench" --disagg 0 --jobs 1 > "$BUILD_DIR/${bench}_off_j1.txt"
+  DCACHE_GOLDEN_OPS="${DCACHE_GOLDEN_OPS:-2000}" \
+    "$BUILD_DIR/bench/$bench" --disagg 0 --jobs 8 > "$BUILD_DIR/${bench}_off_j8.txt"
+  if ! diff -q "$BUILD_DIR/${bench}_off_j1.txt" "$BUILD_DIR/${bench}_off_j8.txt" > /dev/null; then
+    echo "check.sh: $bench --disagg 0 output differs between --jobs 1 and --jobs 8" >&2
+    diff "$BUILD_DIR/${bench}_off_j1.txt" "$BUILD_DIR/${bench}_off_j8.txt" >&2 || true
+    exit 1
+  fi
+done
+
 # Determinism diff: every deterministic bench must emit byte-identical
 # stdout for --jobs 1 and --jobs 8. The golden-op cap keeps the sanitized
 # runs fast while still driving the full matrix (same cells, same seeds).
