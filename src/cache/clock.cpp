@@ -71,6 +71,16 @@ void ClockCache::clear() {
   used_ = 0;
 }
 
+void ClockCache::forEachEntry(
+    const std::function<void(std::string_view, const CacheEntry&)>& fn)
+    const {
+  // Slot-index order: the flat backend's node indices follow the same
+  // LIFO-freelist/bump discipline, so both backends visit identically.
+  for (const Slot& slot : slots_) {
+    if (slot.occupied) fn(slot.key, slot.entry);
+  }
+}
+
 void ClockCache::evictOne() {
   cacheInvariant(!map_.empty(), "clock",
                  "evictOne with no resident entries: accounted bytes "

@@ -62,7 +62,33 @@ void DisaggCache::clearHotCaches() {
 }
 
 std::size_t DisaggCache::nodeForKey(std::string_view key) const noexcept {
-  return util::hashKey(key) % farShards_.size();
+  const std::uint64_t hash = util::hashKey(key);
+  if (membershipOn_) {
+    // Everyone-left fallback keeps routing total; one-sided reads against
+    // the departed node then time out, which is the cost of draining the
+    // whole pool. No planned schedule the benches run does that.
+    return memberRing_.ownerOf(hash).value_or(hash % farShards_.size());
+  }
+  return hash % farShards_.size();
+}
+
+void DisaggCache::enableMembership() {
+  if (membershipOn_) return;
+  membershipOn_ = true;
+  for (std::size_t i = 0; i < farShards_.size(); ++i) {
+    memberRing_.addMember(i);
+  }
+}
+
+void DisaggCache::joinNode(std::size_t nodeIndex) {
+  if (!membershipOn_ || nodeIndex >= farShards_.size()) return;
+  if (memberRing_.contains(nodeIndex)) return;  // replayed join: no-op
+  memberRing_.addMember(nodeIndex);
+}
+
+void DisaggCache::leaveNode(std::size_t nodeIndex) {
+  if (!membershipOn_ || nodeIndex >= farShards_.size()) return;
+  memberRing_.removeMember(nodeIndex);  // idempotent: second leave no-ops
 }
 
 DisaggCache::GetResult DisaggCache::farGet(sim::Node& initiator,

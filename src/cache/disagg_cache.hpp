@@ -13,6 +13,7 @@
 #include <string_view>
 #include <vector>
 
+#include "cache/hash_ring.hpp"
 #include "cache/kv_cache.hpp"
 #include "rpc/channel.hpp"
 #include "sim/tier.hpp"
@@ -78,6 +79,33 @@ class DisaggCache {
   /// One-sided tombstone: a header-sized write that clears the slot.
   double farInvalidate(sim::Node& initiator, std::string_view key);
 
+  // ---- planned pool membership (churn survival) ----
+  /// Arm membership-aware slot placement: keys map onto a consistent-hash
+  /// ring over the pool indices (every node joins up front). Default-off so
+  /// the legacy modulo placement stays byte-exact. Client-driven placement
+  /// means every app server recomputes the ring locally — there is still no
+  /// directory on the access path, which is exactly why pool transitions
+  /// must be fenced with a hot-cache flush (the deployment owns that).
+  void enableMembership();
+  [[nodiscard]] bool membershipActive() const noexcept {
+    return membershipOn_;
+  }
+  /// Planned join/leave (idempotent: a replayed event is a no-op).
+  /// leaveNode keeps the pool node's slots — the handoff window migrates
+  /// them; dropShard retires whatever remains.
+  void joinNode(std::size_t nodeIndex);
+  void leaveNode(std::size_t nodeIndex);
+  /// Ring membership once armed; every valid pool index before that.
+  [[nodiscard]] bool isMember(std::size_t nodeIndex) const noexcept {
+    return membershipOn_ ? memberRing_.contains(nodeIndex)
+                         : nodeIndex < farShards_.size();
+  }
+  /// Current membership size (the membership director refuses to drain
+  /// the last member — keys would have no owner to move to).
+  [[nodiscard]] std::size_t memberCount() const noexcept {
+    return membershipOn_ ? memberRing_.memberCount() : farShards_.size();
+  }
+
   /// Crash handling: a pool node's contents die with the process.
   void dropShard(std::size_t nodeIndex);
   [[nodiscard]] bool nodeUpFor(std::string_view key) const noexcept {
@@ -106,6 +134,9 @@ class DisaggCache {
   DisaggCosts costs_;
   std::vector<std::unique_ptr<KvCache>> farShards_;  // one per pool node
   std::vector<std::unique_ptr<KvCache>> hotShards_;  // one per app server
+  /// Pool membership ring (empty until enableMembership).
+  HashRing memberRing_;
+  bool membershipOn_ = false;
 };
 
 }  // namespace dcache::cache

@@ -50,6 +50,12 @@ void FifoCache::clear() {
   used_ = 0;
 }
 
+void FifoCache::forEachEntry(
+    const std::function<void(std::string_view, const CacheEntry&)>& fn)
+    const {
+  for (const Item& item : list_) fn(item.key, item.entry);
+}
+
 void FifoCache::evictOne() {
   cacheInvariant(!list_.empty(), "fifo",
                  "evictOne with no resident entries: accounted bytes "

@@ -258,6 +258,28 @@ void FlatCache::evictOne() {
   ++stats_.evictions;
 }
 
+void FlatCache::forEachEntry(
+    const std::function<void(std::string_view, const CacheEntry&)>& fn)
+    const {
+  if (mode_ == FlatMode::kClock) {
+    // Node-index order over occupied nodes — index allocation follows the
+    // same LIFO-freelist/bump discipline as ClockCache's slot vector, so
+    // the visit sequence matches the node backend exactly.
+    for (std::uint32_t i = 0; i < slab_.highWater(); ++i) {
+      if (flags_[i] & kOccupiedBit) {
+        const Node& node = slab_[i];
+        fn(keyOf(node), node.entry);
+      }
+    }
+    return;
+  }
+  for (std::uint32_t index = head_; index != kNil;
+       index = links_[index].next) {
+    const Node& node = slab_[index];
+    fn(keyOf(node), node.entry);
+  }
+}
+
 void FlatCache::evictClock() {
   cacheInvariant(count_ > 0, "flat-clock",
                  "evictOne with no resident entries: accounted bytes "

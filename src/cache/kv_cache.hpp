@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -103,6 +104,16 @@ class KvCache {
 
   /// Peek without affecting recency or hit/miss statistics.
   [[nodiscard]] virtual const CacheEntry* peek(std::string_view key) const = 0;
+
+  /// Enumerate every resident entry (bulk operations: membership handoff
+  /// snapshots, audits). Like peek, never touches recency or stats. The
+  /// visit order is policy-defined but deterministic, and identical between
+  /// the node and flat backends for the policies both implement — the
+  /// golden benches stay byte-identical under DCACHE_CACHE_BACKEND either
+  /// way. The callback must not mutate the cache.
+  virtual void forEachEntry(
+      const std::function<void(std::string_view, const CacheEntry&)>& fn)
+      const = 0;
 
   [[nodiscard]] virtual std::size_t itemCount() const noexcept = 0;
   [[nodiscard]] virtual util::Bytes bytesUsed() const noexcept = 0;

@@ -65,6 +65,14 @@ void LfuCache::clear() {
   used_ = 0;
 }
 
+void LfuCache::forEachEntry(
+    const std::function<void(std::string_view, const CacheEntry&)>& fn)
+    const {
+  for (const auto& [freq, bucket] : buckets_) {
+    for (const Item& item : bucket) fn(item.key, item.entry);
+  }
+}
+
 std::uint64_t LfuCache::frequencyOf(std::string_view key) const {
   const auto it = index_.find(key);
   return it == index_.end() ? 0 : it->second->freq;

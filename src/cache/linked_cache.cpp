@@ -120,8 +120,22 @@ double LinkedCache::updateAt(std::size_t writerIndex, std::size_t ownerIndex,
 
 void LinkedCache::removeServer(std::size_t serverIndex) {
   if (serverIndex >= shards_.size()) return;
-  ring_.removeMember(serverIndex);
+  // Double-apply guard: removing a non-member must be a no-op. Without the
+  // check, a replayed crash event would clear a shard the server refilled
+  // after rejoining.
+  if (!ring_.removeMember(serverIndex)) return;
   shards_[serverIndex]->clear();
+}
+
+void LinkedCache::drainServer(std::size_t serverIndex) {
+  if (serverIndex >= shards_.size()) return;
+  ring_.removeMember(serverIndex);  // idempotent: second drain is a no-op
+}
+
+void LinkedCache::dropShard(std::size_t serverIndex) {
+  if (serverIndex >= shards_.size()) return;
+  shards_[serverIndex]->clear();
+  tier_->node(serverIndex).mem().use(shards_[serverIndex]->bytesUsed());
 }
 
 void LinkedCache::addServer(std::size_t serverIndex) {

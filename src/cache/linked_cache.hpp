@@ -51,8 +51,19 @@ class LinkedCache {
                 std::uint64_t size, std::uint64_t version);
 
   /// Remove a server from the ring (resharding / failure). Its shard is
-  /// dropped, mirroring a process restart.
+  /// dropped, mirroring a process restart. Removing a server that is not a
+  /// ring member is a no-op (a replayed crash event must not clear the
+  /// shard a rejoined server refilled).
   void removeServer(std::size_t serverIndex);
+
+  /// Planned drain: remove the server from the ring but KEEP its shard
+  /// contents — the membership handoff migrates them to the new owners
+  /// during the transfer window, then dropShard() retires the rest.
+  void drainServer(std::size_t serverIndex);
+
+  /// Drop a drained server's remaining shard contents (end of the handoff
+  /// window, or a cold leave with no handoff).
+  void dropShard(std::size_t serverIndex);
 
   /// Re-add a previously removed server (restart after a crash). The shard
   /// comes back *cold* — in-process cache contents do not survive the
@@ -63,6 +74,11 @@ class LinkedCache {
   /// True when the server is a ring member (i.e. currently owns a shard).
   [[nodiscard]] bool hasServer(std::size_t serverIndex) const noexcept {
     return ring_.contains(serverIndex);
+  }
+  /// Current ring membership size (the membership director refuses to
+  /// drain the last member — keys would have no owner to move to).
+  [[nodiscard]] std::size_t serverCount() const noexcept {
+    return ring_.memberCount();
   }
 
   // ---- replica-aware access (gray-failure survival) ----
@@ -88,6 +104,7 @@ class LinkedCache {
 
   [[nodiscard]] CacheStats aggregateStats() const noexcept;
   [[nodiscard]] util::Bytes bytesUsed() const noexcept;
+  [[nodiscard]] const CacheOpCosts& costs() const noexcept { return costs_; }
   /// Total entries across shards (TTL bookkeeping boundedness checks).
   [[nodiscard]] std::size_t itemCount() const noexcept;
   [[nodiscard]] util::Bytes provisionedPerNode() const noexcept {

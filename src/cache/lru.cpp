@@ -53,6 +53,12 @@ void LruCache::clear() {
   used_ = 0;
 }
 
+void LruCache::forEachEntry(
+    const std::function<void(std::string_view, const CacheEntry&)>& fn)
+    const {
+  for (const Item& item : list_) fn(item.key, item.entry);
+}
+
 std::string_view LruCache::victim() const noexcept {
   return list_.empty() ? std::string_view{} : std::string_view(list_.back().key);
 }

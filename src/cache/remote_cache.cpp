@@ -18,7 +18,14 @@ RemoteCache::RemoteCache(sim::Tier& tier, util::Bytes perNodeCapacity,
 }
 
 std::size_t RemoteCache::nodeForKey(std::string_view key) const noexcept {
-  return util::hashKey(key) % shards_.size();
+  const std::uint64_t hash = util::hashKey(key);
+  if (membershipOn_) {
+    // Everyone-left fallback keeps routing total (calls then time out
+    // against the departed pod, which is the cost of draining a whole
+    // tier); it cannot fire in any planned schedule the benches run.
+    return memberRing_.ownerOf(hash).value_or(hash % shards_.size());
+  }
+  return hash % shards_.size();
 }
 
 RemoteCache::GetResult RemoteCache::get(sim::Node& client,
@@ -128,6 +135,29 @@ std::vector<std::size_t> RemoteCache::replicasForKey(
     std::string_view key) const {
   if (replicationFactor_ <= 1) return {};
   return replicaRing_.replicasOf(util::hashKey(key), replicationFactor_);
+}
+
+void RemoteCache::enableMembership() {
+  if (membershipOn_) return;
+  membershipOn_ = true;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    memberRing_.addMember(i);
+  }
+}
+
+void RemoteCache::joinNode(std::size_t nodeIndex) {
+  if (!membershipOn_ || nodeIndex >= shards_.size()) return;
+  if (memberRing_.contains(nodeIndex)) return;  // replayed join: no-op
+  memberRing_.addMember(nodeIndex);
+  if (replicationFactor_ > 1 && !replicaRing_.contains(nodeIndex)) {
+    replicaRing_.addMember(nodeIndex);
+  }
+}
+
+void RemoteCache::leaveNode(std::size_t nodeIndex) {
+  if (!membershipOn_ || nodeIndex >= shards_.size()) return;
+  memberRing_.removeMember(nodeIndex);  // idempotent: second leave no-ops
+  if (replicationFactor_ > 1) replicaRing_.removeMember(nodeIndex);
 }
 
 void RemoteCache::dropShard(std::size_t nodeIndex) {

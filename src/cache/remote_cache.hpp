@@ -79,6 +79,40 @@ class RemoteCache {
     return tier_->node(nodeIndex).isUp();
   }
 
+  // ---- planned membership (churn survival) ----
+  /// Arm membership-aware placement: keys map onto a consistent-hash ring
+  /// over the pod indices (every pod joins up front, so the armed-but-idle
+  /// ring and the legacy modulo differ only in placement, not in lifecycle).
+  /// Default-off: without this call the legacy modulo placement stays
+  /// byte-exact. Armed, joinNode/leaveNode reshard ~1/N of the keyspace
+  /// per event instead of remapping almost everything the way a modulo
+  /// resize would.
+  void enableMembership();
+  [[nodiscard]] bool membershipActive() const noexcept {
+    return membershipOn_;
+  }
+  /// Planned join/leave (idempotent: a replayed event is a no-op). Both
+  /// mirror into the replica ring when replication is armed. leaveNode
+  /// keeps the pod's shard contents — the handoff window migrates them;
+  /// dropShard retires whatever remains.
+  void joinNode(std::size_t nodeIndex);
+  void leaveNode(std::size_t nodeIndex);
+  /// Ring membership once armed; every valid pod index before that.
+  [[nodiscard]] bool isMember(std::size_t nodeIndex) const noexcept {
+    return membershipOn_ ? memberRing_.contains(nodeIndex)
+                         : nodeIndex < shards_.size();
+  }
+  /// Current membership size (the membership director refuses to drain
+  /// the last member — keys would have no owner to move to).
+  [[nodiscard]] std::size_t memberCount() const noexcept {
+    return membershipOn_ ? memberRing_.memberCount() : shards_.size();
+  }
+  /// Pod owning `key` under the active placement (modulo, or the
+  /// membership ring once armed).
+  [[nodiscard]] std::size_t ownerOf(std::string_view key) const noexcept {
+    return nodeForKey(key);
+  }
+
   /// Crash handling: a cache pod's contents die with the process.
   void dropShard(std::size_t nodeIndex);
   /// Is the node owning `key` currently reachable? Lets clients fail fast
@@ -90,6 +124,7 @@ class RemoteCache {
 
   [[nodiscard]] CacheStats aggregateStats() const noexcept;
   [[nodiscard]] util::Bytes bytesUsed() const noexcept;
+  [[nodiscard]] const CacheOpCosts& costs() const noexcept { return costs_; }
   [[nodiscard]] const sim::Tier& tier() const noexcept { return *tier_; }
   [[nodiscard]] KvCache& shardForNode(std::size_t i) noexcept {
     return *shards_[i];
@@ -105,6 +140,9 @@ class RemoteCache {
   /// Replica placement ring (empty until enableReplication).
   HashRing replicaRing_;
   std::size_t replicationFactor_ = 1;
+  /// Membership placement ring (empty until enableMembership).
+  HashRing memberRing_;
+  bool membershipOn_ = false;
 };
 
 }  // namespace dcache::cache

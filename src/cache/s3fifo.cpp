@@ -139,6 +139,13 @@ bool S3FifoCache::erase(std::string_view key) {
   return true;
 }
 
+void S3FifoCache::forEachEntry(
+    const std::function<void(std::string_view, const CacheEntry&)>& fn)
+    const {
+  for (const Item& item : small_) fn(item.key, item.entry);
+  for (const Item& item : main_) fn(item.key, item.entry);
+}
+
 void S3FifoCache::clear() {
   index_.clear();
   small_.clear();

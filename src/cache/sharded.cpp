@@ -69,6 +69,12 @@ util::Bytes ShardedCache::capacity() const noexcept {
   return total;
 }
 
+void ShardedCache::forEachEntry(
+    const std::function<void(std::string_view, const CacheEntry&)>& fn)
+    const {
+  for (const auto& shard : shards_) shard->forEachEntry(fn);
+}
+
 CacheStats ShardedCache::aggregateStats() const noexcept {
   CacheStats total;
   for (const auto& shard : shards_) {

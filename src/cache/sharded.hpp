@@ -26,6 +26,9 @@ class ShardedCache final : public KvCache {
   bool erase(std::string_view key) override;
   void clear() override;
   [[nodiscard]] const CacheEntry* peek(std::string_view key) const override;
+  void forEachEntry(
+      const std::function<void(std::string_view, const CacheEntry&)>& fn)
+      const override;
 
   [[nodiscard]] std::size_t itemCount() const noexcept override;
   [[nodiscard]] util::Bytes bytesUsed() const noexcept override;

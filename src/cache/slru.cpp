@@ -104,4 +104,11 @@ void SlruCache::clear() {
   protected_->clear();
 }
 
+void SlruCache::forEachEntry(
+    const std::function<void(std::string_view, const CacheEntry&)>& fn)
+    const {
+  probation_->forEachEntry(fn);
+  protected_->forEachEntry(fn);
+}
+
 }  // namespace dcache::cache

@@ -205,18 +205,18 @@ std::size_t Deployment::appIndexFor(const std::string& key) {
       // probe will use, so an ejected/slow owner is bypassed end to end.
       linkedPick_ = chooseLinkedReplica(key, linkedPickFallback_);
       linkedPickValid_ = true;
-      if (!faultsInstalled_ || app_->node(linkedPick_).isUp()) {
+      if (!dynamicTopology() || app_->node(linkedPick_).isUp()) {
         return linkedPick_;
       }
     }
     const std::size_t owner = linked_->ownerOf(key);
-    if (!faultsInstalled_ || app_->node(owner).isUp()) {
+    if (!dynamicTopology() || app_->node(owner).isUp()) {
       return owner;  // Slicer-style affinity
     }
     // The ring still names a down node (a tier outage doesn't reshard —
     // the shards' contents survive); spray over the live servers below.
   }
-  if (!faultsInstalled_ && !monitor_) {
+  if (!dynamicTopology() && !monitor_) {
     const std::size_t idx = rrApp_ % app_->size();
     ++rrApp_;
     return idx;
@@ -286,7 +286,18 @@ double Deployment::readFromStorageAndFill(sim::Node& app,
   sim::SpanGuard span("storage.fill", sim::TierKind::kKvStorage);
   app.charge(sim::CpuComponent::kRequestPrep,
              config_.calibration.app.requestPrepMicros);
-  if (faultsInstalled_) {
+  if (membershipInstalled_ && membership_->anyWindowActive()) {
+    // Dual-read fallback: the key's ownership just moved and the old owner
+    // may still hold it — rescue the entry from there instead of paying a
+    // storage round trip (the storage-amplification saving warm handoff is
+    // measured on).
+    const auto fb = membership_->tryFallback(appIndex, key);
+    if (fb.hit) {
+      span.setOutcome(sim::SpanOutcome::kCoalesced);
+      return fb.latencyMicros;
+    }
+  }
+  if (dynamicTopology()) {
     // Single-flight: a miss whose storage read is already in flight joins
     // it instead of issuing a duplicate — a cold restart must not turn the
     // miss storm into a storage-QPS storm. The follower only pays the
@@ -300,7 +311,7 @@ double Deployment::readFromStorageAndFill(sim::Node& app,
   }
   const auto read = db_->readValue(app, key);
   ++counters_.storageReads;
-  if (faultsInstalled_) {
+  if (dynamicTopology()) {
     inflight_[key] =
         simNowMicros_ + static_cast<std::uint64_t>(read.latencyMicros);
     pruneInflight();
@@ -323,7 +334,7 @@ double Deployment::readFromStorageAndFill(sim::Node& app,
       if (copies > 1) counters_.replicaWriteFanout += copies - 1;
       return read.latencyMicros + maxLat;
     }
-    if (faultsInstalled_ && !remote_->nodeUpFor(key)) {
+    if (dynamicTopology() && !remote_->nodeUpFor(key)) {
       // Circuit breaker: don't burn a timed-out retry budget filling a
       // pod known to be dead; the value simply isn't cached this round.
       return read.latencyMicros;
@@ -336,7 +347,7 @@ double Deployment::readFromStorageAndFill(sim::Node& app,
     // skipped when its pool node is known dead (same breaker idiom as the
     // remote tier — don't burn a timed-out retry budget on a corpse).
     disagg_->hotFill(appIndex, key, read.size, read.version);
-    if (!faultsInstalled_ || disagg_->nodeUpFor(key)) {
+    if (!dynamicTopology() || disagg_->nodeUpFor(key)) {
       return read.latencyMicros +
              disagg_->farPut(app, key, read.size, read.version);
     }
@@ -441,6 +452,7 @@ Deployment::OpResult Deployment::serve(const workload::Op& op) {
   }
   latency_.record(result.latencyMicros);
   if (faultsInstalled_ || overloadInstalled_ || monitor_) syncFaultCounters();
+  if (membershipInstalled_) syncMembershipCounters();
   return result;
 }
 
@@ -684,13 +696,13 @@ Deployment::OpResult Deployment::serveWrite(const std::string& key,
     // coordinator on the coherence path. Peers drop their hot copies via
     // the bus handler; the next read re-pulls from the far pool.
     if (config_.writeThroughCache) {
-      if (!faultsInstalled_ || disagg_->nodeUpFor(key)) {
+      if (!dynamicTopology() || disagg_->nodeUpFor(key)) {
         result.latencyMicros +=
             disagg_->farPut(app, key, op.valueSize, write.version);
       }
       disagg_->hotFill(appIndex, key, op.valueSize, write.version);
     } else {
-      if (!faultsInstalled_ || disagg_->nodeUpFor(key)) {
+      if (!dynamicTopology() || disagg_->nodeUpFor(key)) {
         result.latencyMicros += disagg_->farInvalidate(app, key);
       }
       disagg_->hotInvalidate(appIndex, key);
@@ -700,6 +712,13 @@ Deployment::OpResult Deployment::serveWrite(const std::string& key,
         invalidationBus_->publish(app, key, write.version, appIndex);
     counters_.clientInvalidations +=
         invalidationBus_->delivered() - deliveredBefore;
+  }
+
+  if (membershipInstalled_ && membership_->anyWindowActive()) {
+    // The write landed at the key's *new* owner; erase any copy the old
+    // owner still holds so a later migration batch (or dual read) can't
+    // resurrect the overwritten value.
+    membership_->fenceWrite(appIndex, key);
   }
 
   result.latencyMicros += clientLeg(
@@ -724,6 +743,7 @@ Deployment::OpResult Deployment::serveObject(const workload::Op& op) {
   }
   latency_.record(result.latencyMicros);
   if (faultsInstalled_ || overloadInstalled_ || monitor_) syncFaultCounters();
+  if (membershipInstalled_) syncMembershipCounters();
   return result;
 }
 
@@ -764,7 +784,7 @@ Deployment::OpResult Deployment::serveObjectRead(const workload::Op& op) {
       // like the remote fill); the hot cache keeps the live in-process
       // graph alongside, so hot hits skip the decode entirely.
       channel_->serializer().chargeSerialize(app, servedBytes);
-      if (!faultsInstalled_ || disagg_->nodeUpFor(key)) {
+      if (!dynamicTopology() || disagg_->nodeUpFor(key)) {
         result.latencyMicros +=
             disagg_->farPut(app, key, servedBytes, version);
       }
@@ -899,7 +919,7 @@ Deployment::OpResult Deployment::serveObjectWrite(const workload::Op& op) {
   } else if (disagg_) {
     // Object writes invalidate rather than refresh (assembly is too
     // expensive to redo inline), then fan the drop to the peers.
-    if (!faultsInstalled_ || disagg_->nodeUpFor(key)) {
+    if (!dynamicTopology() || disagg_->nodeUpFor(key)) {
       result.latencyMicros += disagg_->farInvalidate(app, key);
     }
     disagg_->hotInvalidate(appIndex, key);
@@ -910,10 +930,102 @@ Deployment::OpResult Deployment::serveObjectWrite(const workload::Op& op) {
         invalidationBus_->delivered() - deliveredBefore;
   }
 
+  if (membershipInstalled_ && membership_->anyWindowActive()) {
+    membership_->fenceWrite(appIndex, key);
+  }
+
   result.latencyMicros +=
       clientLeg(app, appIndex, rpc::putRequestWireSize(key.size()) + 256,
                 rpc::putResponseWireSize());
   return result;
+}
+
+void Deployment::installMembershipSchedule(MembershipSchedule schedule,
+                                           HandoffConfig handoff) {
+  membershipInstalled_ = true;
+  // Ring tiers switch to explicit membership so joins/leaves move key
+  // ownership instead of being invisible to placement. (The linked ring
+  // already supports add/remove/drain natively.)
+  if (remote_) remote_->enableMembership();
+  if (disagg_) disagg_->enableMembership();
+  if (linked_ && !leases_) {
+    // Same fencing authority as the crash path: leases are revoked when a
+    // planned transition moves ownership (see advanceMembership).
+    leases_ = std::make_unique<consistency::LeaseManager>(*app_, kv_->node(0),
+                                                          *channel_);
+  }
+  if (monitor_) {
+    // Scale-out spares start absent: the monitor must not probe a node
+    // that was never placed (it registers again at its join event).
+    for (const MembershipEvent& e : schedule.absentAtStart()) {
+      sim::Tier* tier = tierFor(e.tier);
+      if (tier && e.nodeIndex < tier->size()) {
+        monitor_->deregisterNode(tier->node(e.nodeIndex), e.tier,
+                                 e.nodeIndex);
+      }
+    }
+  }
+  MembershipDirector::Hooks hooks;
+  hooks.appTier = app_.get();
+  hooks.remoteTier = remoteTier_.get();
+  hooks.farTier = farTier_.get();
+  hooks.linked = linked_.get();
+  hooks.remote = remote_.get();
+  hooks.disagg = disagg_.get();
+  hooks.channel = channel_.get();
+  membership_ = std::make_unique<MembershipDirector>(std::move(schedule),
+                                                     handoff, hooks);
+  // Events at/before the current clock fire now (installFaultSchedule's
+  // contract, kept here for symmetry).
+  if (membership_->hasWorkAt(simNowMicros_)) advanceMembership();
+}
+
+void Deployment::advanceMembership() {
+  // The pump's CPU and wire charges must land inside an open request scope
+  // or the traced-vs-metered conservation invariant would break at
+  // sample 1 — background migration is real work the bill sees.
+  obs::RequestScope scope(tracer_.get(), "membership.pump");
+  membership_->advanceTo(simNowMicros_);
+  for (const MembershipEvent& e : membership_->drainApplied()) {
+    // Deployment-owned fencing. The director already moved the ring and
+    // (warm) opened the transfer window; what's left is the machinery the
+    // director deliberately can't see.
+    const bool linkedRing = linked_ && e.tier == sim::TierKind::kAppServer;
+    const bool remoteRing = remote_ && e.tier == sim::TierKind::kRemoteCache;
+    const bool farRing = disagg_ && e.tier == sim::TierKind::kFarMemory;
+    if (linkedRing || remoteRing || farRing) {
+      // Ownership moved: in-flight writes carrying the old epoch are
+      // fenced exactly as on the crash path (Fig. 8).
+      ++ownershipEpoch_;
+    }
+    if (linkedRing && leases_) leases_->revoke(e.nodeIndex);
+    if (monitor_) {
+      sim::Tier* tier = tierFor(e.tier);
+      if (tier && e.nodeIndex < tier->size()) {
+        if (e.kind == MembershipKind::kLeave) {
+          // Planned leave: drop probe/ejection state immediately — ghost
+          // probes against a node that left on purpose would hold an
+          // ejection slot and pollute detection-lag accounting.
+          monitor_->deregisterNode(tier->node(e.nodeIndex), e.tier,
+                                   e.nodeIndex);
+        } else {
+          monitor_->registerNode(tier->node(e.nodeIndex), e.tier,
+                                 e.nodeIndex);
+        }
+      }
+    }
+  }
+  syncMembershipCounters();
+}
+
+void Deployment::syncMembershipCounters() noexcept {
+  const MembershipCounters& mc = membership_->counters();
+  counters_.plannedJoins = mc.plannedJoins;
+  counters_.plannedLeaves = mc.plannedLeaves;
+  counters_.migratedKeys = mc.migratedKeys;
+  counters_.migratedBytes = mc.migratedBytes;
+  counters_.handoffFallbackReads = mc.handoffFallbackReads;
+  counters_.epochFences = mc.epochFences;
 }
 
 void Deployment::installFaultSchedule(sim::FaultSchedule schedule) {
@@ -1144,6 +1256,9 @@ void Deployment::clearMeters() {
   latency_.clear();
   network_.clearCounters();
   channel_->clearFaultCounters();
+  // Same windowing contract as the channel's fault counters: a measurement
+  // window opened after warmup must not inherit warmup-era churn counts.
+  if (membership_) membership_->clearCounters();
   // Traced CPU and metered CPU must cover the same window, or the
   // conservation invariant (traced <= metered, equal at sample 1) breaks.
   if (tracer_) tracer_->clear();

@@ -21,6 +21,7 @@
 #include "core/architecture.hpp"
 #include "core/calibration.hpp"
 #include "core/health.hpp"
+#include "core/membership.hpp"
 #include "core/overload.hpp"
 #include "obs/trace.hpp"
 #include "richobject/assembler.hpp"
@@ -175,6 +176,22 @@ struct ServeCounters {
   /// hot-cache drops received by peer app servers (no coordinator hop).
   std::uint64_t clientInvalidations = 0;
 
+  // Membership-churn accounting (all zero unless a MembershipSchedule is
+  // installed; mirrored from core::MembershipCounters).
+  std::uint64_t plannedJoins = 0;   // join events applied
+  std::uint64_t plannedLeaves = 0;  // graceful-leave events applied
+  /// Keys moved to their new owner by the background handoff pump.
+  std::uint64_t migratedKeys = 0;
+  /// Value bytes those migrations pushed across the wire.
+  std::uint64_t migratedBytes = 0;
+  /// New-owner misses served by reading the old owner during a transfer
+  /// window (the dual-read rescue; each one is a storage read avoided).
+  std::uint64_t handoffFallbackReads = 0;
+  /// Epoch-fencing actions: ownership transitions plus stale copies fenced
+  /// (migration skipped for a fresher new-owner version, or an old-owner
+  /// copy erased because a write landed mid-window).
+  std::uint64_t epochFences = 0;
+
   [[nodiscard]] double hitRatio() const noexcept {
     const std::uint64_t n = cacheHits + cacheMisses;
     return n ? static_cast<double>(cacheHits) / static_cast<double>(n) : 0.0;
@@ -209,6 +226,9 @@ class Deployment {
     simNowMicros_ = nowMicros;
     channel_->setNowMicros(nowMicros);  // queue drains + breaker cool-downs
     if (faultsInstalled_) applyPendingFaults();
+    if (membershipInstalled_ && membership_->hasWorkAt(nowMicros)) {
+      advanceMembership();
+    }
   }
   [[nodiscard]] std::uint64_t simTimeMicros() const noexcept {
     return simNowMicros_;
@@ -223,6 +243,24 @@ class Deployment {
   void installFaultSchedule(sim::FaultSchedule schedule);
   [[nodiscard]] bool faultsInstalled() const noexcept {
     return faultsInstalled_;
+  }
+
+  // ---- planned membership churn ----
+  /// Install a planned join/leave schedule (and the warm-handoff posture).
+  /// Ring tiers switch to explicit membership, `startAbsent` spares are
+  /// taken out of the initial placement, and events fire as the sim clock
+  /// passes them — with handoff enabled, each ownership transition opens a
+  /// bounded transfer window that migrates moved keys to their new owner.
+  /// Without this call every membership hook is dormant and the deployment
+  /// is bit-for-bit what it was before churn existed.
+  void installMembershipSchedule(MembershipSchedule schedule,
+                                 HandoffConfig handoff = {});
+  [[nodiscard]] bool membershipInstalled() const noexcept {
+    return membershipInstalled_;
+  }
+  /// Churn director (null unless installMembershipSchedule was called).
+  [[nodiscard]] MembershipDirector* membership() noexcept {
+    return membership_.get();
   }
   /// True when config.overload armed the queueing model / defenses.
   [[nodiscard]] bool overloadInstalled() const noexcept {
@@ -340,6 +378,20 @@ class Deployment {
   /// staleness anomaly — counted, not fixed).
   void noteReplicaStaleness(const std::string& key, std::uint64_t version);
 
+  // ---- membership machinery ----
+  /// True when topology can change mid-run (faults or planned churn):
+  /// routing must re-check node liveness, misses must single-flight, and
+  /// cache front-ends must gate on their breaker idiom.
+  [[nodiscard]] bool dynamicTopology() const noexcept {
+    return faultsInstalled_ || membershipInstalled_;
+  }
+  /// Apply due membership events and pump handoff batches, then run the
+  /// deployment-owned fencing for each applied event (epoch bump, lease
+  /// revocation, hot-cache flush, health (de)registration).
+  void advanceMembership();
+  /// Mirror the director's counters into counters_.
+  void syncMembershipCounters() noexcept;
+
   // ---- fault machinery ----
   void applyPendingFaults();
   void applyFault(const sim::FaultEvent& event);
@@ -414,6 +466,8 @@ class Deployment {
   std::size_t activeSlowNodes_ = 0;
 
   std::unique_ptr<consistency::LeaseManager> leases_;
+  std::unique_ptr<MembershipDirector> membership_;
+  bool membershipInstalled_ = false;
   sim::FaultSchedule faultSchedule_;
   std::size_t faultCursor_ = 0;
   bool faultsInstalled_ = false;

@@ -12,6 +12,16 @@ void HealthMonitor::registerNode(const sim::Node& node, sim::TierKind tier,
   index_[&node] = {t, index};
 }
 
+void HealthMonitor::deregisterNode(const sim::Node& node, sim::TierKind tier,
+                                   std::size_t index) {
+  const auto t = static_cast<std::size_t>(tier);
+  if (t >= kTiers || index >= tiers_[t].size()) return;
+  NodeState& s = tiers_[t][index];
+  if (s.ejected) --ejectedInTier_[t];  // release the tier's ejection slot
+  s = NodeState{};
+  index_.erase(&node);
+}
+
 const HealthMonitor::NodeState* HealthMonitor::state(
     sim::TierKind tier, std::size_t index) const noexcept {
   const auto t = static_cast<std::size_t>(tier);

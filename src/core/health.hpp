@@ -81,6 +81,14 @@ class HealthMonitor final : public rpc::CallObserver {
   void registerNode(const sim::Node& node, sim::TierKind tier,
                     std::size_t index);
 
+  /// Drop a node's probe/ejection state immediately (planned leave). A
+  /// departed node must not be granted probes, hold an ejection slot, or
+  /// accrue suspicion from straggler call outcomes — ghost probes against
+  /// a node that left on purpose would double-count as detection lag.
+  /// Re-registering after a planned join starts from a clean slate.
+  void deregisterNode(const sim::Node& node, sim::TierKind tier,
+                      std::size_t index);
+
   // rpc::CallObserver
   void onCallOutcome(const sim::Node& dst, bool ok, double latencyMicros,
                      std::uint64_t nowMicros) override;

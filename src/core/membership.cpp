@@ -1,0 +1,655 @@
+#include "core/membership.hpp"
+
+#include <algorithm>
+
+#include "rpc/wire_size.hpp"
+#include "sim/trace_hook.hpp"
+
+namespace dcache::core {
+
+std::string_view membershipKindName(MembershipKind kind) noexcept {
+  switch (kind) {
+    case MembershipKind::kJoin:
+      return "join";
+    case MembershipKind::kLeave:
+      return "leave";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// MembershipSchedule
+// ---------------------------------------------------------------------------
+
+void MembershipSchedule::add(MembershipEvent event) {
+  events_.push_back(event);
+  sorted_ = false;
+}
+
+void MembershipSchedule::join(std::uint64_t atMicros, sim::TierKind tier,
+                              std::size_t nodeIndex) {
+  add({atMicros, MembershipKind::kJoin, tier, nodeIndex});
+}
+
+void MembershipSchedule::leave(std::uint64_t atMicros, sim::TierKind tier,
+                               std::size_t nodeIndex) {
+  add({atMicros, MembershipKind::kLeave, tier, nodeIndex});
+}
+
+void MembershipSchedule::rollingRestart(std::uint64_t fromMicros,
+                                        sim::TierKind tier,
+                                        std::size_t firstNode,
+                                        std::size_t count,
+                                        std::uint64_t stepMicros,
+                                        std::uint64_t downMicros) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t at = fromMicros + i * stepMicros;
+    leave(at, tier, firstNode + i);
+    join(at + downMicros, tier, firstNode + i);
+  }
+}
+
+void MembershipSchedule::scaleOut(std::uint64_t atMicros, sim::TierKind tier,
+                                  std::size_t firstNode, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    join(atMicros, tier, firstNode + i);
+  }
+}
+
+void MembershipSchedule::scaleIn(std::uint64_t atMicros, sim::TierKind tier,
+                                 std::size_t firstNode, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    leave(atMicros, tier, firstNode + i);
+  }
+}
+
+void MembershipSchedule::startAbsent(sim::TierKind tier,
+                                     std::size_t nodeIndex) {
+  absent_.push_back({0, MembershipKind::kLeave, tier, nodeIndex});
+}
+
+const std::vector<MembershipEvent>& MembershipSchedule::events() const {
+  if (!sorted_) {
+    // Stable: events at the same instant keep insertion order, so a
+    // schedule replays identically however it was built.
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const MembershipEvent& a, const MembershipEvent& b) {
+                       return a.atMicros < b.atMicros;
+                     });
+    sorted_ = true;
+  }
+  return events_;
+}
+
+// ---------------------------------------------------------------------------
+// MembershipDirector
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Batched wire accounting: one (source, dest) transfer per pump batch,
+/// however many keys rode in it.
+struct TransferGroup {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  std::uint64_t bytes = 0;
+};
+
+void accumulate(std::vector<TransferGroup>& groups, std::size_t from,
+                std::size_t to, std::uint64_t bytes) {
+  for (TransferGroup& g : groups) {
+    if (g.from == from && g.to == to) {
+      g.bytes += bytes;
+      return;
+    }
+  }
+  groups.push_back({from, to, bytes});
+}
+
+void markTouched(std::vector<std::size_t>& touched, std::size_t index) {
+  if (std::find(touched.begin(), touched.end(), index) == touched.end()) {
+    touched.push_back(index);
+  }
+}
+
+/// Flips every node of the churn tier (plus the far pump's app-side
+/// initiator) into background-QoS mode for the duration of a pump batch:
+/// migration CPU and wire framing are metered and billed but never enter
+/// the foreground queues, the way a deprioritized bulk stream behaves.
+class BackgroundPumpScope {
+ public:
+  BackgroundPumpScope(sim::Tier* tier, sim::Node* initiator) noexcept
+      : tier_(tier), initiator_(initiator) {
+    if (tier_ != nullptr) {
+      for (std::size_t i = 0; i < tier_->size(); ++i) {
+        tier_->node(i).setBackgroundWork(true);
+      }
+    }
+    if (initiator_ != nullptr) initiator_->setBackgroundWork(true);
+  }
+  ~BackgroundPumpScope() {
+    if (tier_ != nullptr) {
+      for (std::size_t i = 0; i < tier_->size(); ++i) {
+        tier_->node(i).setBackgroundWork(false);
+      }
+    }
+    if (initiator_ != nullptr) initiator_->setBackgroundWork(false);
+  }
+  BackgroundPumpScope(const BackgroundPumpScope&) = delete;
+  BackgroundPumpScope& operator=(const BackgroundPumpScope&) = delete;
+
+ private:
+  sim::Tier* tier_;
+  sim::Node* initiator_;
+};
+
+}  // namespace
+
+MembershipDirector::MembershipDirector(MembershipSchedule schedule,
+                                       HandoffConfig handoff, Hooks hooks)
+    : schedule_(std::move(schedule)), handoff_(handoff), hooks_(hooks) {
+  if (handoff_.batchIntervalMicros == 0) handoff_.batchIntervalMicros = 1;
+  // Scale-out spares: out of the ring and powered down before the first op,
+  // uncounted (they never "left" — they haven't arrived yet).
+  for (const MembershipEvent& e : schedule_.absentAtStart()) {
+    if (ringTier(e.tier)) {
+      if (e.tier == sim::TierKind::kAppServer) {
+        hooks_.linked->removeServer(e.nodeIndex);
+      } else if (e.tier == sim::TierKind::kRemoteCache) {
+        hooks_.remote->leaveNode(e.nodeIndex);
+        hooks_.remote->dropShard(e.nodeIndex);
+      } else {
+        hooks_.disagg->leaveNode(e.nodeIndex);
+        hooks_.disagg->dropShard(e.nodeIndex);
+      }
+    }
+    if (sim::Tier* tier = tierFor(e.tier)) {
+      if (e.nodeIndex < tier->size()) tier->node(e.nodeIndex).setUp(false);
+    }
+  }
+}
+
+bool MembershipDirector::ringTier(sim::TierKind tier) const noexcept {
+  switch (tier) {
+    case sim::TierKind::kAppServer:
+      return hooks_.linked != nullptr;
+    case sim::TierKind::kRemoteCache:
+      return hooks_.remote != nullptr;
+    case sim::TierKind::kFarMemory:
+      return hooks_.disagg != nullptr;
+    default:
+      return false;
+  }
+}
+
+bool MembershipDirector::isRingMember(sim::TierKind tier,
+                                      std::size_t index) const noexcept {
+  switch (tier) {
+    case sim::TierKind::kAppServer:
+      return hooks_.linked->hasServer(index);
+    case sim::TierKind::kRemoteCache:
+      return hooks_.remote->isMember(index);
+    default:
+      return hooks_.disagg->isMember(index);
+  }
+}
+
+std::size_t MembershipDirector::ringMemberCount(
+    sim::TierKind tier) const noexcept {
+  switch (tier) {
+    case sim::TierKind::kAppServer:
+      return hooks_.linked->serverCount();
+    case sim::TierKind::kRemoteCache:
+      return hooks_.remote->memberCount();
+    default:
+      return hooks_.disagg->memberCount();
+  }
+}
+
+sim::Tier* MembershipDirector::tierFor(sim::TierKind tier) const noexcept {
+  switch (tier) {
+    case sim::TierKind::kAppServer:
+      return hooks_.appTier;
+    case sim::TierKind::kRemoteCache:
+      return hooks_.remoteTier;
+    case sim::TierKind::kFarMemory:
+      return hooks_.farTier;
+    default:
+      return nullptr;
+  }
+}
+
+cache::KvCache* MembershipDirector::shardFor(sim::TierKind tier,
+                                             std::size_t index) const {
+  switch (tier) {
+    case sim::TierKind::kAppServer:
+      return hooks_.linked ? &hooks_.linked->shard(index) : nullptr;
+    case sim::TierKind::kRemoteCache:
+      return hooks_.remote ? &hooks_.remote->shardForNode(index) : nullptr;
+    case sim::TierKind::kFarMemory:
+      return hooks_.disagg ? &hooks_.disagg->farShardForNode(index) : nullptr;
+    default:
+      return nullptr;
+  }
+}
+
+std::size_t MembershipDirector::ownerFor(sim::TierKind tier,
+                                         std::string_view key) const {
+  switch (tier) {
+    case sim::TierKind::kAppServer:
+      return hooks_.linked->ownerOf(key);
+    case sim::TierKind::kRemoteCache:
+      return hooks_.remote->ownerOf(key);
+    default:
+      return hooks_.disagg->nodeForKey(key);
+  }
+}
+
+void MembershipDirector::syncShardMemory(sim::TierKind tier,
+                                         std::size_t index) {
+  cache::KvCache* shard = shardFor(tier, index);
+  sim::Tier* t = tierFor(tier);
+  if (shard == nullptr || t == nullptr || index >= t->size()) return;
+  t->node(index).mem().use(shard->bytesUsed());
+}
+
+bool MembershipDirector::hasWorkAt(std::uint64_t nowMicros) const noexcept {
+  const auto& events = schedule_.events();
+  if (cursor_ < events.size() && events[cursor_].atMicros <= nowMicros) {
+    return true;
+  }
+  for (const Task& task : tasks_) {
+    if (task.windowEndMicros <= nowMicros) return true;
+    if (task.cursor < task.pending.size() &&
+        task.nextBatchMicros <= nowMicros) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void MembershipDirector::advanceTo(std::uint64_t nowMicros) {
+  const auto& events = schedule_.events();
+  while (cursor_ < events.size() && events[cursor_].atMicros <= nowMicros) {
+    applyEvent(events[cursor_], nowMicros);
+    ++cursor_;
+  }
+  pump(nowMicros);
+}
+
+void MembershipDirector::applyEvent(const MembershipEvent& event,
+                                    std::uint64_t nowMicros) {
+  if (event.kind == MembershipKind::kLeave && ringTier(event.tier) &&
+      isRingMember(event.tier, event.nodeIndex) &&
+      ringMemberCount(event.tier) <= 1) {
+    // Refuse to drain the last ring member: its keys would have no owner
+    // to move to and the placement would be empty. The event is dropped
+    // whole — uncounted, no deployment-side fencing — the way an operator
+    // tool rejects a drain that would take the tier to zero.
+    return;
+  }
+  if (event.kind == MembershipKind::kJoin) {
+    applyJoin(event, nowMicros);
+  } else {
+    applyLeave(event, nowMicros);
+  }
+  applied_.push_back(event);
+}
+
+void MembershipDirector::applyJoin(const MembershipEvent& event,
+                                   std::uint64_t nowMicros) {
+  ++counters_.plannedJoins;
+  sim::Tier* tier = tierFor(event.tier);
+  if (tier == nullptr || event.nodeIndex >= tier->size()) return;
+  tier->node(event.nodeIndex).setUp(true);
+
+  // A (re)joining app server under disagg restarts its process: the hot
+  // cache must come back cold (it missed every invalidation while away).
+  if (event.tier == sim::TierKind::kAppServer && hooks_.disagg != nullptr) {
+    hooks_.disagg->hotShardForNode(event.nodeIndex).clear();
+    syncShardMemory(event.tier, event.nodeIndex);
+  }
+
+  if (!ringTier(event.tier)) return;
+  // Ring transition first — the join snapshot needs the *post-join*
+  // placement to know which keys the newcomer now owns.
+  if (event.tier == sim::TierKind::kAppServer) {
+    hooks_.linked->addServer(event.nodeIndex);  // idempotent; shard cold
+  } else if (event.tier == sim::TierKind::kRemoteCache) {
+    hooks_.remote->joinNode(event.nodeIndex);
+  } else {
+    hooks_.disagg->joinNode(event.nodeIndex);
+  }
+  ++counters_.epochFences;  // ownership moved: one epoch fence per transition
+
+  if (!handoff_.enabled) return;  // cold: the newcomer warms organically
+  Task task;
+  task.event = event;
+  task.windowEndMicros = nowMicros + handoff_.windowMicros;
+  task.nextBatchMicros = nowMicros + handoff_.batchIntervalMicros;
+  snapshotJoin(task);
+  buildIndex(task);
+  tasks_.push_back(std::move(task));
+}
+
+void MembershipDirector::applyLeave(const MembershipEvent& event,
+                                    std::uint64_t nowMicros) {
+  ++counters_.plannedLeaves;
+  sim::Tier* tier = tierFor(event.tier);
+  if (tier == nullptr || event.nodeIndex >= tier->size()) return;
+
+  if (!ringTier(event.tier)) {
+    // Stateless tier (app servers under Base/Remote/Disagg): nothing to
+    // migrate, the node just drains out of rotation.
+    tier->node(event.nodeIndex).setUp(false);
+    return;
+  }
+
+  ++counters_.epochFences;  // ownership moves now, whatever the posture
+
+  if (!handoff_.enabled) {
+    // Cold reshard: ownership moves and the shard dies with the process.
+    if (event.tier == sim::TierKind::kAppServer) {
+      hooks_.linked->removeServer(event.nodeIndex);
+    } else if (event.tier == sim::TierKind::kRemoteCache) {
+      hooks_.remote->leaveNode(event.nodeIndex);
+      hooks_.remote->dropShard(event.nodeIndex);
+    } else {
+      hooks_.disagg->leaveNode(event.nodeIndex);
+      hooks_.disagg->dropShard(event.nodeIndex);
+    }
+    syncShardMemory(event.tier, event.nodeIndex);
+    tier->node(event.nodeIndex).setUp(false);
+    return;
+  }
+
+  // Warm drain: out of the ring immediately (no new keys land here), but
+  // the process stays up through the transfer window so the pump and the
+  // dual-read fallback can still read its shard.
+  if (event.tier == sim::TierKind::kAppServer) {
+    hooks_.linked->drainServer(event.nodeIndex);
+  } else if (event.tier == sim::TierKind::kRemoteCache) {
+    hooks_.remote->leaveNode(event.nodeIndex);
+  } else {
+    hooks_.disagg->leaveNode(event.nodeIndex);
+  }
+  Task task;
+  task.event = event;
+  task.windowEndMicros = nowMicros + handoff_.windowMicros;
+  task.nextBatchMicros = nowMicros + handoff_.batchIntervalMicros;
+  snapshotLeave(task);
+  buildIndex(task);
+  tasks_.push_back(std::move(task));
+}
+
+void MembershipDirector::snapshotLeave(Task& task) {
+  cache::KvCache* source = shardFor(task.event.tier, task.event.nodeIndex);
+  if (source == nullptr) return;
+  const std::size_t from = task.event.nodeIndex;
+  source->forEachEntry(
+      [&](std::string_view key, const cache::CacheEntry& entry) {
+        task.pending.push_back(
+            {std::string(key), from, entry.size, entry.version});
+      });
+}
+
+void MembershipDirector::snapshotJoin(Task& task) {
+  const sim::TierKind tierKind = task.event.tier;
+  sim::Tier* tier = tierFor(tierKind);
+  if (tier == nullptr) return;
+  const std::size_t joiner = task.event.nodeIndex;
+  for (std::size_t i = 0; i < tier->size(); ++i) {
+    if (i == joiner) continue;
+    cache::KvCache* shard = shardFor(tierKind, i);
+    if (shard == nullptr) continue;
+    shard->forEachEntry(
+        [&](std::string_view key, const cache::CacheEntry& entry) {
+          if (ownerFor(tierKind, key) == joiner) {
+            task.pending.push_back(
+                {std::string(key), i, entry.size, entry.version});
+          }
+        });
+  }
+}
+
+void MembershipDirector::buildIndex(Task& task) {
+  // Views into task.pending's key strings: pending is fully built by now
+  // and never mutated afterwards (the pump only advances a cursor), so the
+  // views stay valid for the task's lifetime.
+  task.byKey.reserve(task.pending.size());
+  for (std::size_t i = 0; i < task.pending.size(); ++i) {
+    task.byKey.emplace(std::string_view(task.pending[i].key), i);
+  }
+}
+
+void MembershipDirector::pump(std::uint64_t nowMicros) {
+  for (Task& task : tasks_) {
+    const std::uint64_t horizon =
+        std::min(nowMicros, task.windowEndMicros);
+    while (task.nextBatchMicros <= horizon &&
+           task.cursor < task.pending.size()) {
+      pumpTask(task);
+      task.nextBatchMicros += handoff_.batchIntervalMicros;
+    }
+  }
+  // Close expired windows in task order (std::erase_if is stable, so the
+  // remaining tasks keep their deterministic order).
+  for (const Task& task : tasks_) {
+    if (task.windowEndMicros <= nowMicros) finishTask(task);
+  }
+  std::erase_if(tasks_, [&](const Task& task) {
+    return task.windowEndMicros <= nowMicros;
+  });
+}
+
+void MembershipDirector::pumpTask(Task& task) {
+  const sim::TierKind tierKind = task.event.tier;
+  sim::Tier* tier = tierFor(tierKind);
+  if (tier == nullptr) {
+    task.cursor = task.pending.size();
+    return;
+  }
+  sim::SpanGuard span("membership.handoff", tierKind);
+
+  std::vector<TransferGroup> groups;
+  std::vector<std::size_t> touched;
+  // The far pool is passive (one-sided access only), so a deterministic
+  // round-robin of app servers drives its migrations.
+  const bool far = tierKind == sim::TierKind::kFarMemory;
+  sim::Node* initiator = nullptr;
+  if (far) {
+    initiator = &hooks_.appTier->node(farInitiator_);
+    farInitiator_ = (farInitiator_ + 1) % hooks_.appTier->size();
+  }
+  BackgroundPumpScope background(tier, initiator);
+
+  std::size_t moved = 0;
+  while (moved < handoff_.keysPerBatch &&
+         task.cursor < task.pending.size()) {
+    const PendingKey& pk = task.pending[task.cursor++];
+    // A crash fault can take the source down mid-window; a dead process
+    // cannot serve its keys, so the pump drops them (its shard died with
+    // it anyway).
+    if (pk.fromIndex >= tier->size() || !tier->node(pk.fromIndex).isUp()) {
+      continue;
+    }
+    cache::KvCache* source = shardFor(tierKind, pk.fromIndex);
+    if (source == nullptr) continue;
+    const cache::CacheEntry* entry = source->peek(pk.key);
+    if (entry == nullptr) continue;  // evicted, fenced or already moved
+    const std::size_t dest = ownerFor(tierKind, pk.key);
+    if (dest == pk.fromIndex) continue;  // ownership did not actually move
+    cache::KvCache* destShard = shardFor(tierKind, dest);
+    if (destShard == nullptr) continue;
+    const cache::CacheEntry* held = destShard->peek(pk.key);
+    const std::uint64_t size = entry->size;
+    const std::uint64_t version = entry->version;
+    if (held != nullptr && held->version >= version) {
+      // The new owner already holds a copy at least as fresh (a
+      // write-through landed mid-window): transferring would resurrect a
+      // stale value. Fence the old copy instead.
+      source->erase(pk.key);
+      markTouched(touched, pk.fromIndex);
+      ++counters_.epochFences;
+      continue;
+    }
+    destShard->put(pk.key, cache::CacheEntry::sized(size, version));
+    source->erase(pk.key);
+    markTouched(touched, pk.fromIndex);
+    markTouched(touched, dest);
+    // Per-key CPU at both ends of the move; the wire bytes ride in one
+    // batched transfer per (source, dest) pair below.
+    if (far) {
+      initiator->charge(sim::CpuComponent::kFarMemAccess,
+                        hooks_.disagg->costs().lookupMicros);
+    } else if (tierKind == sim::TierKind::kAppServer) {
+      tier->node(pk.fromIndex)
+          .charge(sim::CpuComponent::kCacheOp,
+                  hooks_.linked->costs().probeMicros);
+      tier->node(dest).charge(sim::CpuComponent::kCacheOp,
+                              hooks_.linked->costs().insertMicros);
+    } else {
+      tier->node(pk.fromIndex)
+          .charge(sim::CpuComponent::kCacheOp,
+                  hooks_.remote->costs().probeMicros);
+      tier->node(dest).charge(sim::CpuComponent::kCacheOp,
+                              hooks_.remote->costs().insertMicros);
+    }
+    accumulate(groups, pk.fromIndex, dest,
+               rpc::putRequestWireSize(pk.key.size()) + size);
+    ++counters_.migratedKeys;
+    counters_.migratedBytes += size;
+    ++moved;
+  }
+
+  // RPC transfer batching: every key bound for the same destination shares
+  // one request/response (or, for the far pool, one posted read + one
+  // posted write) — the batching is what keeps handoff bandwidth priced
+  // like bulk bytes instead of per-key RPCs.
+  for (const TransferGroup& g : groups) {
+    if (far) {
+      const auto& oneSided = hooks_.disagg->costs().oneSided;
+      hooks_.channel->oneSidedRead(*initiator, tier->node(g.from), g.bytes,
+                                   oneSided);
+      hooks_.channel->oneSidedRead(*initiator, tier->node(g.to), g.bytes,
+                                   oneSided);
+    } else {
+      hooks_.channel->call(tier->node(g.from), tier->node(g.to), g.bytes,
+                           rpc::putResponseWireSize());
+    }
+  }
+  for (const std::size_t index : touched) syncShardMemory(tierKind, index);
+}
+
+void MembershipDirector::finishTask(const Task& task) {
+  if (task.event.kind != MembershipKind::kLeave) return;
+  // Whatever the window didn't move is dropped with the process — the
+  // window is a bound on transfer time, not a completeness promise.
+  const std::size_t index = task.event.nodeIndex;
+  if (task.event.tier == sim::TierKind::kAppServer) {
+    hooks_.linked->dropShard(index);
+  } else if (task.event.tier == sim::TierKind::kRemoteCache) {
+    hooks_.remote->dropShard(index);
+    syncShardMemory(task.event.tier, index);
+  } else {
+    hooks_.disagg->dropShard(index);
+    syncShardMemory(task.event.tier, index);
+  }
+  if (sim::Tier* tier = tierFor(task.event.tier)) {
+    if (index < tier->size()) tier->node(index).setUp(false);
+  }
+}
+
+MembershipDirector::FallbackResult MembershipDirector::tryFallback(
+    std::size_t appIndex, const std::string& key) {
+  FallbackResult out;
+  for (Task& task : tasks_) {
+    const auto it = task.byKey.find(std::string_view(key));
+    if (it == task.byKey.end()) continue;
+    const PendingKey& pk = task.pending[it->second];
+    const sim::TierKind tierKind = task.event.tier;
+    sim::Tier* oldTier = tierFor(tierKind);
+    // No dual-read against a crashed old owner — its copy died with it.
+    if (oldTier == nullptr || pk.fromIndex >= oldTier->size() ||
+        !oldTier->node(pk.fromIndex).isUp()) {
+      continue;
+    }
+    cache::KvCache* source = shardFor(tierKind, pk.fromIndex);
+    if (source == nullptr || source->peek(key) == nullptr) continue;
+    if (ownerFor(tierKind, key) == pk.fromIndex) continue;
+    sim::Node& app = hooks_.appTier->node(appIndex);
+
+    if (tierKind == sim::TierKind::kAppServer) {
+      const auto got = hooks_.linked->getAt(appIndex, pk.fromIndex, key);
+      if (!got.hit) continue;
+      hooks_.linked->fillAt(hooks_.linked->ownerOf(key), key, got.size,
+                            got.version);
+      hooks_.linked->shard(pk.fromIndex).erase(key);
+      out = {true, got.latencyMicros, got.size, got.version};
+    } else if (tierKind == sim::TierKind::kRemoteCache) {
+      const auto got = hooks_.remote->getAt(app, pk.fromIndex, key);
+      if (!got.hit) continue;
+      const double putLatency = hooks_.remote->putAt(
+          app, hooks_.remote->ownerOf(key), key, got.size, got.version);
+      hooks_.remote->shardForNode(pk.fromIndex).erase(key);
+      out = {true, got.latencyMicros + putLatency, got.size, got.version};
+    } else {
+      const auto got = hooks_.disagg->farGetAt(app, pk.fromIndex, key);
+      if (!got.hit) continue;
+      const double putLatency =
+          hooks_.disagg->farPut(app, key, got.size, got.version);
+      hooks_.disagg->hotFill(appIndex, key, got.size, got.version);
+      hooks_.disagg->farShardForNode(pk.fromIndex).erase(key);
+      out = {true, got.latencyMicros + putLatency, got.size, got.version};
+    }
+    syncShardMemory(tierKind, pk.fromIndex);
+    ++counters_.handoffFallbackReads;
+    return out;
+  }
+  return out;
+}
+
+void MembershipDirector::fenceWrite(std::size_t appIndex,
+                                    const std::string& key) {
+  for (Task& task : tasks_) {
+    const auto it = task.byKey.find(std::string_view(key));
+    if (it == task.byKey.end()) continue;
+    const PendingKey& pk = task.pending[it->second];
+    const sim::TierKind tierKind = task.event.tier;
+    cache::KvCache* source = shardFor(tierKind, pk.fromIndex);
+    if (source == nullptr || source->peek(key) == nullptr) continue;
+    if (ownerFor(tierKind, key) == pk.fromIndex) continue;
+    // The write just landed at the new owner; the old owner's copy is now
+    // stale and must never be served (dual-read) or migrated (pump).
+    source->erase(key);
+    syncShardMemory(tierKind, pk.fromIndex);
+    ++counters_.epochFences;
+
+    sim::Node& app = hooks_.appTier->node(appIndex);
+    sim::Tier* tier = tierFor(tierKind);
+    if (tier == nullptr || pk.fromIndex >= tier->size()) continue;
+    sim::Node& old = tier->node(pk.fromIndex);
+    if (tierKind == sim::TierKind::kFarMemory) {
+      // One-sided tombstone, same shape as farInvalidate.
+      hooks_.channel->oneSidedRead(app, old, cache::kFarSlotHeaderBytes,
+                                   hooks_.disagg->costs().oneSided);
+    } else {
+      const double probe = tierKind == sim::TierKind::kAppServer
+                               ? hooks_.linked->costs().probeMicros
+                               : hooks_.remote->costs().probeMicros;
+      old.charge(sim::CpuComponent::kCacheOp, probe);
+      if (&old != &app) {
+        hooks_.channel->oneWay(app, old,
+                               rpc::getRequestWireSize(key.size()));
+      }
+    }
+  }
+}
+
+std::vector<MembershipEvent> MembershipDirector::drainApplied() {
+  std::vector<MembershipEvent> out;
+  out.swap(applied_);
+  return out;
+}
+
+}  // namespace dcache::core

@@ -213,6 +213,13 @@ void exportExperimentMetrics(obs::MetricsRegistry& registry,
   registry.setCounter(base + "far_memory_bytes", c.farMemoryBytes);
   registry.setCounter(base + "hot_cache_hits", c.hotCacheHits);
   registry.setCounter(base + "client_invalidations", c.clientInvalidations);
+  registry.setCounter(base + "planned_joins", c.plannedJoins);
+  registry.setCounter(base + "planned_leaves", c.plannedLeaves);
+  registry.setCounter(base + "migrated_keys", c.migratedKeys);
+  registry.setCounter(base + "migrated_bytes", c.migratedBytes);
+  registry.setCounter(base + "handoff_fallback_reads",
+                      c.handoffFallbackReads);
+  registry.setCounter(base + "epoch_fences", c.epochFences);
 
   registry.setGauge(base + "cost.compute_usd", result.cost.computeCost.dollars());
   registry.setGauge(base + "cost.memory_usd", result.cost.memoryCost.dollars());

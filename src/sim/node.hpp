@@ -50,8 +50,19 @@ class Node {
   void charge(CpuComponent component, double micros) noexcept {
     if (slowFactor_ != 1.0) [[unlikely]] micros *= slowFactor_;
     cpu_.charge(component, micros);
-    queue_.addWork(micros);
+    if (!backgroundWork_) [[likely]] queue_.addWork(micros);
     if (TraceSink* sink = tlsTraceSink) sink->onCpuCharge(*this, component, micros);
+  }
+
+  /// Background-QoS mode (membership handoff, rebuild streams): while set,
+  /// charge() still meters every microsecond — the bill, the CPU breakdown
+  /// and the trace-conservation tests all see the work — but nothing lands
+  /// in the foreground queue. This is the deprioritized bulk class real
+  /// systems run migrations under: it burns cores the bill pays for without
+  /// making foreground requests wait behind a 256 KB batch transfer.
+  [[nodiscard]] bool backgroundWork() const noexcept { return backgroundWork_; }
+  void setBackgroundWork(bool background) noexcept {
+    backgroundWork_ = background;
   }
 
   /// Capacity/queue model (overload subsystem). Disabled — zero backlog,
@@ -94,6 +105,7 @@ class Node {
   MemMeter mem_;
   NodeQueue queue_;
   bool up_ = true;
+  bool backgroundWork_ = false;
   double slowFactor_ = 1.0;
   double flakyProbability_ = 0.0;
 };

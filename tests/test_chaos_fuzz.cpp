@@ -1,10 +1,12 @@
 // Chaos fuzzing: ~50 seeded random combinations of fault schedules
 // (crashes, restarts, degraded-network windows, and the gray kinds — slow
-// nodes, partial partitions, flaky nodes) and overload regimes (finite
+// nodes, partial partitions, flaky nodes), overload regimes (finite
 // capacities, surging arrival rates, shedding / breakers / hedging /
-// deadline budgets toggled at random) plus randomly armed gray defenses
-// (health monitoring, cache replication) thrown at random architectures.
-// Every combination must uphold the simulator's core invariants:
+// deadline budgets toggled at random), randomly armed gray defenses
+// (health monitoring, cache replication), and random planned-churn
+// schedules (joins, drains, rolling-restart waves, with warm handoff on or
+// off) thrown at random architectures. Every combination must uphold the
+// simulator's core invariants:
 //
 //   * counter conservation — ops in equals ops accounted, reads decompose
 //     into hit + miss + shed exactly;
@@ -22,6 +24,7 @@
 #include <vector>
 
 #include "core/deployment.hpp"
+#include "core/membership.hpp"
 #include "obs/trace.hpp"
 #include "sim/fault.hpp"
 #include "util/rng.hpp"
@@ -45,6 +48,10 @@ struct ChaosOutcome {
   bool shedEnabled = false;
   bool healthEnabled = false;
   bool replicationOn = false;
+  bool membershipOn = false;
+  bool handoffOn = false;
+  std::uint64_t scheduledChurnEvents = 0;
+  std::uint64_t workloadKeys = 0;
 };
 
 [[nodiscard]] double uniform(util::Pcg32& rng, double lo, double hi) {
@@ -172,6 +179,50 @@ ChaosOutcome runChaosTrial(std::uint64_t seed) {
         from, to);
   }
   deployment.installFaultSchedule(std::move(faults));
+  outcome.workloadKeys = synthetic.numKeys;
+
+  // Random planned-churn schedule on about half the trials, interleaved
+  // with the crash/gray faults above: joins (possibly of already-present
+  // nodes — idempotency coverage), drains, and rolling-restart waves on
+  // random tiers, replayed warm or cold at random.
+  if (rng.nextBounded(2) == 0) {
+    outcome.membershipOn = true;
+    core::MembershipSchedule schedule;
+    constexpr sim::TierKind kChurnable[] = {sim::TierKind::kAppServer,
+                                            sim::TierKind::kRemoteCache,
+                                            sim::TierKind::kFarMemory};
+    const std::uint32_t churnEvents = 1 + rng.nextBounded(3);
+    for (std::uint32_t i = 0; i < churnEvents; ++i) {
+      const sim::TierKind tier = kChurnable[rng.nextBounded(3)];
+      const auto at = static_cast<std::uint64_t>(
+          uniform(rng, 0.0, horizonMicros * 0.8));
+      switch (rng.nextBounded(3)) {
+        case 0:
+          schedule.join(at, tier, rng.nextBounded(3));
+          outcome.scheduledChurnEvents += 1;
+          break;
+        case 1:
+          schedule.leave(at, tier, rng.nextBounded(3));
+          outcome.scheduledChurnEvents += 1;
+          break;
+        default: {
+          const auto step = static_cast<std::uint64_t>(
+              uniform(rng, 1000.0, horizonMicros * 0.2));
+          schedule.rollingRestart(at, tier, 0, 2, step, step / 2);
+          outcome.scheduledChurnEvents += 4;  // 2 leaves + 2 joins
+          break;
+        }
+      }
+    }
+    core::HandoffConfig handoff;
+    handoff.enabled = rng.nextBounded(2) == 0;
+    handoff.windowMicros = static_cast<std::uint64_t>(
+        uniform(rng, 1000.0, horizonMicros * 0.3));
+    handoff.keysPerBatch = 1 + rng.nextBounded(128);
+    handoff.batchIntervalMicros = 200 + rng.nextBounded(2000);
+    outcome.handoffOn = handoff.enabled;
+    deployment.installMembershipSchedule(std::move(schedule), handoff);
+  }
 
   double simMicros = 0.0;
   std::uint64_t opIndex = 0;
@@ -241,6 +292,12 @@ void expectCountersEqual(const core::ServeCounters& a,
   EXPECT_EQ(a.farMemoryBytes, b.farMemoryBytes);
   EXPECT_EQ(a.hotCacheHits, b.hotCacheHits);
   EXPECT_EQ(a.clientInvalidations, b.clientInvalidations);
+  EXPECT_EQ(a.plannedJoins, b.plannedJoins);
+  EXPECT_EQ(a.plannedLeaves, b.plannedLeaves);
+  EXPECT_EQ(a.migratedKeys, b.migratedKeys);
+  EXPECT_EQ(a.migratedBytes, b.migratedBytes);
+  EXPECT_EQ(a.handoffFallbackReads, b.handoffFallbackReads);
+  EXPECT_EQ(a.epochFences, b.epochFences);
 }
 
 void checkInvariants(const ChaosOutcome& outcome, std::uint64_t seed) {
@@ -309,6 +366,30 @@ void checkInvariants(const ChaosOutcome& outcome, std::uint64_t seed) {
     EXPECT_LE(c.farMemoryReads, c.reads);
     EXPECT_LE(c.hotCacheHits, c.cacheHits);
   }
+
+  // Membership-churn conservation. No schedule installed means every churn
+  // counter is exactly zero; with a schedule but handoff disabled (cold
+  // reshard) nothing may migrate and no dual-read may fire. Applied events
+  // are bounded by the schedule (the director may *drop* events — e.g. a
+  // drain of the last ring member — but never invent them), each migration
+  // moves a key the workload inserted (at most once per planned event),
+  // and a dual-read fallback rescues at most one read.
+  if (!outcome.membershipOn) {
+    EXPECT_EQ(c.plannedJoins, 0u);
+    EXPECT_EQ(c.plannedLeaves, 0u);
+    EXPECT_EQ(c.epochFences, 0u);
+  }
+  EXPECT_LE(c.plannedJoins + c.plannedLeaves, outcome.scheduledChurnEvents);
+  if (!outcome.membershipOn || !outcome.handoffOn) {
+    EXPECT_EQ(c.migratedKeys, 0u);
+    EXPECT_EQ(c.migratedBytes, 0u);
+    EXPECT_EQ(c.handoffFallbackReads, 0u);
+  }
+  EXPECT_LE(c.handoffFallbackReads, c.reads);
+  EXPECT_LE(c.migratedKeys,
+            outcome.workloadKeys * (c.plannedJoins + c.plannedLeaves));
+  // Synthetic values are fixed-size, so migrated bytes decompose exactly.
+  EXPECT_EQ(c.migratedBytes, c.migratedKeys * 4096u);
 
   // CPU conservation at full sampling: the trace saw every charge the
   // meters saw — shed triage, wasted retry legs, hedge attempts and all.

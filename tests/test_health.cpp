@@ -184,6 +184,36 @@ TEST_F(HealthMonitorTest, UnregisteredNodesAreIgnored) {
   EXPECT_FALSE(monitor_.ejected(sim::TierKind::kSqlFrontend, 0));
 }
 
+TEST_F(HealthMonitorTest, DeregisteredNodeDropsProbeAndEjectionState) {
+  // Eject node 0, then deregister it — the planned-leave path. A departed
+  // pod must not linger as a ghost: no probe cadence against it, its
+  // ejection slot released, its suspicion gone.
+  for (int c = 0; c < 20; ++c) monitor_.onCallOutcome(nodes_[0], false, 0.0, 0);
+  ASSERT_TRUE(monitor_.ejected(sim::TierKind::kRemoteCache, 0));
+  ASSERT_EQ(monitor_.currentlyEjected(sim::TierKind::kRemoteCache), 1u);
+
+  monitor_.deregisterNode(nodes_[0], sim::TierKind::kRemoteCache, 0);
+  EXPECT_FALSE(monitor_.ejected(sim::TierKind::kRemoteCache, 0));
+  EXPECT_EQ(monitor_.currentlyEjected(sim::TierKind::kRemoteCache), 0u);
+  EXPECT_DOUBLE_EQ(monitor_.suspicion(sim::TierKind::kRemoteCache, 0), 0.0);
+
+  // Straggler outcomes from in-flight calls to the departed pod are
+  // ignored — the observer no longer knows the node.
+  monitor_.onCallOutcome(nodes_[0], false, 0.0, 0);
+  EXPECT_DOUBLE_EQ(monitor_.suspicion(sim::TierKind::kRemoteCache, 0), 0.0);
+
+  // The released ejection slot is real: with the per-tier quota of 1 a
+  // genuine bad apple can still be ejected after the planned leave.
+  for (int c = 0; c < 20; ++c) monitor_.onCallOutcome(nodes_[1], false, 0.0, 0);
+  EXPECT_TRUE(monitor_.ejected(sim::TierKind::kRemoteCache, 1));
+
+  // A rejoin registers fresh state: healthy, unsuspected, routable.
+  monitor_.registerNode(nodes_[0], sim::TierKind::kRemoteCache, 0);
+  EXPECT_FALSE(monitor_.ejected(sim::TierKind::kRemoteCache, 0));
+  EXPECT_DOUBLE_EQ(monitor_.suspicion(sim::TierKind::kRemoteCache, 0), 0.0);
+  EXPECT_TRUE(monitor_.allowRequest(sim::TierKind::kRemoteCache, 0, 12345));
+}
+
 // ------------------------------------------------- channel observer wiring
 
 TEST(HealthChannelWiring, ObserverSeesPolicyPathOutcomes) {

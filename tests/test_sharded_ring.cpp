@@ -319,6 +319,58 @@ TEST_F(CacheFrontends, LinkedAddServerComesBackColdAndIdempotent) {
   EXPECT_FALSE(linked.get(owner, "k").hit);
 }
 
+TEST_F(CacheFrontends, LinkedDoubleRemoveSparesDrainingShard) {
+  // Regression: a replayed cold remove must not double-apply. During a
+  // warm drain the server is out of the ring but its shard still holds
+  // the keys the handoff window is migrating — an unguarded second
+  // removeServer would clear them mid-transfer.
+  LinkedCache linked(appTier_, util::Bytes::mb(64), channel_);
+  linked.fill("k", 256, 1);
+  const std::size_t owner = linked.ownerOf("k");
+
+  linked.drainServer(owner);
+  EXPECT_FALSE(linked.hasServer(owner));
+  EXPECT_NE(linked.ownerOf("k"), owner);  // ownership moved immediately
+  ASSERT_NE(linked.shard(owner).peek("k"), nullptr);  // contents kept
+
+  linked.drainServer(owner);   // replayed drain: no-op
+  linked.removeServer(owner);  // replayed cold remove: non-member, no-op
+  EXPECT_NE(linked.shard(owner).peek("k"), nullptr);
+
+  // Window closes: whatever was not migrated is retired with the process.
+  linked.dropShard(owner);
+  EXPECT_EQ(linked.shard(owner).itemCount(), 0u);
+}
+
+TEST_F(CacheFrontends, RemoteMembershipJoinLeaveIdempotent) {
+  RemoteCache remote(cacheTier_, util::Bytes::mb(64), channel_);
+  sim::Node& app = appTier_.node(0);
+  remote.enableMembership();
+  ASSERT_EQ(remote.memberCount(), cacheTier_.size());
+
+  remote.put(app, "k", 4096, 1);
+  const std::size_t owner = remote.ownerOf("k");
+
+  // Double join of a member: no-op, the warm shard survives.
+  remote.joinNode(owner);
+  EXPECT_TRUE(remote.get(app, "k").hit);
+
+  // Leave moves ownership but keeps the pod's contents for the handoff
+  // window; a replayed leave is a no-op.
+  remote.leaveNode(owner);
+  remote.leaveNode(owner);
+  EXPECT_FALSE(remote.isMember(owner));
+  EXPECT_EQ(remote.memberCount(), cacheTier_.size() - 1);
+  EXPECT_NE(remote.ownerOf("k"), owner);
+  EXPECT_NE(remote.shardForNode(owner).peek("k"), nullptr);
+
+  // Rejoin restores the exact pre-leave partition (vnode points depend
+  // only on the member index), so the key routes home again.
+  remote.joinNode(owner);
+  EXPECT_EQ(remote.memberCount(), cacheTier_.size());
+  EXPECT_EQ(remote.ownerOf("k"), owner);
+}
+
 TEST_F(CacheFrontends, LinkedUpdateAndInvalidate) {
   LinkedCache linked(appTier_, util::Bytes::mb(64), channel_);
   const std::size_t owner = linked.ownerOf("k");

@@ -113,6 +113,18 @@ if ! diff -q "$BUILD_DIR/fig11_j1.txt" "$BUILD_DIR/fig11_j8.txt" > /dev/null; th
   exit 1
 fi
 
+# The membership-churn bench replays planned join/leave timelines with the
+# warm-handoff pump, dual-read fallback and epoch fencing under the
+# sanitizers. Full scale so the transfer windows actually span the
+# rolling-restart wave, and byte-diffed across worker counts like the rest.
+"$BUILD_DIR/bench/fig12_churn" --jobs 1 > "$BUILD_DIR/fig12_j1.txt"
+"$BUILD_DIR/bench/fig12_churn" --jobs 8 > "$BUILD_DIR/fig12_j8.txt"
+if ! diff -q "$BUILD_DIR/fig12_j1.txt" "$BUILD_DIR/fig12_j8.txt" > /dev/null; then
+  echo "check.sh: fig12_churn output differs between --jobs 1 and --jobs 8" >&2
+  diff "$BUILD_DIR/fig12_j1.txt" "$BUILD_DIR/fig12_j8.txt" >&2 || true
+  exit 1
+fi
+
 echo "check.sh: lint, all tests, the parallel benches, and the determinism gates passed under ASan/UBSan"
 
 # ThreadSanitizer lane: TSan cannot be combined with ASan, so it gets its

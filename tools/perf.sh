@@ -30,7 +30,7 @@ RUNS="${PERF_RUNS:-3}"
 BENCHES=(fig2_model fig3_uc_trace fig4_synthetic fig5_kv_workloads
          fig6_breakdown fig7_rich_objects fig8_delayed_writes
          fig9_failure_timeline fig10_overload fig11_gray_failures
-         ablation_cache_alloc ablation_consistency ext_workloads)
+         fig12_churn ablation_cache_alloc ablation_consistency ext_workloads)
 
 if [[ ! -d "$BUILD_DIR/bench" ]]; then
   echo "perf.sh: build dir '$BUILD_DIR' has no bench/ — build first" >&2

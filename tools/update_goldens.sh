@@ -44,6 +44,7 @@ record fig9_failure_timeline fig9_failure_timeline.txt
 record fig6_breakdown fig6_breakdown_traced.txt --trace-sample 500 --trace-keep 1
 record fig10_overload fig10_overload.txt
 record fig11_gray_failures fig11_gray_failures.txt
+record fig12_churn fig12_churn.txt
 record ablation_cache_alloc ablation_cache_alloc.txt
 record ablation_consistency ablation_consistency.txt
 record ext_workloads ext_workloads.txt
