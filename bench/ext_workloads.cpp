@@ -100,7 +100,7 @@ void advisorPanel(std::size_t jobs) {
   config.qps = bench::kSyntheticQps;
 
   util::ThreadPool pool(jobs);
-  const auto summaries = util::mapOrdered(pool, 3, [&](std::size_t i) {
+  const auto summaries = util::mapOrdered(pool, 3, [&config](std::size_t i) {
     switch (i) {
       case 0: {
         workload::SyntheticWorkload workload(workload::SyntheticConfig{});

@@ -162,21 +162,21 @@ TierDemand calibrateDemand(core::Architecture arch, const OpBudget& budget) {
       static_cast<double>(budget.calibrateOps) / bench::kSyntheticQps;
   TierDemand demand;
   for (const sim::Tier* tier : deployment.tiers()) {
-    const double perNodePerSec = tier->aggregateCpu().totalMicros() /
+    const double perNodeMicrosPerSec = tier->aggregateCpu().totalMicros() /
                                  seconds /
                                  static_cast<double>(tier->size());
     switch (tier->kind()) {
       case sim::TierKind::kAppServer:
-        demand.appMicrosPerSec = perNodePerSec;
+        demand.appMicrosPerSec = perNodeMicrosPerSec;
         break;
       case sim::TierKind::kRemoteCache:
-        demand.remoteMicrosPerSec = perNodePerSec;
+        demand.remoteMicrosPerSec = perNodeMicrosPerSec;
         break;
       case sim::TierKind::kSqlFrontend:
-        demand.sqlMicrosPerSec = perNodePerSec;
+        demand.sqlMicrosPerSec = perNodeMicrosPerSec;
         break;
       case sim::TierKind::kKvStorage:
-        demand.kvMicrosPerSec = perNodePerSec;
+        demand.kvMicrosPerSec = perNodeMicrosPerSec;
         break;
       default:
         break;
@@ -417,9 +417,11 @@ int main(int argc, char** argv) {
       bench::sweepArchitectures(kArchs);
   const std::size_t cellCount = kPostures * archs.size();
   const std::vector<CellResult> cells =
-      util::mapOrdered(pool, cellCount, [&](std::size_t i) {
-        return runGrayCell(i, options.rootSeed, fig11, budget, archs);
-      });
+      util::mapOrdered(pool, cellCount,
+                       [&options, &fig11, &budget, &archs](std::size_t i) {
+                         return runGrayCell(i, options.rootSeed, fig11,
+                                            budget, archs);
+                       });
   pool.wait();
 
   for (const CellResult& cell : cells) printCell(cell, budget);

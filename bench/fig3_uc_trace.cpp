@@ -73,8 +73,12 @@ int main(int argc, char** argv) {
   // Both passes replay the identical seeded stream; fan them out.
   ReadStats readStats;
   FrequencyStats frequencyStats;
-  pool.submit([&] { readStats = collectReadStats(config); });
-  pool.submit([&] { frequencyStats = collectFrequencyStats(config); });
+  // dcache-lint: allow(race-capture, fork-join sole writer, joined below)
+  pool.submit([&readStats, &config] { readStats = collectReadStats(config); });
+  // dcache-lint: allow(race-capture, fork-join sole writer, joined below)
+  pool.submit([&frequencyStats, &config] {
+    frequencyStats = collectFrequencyStats(config);
+  });
   pool.wait();
 
   std::printf("Unity Catalog synthetic trace: %d ops over %llu tables, "

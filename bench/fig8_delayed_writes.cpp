@@ -40,17 +40,19 @@ int main(int argc, char** argv) {
   // concurrently; everything prints in submission order afterwards.
   consistency::DelayedWriteOutcome unfenced;
   consistency::DelayedWriteOutcome fenced;
-  pool.submit([&] {
+  // dcache-lint: allow(race-capture, fork-join sole writer, joined below)
+  pool.submit([&unfenced] {
     consistency::DelayedWriteConfig config;
     unfenced = consistency::runDelayedWriteScenario(config);
   });
-  pool.submit([&] {
+  // dcache-lint: allow(race-capture, fork-join sole writer, joined below)
+  pool.submit([&fenced] {
     consistency::DelayedWriteConfig config;
     config.epochFencing = true;
     fenced = consistency::runDelayedWriteScenario(config);
   });
   const auto rows = util::mapOrdered(
-      pool, std::size(kTrialCounts), [&](std::size_t i) {
+      pool, std::size(kTrialCounts), [&options](std::size_t i) {
         // Identical per-cell seed for both configurations: the fenced run
         // replays the unfenced run's timings exactly.
         const std::uint64_t seed = core::cellSeed(options.rootSeed, i);

@@ -199,7 +199,9 @@ int main(int argc, char** argv) {
   util::ThreadPool pool(options.jobs);
   const std::vector<CellResult> cells = util::mapOrdered(
       pool, std::size(kArchs),
-      [&](std::size_t i) { return runTimelineCell(i, options.rootSeed); });
+      [&options](std::size_t i) {
+        return runTimelineCell(i, options.rootSeed);
+      });
   pool.wait();
 
   for (const CellResult& cell : cells) printTimeline(cell);

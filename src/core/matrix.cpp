@@ -67,6 +67,7 @@ std::size_t ExperimentMatrix::add(Architecture arch, WorkloadFactory factory,
 
 std::vector<ExperimentResult> ExperimentMatrix::run() const {
   util::ThreadPool pool(options_.jobs);
+  // dcache-lint: allow(race-capture, per-cell discipline, members read-only)
   return util::mapOrdered(pool, cells_.size(), [this](std::size_t index) {
     util::Pcg32 rng = cellRng(options_.rootSeed, index);
     return cells_[index](rng);

@@ -60,15 +60,18 @@ MetricsRegistry::Metric& MetricsRegistry::upsert(std::string_view name,
 }
 
 void MetricsRegistry::setCounter(std::string_view name, std::uint64_t value) {
+  const util::MutexLock lock(mutex_);
   upsert(name, Kind::kCounter).counter = value;
 }
 
 void MetricsRegistry::setGauge(std::string_view name, double value) {
+  const util::MutexLock lock(mutex_);
   upsert(name, Kind::kGauge).gauge = value;
 }
 
 void MetricsRegistry::setHistogram(std::string_view name,
                                    const util::Histogram& histogram) {
+  const util::MutexLock lock(mutex_);
   Metric& metric = upsert(name, Kind::kHistogram);
   metric.histogram = HistogramSummary{histogram.count(), histogram.mean(),
                                       histogram.p50(),   histogram.p90(),
@@ -77,7 +80,8 @@ void MetricsRegistry::setHistogram(std::string_view name,
 
 void MetricsRegistry::addToCounter(std::string_view name,
                                    std::uint64_t delta) {
-  const Metric* existing = find(name);
+  const util::MutexLock lock(mutex_);
+  const Metric* existing = findLocked(name);
   const std::uint64_t base =
       existing && existing->kind == Kind::kCounter ? existing->counter : 0;
   upsert(name, Kind::kCounter).counter = base + delta;
@@ -85,11 +89,18 @@ void MetricsRegistry::addToCounter(std::string_view name,
 
 const MetricsRegistry::Metric* MetricsRegistry::find(
     std::string_view name) const noexcept {
+  const util::MutexLock lock(mutex_);
+  return findLocked(name);
+}
+
+const MetricsRegistry::Metric* MetricsRegistry::findLocked(
+    std::string_view name) const noexcept {
   const auto it = index_.find(std::string(name));
   return it == index_.end() ? nullptr : &metrics_[it->second];
 }
 
 std::string MetricsRegistry::toJson() const {
+  const util::MutexLock lock(mutex_);
   std::string out = "{\"schema\":\"dcache.metrics.v1\",\"metrics\":[";
   bool first = true;
   for (const Metric& metric : metrics_) {
@@ -130,6 +141,7 @@ bool MetricsRegistry::writeJsonFile(const std::string& path) const {
 }
 
 void MetricsRegistry::clear() {
+  const util::MutexLock lock(mutex_);
   metrics_.clear();
   index_.clear();
 }

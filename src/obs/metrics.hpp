@@ -14,6 +14,7 @@
 
 #include "sim/tier.hpp"
 #include "util/histogram.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace dcache::obs {
 
@@ -41,34 +42,47 @@ class MetricsRegistry {
   };
 
   /// Set (insert or overwrite) a monotonically-counted value.
-  void setCounter(std::string_view name, std::uint64_t value);
+  void setCounter(std::string_view name, std::uint64_t value)
+      EXCLUDES(mutex_);
   /// Set (insert or overwrite) a point-in-time value.
-  void setGauge(std::string_view name, double value);
+  void setGauge(std::string_view name, double value) EXCLUDES(mutex_);
   /// Record a distribution's summary.
-  void setHistogram(std::string_view name, const util::Histogram& histogram);
+  void setHistogram(std::string_view name, const util::Histogram& histogram)
+      EXCLUDES(mutex_);
 
   /// Add `delta` to a counter, creating it at zero first if absent.
-  void addToCounter(std::string_view name, std::uint64_t delta);
+  void addToCounter(std::string_view name, std::uint64_t delta)
+      EXCLUDES(mutex_);
 
-  [[nodiscard]] const Metric* find(std::string_view name) const noexcept;
-  [[nodiscard]] const std::vector<Metric>& metrics() const noexcept {
+  [[nodiscard]] const Metric* find(std::string_view name) const noexcept
+      EXCLUDES(mutex_);
+  /// Borrowed read surface for the export adapters: valid only while no
+  /// other thread publishes, i.e. the single-owner phase after a cell's
+  /// run — hence the local opt-out from the static analysis.
+  [[nodiscard]] const std::vector<Metric>& metrics() const noexcept
+      NO_THREAD_SAFETY_ANALYSIS {
     return metrics_;
   }
-  [[nodiscard]] std::size_t size() const noexcept { return metrics_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept NO_THREAD_SAFETY_ANALYSIS {
+    return metrics_.size();
+  }
 
   /// Stable JSON document (insertion order, fixed field order):
   /// {"schema":"dcache.metrics.v1","metrics":[{"name":...,"type":...},...]}
-  [[nodiscard]] std::string toJson() const;
+  [[nodiscard]] std::string toJson() const EXCLUDES(mutex_);
   /// Write toJson() to `path`; returns false on I/O failure.
   bool writeJsonFile(const std::string& path) const;
 
-  void clear();
+  void clear() EXCLUDES(mutex_);
 
  private:
-  Metric& upsert(std::string_view name, Kind kind);
+  Metric& upsert(std::string_view name, Kind kind) REQUIRES(mutex_);
+  [[nodiscard]] const Metric* findLocked(std::string_view name) const noexcept
+      REQUIRES(mutex_);
 
-  std::vector<Metric> metrics_;
-  std::unordered_map<std::string, std::size_t> index_;
+  mutable util::Mutex mutex_;
+  std::vector<Metric> metrics_ GUARDED_BY(mutex_);
+  std::unordered_map<std::string, std::size_t> index_ GUARDED_BY(mutex_);
 };
 
 /// Adapter: publish one tier's aggregate meters (total + per-component CPU

@@ -1,0 +1,69 @@
+// Clang thread-safety annotations (-Wthread-safety) plus a minimally
+// annotated mutex wrapper. Under clang the macros expand to the capability
+// attributes and the analysis statically checks that every GUARDED_BY
+// member is only touched with its mutex held; under gcc (the default
+// toolchain here) they expand to nothing and the wrapper is a plain
+// std::mutex. Opt into the check lane with RUN_WTHREAD_SAFETY=1
+// tools/check.sh (skipped gracefully when clang++ is absent).
+//
+// libstdc++'s std::mutex/std::lock_guard carry no capability attributes,
+// so the analysis cannot see through them; Mutex/MutexLock below are the
+// annotated equivalents. Condition-variable waits still need the native
+// std::mutex handle — methods that wait expose that seam explicitly.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define DCACHE_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef DCACHE_THREAD_ANNOTATION
+#define DCACHE_THREAD_ANNOTATION(x)
+#endif
+
+#define CAPABILITY(x) DCACHE_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY DCACHE_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) DCACHE_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) DCACHE_THREAD_ANNOTATION(pt_guarded_by(x))
+#define REQUIRES(...) \
+  DCACHE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define ACQUIRE(...) DCACHE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) DCACHE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define EXCLUDES(...) DCACHE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  DCACHE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace dcache::util {
+
+/// std::mutex with the capability attribute, so GUARDED_BY(mutex_) means
+/// something to the analysis. `native()` hands out the raw handle for
+/// std::condition_variable waits, which require std::unique_lock over the
+/// real std::mutex — callers of that seam opt out of the analysis locally.
+class CAPABILITY("mutex") Mutex {
+ public:
+  void lock() ACQUIRE() { m_.lock(); }
+  void unlock() RELEASE() { m_.unlock(); }
+  [[nodiscard]] std::mutex& native() noexcept { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+/// Annotated std::lock_guard equivalent for Mutex.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+}  // namespace dcache::util

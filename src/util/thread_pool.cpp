@@ -26,7 +26,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stop_ = true;
   }
   workAvailable_.notify_all();
@@ -35,7 +35,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
     ++inFlight_;
   }
@@ -43,23 +43,26 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  allDone_.wait(lock, [this] { return inFlight_ == 0; });
+  std::unique_lock<std::mutex> lock(mutex_.native());
+  allDone_.wait(lock,
+                [this]() NO_THREAD_SAFETY_ANALYSIS { return inFlight_ == 0; });
 }
 
 void ThreadPool::workerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      workAvailable_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      std::unique_lock<std::mutex> lock(mutex_.native());
+      workAvailable_.wait(lock, [this]() NO_THREAD_SAFETY_ANALYSIS {
+        return stop_ || !queue_.empty();
+      });
       if (queue_.empty()) return;  // stop_ set and nothing left to run
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     task();
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       --inFlight_;
     }
     allDone_.notify_all();

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Fixture self-test for `dcache_lint --fix-suppressions`: the autofix must
+#   (a) find exactly the two stale directives in fix_tree/ on a dry run
+#       WITHOUT editing anything,
+#   (b) with --apply, rewrite the file to fix_expected/mixed.cpp byte for
+#       byte (whole-line directive dropped, trailing directive stripped,
+#       used and unknown-rule directives untouched), and
+#   (c) report zero stale directives on the tree it just fixed.
+#
+# Usage: check_fix_suppressions.sh <dcache_lint-binary> <fixture-dir>
+set -euo pipefail
+
+LINT="$1"
+FIXTURES="$2"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# All runs work on a scratch copy so the checked-in fixture never changes.
+cp -r "$FIXTURES/fix_tree" "$TMP/tree"
+
+# (a) Dry run: reports the stale pair, exits 0, leaves the tree untouched.
+out="$("$LINT" --fix-suppressions --root "$TMP/tree")"
+if ! grep -q "2 stale suppressions found (dry run; --apply to edit)" <<<"$out"; then
+  echo "check_fix_suppressions.sh: dry run did not report 2 stale sites:" >&2
+  echo "$out" >&2
+  exit 1
+fi
+if ! cmp -s "$TMP/tree/src/mixed.cpp" "$FIXTURES/fix_tree/src/mixed.cpp"; then
+  echo "check_fix_suppressions.sh: dry run modified the tree" >&2
+  exit 1
+fi
+
+# (b) --apply rewrites the file to the pinned result.
+out="$("$LINT" --fix-suppressions --apply --root "$TMP/tree")"
+if ! grep -q "2 stale suppressions removed" <<<"$out"; then
+  echo "check_fix_suppressions.sh: --apply did not report 2 removals:" >&2
+  echo "$out" >&2
+  exit 1
+fi
+if ! diff -u "$FIXTURES/fix_expected/mixed.cpp" "$TMP/tree/src/mixed.cpp"; then
+  echo "check_fix_suppressions.sh: applied tree diverges from fix_expected (above)" >&2
+  exit 1
+fi
+
+# (c) The fixed tree is clean: a second pass finds nothing to remove.
+out="$("$LINT" --fix-suppressions --root "$TMP/tree")"
+if ! grep -q "0 stale suppressions found" <<<"$out"; then
+  echo "check_fix_suppressions.sh: fixed tree still reports stale sites:" >&2
+  echo "$out" >&2
+  exit 1
+fi
+
+echo "check_fix_suppressions.sh: stale directives removed; live ones kept"

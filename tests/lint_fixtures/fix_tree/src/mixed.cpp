@@ -1,0 +1,29 @@
+// Fixture for `--fix-suppressions`: two stale directives that the autofix
+// must delete (one on its own line, one trailing code), one live directive
+// it must keep (it suppresses a real finding), and one unknown-rule
+// directive it must leave for a human.
+#include <cstdlib>
+
+namespace fixture {
+
+// dcache-lint: allow(unordered-iter, stale - the loop below was rewritten)
+int orderedSum(const int* values, int n) {
+  int sum = 0;
+  for (int i = 0; i < n; ++i) sum += values[i];
+  return sum;
+}
+
+int paddedWidth(int width) {
+  int padded = width + 7;  // dcache-lint: allow(units, stale trailing form)
+  return padded & ~7;
+}
+
+int seededDraw() {
+  // dcache-lint: allow(determinism, fixture exercises the used-directive path)
+  return std::rand();
+}
+
+// dcache-lint: allow(no-such-rule, unknown rules are a mistake, not dead weight)
+int untouched() { return 1; }
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Seeded violation for the `charge-path` rule: a serve-surface function
+// that computes a latency but never reaches the charge funnel.
+namespace fixture {
+
+double tierWork() { return 12.5; }
+
+double serveUnbilled(bool hit) {
+  double latencyMicros = 0.0;
+  latencyMicros += tierWork();  // cost claimed...
+  if (hit) {
+    latencyMicros += tierWork();
+  }
+  return latencyMicros;  // ...but never billed through the funnel
+}
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Clean counterpart for the `charge-path` rule: latency writers that
+// reach the funnel, directly or through the call graph.
+namespace fixture {
+
+struct Node2 {
+  void charge(int component, double micros);
+};
+
+double tierWork2() { return 12.5; }
+
+// Direct: the function itself calls the funnel.
+double serveBilled(Node2& node) {
+  double latencyMicros = tierWork2();
+  node.charge(0, latencyMicros);
+  return latencyMicros;
+}
+
+// Transitive: billTier reaches charge, serveViaHelper reaches billTier.
+void billTier(Node2& node, double micros) { node.charge(0, micros); }
+
+double serveViaHelper(Node2& node) {
+  double latencyMicros = tierWork2();
+  billTier(node, latencyMicros);
+  return latencyMicros;
+}
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Seeded violations for the `race-capture` rule: mutable shared state
+// captured by reference into worker-thread lambdas.
+namespace fixture {
+
+struct Pool {
+  template <typename F> void submit(F f) { f(); }
+};
+template <typename F>
+void mapOrdered(Pool& pool, unsigned long n, F f) {
+  for (unsigned long i = 0; i < n; ++i) f(i);
+}
+
+void defaultRefCapture(Pool& pool) {
+  long total = 0;
+  pool.submit([&] { total += 1; });  // [&] default into a worker
+}
+
+void unsyncWrite(Pool& pool) {
+  long total = 0;
+  pool.submit([&total] { total += 1; });  // unguarded by-ref write
+}
+
+struct Runner {
+  long hits = 0;
+  Pool pool;
+  void go() {
+    pool.submit([this] { hits += 1; });  // raw `this` into a worker
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,49 @@
+// Clean counterpart for the `race-capture` rule: every sanctioned escape.
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+namespace fixture {
+
+struct Pool2 {
+  template <typename F> void submit(F f) { f(); }
+};
+template <typename F>
+void mapOrdered(Pool2& pool, unsigned long n, F f) {
+  for (unsigned long i = 0; i < n; ++i) f(i);
+}
+
+double cellValue(unsigned long i) { return static_cast<double>(i); }
+
+void atomicCounter(Pool2& pool) {
+  std::atomic<long> total{0};
+  pool.submit([&total] { total += 1; });  // atomic: synchronized
+}
+
+void perCellSlots(Pool2& pool, unsigned long n) {
+  std::vector<double> slots(n);
+  mapOrdered(pool, n, [&slots](unsigned long i) {
+    slots[i] = cellValue(i);  // per-cell subscript writes
+  });
+}
+
+void lockedWrite(Pool2& pool) {
+  std::mutex m;
+  long total = 0;
+  pool.submit([&total, &m] {
+    const std::lock_guard<std::mutex> lock(m);
+    total += 1;  // body takes the lock: declared discipline
+  });
+}
+
+void byValueCopy(Pool2& pool) {
+  long seed = 42;
+  pool.submit([seed] { cellValue(static_cast<unsigned long>(seed)); });
+}
+
+void readOnlyCapture(Pool2& pool) {
+  long limit = 10;
+  pool.submit([&limit] { cellValue(static_cast<unsigned long>(limit)); });
+}
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// Seeded violations for the `units` rule: dimension-suffixed identifiers
+// mixed across axes without a named conversion.
+namespace fixture {
+
+double chargeCpu(double micros) { return micros; }
+
+double mixedAssignment() {
+  const double latencyMillis = 3.0;
+  double totalMicros = 0.0;
+  totalMicros = latencyMillis;  // Micros = Millis
+  return totalMicros;
+}
+
+double mixedArithmetic(double wireBytes) {
+  double sumMicros = 10.0;
+  sumMicros += wireBytes;  // Micros += Bytes
+  return sumMicros;
+}
+
+bool mixedComparison(double payloadBytes, double budgetMicros) {
+  return payloadBytes > budgetMicros;  // Bytes > Micros
+}
+
+double mixedArgument() {
+  const double elapsedMillis = 7.0;
+  return chargeCpu(elapsedMillis);  // Millis passed to micros parameter
+}
+
+double mixedRate(double opsPerSec, double costDollars) {
+  return opsPerSec - costDollars;  // Ops/s - Dollars
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Clean counterpart for the `units` rule: same-dimension arithmetic and
+// explicit multiplicative conversions do not fire.
+namespace fixture {
+
+double chargeCpu2(double micros) { return micros; }
+
+double sameDimension(double startMicros, double endMicros) {
+  return endMicros - startMicros;  // Micros - Micros
+}
+
+double namedConversion(double latencyMillis) {
+  const double latencyMicros = latencyMillis * 1000.0;  // conversion
+  return latencyMicros;
+}
+
+double rateFromCount(double totalBytes, double windowSeconds) {
+  const double bytesPerSec = totalBytes / windowSeconds;  // division
+  return bytesPerSec;
+}
+
+double sameDimArgument(double elapsedMicros) {
+  return chargeCpu2(elapsedMicros);  // Micros to micros parameter
+}
+
+}  // namespace fixture

@@ -5,11 +5,15 @@
 #include <unordered_set>
 
 using LoadMap = std::unordered_map<uint64_t, uint64_t>;
+using ShardLoad = LoadMap;  // transitive: resolves through LoadMap
+typedef std::unordered_set<uint64_t> KeySet;
 
 struct HotSet {
   std::unordered_map<uint64_t, uint64_t> hitsByKey_;
   std::unordered_set<uint64_t> hotKeys_;
   LoadMap loadByShard_;
+  ShardLoad spill_;
+  KeySet pinned_;
 
   uint64_t total() const {
     uint64_t sum = 0;
@@ -31,5 +35,21 @@ struct HotSet {
       if (kv.second > best) best = kv.second;
     }
     return best;
+  }
+
+  uint64_t spillTotal() const {
+    uint64_t sum = 0;
+    for (const auto& kv : spill_) {  // alias-of-alias still unordered
+      sum += kv.second;
+    }
+    return sum;
+  }
+
+  uint64_t countPinned() const {
+    uint64_t n = 0;
+    for (const auto& key : pinned_) {  // typedef spelling
+      n += key != 0 ? 1 : 0;
+    }
+    return n;
   }
 };

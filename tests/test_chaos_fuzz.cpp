@@ -422,7 +422,7 @@ TEST(ChaosFuzz, ResultsIdenticalAcrossWorkerCounts) {
   constexpr std::size_t kCells = 8;
   auto runAll = [&](std::size_t jobs) {
     util::ThreadPool pool(jobs);
-    auto results = util::mapOrdered(pool, kCells, [&](std::size_t i) {
+    auto results = util::mapOrdered(pool, kCells, [](std::size_t i) {
       return runChaosTrial(7000 + static_cast<std::uint64_t>(i));
     });
     pool.wait();

@@ -24,11 +24,19 @@ cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
 
-# Lint lane: build only the linter and run it before anything else.
+# Lint lane: build only the linter and run it before anything else. The
+# run also writes two artifacts: the full findings report (build tree,
+# transient) and the per-rule trend file that lives next to the perf
+# baselines in perf/ — committing it makes findings-count drift reviewable
+# the same way bench wall-clock drift is.
 cmake --build "$BUILD_DIR" --target dcache_lint -j "$(nproc)"
-if ! "$BUILD_DIR/tools/lint/dcache_lint" --root .; then
+if ! "$BUILD_DIR/tools/lint/dcache_lint" --root . \
+       --json "$BUILD_DIR/lint_report.json" --trend perf/LINT_TREND.json; then
   echo "check.sh: dcache_lint found invariant violations (see INVARIANTS.md); fix or suppress with a reason" >&2
   exit 1
+fi
+if ! git diff --quiet -- perf/LINT_TREND.json 2>/dev/null; then
+  echo "check.sh: perf/LINT_TREND.json changed — review the per-rule counts and commit it with this change" >&2
 fi
 
 cmake --build "$BUILD_DIR" -j "$(nproc)"
@@ -156,6 +164,24 @@ if [[ "${RUN_PERF:-0}" == "1" ]]; then
   echo "check.sh: perf lane passed (no bench regressed >20% vs perf/ baselines)"
 else
   echo "check.sh: perf lane skipped (opt in with RUN_PERF=1)"
+fi
+
+# Opt-in clang thread-safety lane (RUN_WTHREAD_SAFETY=1): -Wthread-safety
+# statically checks the GUARDED_BY/REQUIRES annotations on ThreadPool and
+# MetricsRegistry (src/util/thread_annotations.hpp). Syntax-only over the
+# annotated translation units, promoted to errors so a lock-discipline
+# break fails the lane. Skipped gracefully when clang++ is not installed —
+# the annotations compile to nothing under gcc.
+if [[ "${RUN_WTHREAD_SAFETY:-0}" == "1" ]]; then
+  if command -v clang++ > /dev/null 2>&1; then
+    echo "check.sh: running clang -Wthread-safety over the annotated units"
+    clang++ -fsyntax-only -std=c++20 -I src \
+      -Wthread-safety -Werror=thread-safety-analysis \
+      src/util/thread_pool.cpp src/obs/metrics.cpp
+    echo "check.sh: thread-safety lane passed"
+  else
+    echo "check.sh: clang++ not found — skipping the opt-in thread-safety lane"
+  fi
 fi
 
 # Opt-in clang-tidy lane (RUN_CLANG_TIDY=1): uses the compile database the

@@ -1,0 +1,143 @@
+// Symbol- and flow-aware layer for dcache-lint: a cross-translation-unit
+// declaration index (functions, methods, member fields, using/typedef
+// chains, lambda captures) and a lightweight by-name call graph, built on
+// the comment/raw-string-correct lexer in lexer.cpp. Still no libclang:
+// the index is a deliberately lexical over-approximation — names are
+// resolved without types, so reachability queries err on the side of
+// "reaches" (fewer false findings, documented in INVARIANTS.md). Every
+// structure is derived purely from LintInput::files, which is what keeps
+// the JSON report byte-stable.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace dcache::lint {
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+/// A function or method definition (declarations without bodies are not
+/// indexed — the rules reason about behavior, which lives in bodies).
+struct FunctionDecl {
+  std::string name;       // unqualified ("charge", "operator==", ...)
+  std::string className;  // enclosing class/struct ("" for free functions)
+  std::size_t fileIndex = 0;  // into LintInput::files
+  int line = 0;
+  std::vector<std::string> paramNames;  // declared order; "" when unnamed
+  std::size_t bodyBegin = 0;  // token index of '{' in the file's tokens
+  std::size_t bodyEnd = 0;    // token index of the matching '}'
+  bool isConstructor = false;
+  bool isDestructor = false;
+  /// Unqualified names this body calls (member and free calls alike).
+  std::vector<std::string> callees;
+};
+
+/// A non-static data member. `typeTokens` is the raw declaration prefix
+/// ("std :: atomic < int >"), joined with single spaces — enough for the
+/// race rules to recognize atomics, mutexes and const.
+struct FieldDecl {
+  std::string className;
+  std::string name;
+  std::string typeTokens;
+  std::size_t fileIndex = 0;
+  int line = 0;
+};
+
+/// `using A = B<...>;` or `typedef B<...> A;`. `targetTokens` is the
+/// space-joined right-hand side; `targetHead` is its first identifier
+/// after stripping std:: qualifiers (the hook for alias-chain walking).
+struct AliasDecl {
+  std::string name;
+  std::string targetTokens;
+  std::string targetHead;
+  std::size_t fileIndex = 0;
+  int line = 0;
+};
+
+/// One lambda capture-list entry.
+struct LambdaCapture {
+  enum class Kind : unsigned char {
+    kRefDefault,  // [&]
+    kValDefault,  // [=]
+    kByRef,       // [&name]
+    kByVal,       // [name]
+    kThis,        // [this]
+    kStarThis,    // [*this]
+    kInitVal,     // [name = expr]
+    kInitRef,     // [&name = expr]
+  };
+  Kind kind;
+  std::string name;  // "" for defaults / this
+};
+
+/// A lambda expression: capture list, parameters, body token range, and
+/// the function whose body it appears in (by index into Index::functions,
+/// npos when at namespace scope).
+struct LambdaDecl {
+  std::size_t fileIndex = 0;
+  int line = 0;
+  std::vector<LambdaCapture> captures;
+  std::vector<std::string> paramNames;
+  std::size_t bodyBegin = 0;
+  std::size_t bodyEnd = 0;
+  std::size_t enclosingFunction = static_cast<std::size_t>(-1);
+};
+
+// ---------------------------------------------------------------------------
+// Index
+// ---------------------------------------------------------------------------
+
+struct Index {
+  std::vector<FunctionDecl> functions;
+  std::vector<FieldDecl> fields;
+  std::vector<AliasDecl> aliases;
+  std::vector<LambdaDecl> lambdas;
+
+  /// name -> indices into `functions` (collisions kept; callers decide).
+  std::map<std::string, std::vector<std::size_t>> functionsByName;
+  /// field name -> indices into `fields`.
+  std::map<std::string, std::vector<std::size_t>> fieldsByName;
+  /// alias name -> index into `aliases` (first wins on collision).
+  std::map<std::string, std::size_t> aliasesByName;
+
+  /// Walk `using`/`typedef` chains from `name` and return the space-joined
+  /// target of the last alias in the chain ("" when `name` is not an
+  /// alias). Cycles terminate via a visited set.
+  [[nodiscard]] std::string resolveAliasChain(const std::string& name) const;
+
+  /// True when any function named `from` can reach (via the by-name call
+  /// graph, transitively) a call to any name in `sinks`. Memoized per
+  /// query set by the caller; this helper is a plain DFS.
+  [[nodiscard]] bool reaches(const std::string& from,
+                             const std::set<std::string>& sinks) const;
+
+  /// The function whose body range [bodyBegin, bodyEnd] contains token
+  /// index `tokenIdx` of file `fileIndex` (innermost wins); npos if none.
+  [[nodiscard]] std::size_t enclosingFunctionAt(std::size_t fileIndex,
+                                                std::size_t tokenIdx) const;
+};
+
+/// Build the index over every lexed file. Deterministic: files are already
+/// sorted by relPath, and all maps are ordered.
+[[nodiscard]] Index buildIndex(const LintInput& input);
+
+/// Parse the lambda whose '[' is at token index `open` in `toks`; returns
+/// false when the bracket is a subscript rather than a lambda introducer.
+/// On success fills captures/params/body range (body may be empty for a
+/// degenerate lambda).
+[[nodiscard]] bool parseLambdaAt(const std::vector<Token>& toks,
+                                 std::size_t open, LambdaDecl& out);
+
+/// Dimension suffix of an identifier for the units rule: "Micros",
+/// "Millis", "Seconds", "Bytes", "Dollars", a rate ("Micros/s", "Ops/s",
+/// ...) for *PerSec names, or "" when the name carries no dimension.
+[[nodiscard]] std::string dimensionOf(const std::string& identifier);
+
+}  // namespace dcache::lint

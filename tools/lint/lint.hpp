@@ -97,18 +97,28 @@ struct LintInput {
 };
 
 /// Run every rule, apply suppressions, audit the suppressions themselves,
-/// and return the findings sorted by findingLess.
+/// and return the findings sorted by findingLess. Builds the declaration
+/// index (index.hpp) internally for the symbol- and flow-aware rules.
 [[nodiscard]] std::vector<Finding> runLint(LintInput& input);
 
 /// Rule ids, for --list-rules and directive validation.
 [[nodiscard]] const std::vector<std::string>& knownRules();
 
+// The declaration index (see index.hpp) powering the symbol-aware rules.
+struct Index;
+
 // Individual rules (exposed for focused testing; runLint calls them all).
 void ruleDeterminism(const LintInput& in, std::vector<Finding>& out);
-void ruleUnorderedIter(const LintInput& in, std::vector<Finding>& out);
+void ruleUnorderedIter(const LintInput& in, const Index& index,
+                       std::vector<Finding>& out);
 void ruleChargeFunnel(const LintInput& in, std::vector<Finding>& out);
-void ruleCounterRegistration(const LintInput& in, std::vector<Finding>& out);
+void ruleCounterRegistration(const LintInput& in, const Index& index,
+                             std::vector<Finding>& out);
 void ruleBenchHygiene(const LintInput& in, std::vector<Finding>& out);
 void ruleHotPathAlloc(const LintInput& in, std::vector<Finding>& out);
+/// The four symbol/flow rules (units, race-capture, charge-path,
+/// guard-pairing), implemented in rules_flow.cpp.
+void runFlowRules(const LintInput& in, const Index& index,
+                  std::vector<Finding>& out);
 
 }  // namespace dcache::lint

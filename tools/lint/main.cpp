@@ -108,14 +108,154 @@ void collectFiles(const fs::path& dir, std::vector<fs::path>& out) {
   return out;
 }
 
+/// Per-rule findings-count trend artifact: a byte-stable JSON object with
+/// every known rule as a key (alphabetical), written next to the perf
+/// baselines so lint coverage growth is visible like the perf trajectory.
+[[nodiscard]] std::string trendReport(const std::vector<Finding>& findings,
+                                      std::size_t filesScanned,
+                                      std::size_t suppressionsUsed) {
+  std::vector<std::string> rules = dcache::lint::knownRules();
+  std::sort(rules.begin(), rules.end());
+  std::string out;
+  out += "{\n";
+  out += "  \"tool\": \"dcache-lint\",\n";
+  out += "  \"filesScanned\": " + std::to_string(filesScanned) + ",\n";
+  out += "  \"suppressionsUsed\": " + std::to_string(suppressionsUsed) + ",\n";
+  out += "  \"findingsByRule\": {\n";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    std::size_t n = 0;
+    for (const Finding& f : findings) n += f.rule == rules[i] ? 1 : 0;
+    out += "    \"" + jsonEscape(rules[i]) + "\": " + std::to_string(n);
+    out += i + 1 < rules.size() ? ",\n" : "\n";
+  }
+  out += "  }\n";
+  out += "}\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// --fix-suppressions: delete stale allow(...) directives
+// ---------------------------------------------------------------------------
+
+struct StaleSite {
+  std::string relPath;
+  int line;  // 1-based line holding the directive comment
+};
+
+/// Remove the dcache-lint directive comment from `lineText`: the whole
+/// line when nothing but the comment lives there, else just the trailing
+/// comment. Returns false when the directive is not in a // comment (block
+/// comments are left for a human).
+[[nodiscard]] bool stripDirective(const std::string& lineText,
+                                  std::string& fixed, bool& dropLine) {
+  const std::size_t mark = lineText.find("dcache-lint:");
+  if (mark == std::string::npos) return false;
+  const std::size_t slashes = lineText.rfind("//", mark);
+  if (slashes == std::string::npos) return false;
+  // Only leading whitespace before the comment? Then drop the whole line.
+  bool onlyComment = true;
+  for (std::size_t i = 0; i < slashes; ++i) {
+    if (lineText[i] != ' ' && lineText[i] != '\t') {
+      onlyComment = false;
+      break;
+    }
+  }
+  if (onlyComment) {
+    dropLine = true;
+    fixed.clear();
+    return true;
+  }
+  dropLine = false;
+  fixed = lineText.substr(0, slashes);
+  while (!fixed.empty() && (fixed.back() == ' ' || fixed.back() == '\t')) {
+    fixed.pop_back();
+  }
+  return true;
+}
+
+/// Apply (or preview) the deletions. Returns the number of directives
+/// removed; prints a unified-style diff of every touched line.
+std::size_t fixSuppressions(const fs::path& rootPath,
+                            const std::vector<StaleSite>& sites, bool apply) {
+  std::size_t removed = 0;
+  // Group by file, preserving the (already sorted) site order.
+  for (std::size_t s = 0; s < sites.size();) {
+    const std::string& relPath = sites[s].relPath;
+    std::size_t e = s;
+    while (e < sites.size() && sites[e].relPath == relPath) ++e;
+
+    std::string text;
+    if (!readWholeFile(rootPath / relPath, text)) {
+      std::fprintf(stderr, "dcache_lint: cannot read %s\n", relPath.c_str());
+      s = e;
+      continue;
+    }
+    std::vector<std::string> lines;
+    std::string cur;
+    for (const char c : text) {
+      if (c == '\n') {
+        lines.push_back(cur);
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+    const bool trailingNewline = cur.empty();
+    if (!cur.empty()) lines.push_back(cur);
+
+    std::vector<std::size_t> dropIdx;
+    bool touched = false;
+    for (std::size_t k = s; k < e; ++k) {
+      const std::size_t idx = static_cast<std::size_t>(sites[k].line) - 1;
+      if (idx >= lines.size()) continue;
+      std::string fixed;
+      bool dropLine = false;
+      if (!stripDirective(lines[idx], fixed, dropLine)) {
+        std::printf("%s:%d: directive not in a // comment; fix by hand\n",
+                    relPath.c_str(), sites[k].line);
+        continue;
+      }
+      std::printf("--- %s:%d\n-%s\n", relPath.c_str(), sites[k].line,
+                  lines[idx].c_str());
+      if (dropLine) {
+        dropIdx.push_back(idx);
+      } else {
+        std::printf("+%s\n", fixed.c_str());
+        lines[idx] = fixed;
+      }
+      ++removed;
+      touched = true;
+    }
+
+    if (apply && touched) {
+      std::string out;
+      for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (std::find(dropIdx.begin(), dropIdx.end(), i) != dropIdx.end()) {
+          continue;
+        }
+        out += lines[i];
+        if (i + 1 < lines.size() || trailingNewline) out.push_back('\n');
+      }
+      std::ofstream ofs(rootPath / relPath, std::ios::binary);
+      ofs << out;
+    }
+    s = e;
+  }
+  return removed;
+}
+
 void usage(std::FILE* to) {
   std::fprintf(
       to,
-      "usage: dcache_lint [--root DIR] [--json FILE|-] [--quiet] "
-      "[--list-rules]\n"
+      "usage: dcache_lint [--root DIR] [--json FILE|-] [--trend FILE]\n"
+      "                   [--quiet] [--list-rules]\n"
+      "       dcache_lint --fix-suppressions [--apply] [--root DIR]\n"
       "\n"
       "Scans DIR/{src,bench,tests} for dcache invariant violations.\n"
       "Exit status: 0 clean, 1 findings, 2 usage/environment error.\n"
+      "--trend writes a per-rule findings-count JSON artifact.\n"
+      "--fix-suppressions deletes stale allow(...) directives: dry-run\n"
+      "diff by default, --apply to edit files in place.\n"
       "See INVARIANTS.md for the rule catalogue and suppression syntax.\n");
 }
 
@@ -124,13 +264,22 @@ void usage(std::FILE* to) {
 int main(int argc, char** argv) {
   std::string root = ".";
   std::string jsonOut;
+  std::string trendOut;
   bool quiet = false;
+  bool fixMode = false;
+  bool applyFixes = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
       root = argv[++i];
     } else if (arg == "--json" && i + 1 < argc) {
       jsonOut = argv[++i];
+    } else if (arg == "--trend" && i + 1 < argc) {
+      trendOut = argv[++i];
+    } else if (arg == "--fix-suppressions") {
+      fixMode = true;
+    } else if (arg == "--apply") {
+      applyFixes = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--list-rules") {
@@ -199,10 +348,39 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (applyFixes && !fixMode) {
+    std::fprintf(stderr,
+                 "dcache_lint: --apply requires --fix-suppressions\n");
+    usage(stderr);
+    return 2;
+  }
+
   const std::vector<Finding> findings = dcache::lint::runLint(input);
   std::size_t suppressionsUsed = 0;
   for (const SourceFile& f : input.files) {
     for (const auto& s : f.suppressions) suppressionsUsed += s.used ? 1 : 0;
+  }
+
+  if (fixMode) {
+    // Stale = well-formed (known rule, has a reason) but suppressing
+    // nothing. Malformed or unknown-rule directives stay: those are
+    // mistakes a human should look at, not dead weight to sweep.
+    const std::vector<std::string>& rules = dcache::lint::knownRules();
+    std::vector<StaleSite> sites;
+    for (const SourceFile& f : input.files) {
+      for (const auto& s : f.suppressions) {
+        if (s.used || s.rule.empty() || s.reason.empty()) continue;
+        if (std::find(rules.begin(), rules.end(), s.rule) == rules.end()) {
+          continue;
+        }
+        sites.push_back({f.relPath, s.line});
+      }
+    }
+    const std::size_t removed = fixSuppressions(rootPath, sites, applyFixes);
+    std::printf("dcache-lint: %zu stale suppression%s %s\n", removed,
+                removed == 1 ? "" : "s",
+                applyFixes ? "removed" : "found (dry run; --apply to edit)");
+    return 0;
   }
 
   if (!quiet) {
@@ -232,6 +410,18 @@ int main(int argc, char** argv) {
       }
       out << report;
     }
+  }
+
+  if (!trendOut.empty()) {
+    const std::string trend =
+        trendReport(findings, input.files.size(), suppressionsUsed);
+    std::ofstream out(trendOut, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "dcache_lint: cannot write %s\n",
+                   trendOut.c_str());
+      return 2;
+    }
+    out << trend;
   }
 
   return findings.empty() ? 0 : 1;

@@ -7,6 +7,8 @@
 #include <array>
 #include <string_view>
 
+#include "index.hpp"
+
 namespace dcache::lint {
 
 namespace {
@@ -95,9 +97,10 @@ void add(std::vector<Finding>& out, std::string rule,
 
 const std::vector<std::string>& knownRules() {
   static const std::vector<std::string> kRules = {
-      "determinism",          "unordered-iter", "charge-funnel",
-      "counter-registration", "bench-hygiene",  "hot-path-alloc",
-      "suppression"};
+      "determinism",    "unordered-iter", "charge-funnel",
+      "counter-registration", "bench-hygiene", "hot-path-alloc",
+      "units",          "race-capture",   "charge-path",
+      "guard-pairing",  "suppression"};
   return kRules;
 }
 
@@ -206,9 +209,11 @@ void ruleDeterminism(const LintInput& in, std::vector<Finding>& out) {
 // output, accounting, or eviction order is a latent golden-diff break.
 // Declarations are collected across the whole tree (members declared in a
 // header, iterated in the .cpp), then every range-for and .begin() loop
-// over a collected name is flagged.
+// over a collected name is flagged. Alias resolution rides the declaration
+// index: `using`/`typedef` chains of any depth, across files.
 
-void ruleUnorderedIter(const LintInput& in, std::vector<Finding>& out) {
+void ruleUnorderedIter(const LintInput& in, const Index& index,
+                       std::vector<Finding>& out) {
   static constexpr std::array<std::string_view, 4> kContainers = {
       "unordered_map", "unordered_set", "unordered_multimap",
       "unordered_multiset"};
@@ -218,22 +223,25 @@ void ruleUnorderedIter(const LintInput& in, std::vector<Finding>& out) {
                kContainers.end();
   };
 
-  // Pass A: names declared with an unordered type, plus `using` aliases of
-  // unordered types (one level deep).
+  // Pass A: names declared with an unordered type, plus alias names whose
+  // using/typedef chain bottoms out in an unordered container (resolved
+  // transitively through the index, so `using A = B; using B = Map;`
+  // and typedef spellings are all caught, wherever the links live).
   std::set<std::string> unorderedNames;
   std::set<std::string> unorderedAliases;
+  for (const AliasDecl& alias : index.aliases) {
+    const bool direct =
+        alias.targetTokens.find("unordered_") != std::string::npos;
+    const bool chained =
+        index.resolveAliasChain(alias.name).find("unordered_") !=
+        std::string::npos;
+    if (direct || chained) unorderedAliases.insert(alias.name);
+  }
   for (const SourceFile& f : in.files) {
     const Tokens& t = f.tokens;
     for (std::size_t i = 0; i < t.size(); ++i) {
       if (!isContainer(t[i]) || i + 1 >= t.size() || !isPunct(t[i + 1], "<")) {
         continue;
-      }
-      // `using Alias = std::unordered_map<...>`?
-      std::size_t b = i;
-      while (b >= 1 && (isId(t[b - 1], "std") || isPunct(t[b - 1], "::"))) --b;
-      if (b >= 3 && isPunct(t[b - 1], "=") &&
-          t[b - 2].kind == TokenKind::kIdentifier && isId(t[b - 3], "using")) {
-        unorderedAliases.insert(t[b - 2].text);
       }
       std::size_t j = skipAngles(t, i + 1);
       // Skip declarator decorations to reach the declared name.
@@ -395,60 +403,26 @@ void ruleChargeFunnel(const LintInput& in, std::vector<Finding>& out) {
 // snake_case metric key registered there, and (c) appear in a conservation
 // test (tests/test_chaos_fuzz.cpp or tests/test_obs_conservation.cpp).
 
-void ruleCounterRegistration(const LintInput& in, std::vector<Finding>& out) {
+void ruleCounterRegistration(const LintInput& in, const Index& index,
+                             std::vector<Finding>& out) {
+  // Data members come from the declaration index: every FieldDecl whose
+  // class is ServeCounters and whose file is the canonical declaration
+  // header. (The index already skips statics, usings and member functions,
+  // and survives inline method bodies between fields.)
   const SourceFile* decl = findFile(in, "src/core/deployment.hpp");
   if (decl == nullptr) return;  // layout changed; nothing to check against
-  const Tokens& t = decl->tokens;
 
-  // Locate `struct ServeCounters {`.
-  std::size_t open = t.size();
-  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
-    if (isId(t[i], "struct") && isId(t[i + 1], "ServeCounters") &&
-        isPunct(t[i + 2], "{")) {
-      open = i + 2;
-      break;
-    }
-  }
-  if (open == t.size()) return;
-
-  // Collect data-member names: statements at struct depth whose token list
-  // contains no '(' (functions) and no `using`/`static`.
   struct Field {
     std::string name;
     int line;
   };
   std::vector<Field> fields;
-  std::vector<Token> stmt;
-  int depth = 1;
-  for (std::size_t i = open + 1; i < t.size() && depth > 0; ++i) {
-    if (isPunct(t[i], "{")) ++depth;
-    if (isPunct(t[i], "}")) {
-      --depth;
-      stmt.clear();  // end of a nested body — whatever it was, not a field
+  for (const FieldDecl& field : index.fields) {
+    if (field.className != "ServeCounters") continue;
+    if (in.files[field.fileIndex].relPath != "src/core/deployment.hpp") {
       continue;
     }
-    if (depth != 1) continue;
-    if (isPunct(t[i], ";")) {
-      bool isFunc = false, skip = false;
-      std::size_t eq = stmt.size();
-      for (std::size_t k = 0; k < stmt.size(); ++k) {
-        if (isPunct(stmt[k], "=") && eq == stmt.size()) eq = k;
-        if (isPunct(stmt[k], "(") && k < eq) isFunc = true;
-        if (isId(stmt[k], "using") || isId(stmt[k], "static")) skip = true;
-      }
-      if (!stmt.empty() && !isFunc && !skip) {
-        const std::size_t nameEnd = eq == stmt.size() ? stmt.size() : eq;
-        for (std::size_t k = nameEnd; k-- > 0;) {
-          if (stmt[k].kind == TokenKind::kIdentifier) {
-            fields.push_back({stmt[k].text, stmt[k].line});
-            break;
-          }
-        }
-      }
-      stmt.clear();
-      continue;
-    }
-    stmt.push_back(t[i]);
+    fields.push_back({field.name, field.line});
   }
 
   const SourceFile* report = findFile(in, "src/core/report.cpp");
@@ -591,13 +565,16 @@ void ruleHotPathAlloc(const LintInput& in, std::vector<Finding>& out) {
 // ---------------------------------------------------------------------------
 
 std::vector<Finding> runLint(LintInput& input) {
+  const Index index = buildIndex(input);
+
   std::vector<Finding> raw;
   ruleDeterminism(input, raw);
-  ruleUnorderedIter(input, raw);
+  ruleUnorderedIter(input, index, raw);
   ruleChargeFunnel(input, raw);
-  ruleCounterRegistration(input, raw);
+  ruleCounterRegistration(input, index, raw);
   ruleBenchHygiene(input, raw);
   ruleHotPathAlloc(input, raw);
+  runFlowRules(input, index, raw);
 
   std::vector<Finding> kept;
   for (Finding& finding : raw) {
